@@ -1,0 +1,406 @@
+(* Benchmark harness: regenerates every figure/table artifact of the paper
+   (see DESIGN.md's per-experiment index) and times the engine with
+   bechamel. Two parts:
+
+   1. "experiment tables" — deterministic reproductions printed as rows
+      (who wins / what is found / how counts scale), mirroring what the
+      paper reports qualitatively;
+   2. bechamel micro-benchmarks — one Test.make per experiment id, timing
+      the corresponding engine configuration. *)
+
+open Bechamel
+open Toolkit
+
+let line () = print_endline (String.make 72 '-')
+
+let header title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared setup                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sg_of src = Supergraph.build [ Cparse.parse_tunit ~file:"bench.c" src ]
+let run_src ?options src checkers = Engine.run ?options (sg_of src) checkers
+
+(* Figure 2 with the paper's exact line numbering (errors at 12 and 17) *)
+let fig2_code =
+  {|int contrived(int *p, int *w, int x) {
+   int *q;
+
+   if(x)
+   {
+      kfree(w);
+      q = p;
+      p = 0;
+   }
+   if(!x)
+      return *w;
+   return *q;
+}
+int contrived_caller(int *w, int x, int *p) {
+   kfree(p);
+   contrived(p, w, x);
+   return *w;
+}
+|}
+
+let no_cache = { Engine.default_options with Engine.caching = false }
+let no_prune = { Engine.default_options with Engine.pruning = false }
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table_f2 () =
+  header "F2 | Figure 2: the free checker on the paper's running example";
+  let r = run_src fig2_code [ Free_checker.checker () ] in
+  Printf.printf "%-8s %-22s %s\n" "LINE" "FUNCTION" "MESSAGE";
+  List.iter
+    (fun (rep : Report.t) ->
+      Printf.printf "%-8d %-22s %s\n" rep.Report.loc.Srcloc.line rep.Report.func
+        rep.Report.message)
+    r.Engine.reports;
+  Printf.printf "paper: 2 errors (lines 12, 17); measured: %d errors\n"
+    (List.length r.Engine.reports)
+
+let table_t1 () =
+  header "T1 | Table 1: hole types and what they match";
+  let typing =
+    Ctyping.of_program
+      [
+        Cparse.parse_tunit ~file:"<t>"
+          "int i; float fl; int *ip; char *cp; struct s { int f; } sv; int fn(int);";
+      ]
+  in
+  let exprs =
+    [ "i"; "fl"; "ip"; "cp"; "sv"; "fn(i)" ]
+    |> List.map (fun s -> (s, Cparse.expr_of_string ~file:"<t>" s))
+  in
+  let holes =
+    [
+      ("int (concrete)", Holes.Concrete Ctyp.int_);
+      ("any_expr", Holes.Any_expr);
+      ("any_scalar", Holes.Any_scalar);
+      ("any_pointer", Holes.Any_pointer);
+      ("any_fn_call", Holes.Any_fn_call);
+    ]
+  in
+  Printf.printf "%-16s" "HOLE \\ EXPR";
+  List.iter (fun (s, _) -> Printf.printf " %-6s" s) exprs;
+  print_newline ();
+  List.iter
+    (fun (hname, h) ->
+      Printf.printf "%-16s" hname;
+      List.iter
+        (fun (_, e) ->
+          Printf.printf " %-6s" (if Holes.matches typing h e then "yes" else "-"))
+        exprs;
+      print_newline ())
+    holes
+
+let table_t2 () =
+  header "T2 | Table 2: refine/restore across a call f(xa) with formal xf";
+  let e s = Cparse.expr_of_string ~file:"<t>" s in
+  let show actual state =
+    let m =
+      Refine.make_mapping ~params:[ ("xf", Ctyp.void_ptr) ] ~args:[ e actual ]
+    in
+    let refined = Refine.refine_tree m (e state) in
+    let restored = Refine.restore_tree m refined in
+    Printf.printf "%-8s %-12s refine: state(%s)    restore: state(%s)\n" actual state
+      (Cprint.expr_to_string refined)
+      (Cprint.expr_to_string restored)
+  in
+  Printf.printf "%-8s %-12s %s\n" "ACTUAL" "STATE IN" "RULE";
+  show "xa" "xa";
+  show "&xa" "xa";
+  show "xa" "xa.field";
+  show "xa" "xa->field";
+  show "xa" "*xa"
+
+let table_p1 () =
+  header "P1 | SM independence: cost scales linearly in tracked instances";
+  Printf.printf "%-12s %-12s %-12s %-10s\n" "INSTANCES" "NODES" "BLOCKS" "ERRORS";
+  List.iter
+    (fun n ->
+      let r = run_src (Synth.many_tracked ~n) [ Free_checker.checker () ] in
+      Printf.printf "%-12d %-12d %-12d %-10d\n" n r.Engine.stats.Engine.nodes_visited
+        r.Engine.stats.Engine.blocks_visited
+        (List.length r.Engine.reports))
+    [ 4; 8; 16; 32 ];
+  Printf.printf "paper claim: linear (not exponential) growth with instances\n"
+
+let table_p2 () =
+  header "P2 | Block caching: exponential paths collapse to linear";
+  Printf.printf "%-10s %-16s %-16s %-14s\n" "DIAMONDS" "PATHS(cached)" "PATHS(no cache)"
+    "ERRORS(same?)";
+  List.iter
+    (fun n ->
+      let src = Synth.diamond_chain ~n in
+      let on = run_src src [ Free_checker.checker () ] in
+      let off = run_src ~options:no_cache src [ Free_checker.checker () ] in
+      Printf.printf "%-10d %-16d %-16d %b\n" n on.Engine.stats.Engine.paths_explored
+        off.Engine.stats.Engine.paths_explored
+        (List.length on.Engine.reports = List.length off.Engine.reports))
+    [ 4; 8; 12 ];
+  Printf.printf "paper claim: caching makes the DFS tractable on real code\n"
+
+let table_p3 () =
+  header "P3 | Function summaries memoise whole-function effects";
+  Printf.printf "%-22s %-10s %-14s %-14s\n" "WORKLOAD" "CALLS" "SUMMARY-HITS"
+    "TRAVERSALS";
+  List.iter
+    (fun (name, src) ->
+      let r = run_src src [ Free_checker.checker () ] in
+      let st = r.Engine.stats in
+      Printf.printf "%-22s %-10d %-14d %-14d\n" name st.Engine.calls_followed
+        st.Engine.summary_hits
+        (st.Engine.calls_followed - st.Engine.summary_hits))
+    [
+      ("chain depth 12", Synth.call_chain ~depth:12);
+      ("tree 3^3 + helper", Synth.call_tree ~depth:3 ~fanout:3);
+      ("tree 2^6 + helper", Synth.call_tree ~depth:6 ~fanout:2);
+    ];
+  Printf.printf
+    "paper claim: each function is analysed per entry state, not per callsite\n"
+
+let table_p4 () =
+  header "P4 | False-path pruning kills correlated-branch false positives";
+  Printf.printf "%-10s %-18s %-18s\n" "PAIRS" "FP(pruning on)" "FP(pruning off)";
+  List.iter
+    (fun n ->
+      let src = Synth.correlated_branches ~n in
+      let on = run_src src [ Free_checker.checker () ] in
+      let off = run_src ~options:no_prune src [ Free_checker.checker () ] in
+      Printf.printf "%-10d %-18d %-18d\n" n
+        (List.length on.Engine.reports)
+        (List.length off.Engine.reports))
+    [ 2; 4; 6 ];
+  Printf.printf "paper claim (Fig. 2): contradictory conditions yield no reports\n";
+  let no_kill = { Engine.default_options with Engine.auto_kill = false } in
+  Printf.printf "\nkill-on-redefinition ('the single most important technique'):\n";
+  Printf.printf "%-10s %-18s %-18s\n" "FUNCS" "FP(kill on)" "FP(kill off)";
+  List.iter
+    (fun n ->
+      let src = Synth.kill_workload ~n in
+      let on = run_src src [ Free_checker.checker () ] in
+      let off = run_src ~options:no_kill src [ Free_checker.checker () ] in
+      Printf.printf "%-10d %-18d %-18d\n" n
+        (List.length on.Engine.reports)
+        (List.length off.Engine.reports))
+    [ 4; 16 ]
+
+let table_p5 () =
+  header "P5 | Statistical ranking: z-statistic sorts real errors first";
+  let src =
+    "void rel(int *p) { kfree(p); }\n\
+     void maybe(int *p, int m) { if (m) { kfree(p); } }\n\
+     int u1(int n) { int *a = kmalloc(n); rel(a); return *a; }\n\
+     int u2(int n) { int *b = kmalloc(n); rel(b); return 0; }\n\
+     int u3(int n) { int *c = kmalloc(n); rel(c); return 0; }\n\
+     int u4(int n) { int *d = kmalloc(n); rel(d); return 0; }\n\
+     int u5(int n) { int *e = kmalloc(n); maybe(e, 0); return *e; }\n\
+     int u6(int n) { int *f = kmalloc(n); maybe(f, 0); return *f; }\n\
+     int u7(int n) { int *g = kmalloc(n); maybe(g, 0); return *g; }"
+  in
+  let sg = sg_of src in
+  let result, ranking = Free_stat.run sg ~dealloc:[ "kfree" ] in
+  Printf.printf "%-14s %-8s\n" "RULE" "Z";
+  List.iter (fun (rule, z) -> Printf.printf "%-14s %8.2f\n" rule z) ranking;
+  let sorted =
+    Rank.statistical_sort ~counters:result.Engine.counters result.Engine.reports
+  in
+  Printf.printf "top-ranked report: %s\n"
+    (match sorted with r :: _ -> Report.to_string r | [] -> "<none>");
+  Printf.printf
+    "paper claim: 'all of the real errors went to the top' -- the always-free\n\
+     rule outranks the conditional-free cluster\n"
+
+let table_p6 () =
+  header "P6 | Checker sizes (paper: extensions are 10-200 lines)";
+  Printf.printf "%-12s %-6s %s\n" "CHECKER" "LOC" "DESCRIPTION";
+  List.iter
+    (fun e ->
+      Printf.printf "%-12s %-6d %s\n" e.Registry.e_name (Registry.loc e)
+        e.Registry.e_description)
+    (Registry.all ())
+
+let table_detection () =
+  header "W  | Workload detection (substitute for the paper's kernel runs)";
+  Printf.printf "%-8s %-10s %-10s %-10s %-8s\n" "SEED" "PLANTED" "DETECTED" "REPORTS"
+    "FP";
+  let all_checkers () = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+  List.iter
+    (fun seed ->
+      let g = Gen.generate ~seed ~n_funcs:40 ~bug_rate:0.3 in
+      let sg = sg_of g.Gen.source in
+      let result = Engine.run sg (all_checkers ()) in
+      let buggy = List.map (fun (p : Gen.planted) -> p.Gen.in_function) g.Gen.planted in
+      let detected =
+        List.filter
+          (fun (p : Gen.planted) ->
+            List.exists
+              (fun (r : Report.t) -> String.equal r.Report.func p.Gen.in_function)
+              result.Engine.reports)
+          g.Gen.planted
+      in
+      let fps =
+        List.filter
+          (fun (r : Report.t) -> not (List.mem r.Report.func buggy))
+          result.Engine.reports
+      in
+      Printf.printf "%-8d %-10d %-10d %-10d %-8d\n" seed
+        (List.length g.Gen.planted)
+        (List.length detected)
+        (List.length result.Engine.reports)
+        (List.length fps))
+    [ 1; 2; 3 ]
+
+let table_p10 () =
+  header "P10| Top-down vs. exhaustive bottom-up entry states (Section 6)";
+  Printf.printf "%-22s %-18s %-20s %-14s\n" "WORKLOAD" "TOP-DOWN STATES"
+    "EXHAUSTIVE STATES" "RATIO";
+  let free = Free_checker.checker () in
+  List.iter
+    (fun (name, src) ->
+      let sg = sg_of src in
+      let td = Baseline.topdown_entry_states sg free in
+      let ex = Baseline.exhaustive_entry_states sg free in
+      Printf.printf "%-22s %-18d %-20d %.1fx\n" name td ex
+        (float_of_int ex /. float_of_int (max 1 td)))
+    [
+      ("fig2", fig2_code);
+      ("call tree 3^3", Synth.call_tree ~depth:3 ~fanout:3);
+      ("workload 40 fns", (Gen.generate ~seed:5 ~n_funcs:40 ~bug_rate:0.3).Gen.source);
+    ];
+  (* actually execute the exhaustive scheme on the small example *)
+  let sg = sg_of fig2_code in
+  let t0 = Sys.time () in
+  let runs = Baseline.run_exhaustive sg free in
+  let t_ex = Sys.time () -. t0 in
+  let t1 = Sys.time () in
+  ignore (Engine.run sg [ free ]);
+  let t_td = Sys.time () -. t1 in
+  Printf.printf
+    "fig2 executed: exhaustive %d runs (%.4fs) vs top-down 1 run (%.4fs)\n" runs t_ex
+    t_td;
+  Printf.printf
+    "paper claim: top-down analyses only the states that actually reach a function\n"
+
+let table_scale () =
+  header "S  | Whole-program scaling (all checkers, generated corpora)";
+  Printf.printf "%-10s %-12s %-12s %-12s %-10s\n" "FUNCS" "NODES" "BLOCKS" "REPORTS"
+    "SECONDS";
+  let all_checkers () = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+  List.iter
+    (fun n ->
+      let g = Gen.generate ~seed:55 ~n_funcs:n ~bug_rate:0.25 in
+      let sg = sg_of g.Gen.source in
+      let t0 = Sys.time () in
+      let r = Engine.run sg (all_checkers ()) in
+      let dt = Sys.time () -. t0 in
+      Printf.printf "%-10d %-12d %-12d %-12d %-10.3f\n" n
+        r.Engine.stats.Engine.nodes_visited r.Engine.stats.Engine.blocks_visited
+        (List.length r.Engine.reports) dt)
+    [ 100; 400; 1600 ];
+  Printf.printf
+    "paper claim: the approach scales to large programs (2 MLOC Linux)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let stage = Staged.stage
+
+let bench_tests () =
+  (* pre-build supergraphs so timings measure the engine, not the parser *)
+  let free = Free_checker.checker () in
+  let fig2_sg = sg_of fig2_code in
+  let diamond_sg = sg_of (Synth.diamond_chain ~n:8) in
+  let many_sg = sg_of (Synth.many_tracked ~n:16) in
+  let tree_sg = sg_of (Synth.call_tree ~depth:3 ~fanout:3) in
+  let corr_sg = sg_of (Synth.correlated_branches ~n:4) in
+  let gen = Gen.generate ~seed:7 ~n_funcs:30 ~bug_rate:0.3 in
+  let gen_sg = sg_of gen.Gen.source in
+  let all_checkers = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+  let pattern_node = Cparse.expr_of_string ~file:"<b>" "kfree(p)" in
+  let pattern_holes = [ ("v", Holes.Any_expr) ] in
+  let pattern = Pattern.Pexpr (Cparse.expr_of_string ~file:"<b>" "kfree(v)") in
+  let pattern_ctx =
+    {
+      Callout.typing = Ctyping.empty;
+      node = Some pattern_node;
+      annots = Hashtbl.create 1;
+    }
+  in
+  let zdata = List.init 50 (fun i -> (Printf.sprintf "rule%d" i, i * 3, 100 - i)) in
+  [
+    Test.make ~name:"fig2_free_checker"
+      (stage (fun () -> Engine.run fig2_sg [ free ]));
+    Test.make ~name:"caching_on_diamond8"
+      (stage (fun () -> Engine.run diamond_sg [ free ]));
+    Test.make ~name:"caching_off_diamond8"
+      (stage (fun () -> Engine.run ~options:no_cache diamond_sg [ free ]));
+    Test.make ~name:"independence_16_tracked"
+      (stage (fun () -> Engine.run many_sg [ free ]));
+    Test.make ~name:"interproc_summaries_tree"
+      (stage (fun () -> Engine.run tree_sg [ free ]));
+    Test.make ~name:"fpp_on_correlated4"
+      (stage (fun () -> Engine.run corr_sg [ free ]));
+    Test.make ~name:"fpp_off_correlated4"
+      (stage (fun () -> Engine.run ~options:no_prune corr_sg [ free ]));
+    Test.make ~name:"all_checkers_workload30"
+      (stage (fun () -> Engine.run gen_sg all_checkers));
+    Test.make ~name:"pattern_match"
+      (stage (fun () ->
+           Pattern.match_event ~ctx:pattern_ctx ~holes:pattern_holes pattern
+             (Pattern.At_node pattern_node)));
+    Test.make ~name:"metal_compile_free"
+      (stage (fun () -> Metal_compile.load ~file:"<b>" Free_checker.source));
+    Test.make ~name:"parse_fig2"
+      (stage (fun () -> Cparse.parse_tunit ~file:"<b>" fig2_code));
+    Test.make ~name:"zstat_rank_50_rules" (stage (fun () -> Zstat.rank_rules zdata));
+  ]
+
+let run_benchmarks () =
+  header "Bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  Printf.printf "%-28s %16s %10s\n" "BENCHMARK" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square ols_result) ~default:nan in
+          Printf.printf "%-28s %16.1f %10.4f\n" name est r2)
+        analyzed)
+    (bench_tests ())
+
+let () =
+  print_endline "metal/xgcc benchmark harness";
+  print_endline "(one experiment per table/figure/claim; see DESIGN.md index)";
+  table_f2 ();
+  table_t1 ();
+  table_t2 ();
+  table_p1 ();
+  table_p2 ();
+  table_p3 ();
+  table_p4 ();
+  table_p5 ();
+  table_p6 ();
+  table_detection ();
+  table_p10 ();
+  table_scale ();
+  run_benchmarks ();
+  line ();
+  print_endline "done."

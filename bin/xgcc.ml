@@ -1,0 +1,552 @@
+(* xgcc — command-line driver for the metal/xgcc reproduction.
+
+   Subcommands:
+     check            run checkers over C files and print ranked reports
+     list-checkers    the built-in extensions, with their metal LoC
+     show-checker     print a checker's metal source
+     dump-cfg         print a function's control-flow graph
+     dump-summaries   print block + suffix summaries (Figure 5 material)
+     demo             reproduce the paper's Figure 2 run
+     gen              generate a random workload with ground-truth bugs *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Preprocessing configuration shared by check/emit/triage. *)
+let cpp_conf = ref None (* (defines, include dirs) *)
+
+let set_cpp ~use_cpp ~defines ~incdirs =
+  if use_cpp || defines <> [] || incdirs <> [] then begin
+    let defines =
+      List.map
+        (fun d ->
+          match String.index_opt d '=' with
+          | Some i ->
+              (String.sub d 0 i, String.sub d (i + 1) (String.length d - i - 1))
+          | None -> (d, ""))
+        defines
+    in
+    cpp_conf := Some (defines, incdirs)
+  end
+
+let resolve_include incdirs name =
+  List.find_map
+    (fun dir ->
+      let path = Filename.concat dir name in
+      if Sys.file_exists path then Some (read_file path) else None)
+    ("." :: incdirs)
+
+(* Pass 2 (Section 6): .mcast files are pre-parsed ASTs emitted by pass 1
+   ('xgcc emit'); anything else is (optionally preprocessed and) parsed
+   from C source. *)
+let load_tunit f =
+  if Filename.check_suffix f ".mcast" then Cast_io.read_file f
+  else begin
+    let src = read_file f in
+    let src =
+      match !cpp_conf with
+      | None -> src
+      | Some (defines, incdirs) ->
+          Cpp.preprocess ~defines ~resolve_include:(resolve_include incdirs) ~file:f src
+    in
+    Cparse.parse_tunit ~file:f src
+  end
+
+let load_program files = Supergraph.build (List.map load_tunit files)
+
+let resolve_checkers names metal_files =
+  let builtin =
+    List.map
+      (fun name ->
+        match Registry.find name with
+        | Some e -> e.Registry.e_make ()
+        | None ->
+            Format.eprintf "unknown checker '%s'; try list-checkers@." name;
+            exit 2)
+      names
+  in
+  let from_files =
+    List.concat_map (fun f -> Metal_compile.load_file f) metal_files
+  in
+  match builtin @ from_files with
+  | [] -> [ Free_checker.checker () ]
+  | cs -> cs
+
+let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms =
+  {
+    Engine.default_options with
+    Engine.caching = not no_cache;
+    pruning = not no_prune;
+    interproc = not no_interproc;
+    auto_kill = not no_kill;
+    synonyms = not no_synonyms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let setup_logs verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let do_check files checkers metal_files rank_mode fmt history_db update_history
+    no_cache no_prune no_interproc no_kill no_synonyms stats verbose use_cpp defines
+    incdirs =
+  setup_logs verbose;
+  set_cpp ~use_cpp ~defines ~incdirs;
+  if files = [] then begin
+    Format.eprintf "no input files@.";
+    exit 2
+  end;
+  let sg = load_program files in
+  let exts = resolve_checkers checkers metal_files in
+  let options = options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms in
+  let result = Engine.run ~options sg exts in
+  let reports = result.Engine.reports in
+  let reports, suppressed =
+    match history_db with
+    | Some path ->
+        let db = History.load path in
+        History.suppress db reports
+    | None -> (reports, 0)
+  in
+  let ranked =
+    match rank_mode with
+    | "stat" -> Rank.statistical_sort ~counters:result.Engine.counters reports
+    | "none" -> reports
+    | _ -> Rank.generic_sort reports
+  in
+  (match fmt with
+  | "json" -> print_string (Json_out.reports_to_string ranked)
+  | "strata" ->
+      List.iter
+        (fun (sev, reps) ->
+          Format.printf "== %s (%d) ==@."
+            (match sev with
+            | Rank.Security -> "SECURITY"
+            | Rank.Error_path -> "ERROR PATHS"
+            | Rank.Normal -> "OTHER"
+            | Rank.Minor -> "MINOR")
+            (List.length reps);
+          List.iteri (fun i r -> Format.printf "%3d. %a@." (i + 1) Report.pp r) reps)
+        (Rank.stratified ranked)
+  | _ -> List.iteri (fun i r -> Format.printf "%3d. %a@." (i + 1) Report.pp r) ranked);
+  if suppressed > 0 then
+    Format.printf "(%d report(s) suppressed by history database)@." suppressed;
+  (match history_db with
+  | Some path when update_history ->
+      let db = History.load path in
+      let db = List.fold_left History.add db result.Engine.reports in
+      History.save path db;
+      Format.printf "history database %s updated (%d entries)@." path (History.size db)
+  | _ -> ());
+  if result.Engine.counters <> [] && stats then begin
+    Format.printf "@.rule statistics (z-ranked):@.";
+    List.iter
+      (fun (rule, z) ->
+        let e, c =
+          match
+            List.find_opt (fun (r, _, _) -> String.equal r rule) result.Engine.counters
+          with
+          | Some (_, e, c) -> (e, c)
+          | None -> (0, 0)
+        in
+        Format.printf "  z=%6.2f  e=%-4d c=%-4d %s@." z e c rule)
+      (Zstat.rank_rules result.Engine.counters)
+  end;
+  if stats then begin
+    let st = result.Engine.stats in
+    Format.printf
+      "@.stats: %d blocks, %d nodes, %d paths, %d cache hits, %d calls followed, %d summary hits, %d pruned branches@."
+      st.Engine.blocks_visited st.Engine.nodes_visited st.Engine.paths_explored
+      st.Engine.cache_hits st.Engine.calls_followed st.Engine.summary_hits
+      st.Engine.pruned_branches;
+    let total =
+      List.length (Ctyping.fundefs sg.Supergraph.typing)
+    in
+    Format.printf "coverage: %d / %d functions traversed@."
+      st.Engine.functions_traversed total
+  end;
+  if ranked = [] && not (String.equal fmt "json") then
+    Format.printf "no errors found@."
+
+let check_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  let checkers =
+    Arg.(value & opt_all string [] & info [ "c"; "checker" ] ~docv:"NAME"
+           ~doc:"Built-in checker to run (repeatable); defaults to 'free'.")
+  in
+  let metal_files =
+    Arg.(value & opt_all file [] & info [ "m"; "metal" ] ~docv:"FILE.metal"
+           ~doc:"Compile and run the metal extensions in $(docv) (repeatable).")
+  in
+  let rank =
+    Arg.(value & opt string "generic" & info [ "rank" ] ~docv:"MODE"
+           ~doc:"Report ranking: 'generic', 'stat' (z-statistic), or 'none'.")
+  in
+  let fmt =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: 'text', 'json', or 'strata' (severity classes).")
+  in
+  let history =
+    Arg.(value & opt (some string) None & info [ "history" ] ~docv:"DB"
+           ~doc:"Suppress reports recorded in the history database $(docv).")
+  in
+  let update =
+    Arg.(value & flag & info [ "update-history" ]
+           ~doc:"Record this run's reports into the history database.")
+  in
+  let no_cache = Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable block caching.") in
+  let no_prune =
+    Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable false-path pruning.")
+  in
+  let no_interproc =
+    Arg.(value & flag & info [ "no-interproc" ] ~doc:"Do not follow function calls.")
+  in
+  let no_kill =
+    Arg.(value & flag & info [ "no-kill" ] ~doc:"Disable kill-on-redefinition.")
+  in
+  let no_synonyms =
+    Arg.(value & flag & info [ "no-synonyms" ] ~doc:"Disable synonym tracking.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.") in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the analysis (debug logs).")
+  in
+  let use_cpp =
+    Arg.(value & flag & info [ "cpp" ] ~doc:"Preprocess C sources (mini cpp).")
+  in
+  let defines =
+    Arg.(value & opt_all string [] & info [ "D" ] ~docv:"NAME[=VAL]"
+           ~doc:"Predefine a macro (implies --cpp).")
+  in
+  let incdirs =
+    Arg.(value & opt_all dir [] & info [ "I" ] ~docv:"DIR"
+           ~doc:"Include search directory (implies --cpp).")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run checkers over C files")
+    Term.(
+      const do_check $ files $ checkers $ metal_files $ rank $ fmt $ history $ update
+      $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ stats $ verbose
+      $ use_cpp $ defines $ incdirs)
+
+(* ------------------------------------------------------------------ *)
+(* list-checkers / show-checker                                        *)
+(* ------------------------------------------------------------------ *)
+
+let do_list () =
+  Format.printf "%-10s %5s  %s@." "NAME" "LOC" "DESCRIPTION";
+  List.iter
+    (fun e ->
+      Format.printf "%-10s %5d  %s@." e.Registry.e_name (Registry.loc e)
+        e.Registry.e_description)
+    (Registry.all ())
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list-checkers" ~doc:"List built-in checkers and their metal size")
+    Term.(const do_list $ const ())
+
+let do_show name =
+  match Registry.find name with
+  | Some { Registry.e_source = Some src; _ } -> print_string src
+  | Some { Registry.e_source = None; _ } ->
+      Format.printf "(checker '%s' is written against the OCaml API)@." name
+  | None ->
+      Format.eprintf "unknown checker '%s'@." name;
+      exit 2
+
+let show_cmd =
+  let checker_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "show-checker" ~doc:"Print a checker's metal source")
+    Term.(const do_show $ checker_name)
+
+(* ------------------------------------------------------------------ *)
+(* dump-cfg / dump-summaries                                           *)
+(* ------------------------------------------------------------------ *)
+
+let do_dump_cfg files fname =
+  let sg = load_program files in
+  match fname with
+  | Some f -> (
+      match Supergraph.cfg_of sg f with
+      | Some cfg -> Format.printf "%a@." Cfg.pp cfg
+      | None ->
+          Format.eprintf "no function '%s'@." f;
+          exit 2)
+  | None ->
+      Hashtbl.iter (fun _ cfg -> Format.printf "%a@.@." Cfg.pp cfg) sg.Supergraph.cfgs
+
+let dump_cfg_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let fname =
+    Arg.(value & opt (some string) None & info [ "function" ] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "dump-cfg" ~doc:"Print control-flow graphs")
+    Term.(const do_dump_cfg $ files $ fname)
+
+let print_summaries sg summaries =
+  Hashtbl.iter
+    (fun fname (bs, sfx) ->
+      match Supergraph.cfg_of sg fname with
+      | None -> ()
+      | Some cfg ->
+          Format.printf "@[<v>=== %s ===@," fname;
+          Array.iteri
+            (fun bid (block_sum : Summary.t) ->
+              let b = Cfg.block cfg bid in
+              Format.printf "@[<v 2>B%d%s:@," bid
+                (if bid = cfg.Cfg.entry then " (entry)"
+                 else if bid = cfg.Cfg.exit_ then " (exit)"
+                 else "");
+              Format.printf "block summary:  @[%a@]@," Summary.pp block_sum;
+              Format.printf "suffix summary: @[%a@]@," Summary.pp sfx.(bid);
+              List.iter (fun e -> Format.printf "%a@," Block.pp_elem e) b.Block.elems;
+              Format.printf "%a@]@," Block.pp_terminator b.Block.term)
+            bs;
+          Format.printf "@]@.")
+    summaries
+
+let do_dump_summaries files checker metal_files =
+  let sg = load_program files in
+  let exts = resolve_checkers (Option.to_list checker) metal_files in
+  let _result, summaries = Engine.run_with_summaries sg exts in
+  print_summaries sg summaries
+
+let dump_summaries_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let checker =
+    Arg.(value & opt (some string) None & info [ "c"; "checker" ] ~docv:"NAME")
+  in
+  let metal_files =
+    Arg.(value & opt_all file [] & info [ "m"; "metal" ] ~docv:"FILE.metal")
+  in
+  Cmd.v
+    (Cmd.info "dump-summaries"
+       ~doc:"Print block and suffix summaries after a run (Figure 5)")
+    Term.(const do_dump_summaries $ files $ checker $ metal_files)
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_code =
+  {|int contrived(int *p, int *w, int x) {
+   int *q;
+
+   if(x)
+   {
+      kfree(w);
+      q = p;
+      p = 0;
+   }
+   if(!x)
+      return *w;
+   return *q;
+}
+int contrived_caller(int *w, int x, int *p) {
+   kfree(p);
+   contrived(p, w, x);
+   return *w;
+}
+|}
+
+let do_demo what =
+  match what with
+  | "fig2" ->
+      let tu = Cparse.parse_tunit ~file:"fig2.c" fig2_code in
+      let sg = Supergraph.build [ tu ] in
+      let result, summaries =
+        Engine.run_with_summaries sg [ Free_checker.checker () ]
+      in
+      Format.printf "reports:@.";
+      List.iter (fun r -> Format.printf "  %a@." Report.pp r) result.Engine.reports;
+      Format.printf "@.supergraph summaries (cf. Figure 5):@.@.";
+      print_summaries sg summaries
+  | "fig3" ->
+      Format.printf "Figure 3 lock checker:@.%s@." Lock_checker.source;
+      let code =
+        {|struct lk { int h; };
+int good(struct lk *l) { if (trylock(l)) { unlock(l); } return 0; }
+int leak(struct lk *l, int n) { lock(l); if (n < 0) { return n; } unlock(l); return n; }
+int unheld(struct lk *l) { unlock(l); return 0; }
+|}
+      in
+      let tu = Cparse.parse_tunit ~file:"fig3.c" code in
+      let sg = Supergraph.build [ tu ] in
+      let result = Engine.run sg [ Lock_checker.checker () ] in
+      Format.printf "reports:@.";
+      List.iter (fun r -> Format.printf "  %a@." Report.pp r) result.Engine.reports
+  | other ->
+      Format.eprintf "unknown demo '%s' (try: fig2, fig3)@." other;
+      exit 2
+
+let demo_cmd =
+  let what = Arg.(value & pos 0 string "fig2" & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Reproduce the paper's running example")
+    Term.(const do_demo $ what)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let do_gen seed funcs bug_rate out check =
+  let g = Gen.generate ~seed ~n_funcs:funcs ~bug_rate in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc g.Gen.source;
+      close_out oc;
+      Format.printf "wrote %s (%d planted bugs)@." path (List.length g.Gen.planted)
+  | None -> print_string g.Gen.source);
+  List.iter
+    (fun (p : Gen.planted) ->
+      Format.printf "// planted: %s in %s (checker: %s)@."
+        (Gen.bug_kind_to_string p.kind) p.in_function
+        (Gen.checker_of_kind p.kind))
+    g.Gen.planted;
+  if check then begin
+    let tu = Cparse.parse_tunit ~file:"gen.c" g.Gen.source in
+    let sg = Supergraph.build [ tu ] in
+    let exts = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+    let result = Engine.run sg exts in
+    let found (p : Gen.planted) =
+      List.exists
+        (fun (r : Report.t) -> String.equal r.func p.in_function)
+        result.Engine.reports
+    in
+    let detected = List.filter found g.Gen.planted in
+    Format.printf "@.detected %d / %d planted bugs; %d reports total@."
+      (List.length detected)
+      (List.length g.Gen.planted)
+      (List.length result.Engine.reports)
+  end
+
+let gen_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let funcs = Arg.(value & opt int 20 & info [ "funcs" ] ~docv:"N") in
+  let rate = Arg.(value & opt float 0.3 & info [ "bug-rate" ] ~docv:"P") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Run all checkers on the generated code.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random workload with ground-truth bugs")
+    Term.(const do_gen $ seed $ funcs $ rate $ out $ check)
+
+(* ------------------------------------------------------------------ *)
+(* emit (pass 1)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let do_emit files outdir use_cpp defines incdirs =
+  set_cpp ~use_cpp ~defines ~incdirs;
+  List.iter
+    (fun f ->
+      let tu = load_tunit f in
+      let base = Filename.remove_extension (Filename.basename f) ^ ".mcast" in
+      let out = Filename.concat outdir base in
+      Cast_io.emit_file out tu;
+      Format.printf "%s -> %s@." f out)
+    files
+
+let emit_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c") in
+  let outdir =
+    Arg.(value & opt string "." & info [ "d"; "outdir" ] ~docv:"DIR"
+           ~doc:"Directory for the emitted .mcast AST files.")
+  in
+  let use_cpp =
+    Arg.(value & flag & info [ "cpp" ] ~doc:"Preprocess before parsing.")
+  in
+  let defines = Arg.(value & opt_all string [] & info [ "D" ] ~docv:"NAME[=VAL]") in
+  let incdirs = Arg.(value & opt_all dir [] & info [ "I" ] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Pass 1: (preprocess and) parse C files in isolation, emit ASTs (.mcast)")
+    Term.(const do_emit $ files $ outdir $ use_cpp $ defines $ incdirs)
+
+(* ------------------------------------------------------------------ *)
+(* triage                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let do_triage files checkers metal_files out apply_file history_db =
+  let sg = load_program files in
+  let exts = resolve_checkers checkers metal_files in
+  let result = Engine.run sg exts in
+  let ranked = Rank.generic_sort result.Engine.reports in
+  match apply_file with
+  | None ->
+      let path = Option.value out ~default:"triage.txt" in
+      Triage.export_file path ranked;
+      Format.printf "wrote %d report(s) to %s; mark each line R/F and re-run with --apply@."
+        (List.length ranked) path
+  | Some path ->
+      let entries = Triage.import_file ~reports:ranked path in
+      let db_path = Option.value history_db ~default:"xgcc-history.db" in
+      let db, rule_stats = Triage.apply entries (History.load db_path) in
+      History.save db_path db;
+      let count v =
+        List.length (List.filter (fun (e : Triage.entry) -> e.Triage.verdict = v) entries)
+      in
+      Format.printf "verdicts: %d real, %d false positive, %d undecided@."
+        (count Triage.Real)
+        (count Triage.False_positive)
+        (count Triage.Undecided);
+      Format.printf "history database %s now holds %d suppressed report(s)@." db_path
+        (History.size db);
+      if rule_stats <> [] then begin
+        Format.printf "per-rule verdict counts (real, false):@.";
+        List.iter
+          (fun (rule, real, fp) -> Format.printf "  %-24s %d, %d@." rule real fp)
+          rule_stats
+      end
+
+let triage_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let checkers =
+    Arg.(value & opt_all string [] & info [ "c"; "checker" ] ~docv:"NAME")
+  in
+  let metal_files =
+    Arg.(value & opt_all file [] & info [ "m"; "metal" ] ~docv:"FILE.metal")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let apply_file =
+    Arg.(value & opt (some file) None & info [ "apply" ] ~docv:"FILE"
+           ~doc:"Read verdicts back from a marked triage file.")
+  in
+  let history =
+    Arg.(value & opt (some string) None & info [ "history" ] ~docv:"DB")
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:"Export ranked reports for inspection / fold verdicts into history")
+    Term.(
+      const do_triage $ files $ checkers $ metal_files $ out $ apply_file $ history)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "metacompilation: system-specific static analysis with metal extensions" in
+  Cmd.group
+    (Cmd.info "xgcc" ~version:"1.0.0" ~doc)
+    [
+      check_cmd; list_cmd; show_cmd; dump_cfg_cmd; dump_summaries_cmd; demo_cmd;
+      gen_cmd; emit_cmd; triage_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,60 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Compiles the free checker of Figure 1 from metal source, runs it over
+   the code of Figure 2 with the full interprocedural engine, and prints
+   the two use-after-free errors the paper finds (lines 12 and 17) —
+   including the interprocedural one in the caller. *)
+
+let free_checker_src =
+  {|
+sm free_checker {
+  state decl any_pointer v;
+
+  start:
+    { kfree(v) } ==> v.freed
+  ;
+
+  v.freed:
+    { *v } ==> v.stop, { err("using %s after free!", mc_identifier(v)); }
+  | { kfree(v) } ==> v.stop, { err("double free of %s!", mc_identifier(v)); }
+  ;
+}
+|}
+
+(* Figure 2, with the paper's line numbers preserved. *)
+let example_code =
+  {|int contrived(int *p, int *w, int x) {
+   int *q;
+
+   if(x)
+   {
+      kfree(w);
+      q = p;
+      p = 0;
+   }
+   if(!x)
+      return *w;   // safe
+   return *q;      // using 'q' after free!
+}
+int contrived_caller(int *w, int x, int *p) {
+   kfree(p);
+   contrived(p, w, x);
+   return *w;      // using 'w' after free!
+}
+|}
+
+let () =
+  Format.printf "=== metal/xgcc quickstart ===@.@.";
+  Format.printf "Checker (Figure 1):%s@." free_checker_src;
+  let checkers = Metal_compile.load ~file:"free_checker.metal" free_checker_src in
+  let result = Engine.check_source ~file:"fig2.c" example_code checkers in
+  Format.printf "Errors found (%d):@." (List.length result.Engine.reports);
+  List.iter (fun r -> Format.printf "  %a@." Report.pp r) result.Engine.reports;
+  Format.printf "@.Engine statistics:@.";
+  let st = result.Engine.stats in
+  Format.printf
+    "  blocks visited: %d, nodes: %d, paths: %d, cache hits: %d, pruned branches: %d@."
+    st.Engine.blocks_visited st.Engine.nodes_visited st.Engine.paths_explored
+    st.Engine.cache_hits st.Engine.pruned_branches;
+  Format.printf "  calls followed: %d, summary hits: %d@." st.Engine.calls_followed
+    st.Engine.summary_hits

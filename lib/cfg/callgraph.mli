@@ -1,0 +1,25 @@
+(** Callgraph over defined functions (Section 6, preprocessing pass 2).
+
+    "Functions with no callers are considered roots. When computing roots,
+    recursive call chains are broken arbitrarily": after taking all
+    caller-less functions as roots, any function still unreachable (because
+    it only appears in call cycles) donates one representative per cycle as
+    an extra root. *)
+
+type t
+
+val build : Cast.fundef list -> t
+
+val callees : t -> string -> string list
+(** Distinct names of defined functions called from the body (call order,
+    deduplicated). *)
+
+val callers : t -> string -> string list
+val roots : t -> string list
+val is_defined : t -> string -> bool
+val functions : t -> string list
+
+val in_cycle : t -> string -> bool
+(** Whether the function participates in a recursive call chain. *)
+
+val pp : Format.formatter -> t -> unit

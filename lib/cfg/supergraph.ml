@@ -1,0 +1,41 @@
+type t = {
+  cfgs : (string, Cfg.t) Hashtbl.t;
+  callgraph : Callgraph.t;
+  typing : Ctyping.env;
+  tunits : Cast.tunit list;
+}
+
+let build tunits =
+  let funcs =
+    List.concat_map
+      (fun (tu : Cast.tunit) ->
+        List.filter_map
+          (function Cast.Gfun f -> Some f | _ -> None)
+          tu.tu_globals)
+      tunits
+  in
+  let cfgs = Hashtbl.create 64 in
+  List.iter (fun (f : Cast.fundef) -> Hashtbl.replace cfgs f.fname (Cfg.of_fundef f)) funcs;
+  {
+    cfgs;
+    callgraph = Callgraph.build funcs;
+    typing = Ctyping.of_program tunits;
+    tunits;
+  }
+
+let cfg_of t name = Hashtbl.find_opt t.cfgs name
+
+let fundef_of t name =
+  match Hashtbl.find_opt t.cfgs name with
+  | Some cfg -> Some cfg.Cfg.func
+  | None -> None
+
+let roots t = Callgraph.roots t.callgraph
+
+let file_of_function t name =
+  Option.map (fun (f : Cast.fundef) -> f.ffile) (fundef_of t name)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a" Callgraph.pp t.callgraph;
+  Hashtbl.iter (fun _ cfg -> Format.fprintf ppf "@ @ %a" Cfg.pp cfg) t.cfgs;
+  Format.fprintf ppf "@]"

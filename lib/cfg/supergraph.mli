@@ -1,0 +1,31 @@
+(** The supergraph: whole-program view combining every function's CFG with
+    the callgraph (Section 6).
+
+    The paper builds the supergraph by adding entry/exit nodes per routine
+    and splitting callsites into call/return-site node pairs. Our CFGs
+    already carry a distinguished entry and exit node; callsite/return-site
+    splitting is realised operationally by the engine, which suspends block
+    traversal at a call tree and resumes just after it, so the "only
+    intraprocedural successor of [cp] is [rp]" invariant holds by
+    construction. *)
+
+type t = {
+  cfgs : (string, Cfg.t) Hashtbl.t;
+  callgraph : Callgraph.t;
+  typing : Ctyping.env;
+  tunits : Cast.tunit list;
+}
+
+val build : Cast.tunit list -> t
+(** Pass 2 of Section 6: collect every function definition, build CFGs, the
+    callgraph, and a global typing environment. *)
+
+val cfg_of : t -> string -> Cfg.t option
+val fundef_of : t -> string -> Cast.fundef option
+val roots : t -> string list
+
+val file_of_function : t -> string -> string option
+(** Which translation unit defines the function (for the file-scope
+    refine/restore rules of Section 6.1). *)
+
+val pp : Format.formatter -> t -> unit

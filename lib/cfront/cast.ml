@@ -1,0 +1,398 @@
+type unop =
+  | Neg
+  | Lognot
+  | Bitnot
+  | Deref
+  | Addrof
+  | Preinc
+  | Predec
+  | Postinc
+  | Postdec
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | Band
+  | Bor
+  | Bxor
+  | Land
+  | Lor
+
+type expr = { eid : int; eloc : Srcloc.t; enode : enode }
+
+and enode =
+  | Eint of int64
+  | Efloat of float
+  | Echar of char
+  | Estr of string
+  | Eident of string
+  | Eunary of unop * expr
+  | Ebinary of binop * expr * expr
+  | Eassign of binop option * expr * expr
+  | Ecall of expr * expr list
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Eindex of expr * expr
+  | Ecast of Ctyp.t * expr
+  | Econd of expr * expr * expr
+  | Ecomma of expr * expr
+  | Esizeof_type of Ctyp.t
+  | Esizeof_expr of expr
+  | Einit_list of expr list
+
+type decl = { dname : string; dtyp : Ctyp.t; dinit : expr option }
+type stmt = { sid : int; sloc : Srcloc.t; snode : snode }
+
+and snode =
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sbreak
+  | Scontinue
+  | Sswitch of expr * case list
+  | Sgoto of string
+  | Slabel of string * stmt
+  | Snull
+
+and case = { case_guard : int64 option; case_body : stmt list }
+
+type fundef = {
+  fname : string;
+  freturn : Ctyp.t;
+  fparams : (string * Ctyp.t) list;
+  fvariadic : bool;
+  fbody : stmt;
+  floc : Srcloc.t;
+  ffile : string;
+  fstatic : bool;
+}
+
+type global =
+  | Gfun of fundef
+  | Gvar of { gdecl : decl; gloc : Srcloc.t; gfile : string; gstatic : bool }
+  | Gtypedef of string * Ctyp.t
+  | Gcomposite of {
+      ckind : [ `Struct | `Union ];
+      cname : string;
+      cfields : (string * Ctyp.t) list;
+    }
+  | Genum of { ename : string; eitems : (string * int64) list }
+  | Gproto of { pname : string; ptyp : Ctyp.t }
+
+type tunit = { tu_file : string; tu_globals : global list }
+
+let eid_counter = ref 0
+let sid_counter = ref 0
+
+let fresh_eid () =
+  incr eid_counter;
+  !eid_counter
+
+let fresh_sid () =
+  incr sid_counter;
+  !sid_counter
+
+let mk_expr ?(loc = Srcloc.dummy) enode = { eid = fresh_eid (); eloc = loc; enode }
+let mk_stmt ?(loc = Srcloc.dummy) snode = { sid = fresh_sid (); sloc = loc; snode }
+let ident ?loc name = mk_expr ?loc (Eident name)
+let intlit ?loc n = mk_expr ?loc (Eint n)
+let deref ?loc e = mk_expr ?loc (Eunary (Deref, e))
+let call ?loc fn args = mk_expr ?loc (Ecall (ident ?loc fn, args))
+
+let unop_to_string = function
+  | Neg -> "-"
+  | Lognot -> "!"
+  | Bitnot -> "~"
+  | Deref -> "*"
+  | Addrof -> "&"
+  | Preinc | Postinc -> "++"
+  | Predec | Postdec -> "--"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Land -> "&&"
+  | Lor -> "||"
+
+let pp_unop ppf u = Format.pp_print_string ppf (unop_to_string u)
+let pp_binop ppf b = Format.pp_print_string ppf (binop_to_string b)
+
+let rec equal_expr a b =
+  match (a.enode, b.enode) with
+  | Eint x, Eint y -> Int64.equal x y
+  | Efloat x, Efloat y -> Float.equal x y
+  | Echar x, Echar y -> Char.equal x y
+  | Estr x, Estr y -> String.equal x y
+  | Eident x, Eident y -> String.equal x y
+  | Eunary (ua, ea), Eunary (ub, eb) -> ua = ub && equal_expr ea eb
+  | Ebinary (oa, la, ra), Ebinary (ob, lb, rb) ->
+      oa = ob && equal_expr la lb && equal_expr ra rb
+  | Eassign (oa, la, ra), Eassign (ob, lb, rb) ->
+      oa = ob && equal_expr la lb && equal_expr ra rb
+  | Ecall (fa, aa), Ecall (fb, ab) ->
+      equal_expr fa fb && List.length aa = List.length ab && List.for_all2 equal_expr aa ab
+  | Efield (ea, fa), Efield (eb, fb) | Earrow (ea, fa), Earrow (eb, fb) ->
+      String.equal fa fb && equal_expr ea eb
+  | Eindex (aa, ia), Eindex (ab, ib) -> equal_expr aa ab && equal_expr ia ib
+  | Ecast (ta, ea), Ecast (tb, eb) -> Ctyp.equal ta tb && equal_expr ea eb
+  | Econd (ca, ta, ea), Econd (cb, tb, eb) ->
+      equal_expr ca cb && equal_expr ta tb && equal_expr ea eb
+  | Ecomma (la, ra), Ecomma (lb, rb) -> equal_expr la lb && equal_expr ra rb
+  | Esizeof_type ta, Esizeof_type tb -> Ctyp.equal ta tb
+  | Esizeof_expr ea, Esizeof_expr eb -> equal_expr ea eb
+  | Einit_list la, Einit_list lb ->
+      List.length la = List.length lb && List.for_all2 equal_expr la lb
+  | ( ( Eint _ | Efloat _ | Echar _ | Estr _ | Eident _ | Eunary _ | Ebinary _ | Eassign _
+      | Ecall _ | Efield _ | Earrow _ | Eindex _ | Ecast _ | Econd _ | Ecomma _
+      | Esizeof_type _ | Esizeof_expr _ | Einit_list _ ),
+      _ ) ->
+      false
+
+(* Canonical key: a compact prefix-form rendering. *)
+let key_of_expr e =
+  let buf = Buffer.create 32 in
+  let add = Buffer.add_string buf in
+  let rec go e =
+    match e.enode with
+    | Eint n ->
+        add "i";
+        add (Int64.to_string n)
+    | Efloat f ->
+        add "f";
+        add (Float.to_string f)
+    | Echar c ->
+        add "c";
+        Buffer.add_char buf c
+    | Estr s ->
+        add "s\"";
+        add s;
+        add "\""
+    | Eident x ->
+        add "v(";
+        add x;
+        add ")"
+    | Eunary (u, e1) ->
+        add "u(";
+        add (unop_to_string u);
+        (match u with Postinc | Postdec -> add "post" | _ -> ());
+        go e1;
+        add ")"
+    | Ebinary (o, l, r) ->
+        add "b(";
+        add (binop_to_string o);
+        go l;
+        add ",";
+        go r;
+        add ")"
+    | Eassign (o, l, r) ->
+        add "a(";
+        (match o with None -> () | Some o -> add (binop_to_string o));
+        add "=";
+        go l;
+        add ",";
+        go r;
+        add ")"
+    | Ecall (f, args) ->
+        add "call(";
+        go f;
+        List.iter
+          (fun a ->
+            add ",";
+            go a)
+          args;
+        add ")"
+    | Efield (e1, f) ->
+        add "fld(";
+        go e1;
+        add ".";
+        add f;
+        add ")"
+    | Earrow (e1, f) ->
+        add "arw(";
+        go e1;
+        add ".";
+        add f;
+        add ")"
+    | Eindex (a, i) ->
+        add "idx(";
+        go a;
+        add ",";
+        go i;
+        add ")"
+    | Ecast (t, e1) ->
+        add "cast(";
+        add (Ctyp.to_string t);
+        add ",";
+        go e1;
+        add ")"
+    | Econd (c, t, f) ->
+        add "cond(";
+        go c;
+        add ",";
+        go t;
+        add ",";
+        go f;
+        add ")"
+    | Ecomma (l, r) ->
+        add "comma(";
+        go l;
+        add ",";
+        go r;
+        add ")"
+    | Esizeof_type t ->
+        add "szt(";
+        add (Ctyp.to_string t);
+        add ")"
+    | Esizeof_expr e1 ->
+        add "sze(";
+        go e1;
+        add ")"
+    | Einit_list es ->
+        add "init(";
+        List.iter
+          (fun a ->
+            go a;
+            add ",")
+          es;
+        add ")"
+  in
+  go e;
+  Buffer.contents buf
+
+let compare_expr a b = String.compare (key_of_expr a) (key_of_expr b)
+
+let children e =
+  match e.enode with
+  | Eint _ | Efloat _ | Echar _ | Estr _ | Eident _ | Esizeof_type _ -> []
+  | Eunary (_, e1) | Ecast (_, e1) | Esizeof_expr e1 | Efield (e1, _) | Earrow (e1, _) ->
+      [ e1 ]
+  | Ebinary (_, l, r) | Eassign (_, l, r) | Eindex (l, r) | Ecomma (l, r) -> [ l; r ]
+  | Econd (c, t, f) -> [ c; t; f ]
+  | Ecall (f, args) -> f :: args
+  | Einit_list es -> es
+
+let rec contains_expr ~needle e =
+  equal_expr needle e || List.exists (fun c -> contains_expr ~needle c) (children e)
+
+let rec subst_expr ~needle ~replacement e =
+  if equal_expr needle e then replacement
+  else
+    let s = subst_expr ~needle ~replacement in
+    let renode enode = { e with eid = fresh_eid (); enode } in
+    match e.enode with
+    | Eint _ | Efloat _ | Echar _ | Estr _ | Eident _ | Esizeof_type _ -> e
+    | Eunary (u, e1) -> renode (Eunary (u, s e1))
+    | Ebinary (o, l, r) -> renode (Ebinary (o, s l, s r))
+    | Eassign (o, l, r) -> renode (Eassign (o, s l, s r))
+    | Ecall (f, args) -> renode (Ecall (s f, List.map s args))
+    | Efield (e1, f) -> renode (Efield (s e1, f))
+    | Earrow (e1, f) -> renode (Earrow (s e1, f))
+    | Eindex (a, i) -> renode (Eindex (s a, s i))
+    | Ecast (t, e1) -> renode (Ecast (t, s e1))
+    | Econd (c, t, f) -> renode (Econd (s c, s t, s f))
+    | Ecomma (l, r) -> renode (Ecomma (s l, s r))
+    | Esizeof_expr e1 -> renode (Esizeof_expr (s e1))
+    | Einit_list es -> renode (Einit_list (List.map s es))
+
+let equal_decl (a : decl) (b : decl) =
+  String.equal a.dname b.dname && Ctyp.equal a.dtyp b.dtyp
+  && Option.equal equal_expr a.dinit b.dinit
+
+let rec equal_stmt a b =
+  match (a.snode, b.snode) with
+  | Sexpr ea, Sexpr eb -> equal_expr ea eb
+  | Sdecl da, Sdecl db ->
+      List.length da = List.length db && List.for_all2 equal_decl da db
+  | Sif (ca, ta, ea), Sif (cb, tb, eb) ->
+      equal_expr ca cb && equal_stmt ta tb && Option.equal equal_stmt ea eb
+  | Swhile (ca, ba), Swhile (cb, bb) -> equal_expr ca cb && equal_stmt ba bb
+  | Sdo (ba, ca), Sdo (bb, cb) -> equal_stmt ba bb && equal_expr ca cb
+  | Sfor (ia, ca, sa, ba), Sfor (ib, cb, sb, bb) ->
+      Option.equal equal_stmt ia ib && Option.equal equal_expr ca cb
+      && Option.equal equal_expr sa sb && equal_stmt ba bb
+  | Sreturn ea, Sreturn eb -> Option.equal equal_expr ea eb
+  | Sblock sa, Sblock sb ->
+      List.length sa = List.length sb && List.for_all2 equal_stmt sa sb
+  | Sbreak, Sbreak | Scontinue, Scontinue | Snull, Snull -> true
+  | Sswitch (ea, ca), Sswitch (eb, cb) ->
+      equal_expr ea eb
+      && List.length ca = List.length cb
+      && List.for_all2
+           (fun x y ->
+             Option.equal Int64.equal x.case_guard y.case_guard
+             && List.length x.case_body = List.length y.case_body
+             && List.for_all2 equal_stmt x.case_body y.case_body)
+           ca cb
+  | Sgoto la, Sgoto lb -> String.equal la lb
+  | Slabel (la, sa), Slabel (lb, sb) -> String.equal la lb && equal_stmt sa sb
+  | ( ( Sexpr _ | Sdecl _ | Sif _ | Swhile _ | Sdo _ | Sfor _ | Sreturn _ | Sblock _
+      | Sbreak | Scontinue | Sswitch _ | Sgoto _ | Slabel _ | Snull ),
+      _ ) ->
+      false
+
+let idents_of_expr e =
+  let acc = ref [] in
+  let rec go e =
+    (match e.enode with Eident x -> acc := x :: !acc | _ -> ());
+    List.iter go (children e)
+  in
+  go e;
+  List.rev !acc
+
+(* Execution order: RHS of assignments before LHS before the assignment
+   itself; call arguments before the call node; otherwise children
+   left-to-right, node last (post-order). *)
+let exec_order root =
+  let acc = ref [] in
+  let push e = acc := e :: !acc in
+  let rec go e =
+    (match e.enode with
+    | Eassign (_, l, r) ->
+        go r;
+        go l
+    | Ecall (f, args) ->
+        go f;
+        List.iter go args
+    | _ -> List.iter go (children e));
+    push e
+  in
+  go root;
+  List.rev !acc
+
+let rec base_lvalue e =
+  match e.enode with
+  | Eident _ -> Some e
+  | Efield (e1, _) | Earrow (e1, _) | Eindex (e1, _) | Eunary (Deref, e1) ->
+      base_lvalue e1
+  | Ecast (_, e1) -> base_lvalue e1
+  | _ -> None

@@ -1,0 +1,30 @@
+(** AST (de)serialisation — the paper's two-pass architecture (Section 6).
+
+    Pass 1 parses each translation unit in isolation and emits its AST to a
+    temporary file; pass 2 reads the emitted files back, "reassembles their
+    ASTs, and constructs the CFG and call graph". The emitted form is a
+    textual s-expression; the paper notes its AST files are "typically four
+    or five times larger than the text representation", and ours land in
+    the same ballpark (see the tests).
+
+    Node ids are not serialised: decoding allocates fresh ids, which is all
+    the engine needs (ids only key per-run caches). *)
+
+val expr_to_sexp : Cast.expr -> Sexp.t
+val expr_of_sexp : Sexp.t -> Cast.expr
+val stmt_to_sexp : Cast.stmt -> Sexp.t
+val stmt_of_sexp : Sexp.t -> Cast.stmt
+val ctyp_to_sexp : Ctyp.t -> Sexp.t
+val ctyp_of_sexp : Sexp.t -> Ctyp.t
+val tunit_to_sexp : Cast.tunit -> Sexp.t
+val tunit_of_sexp : Sexp.t -> Cast.tunit
+
+val emit_file : string -> Cast.tunit -> unit
+(** Pass 1: write the AST file. *)
+
+val read_file : string -> Cast.tunit
+(** Pass 2: read it back. Raises {!Sexp.Parse_error} / {!Sexp.Decode_error}
+    on malformed input. *)
+
+val emit_string : Cast.tunit -> string
+val read_string : string -> Cast.tunit

@@ -1,0 +1,19 @@
+(** Hand-written lexer for the C subset and for metal sources.
+
+    The same lexer serves both languages: metal's pattern fragments are
+    "an extended version of the source language" (Section 4), so metal mode
+    simply enables a few extra lexemes ([${], [$word$], [==>]) that plain C
+    mode never produces. *)
+
+exception Lex_error of Srcloc.t * string
+
+type mode =
+  | C_mode  (** plain C: [==>] lexes as [==] followed by [>] *)
+  | Metal_mode  (** also produce [DOLLAR_LBRACE], [DOLLAR_WORD], [FAT_ARROW] *)
+
+type token = { tok : Tok.t; loc : Srcloc.t }
+
+val tokenize : ?mode:mode -> file:string -> string -> token list
+(** [tokenize ~file src] lexes [src] completely, ending with an [EOF] token.
+    Comments ([//] and [/* */]) and preprocessor lines (leading [#]) are
+    skipped. Raises [Lex_error] on malformed input. *)

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for the C subset.
+
+    The parser keeps a typedef environment so that [T *x;] parses as a
+    declaration when [T] is a known typedef, and an enum-constant environment
+    for constant folding of [case] labels. metal pattern fragments reuse
+    [expr_of_tokens]/[stmt_of_tokens] with the pattern's hole variables
+    pre-registered as ordinary identifiers. *)
+
+exception Parse_error of Srcloc.t * string
+
+val parse_tunit : file:string -> string -> Cast.tunit
+(** Parse a whole translation unit from source text. *)
+
+val parse_tunit_file : string -> Cast.tunit
+(** Read a file from disk and parse it. *)
+
+val expr_of_string : ?typedefs:(string * Ctyp.t) list -> file:string -> string -> Cast.expr
+(** Parse a single expression (comma allowed). Used by tests and by the metal
+    pattern compiler. *)
+
+val stmts_of_string :
+  ?typedefs:(string * Ctyp.t) list -> file:string -> string -> Cast.stmt list
+(** Parse a brace-less statement sequence, e.g. a metal pattern written as
+    statements. *)
+
+val expr_of_tokens :
+  ?typedefs:(string * Ctyp.t) list -> Clex.token list -> Cast.expr * Clex.token list
+(** Parse one expression from a token stream, returning unconsumed tokens
+    (the terminating [EOF] token always remains). *)
+
+val const_eval : Cast.expr -> int64 option
+(** Best-effort constant folding over integer expressions. *)

@@ -1,0 +1,46 @@
+(** A miniature C preprocessor.
+
+    The original xgcc sat behind gcc's cpp, so every checker matched
+    {e post-expansion} code — kernel idioms like
+    [#define KFREE(p) do { kfree(p); } while (0)] still triggered the free
+    checker. This module provides the subset of cpp that systems-code
+    idioms need:
+
+    - object-like and function-like [#define] (textual substitution with
+      balanced-parenthesis argument parsing, recursive expansion with a
+      self-reference guard), [#undef];
+    - [#ifdef] / [#ifndef] / [#else] / [#endif], plus literal [#if 0] /
+      [#if 1] (anything else under [#if] is treated as false);
+    - [#include "file"] through a caller-supplied resolver;
+    - line continuations, and comment/string protection (no expansion
+      inside string or character literals, or comments).
+
+    Not supported (and silently skipped as directives): [#pragma],
+    [#error], token pasting [##], stringising [#], variadic macros. *)
+
+type macro = {
+  m_params : string list option;  (** [None] for object-like macros *)
+  m_body : string;
+}
+
+type env
+
+val env_of_defines : (string * string) list -> env
+(** [("NAME", "body")] pairs become object-like macros; a name containing
+    ["("] such as ["MAX(a,b)"] defines a function-like macro. *)
+
+exception Cpp_error of Srcloc.t * string
+
+val preprocess :
+  ?defines:(string * string) list ->
+  ?resolve_include:(string -> string option) ->
+  file:string ->
+  string ->
+  string
+(** Expand the source text. Unresolvable includes are replaced by a comment
+    (the paper's engine likewise "silently continues" past missing
+    definitions). Line counts are preserved for directive lines so source
+    locations stay meaningful. *)
+
+val expand_line : env -> string -> string
+(** Macro-expand one logical line (exposed for tests). *)

@@ -1,0 +1,16 @@
+(** Pretty-printer for the C subset.
+
+    Output is valid C for everything the parser accepts, enabling round-trip
+    tests (generate → print → reparse) and readable error reports that quote
+    the offending expression. *)
+
+val pp_expr : Format.formatter -> Cast.expr -> unit
+val expr_to_string : Cast.expr -> string
+val pp_stmt : Format.formatter -> Cast.stmt -> unit
+val pp_fundef : Format.formatter -> Cast.fundef -> unit
+val pp_global : Format.formatter -> Cast.global -> unit
+val pp_tunit : Format.formatter -> Cast.tunit -> unit
+val tunit_to_string : Cast.tunit -> string
+
+val pp_decl_like : Format.formatter -> Ctyp.t * string -> unit
+(** Print [int *x]-style declarators (C's inside-out syntax). *)

@@ -1,0 +1,20 @@
+type t = { file : string; line : int; col : int }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let make ~file ~line ~col = { file; line; col }
+let pp ppf l = Format.fprintf ppf "%s:%d:%d" l.file l.line l.col
+let to_string l = Format.asprintf "%a" pp l
+
+let cross_file_distance = 10_000
+
+let line_distance a b =
+  if String.equal a.file b.file then abs (a.line - b.line)
+  else cross_file_distance
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> Int.compare a.col b.col
+      | c -> c)
+  | c -> c

@@ -1,0 +1,30 @@
+(** Source locations for C and metal sources.
+
+    Every AST node carries a location so that error reports can point at the
+    offending line, and so that the ranking heuristics of Section 9 (distance
+    in lines between the start of a property and the error) have something to
+    measure. *)
+
+type t = {
+  file : string;  (** originating file name, or a pseudo-name for strings *)
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+val dummy : t
+(** Placeholder location for synthesised nodes. *)
+
+val make : file:string -> line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints [file:line:col]. *)
+
+val to_string : t -> string
+
+val line_distance : t -> t -> int
+(** [line_distance a b] is the absolute difference in line numbers, used by
+    the generic ranking criteria. Locations in different files rank as a
+    large constant distance. *)
+
+val compare : t -> t -> int
+(** Lexicographic order on (file, line, col). *)

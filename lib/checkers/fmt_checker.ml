@@ -1,0 +1,25 @@
+let source =
+  {|
+sm fmt_checker {
+  state decl any_pointer v;
+  decl any_arguments args;
+  decl any_expr x;
+
+  start:
+    { v = get_user_string(x) } || { v = read_line_from_user() } ==> v.tainted
+  ;
+
+  v.tainted:
+    { printf(v) } || { printk(v) } || { syslog(x, v) } ==> v.stop,
+      { annotate("SECURITY");
+        err("user-controlled string %s used as a format string", mc_identifier(v)); }
+  | { printf("%s", v) } || { printk("%s", v) } ==> v.stop
+  | { sanitize_format(v) } ==> v.stop
+  ;
+}
+|}
+
+let checker () =
+  match Metal_compile.load ~file:"fmt_checker.metal" source with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "fmt_checker: expected exactly one sm"

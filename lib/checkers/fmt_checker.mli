@@ -1,0 +1,6 @@
+(** Format-string checker (the classic security rule from [1]): a string
+    that came from the user must never reach a printf-family format
+    position; printing it requires the ["%s"]-literal idiom. *)
+
+val source : string
+val checker : unit -> Sm.t

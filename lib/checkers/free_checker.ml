@@ -1,0 +1,31 @@
+let source_for dealloc =
+  let free_pattern =
+    String.concat " || " (List.map (fun f -> Printf.sprintf "{ %s(v) }" f) dealloc)
+  in
+  Printf.sprintf
+    {|
+sm free_checker {
+  state decl any_pointer v;
+
+  start:
+    %s ==> v.freed
+  ;
+
+  v.freed:
+    { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { err("using %%s after free!", mc_identifier(v)); }
+  | %s ==> v.stop, { err("double free of %%s!", mc_identifier(v)); }
+  ;
+}
+|}
+    free_pattern free_pattern
+
+let source = source_for [ "kfree"; "free" ]
+
+let compile_one src =
+  match Metal_compile.load ~file:"free_checker.metal" src with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "free_checker: expected exactly one sm"
+
+let checker () = compile_one source
+let checker_for ~dealloc = compile_one (source_for dealloc)

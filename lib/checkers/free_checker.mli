@@ -1,0 +1,12 @@
+(** The free checker (Figure 1): flags dereferences of freed pointers and
+    double frees. Tracks any pointer passed to a [kfree]-like deallocator. *)
+
+val source : string
+(** The metal source, verbatim from Figure 1 (modulo the configurable list
+    of deallocator names). *)
+
+val checker : unit -> Sm.t
+(** Compiled with the default deallocators [kfree] and [free]. *)
+
+val checker_for : dealloc:string list -> Sm.t
+(** A variant recognising the given deallocation functions. *)

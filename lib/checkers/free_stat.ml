@@ -1,0 +1,175 @@
+(* Flow-insensitive "which functions free their arguments" fixpoint. *)
+
+let rec calls_in_expr acc (e : Cast.expr) =
+  let acc = match e.enode with Cast.Ecall _ -> e :: acc | _ -> acc in
+  let children =
+    match e.enode with
+    | Cast.Eunary (_, e1)
+    | Cast.Ecast (_, e1)
+    | Cast.Esizeof_expr e1
+    | Cast.Efield (e1, _)
+    | Cast.Earrow (e1, _) ->
+        [ e1 ]
+    | Cast.Ebinary (_, l, r)
+    | Cast.Eassign (_, l, r)
+    | Cast.Eindex (l, r)
+    | Cast.Ecomma (l, r) ->
+        [ l; r ]
+    | Cast.Econd (c, t, f) -> [ c; t; f ]
+    | Cast.Ecall (f, args) -> f :: args
+    | Cast.Einit_list es -> es
+    | _ -> []
+  in
+  List.fold_left calls_in_expr acc children
+
+let rec calls_in_stmt acc (s : Cast.stmt) =
+  match s.snode with
+  | Cast.Sexpr e -> calls_in_expr acc e
+  | Cast.Sdecl ds ->
+      List.fold_left
+        (fun acc (d : Cast.decl) ->
+          match d.dinit with Some e -> calls_in_expr acc e | None -> acc)
+        acc ds
+  | Cast.Sif (c, t, e) ->
+      let acc = calls_in_expr acc c in
+      let acc = calls_in_stmt acc t in
+      Option.fold ~none:acc ~some:(calls_in_stmt acc) e
+  | Cast.Swhile (c, b) -> calls_in_stmt (calls_in_expr acc c) b
+  | Cast.Sdo (b, c) -> calls_in_expr (calls_in_stmt acc b) c
+  | Cast.Sfor (init, c, step, b) ->
+      let acc = Option.fold ~none:acc ~some:(calls_in_stmt acc) init in
+      let acc = Option.fold ~none:acc ~some:(calls_in_expr acc) c in
+      let acc = Option.fold ~none:acc ~some:(calls_in_expr acc) step in
+      calls_in_stmt acc b
+  | Cast.Sreturn (Some e) -> calls_in_expr acc e
+  | Cast.Sblock ss -> List.fold_left calls_in_stmt acc ss
+  | Cast.Sswitch (e, cases) ->
+      let acc = calls_in_expr acc e in
+      List.fold_left
+        (fun acc (c : Cast.case) -> List.fold_left calls_in_stmt acc c.case_body)
+        acc cases
+  | Cast.Slabel (_, s) -> calls_in_stmt acc s
+  | Cast.Sreturn None | Cast.Sbreak | Cast.Scontinue | Cast.Sgoto _ | Cast.Snull -> acc
+
+let freeing_functions (sg : Supergraph.t) ~dealloc =
+  let frees : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace frees f 0) dealloc;
+  let funcs = Ctyping.fundefs sg.Supergraph.typing in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Cast.fundef) ->
+        if not (Hashtbl.mem frees f.fname) then begin
+          let param_names = List.map fst f.fparams in
+          let calls = calls_in_stmt [] f.fbody in
+          List.iter
+            (fun (call : Cast.expr) ->
+              match call.enode with
+              | Cast.Ecall ({ enode = Cast.Eident callee; _ }, args) -> (
+                  match Hashtbl.find_opt frees callee with
+                  | Some freed_idx -> (
+                      match List.nth_opt args freed_idx with
+                      | Some { enode = Cast.Eident arg; _ } -> (
+                          match
+                            List.find_index (String.equal arg) param_names
+                          with
+                          | Some j when not (Hashtbl.mem frees f.fname) ->
+                              Hashtbl.replace frees f.fname j;
+                              changed := true
+                          | _ -> ())
+                      | _ -> ())
+                  | None -> ())
+              | _ -> ())
+            calls
+        end)
+      funcs
+  done;
+  List.sort compare (Hashtbl.fold (fun f i acc -> (f, i) :: acc) frees [])
+
+(* ------------------------------------------------------------------ *)
+(* The checker, via the OCaml API                                      *)
+(* ------------------------------------------------------------------ *)
+
+let svar = "v"
+let rule_field = "free_rule"
+
+let holes =
+  [ (svar, Holes.Any_pointer); ("__a0", Holes.Any_expr); ("__a1", Holes.Any_expr);
+    ("__a2", Holes.Any_expr); ("__a3", Holes.Any_expr) ]
+
+(* Pattern matching a call to [f] with [v] at argument [idx], given [f]'s
+   arity: other positions are wildcard holes. *)
+let call_pattern (sg : Supergraph.t) fname idx =
+  let arity =
+    match Ctyping.lookup_function sg.Supergraph.typing fname with
+    | Some (Ctyp.Func (_, params, _)) -> max (List.length params) (idx + 1)
+    | _ -> idx + 1
+  in
+  let args =
+    List.init arity (fun i ->
+        if i = idx then Cast.ident svar else Cast.ident (Printf.sprintf "__a%d" i))
+  in
+  Pattern.Pexpr (Cast.mk_expr (Cast.Ecall (Cast.ident fname, args)))
+
+let checker (sg : Supergraph.t) ~frees =
+  let create_transitions =
+    List.map
+      (fun (fname, idx) ->
+        {
+          Sm.tr_source = Sm.Src_global "start";
+          tr_pattern = call_pattern sg fname idx;
+          tr_dest = Sm.To_var "freed";
+          tr_action =
+            Some
+              (fun (actx : Sm.actx) ->
+                match actx.a_inst with
+                | Some i -> Sm.set_data i rule_field fname
+                | None -> ());
+        })
+      frees
+  in
+  let rule_of (actx : Sm.actx) =
+    match actx.a_inst with
+    | Some i -> Option.value (Sm.get_data i rule_field) ~default:"<unknown>"
+    | None -> "<unknown>"
+  in
+  let deref_transition =
+    {
+      Sm.tr_source = Sm.Src_var "freed";
+      tr_pattern = Pattern.Pexpr (Cast.deref (Cast.ident svar));
+      tr_dest = Sm.To_stop;
+      tr_action =
+        Some
+          (fun actx ->
+            let rule = rule_of actx in
+            actx.a_count `Counterexample rule;
+            let var =
+              match actx.a_inst with
+              | Some i -> Cprint.expr_to_string i.Sm.target
+              | None -> "?"
+            in
+            actx.a_report ~rule
+              (Printf.sprintf "use of %s after it was passed to freeing function %s"
+                 var rule));
+    }
+  in
+  let eop_transition =
+    {
+      Sm.tr_source = Sm.Src_var "freed";
+      tr_pattern = Pattern.Pend_of_path;
+      tr_dest = Sm.To_stop;
+      tr_action = Some (fun actx -> actx.a_count `Example (rule_of actx));
+    }
+  in
+  Sm.make ~name:"free_stat" ~svar ~holes
+    (create_transitions @ [ deref_transition; eop_transition ])
+
+let run ?options sg ~dealloc =
+  let frees = freeing_functions sg ~dealloc in
+  let result = Engine.run ?options sg [ checker sg ~frees ] in
+  let ranking =
+    Zstat.rank_rules
+      (List.map (fun (rule, e, c) -> (rule, e, c)) result.Engine.counters)
+  in
+  (result, ranking)

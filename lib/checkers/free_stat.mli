@@ -1,0 +1,28 @@
+(** The statistical free checker (Section 9, "Statistical ranking").
+
+    Mirrors the paper's earlier free checker: a flow-insensitive,
+    interprocedural pass computes "a list of all functions that freed their
+    arguments or passed an argument to a function that did"; a local pass
+    then flags uses of pointers passed to those functions. Each freeing
+    function is its own rule; uses-after-call are counterexamples and
+    pointers never touched again are examples, so the z-statistic pushes
+    wrapper functions that only free conditionally to the bottom of the
+    ranking.
+
+    Written against the OCaml checker API (not metal) — this is the paper's
+    "escape to general-purpose code" in our setting: the state space (one
+    rule per discovered function) is not known until analysis time. *)
+
+val freeing_functions :
+  Supergraph.t -> dealloc:string list -> (string * int) list
+(** [(function, argument index it frees)] pairs, computed to fixpoint over
+    the callgraph, seeded with the primitive deallocators (index 0). *)
+
+val checker : Supergraph.t -> frees:(string * int) list -> Sm.t
+
+val run :
+  ?options:Engine.options ->
+  Supergraph.t ->
+  dealloc:string list ->
+  Engine.result * (string * float) list
+(** Run the checker; also return the per-rule z-statistic ranking. *)

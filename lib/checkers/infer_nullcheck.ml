@@ -1,0 +1,113 @@
+let rec assigned_calls acc (e : Cast.expr) =
+  let acc =
+    match e.enode with
+    | Cast.Eassign (None, _, { enode = Cast.Ecall ({ enode = Cast.Eident f; _ }, _); _ })
+      ->
+        f :: acc
+    | _ -> acc
+  in
+  let children =
+    match e.enode with
+    | Cast.Eunary (_, e1)
+    | Cast.Ecast (_, e1)
+    | Cast.Esizeof_expr e1
+    | Cast.Efield (e1, _)
+    | Cast.Earrow (e1, _) ->
+        [ e1 ]
+    | Cast.Ebinary (_, l, r)
+    | Cast.Eassign (_, l, r)
+    | Cast.Eindex (l, r)
+    | Cast.Ecomma (l, r) ->
+        [ l; r ]
+    | Cast.Econd (c, t, f) -> [ c; t; f ]
+    | Cast.Ecall (f, args) -> f :: args
+    | Cast.Einit_list es -> es
+    | _ -> []
+  in
+  List.fold_left assigned_calls acc children
+
+let rec stmt_assigned_calls acc (s : Cast.stmt) =
+  match s.snode with
+  | Cast.Sexpr e -> assigned_calls acc e
+  | Cast.Sdecl ds ->
+      List.fold_left
+        (fun acc (d : Cast.decl) ->
+          match d.dinit with
+          | Some { enode = Cast.Ecall ({ enode = Cast.Eident f; _ }, _); _ } -> f :: acc
+          | Some e -> assigned_calls acc e
+          | None -> acc)
+        acc ds
+  | Cast.Sif (c, t, e) ->
+      let acc = assigned_calls acc c in
+      let acc = stmt_assigned_calls acc t in
+      Option.fold ~none:acc ~some:(stmt_assigned_calls acc) e
+  | Cast.Swhile (c, b) -> stmt_assigned_calls (assigned_calls acc c) b
+  | Cast.Sdo (b, c) -> assigned_calls (stmt_assigned_calls acc b) c
+  | Cast.Sfor (init, c, step, b) ->
+      let acc = Option.fold ~none:acc ~some:(stmt_assigned_calls acc) init in
+      let acc = Option.fold ~none:acc ~some:(assigned_calls acc) c in
+      let acc = Option.fold ~none:acc ~some:(assigned_calls acc) step in
+      stmt_assigned_calls acc b
+  | Cast.Sreturn (Some e) -> assigned_calls acc e
+  | Cast.Sblock ss -> List.fold_left stmt_assigned_calls acc ss
+  | Cast.Sswitch (e, cases) ->
+      let acc = assigned_calls acc e in
+      List.fold_left
+        (fun acc (c : Cast.case) -> List.fold_left stmt_assigned_calls acc c.case_body)
+        acc cases
+  | Cast.Slabel (_, s) -> stmt_assigned_calls acc s
+  | Cast.Sreturn None | Cast.Sbreak | Cast.Scontinue | Cast.Sgoto _ | Cast.Snull -> acc
+
+let candidates (sg : Supergraph.t) =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Cast.fundef) ->
+      List.iter
+        (fun callee ->
+          if Option.is_none (Supergraph.cfg_of sg callee) then
+            Hashtbl.replace counts callee
+              (1 + Option.value (Hashtbl.find_opt counts callee) ~default:0))
+        (stmt_assigned_calls [] f.fbody))
+    (Ctyping.fundefs sg.Supergraph.typing);
+  Hashtbl.fold (fun f n acc -> if n >= 2 then f :: acc else acc) counts []
+  |> List.sort String.compare
+
+let checker_for fname =
+  let src =
+    Printf.sprintf
+      {|
+sm nullcheck_%s {
+  state decl any_pointer v;
+  decl any_arguments args;
+
+  start:
+    { v = %s(args) } ==> v.fresh
+  ;
+
+  v.fresh:
+    { v } ==> { true = v.ok, false = v.ok },
+      { example("%s"); }
+  | { v == 0 } ==> { true = v.ok, false = v.ok },
+      { example("%s"); }
+  | { v != 0 } ==> { true = v.ok, false = v.ok },
+      { example("%s"); }
+  | { *v } ==> v.stop,
+      { counterexample("%s"); set_rule("%s");
+        err("result of %s() dereferenced without a null check"); }
+  ;
+
+  v.ok:
+    $end_of_path$ ==> v.stop
+  ;
+}
+|}
+      fname fname fname fname fname fname fname fname
+  in
+  match Metal_compile.load ~file:(fname ^ "_nullcheck.metal") src with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "infer_nullcheck: expected exactly one sm"
+
+let run ?options sg ~funcs =
+  let checkers = List.map checker_for funcs in
+  let result = Engine.run ?options sg checkers in
+  (result, Zstat.rank_rules result.Engine.counters)

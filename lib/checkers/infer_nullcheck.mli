@@ -1,0 +1,18 @@
+(** Statistical inference of "this function's result must be null-checked"
+    — the second deviance template of [10] (Section 3.2's statistical
+    actions): for each function whose result is stored into a pointer,
+    count stores whose pointer is checked against null before use
+    (examples) vs. used unchecked (counterexamples); rank candidate rules
+    by z-statistic and report the violations of reliable rules. *)
+
+val candidates : Supergraph.t -> string list
+(** Undefined functions whose result is assigned to a pointer at least
+    twice in the program. *)
+
+val checker_for : string -> Sm.t
+
+val run :
+  ?options:Engine.options ->
+  Supergraph.t ->
+  funcs:string list ->
+  Engine.result * (string * float) list

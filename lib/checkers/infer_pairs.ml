@@ -1,0 +1,122 @@
+module Smap = Map.Make (String)
+
+let rec call_names_in_order acc (s : Cast.stmt) =
+  let rec of_expr acc (e : Cast.expr) =
+    let acc =
+      match e.enode with
+      | Cast.Ecall ({ enode = Cast.Eident f; _ }, _) -> f :: acc
+      | _ -> acc
+    in
+    let children =
+      match e.enode with
+      | Cast.Eunary (_, e1)
+      | Cast.Ecast (_, e1)
+      | Cast.Esizeof_expr e1
+      | Cast.Efield (e1, _)
+      | Cast.Earrow (e1, _) ->
+          [ e1 ]
+      | Cast.Ebinary (_, l, r)
+      | Cast.Eassign (_, l, r)
+      | Cast.Eindex (l, r)
+      | Cast.Ecomma (l, r) ->
+          [ l; r ]
+      | Cast.Econd (c, t, f) -> [ c; t; f ]
+      | Cast.Ecall (f, args) -> f :: args
+      | Cast.Einit_list es -> es
+      | _ -> []
+    in
+    List.fold_left of_expr acc children
+  in
+  match s.snode with
+  | Cast.Sexpr e -> of_expr acc e
+  | Cast.Sdecl ds ->
+      List.fold_left
+        (fun acc (d : Cast.decl) ->
+          match d.dinit with Some e -> of_expr acc e | None -> acc)
+        acc ds
+  | Cast.Sif (c, t, e) ->
+      let acc = of_expr acc c in
+      let acc = call_names_in_order acc t in
+      Option.fold ~none:acc ~some:(call_names_in_order acc) e
+  | Cast.Swhile (c, b) -> call_names_in_order (of_expr acc c) b
+  | Cast.Sdo (b, c) -> of_expr (call_names_in_order acc b) c
+  | Cast.Sfor (init, c, step, b) ->
+      let acc = Option.fold ~none:acc ~some:(call_names_in_order acc) init in
+      let acc = Option.fold ~none:acc ~some:(of_expr acc) c in
+      let acc = Option.fold ~none:acc ~some:(of_expr acc) step in
+      call_names_in_order acc b
+  | Cast.Sblock ss -> List.fold_left call_names_in_order acc ss
+  | Cast.Sswitch (e, cases) ->
+      let acc = of_expr acc e in
+      List.fold_left
+        (fun acc (c : Cast.case) ->
+          List.fold_left call_names_in_order acc c.case_body)
+        acc cases
+  | Cast.Slabel (_, s) -> call_names_in_order acc s
+  | Cast.Sreturn (Some e) -> of_expr acc e
+  | Cast.Sreturn None | Cast.Sbreak | Cast.Scontinue | Cast.Sgoto _ | Cast.Snull -> acc
+
+let candidates (sg : Supergraph.t) ?(min_support = 2) () =
+  let support : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let defined f = Option.is_some (Supergraph.cfg_of sg f) in
+  List.iter
+    (fun (f : Cast.fundef) ->
+      let calls = List.rev (call_names_in_order [] f.fbody) in
+      let calls = List.filter (fun c -> not (defined c)) calls in
+      (* each (a, b) with a strictly before b, once per function *)
+      let seen = Hashtbl.create 8 in
+      let rec walk = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                if (not (String.equal a b)) && not (Hashtbl.mem seen (a, b)) then begin
+                  Hashtbl.replace seen (a, b) ();
+                  Hashtbl.replace support (a, b)
+                    (1 + Option.value (Hashtbl.find_opt support (a, b)) ~default:0)
+                end)
+              rest;
+            walk rest
+      in
+      walk calls)
+    (Ctyping.fundefs sg.Supergraph.typing);
+  Hashtbl.fold
+    (fun (a, b) n acc -> if n >= min_support then (a, b) :: acc else acc)
+    support []
+  |> List.sort compare
+
+let pair_rule (a, b) = Printf.sprintf "%s/%s" a b
+
+let checker_for (a, b) =
+  let rule = pair_rule (a, b) in
+  let src =
+    Printf.sprintf
+      {|
+sm pair_%s_%s {
+  decl any_arguments args;
+  decl any_arguments args2;
+
+  start:
+    { %s(args) } ==> opened
+  ;
+
+  opened:
+    { %s(args2) } ==> start, { example("%s"); }
+  | $end_of_path$ ==>
+      { counterexample("%s");
+        set_rule("%s");
+        err("call to %s is not followed by %s on this path"); }
+  ;
+}
+|}
+      a b a b rule rule rule a b
+  in
+  match Metal_compile.load ~file:(rule ^ ".metal") src with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "infer_pairs: expected exactly one sm"
+
+let run ?options sg ~pairs =
+  let checkers = List.map checker_for pairs in
+  let result = Engine.run ?options sg checkers in
+  let ranking = Zstat.rank_rules result.Engine.counters in
+  (result, ranking)

@@ -1,0 +1,30 @@
+(** Statistical inference of must-be-paired functions ("bugs as deviant
+    behavior" [10], summarised in Section 3.2):
+
+    "to infer whether routines a and b must be paired: (1) assume that they
+    must, (2) count the number of times they occur together and (3) count
+    the number of times they do not (rule violations). The reported
+    violations are then sorted using a statistical significance test."
+
+    [candidates] proposes (a, b) pairs from syntactic co-occurrence;
+    [checker_for] builds a per-pair extension whose actions bump the
+    example/counterexample counters; [run] executes them all and ranks the
+    inferred rules by z-statistic. *)
+
+val candidates : Supergraph.t -> ?min_support:int -> unit -> (string * string) list
+(** Pairs (a, b) such that a call to [a] precedes a call to [b] in at least
+    [min_support] (default 2) function bodies, both functions being
+    undefined in the program (library-level primitives). *)
+
+val checker_for : string * string -> Sm.t
+
+val pair_rule : string * string -> string
+(** The rule key used in counters/reports, ["a/b"]. *)
+
+val run :
+  ?options:Engine.options ->
+  Supergraph.t ->
+  pairs:(string * string) list ->
+  Engine.result * (string * float) list
+(** Returns the engine result (with one checker per pair) and the inferred
+    rules ranked by z-statistic. *)

@@ -1,0 +1,23 @@
+let source =
+  {|
+sm intr_checker {
+  is_enabled:
+    { cli() } || { disable_interrupts() } ==> is_disabled
+  | { sti() } || { enable_interrupts() } ==>
+      { err("enabling interrupts that are already enabled"); }
+  ;
+
+  is_disabled:
+    { sti() } || { enable_interrupts() } ==> is_enabled
+  | { cli() } || { disable_interrupts() } ==>
+      { err("disabling interrupts that are already disabled"); }
+  | $end_of_path$ ==>
+      { annotate("ERROR"); err("path ends with interrupts disabled!"); }
+  ;
+}
+|}
+
+let checker () =
+  match Metal_compile.load ~file:"intr_checker.metal" source with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "intr_checker: expected exactly one sm"

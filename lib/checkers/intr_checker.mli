@@ -1,0 +1,8 @@
+(** Interrupt-state checker — a purely global-state extension ("interrupts
+    are disabled" is the paper's example of a program-wide property).
+
+    Flags re-disabling, re-enabling, and paths that end with interrupts
+    still disabled. *)
+
+val source : string
+val checker : unit -> Sm.t

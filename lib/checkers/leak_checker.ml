@@ -1,0 +1,33 @@
+(* Escapes are approximated syntactically: a tracked pointer that is
+   returned (the engine annotates return-expression roots with
+   [mc_return]), assigned to anything, or passed to any call stops being
+   tracked — ownership may have transferred. What remains at end of path
+   is a leak. *)
+let source =
+  {|
+sm leak_checker {
+  state decl any_pointer v;
+  decl any_expr x;
+  decl any_fn_call fn;
+  decl any_arguments args;
+
+  start:
+    ({ v = kmalloc(x) } || { v = malloc(x) }) && ${ mc_is_ident(v) } ==> v.alloced
+  ;
+
+  v.alloced:
+    { kfree(v) } || { free(v) } ==> v.stop
+  | { v } && ${ mc_annotated(mc_stmt, "mc_branch") } ==> { true = v.alloced, false = v.stop }
+  | { v } && ${ mc_annotated(mc_stmt, "mc_return") } ==> v.stop
+  | { x = v } ==> v.stop
+  | { fn(args) } && ${ mc_contains(mc_stmt, v) } ==> v.stop
+  | $end_of_path$ ==> v.stop,
+      { err("allocation stored in %s is never freed (leak)", mc_identifier(v)); }
+  ;
+}
+|}
+
+let checker () =
+  match Metal_compile.load ~file:"leak_checker.metal" source with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "leak_checker: expected exactly one sm"

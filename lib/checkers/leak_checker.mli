@@ -1,0 +1,7 @@
+(** Memory-leak checker: an allocation whose pointer permanently leaves
+    scope without reaching a deallocator (or escaping via return / an
+    escaping call) is a leak. A classic pairing rule in the spirit of the
+    allocation checkers of [9]. *)
+
+val source : string
+val checker : unit -> Sm.t

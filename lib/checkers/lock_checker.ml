@@ -1,0 +1,54 @@
+let source =
+  {|
+sm lock_checker {
+  state decl any_pointer l;
+
+  start:
+    { trylock(l) } ==> { true = l.locked, false = l.stop }
+  | { lock(l) } || { spin_lock(l) } ==> l.locked
+  | { unlock(l) } || { spin_unlock(l) } ==>
+      { err("releasing unheld lock %s", mc_identifier(l)); }
+  ;
+
+  l.locked:
+    { unlock(l) } || { spin_unlock(l) } ==> l.stop
+  | { lock(l) } || { spin_lock(l) } || { trylock(l) } ==>
+      { err("double acquire of lock %s", mc_identifier(l)); }
+  | $end_of_path$ ==> l.stop, { err("lock %s never released", mc_identifier(l)); }
+  ;
+}
+|}
+
+(* Section 3.2: "we could extend the lock checker ... to handle recursive
+   locks by using the data values in each instance of l to track the
+   current depth of the lock". *)
+let recursive_source =
+  {|
+sm recursive_lock_checker {
+  state decl any_pointer l;
+
+  start:
+    { rlock(l) } ==> l.held, { incr("depth"); }
+  | { runlock(l) } ==> { err("releasing unheld recursive lock %s", mc_identifier(l)); }
+  ;
+
+  l.held:
+    { rlock(l) } ==> l.held,
+      { incr("depth");
+        err_if_over("depth", 8, "recursive lock depth exceeds bound"); }
+  | { runlock(l) } ==> l.held,
+      { decr("depth");
+        err_if_under("depth", 0, "unbalanced recursive unlock"); }
+  | $end_of_path$ ==> l.stop,
+      { err_if_over("depth", 0, "recursive lock still held at exit"); }
+  ;
+}
+|}
+
+let compile_one name src =
+  match Metal_compile.load ~file:name src with
+  | [ sm ] -> sm
+  | _ -> invalid_arg (name ^ ": expected exactly one sm")
+
+let checker () = compile_one "lock_checker.metal" source
+let recursive_checker () = compile_one "recursive_lock_checker.metal" recursive_source

@@ -1,0 +1,15 @@
+(** The lock checker (Figure 3): warns when locks are released without being
+    acquired, double-acquired, or never released. Demonstrates path-specific
+    transitions ([trylock] succeeds on the true branch only) and the
+    [$end_of_path$] pattern. *)
+
+val source : string
+
+val checker : unit -> Sm.t
+(** Recognises [lock]/[unlock]/[trylock] (and the [spin_lock] family). *)
+
+val recursive_source : string
+(** A variant using instance data values to track lock depth — the
+    "recursive locks" extension sketched in Section 3.2. *)
+
+val recursive_checker : unit -> Sm.t

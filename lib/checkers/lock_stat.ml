@@ -1,0 +1,34 @@
+let source =
+  {|
+sm lock_stat {
+  state decl any_pointer l;
+
+  start:
+    { lock(l) } ==> l.locked
+  | { trylock(l) } ==> { true = l.locked, false = l.stop }
+  | { unlock(l) } ==>
+      { counterexample_in_func(); set_rule_to_func();
+        err("%s released without acquire", mc_identifier(l)); }
+  ;
+
+  l.locked:
+    { unlock(l) } ==> l.stop, { example_in_func(); }
+  | $end_of_path$ ==> l.stop,
+      { counterexample_in_func(); set_rule_to_func();
+        err("%s acquired but not released", mc_identifier(l)); }
+  ;
+}
+|}
+
+let checker () =
+  match Metal_compile.load ~file:"lock_stat.metal" source with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "lock_stat: expected exactly one sm"
+
+let run ?options sg =
+  let options =
+    Option.value options
+      ~default:{ Engine.default_options with Engine.interproc = false }
+  in
+  let result = Engine.run ~options sg [ checker () ] in
+  (result, Zstat.rank_rules result.Engine.counters)

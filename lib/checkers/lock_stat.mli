@@ -1,0 +1,17 @@
+(** "Ranking code" (Section 9): the intraprocedural lock checker whose
+    per-function example/counterexample counts identify wrapper functions.
+
+    "When each function is analyzed, we set e to the number of times the
+    function correctly acquired and released locks and c to the number of
+    mismatched pairs. The highest ranked functions had a large number of
+    successful acquire/release pairs with only a few errors" — while
+    functions that {e always} mismatch (lock/unlock wrappers, where the
+    pairing rule simply does not apply) sink to the bottom. *)
+
+val source : string
+val checker : unit -> Sm.t
+
+val run :
+  ?options:Engine.options -> Supergraph.t -> Engine.result * (string * float) list
+(** Run intraprocedurally (wrappers must look unbalanced, as in the paper)
+    and rank the {e functions} by z-statistic. *)

@@ -1,0 +1,46 @@
+let source_for alloc =
+  let alloc_pattern =
+    String.concat " || "
+      (List.map (fun f -> Printf.sprintf "{ v = %s(args) }" f) alloc)
+  in
+  Printf.sprintf
+    {|
+sm null_checker {
+  state decl any_pointer v;
+  decl any_arguments args;
+
+  start:
+    %s ==> v.unchecked
+  ;
+
+  v.unchecked:
+    { v } ==> { true = v.ok, false = v.null }
+  | { v == 0 } ==> { true = v.null, false = v.ok }
+  | { v != 0 } ==> { true = v.ok, false = v.null }
+  | { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { err("dereferencing %%s, which may be NULL (unchecked allocation)",
+            mc_identifier(v)); }
+  ;
+
+  v.null:
+    { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { annotate("ERROR");
+        err("dereferencing %%s on a path where it is NULL", mc_identifier(v)); }
+  ;
+
+  v.ok:
+    $end_of_path$ ==> v.stop
+  ;
+}
+|}
+    alloc_pattern
+
+let source = source_for [ "kmalloc"; "malloc" ]
+
+let compile_one src =
+  match Metal_compile.load ~file:"null_checker.metal" src with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "null_checker: expected exactly one sm"
+
+let checker () = compile_one source
+let checker_for ~alloc = compile_one (source_for alloc)

@@ -1,0 +1,11 @@
+(** Null-dereference checker for allocator results.
+
+    [p = kmalloc(...)] may return NULL; dereferencing [p] before a null
+    check is flagged, and dereferencing on a path where the check {e
+    failed} is flagged as definite. Exercises path-specific transitions on
+    plain conditions ([if (!p)] — short-circuit lowering presents the bare
+    pointer as the branch condition). *)
+
+val source : string
+val checker : unit -> Sm.t
+val checker_for : alloc:string list -> Sm.t

@@ -1,0 +1,39 @@
+let security_source =
+  {|
+sm security_path_annotator {
+  decl any_arguments args;
+
+  start:
+    { get_user_pointer(args) } || { get_user_int(args) } || { syscall_arg(args) }
+      ==> on_user_path
+  ;
+
+  on_user_path:
+    ${1} ==> on_user_path, { annotate_ast(mc_stmt, "SECURITY"); }
+  ;
+}
+|}
+
+let error_path_source =
+  {|
+sm error_path_annotator {
+  decl any_scalar r;
+  decl any_expr b;
+
+  start:
+    { r < 0 } ==> { true = on_error_path, false = start }
+  ;
+
+  on_error_path:
+    ${1} ==> on_error_path, { annotate_ast(mc_stmt, "ERROR"); }
+  ;
+}
+|}
+
+let compile_one name src =
+  match Metal_compile.load ~file:name src with
+  | [ sm ] -> sm
+  | _ -> invalid_arg (name ^ ": expected exactly one sm")
+
+let security () = compile_one "security_path_annotator.metal" security_source
+let error_path () = compile_one "error_path_annotator.metal" error_path_source

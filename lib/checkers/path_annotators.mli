@@ -1,0 +1,22 @@
+(** The path-annotating composition extensions of Section 9:
+
+    "Many extensions are composed with a simple extension that annotates
+    paths that can be triggered by the user (using the string SECURITY) and
+    paths that are likely to be error paths (using the string ERROR)."
+
+    Run these {e before} the real checkers: they walk into the interesting
+    paths and annotate every node there ([${1}] matches everything);
+    subsequent checkers' reports automatically absorb the
+    [SECURITY]/[ERROR] tags found on their error nodes, so ranking
+    stratifies them (security first, error-path next). *)
+
+val security_source : string
+(** Tags everything downstream of a user-input call
+    ([get_user_pointer]/[get_user_int]/[syscall_arg]). *)
+
+val error_path_source : string
+(** Tags the failure branch of [r < 0] tests — "error paths are less
+    tested", so errors there are empirically more likely real. *)
+
+val security : unit -> Sm.t
+val error_path : unit -> Sm.t

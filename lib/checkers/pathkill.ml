@@ -1,0 +1,29 @@
+let source_for killers =
+  let test =
+    String.concat " || "
+      (List.map (fun f -> Printf.sprintf "mc_is_call_to(fn, \"%s\")" f) killers)
+  in
+  Printf.sprintf
+    {|
+sm path_kill {
+  decl any_fn_call fn;
+  decl any_arguments args;
+
+  start:
+    { fn(args) } && ${ %s } ==>
+      { annotate_ast(mc_stmt, "mc_kill_path"); kill_path(); }
+  ;
+}
+|}
+    test
+
+let default_killers = [ "panic"; "BUG"; "assert_fail"; "exit"; "abort" ]
+let source = source_for default_killers
+
+let compile_one src =
+  match Metal_compile.load ~file:"path_kill.metal" src with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "path_kill: expected exactly one sm"
+
+let checker () = compile_one source
+let checker_for ~killers = compile_one (source_for killers)

@@ -1,0 +1,8 @@
+(** The path-kill composition extension (Section 3.2): flags every call to a
+    terminating function ([panic], [BUG], [assert_fail], [exit]) so that
+    extensions run {e after} it stop traversing paths dominated by those
+    calls. Run it first in the extension list passed to {!Engine.run}. *)
+
+val source : string
+val checker : unit -> Sm.t
+val checker_for : killers:string list -> Sm.t

@@ -1,0 +1,36 @@
+let source =
+  {|
+sm range_checker {
+  state decl any_scalar n;
+  decl any_expr arr;
+  decl any_expr bound;
+
+  start:
+    { n = get_user_int() } || { n = syscall_int_arg() } ==> n.tainted
+  ;
+
+  n.tainted:
+    { n < bound } ==> { true = n.checked, false = n.tainted }
+  | { n <= bound } ==> { true = n.checked, false = n.tainted }
+  | { n > bound } ==> { true = n.tainted, false = n.checked }
+  | { n >= bound } ==> { true = n.tainted, false = n.checked }
+  | { arr[n] } ==> n.stop,
+      { annotate("SECURITY");
+        err("user-controlled value %s used as array index without a bounds check",
+            mc_identifier(n)); }
+  | { kmalloc(n) } || { malloc(n) } ==> n.stop,
+      { annotate("SECURITY");
+        err("user-controlled value %s used as allocation size without a bounds check",
+            mc_identifier(n)); }
+  ;
+
+  n.checked:
+    $end_of_path$ ==> n.stop
+  ;
+}
+|}
+
+let checker () =
+  match Metal_compile.load ~file:"range_checker.metal" source with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "range_checker: expected exactly one sm"

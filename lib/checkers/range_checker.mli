@@ -1,0 +1,7 @@
+(** Tainted-index range checker (the security checkers of [1]): an integer
+    obtained from user space must be bounds-checked before it indexes an
+    array or sizes an allocation. Exercises path-specific transitions on
+    comparisons and SECURITY-annotated ranking. *)
+
+val source : string
+val checker : unit -> Sm.t

@@ -1,0 +1,109 @@
+type entry = {
+  e_name : string;
+  e_description : string;
+  e_source : string option;
+  e_make : unit -> Sm.t;
+}
+
+let entries =
+  [
+    {
+      e_name = "free";
+      e_description = "use-after-free and double-free of deallocated pointers (Fig. 1)";
+      e_source = Some Free_checker.source;
+      e_make = Free_checker.checker;
+    };
+    {
+      e_name = "lock";
+      e_description =
+        "unpaired lock acquire/release, double acquire, release of unheld (Fig. 3)";
+      e_source = Some Lock_checker.source;
+      e_make = Lock_checker.checker;
+    };
+    {
+      e_name = "rlock";
+      e_description = "recursive lock depth tracking via instance data values (Sec. 3.2)";
+      e_source = Some Lock_checker.recursive_source;
+      e_make = Lock_checker.recursive_checker;
+    };
+    {
+      e_name = "null";
+      e_description = "dereference of possibly-NULL allocator results";
+      e_source = Some Null_checker.source;
+      e_make = Null_checker.checker;
+    };
+    {
+      e_name = "intr";
+      e_description = "interrupt enable/disable discipline (global state)";
+      e_source = Some Intr_checker.source;
+      e_make = Intr_checker.checker;
+    };
+    {
+      e_name = "security";
+      e_description = "unchecked dereference of user-space pointers (SECURITY-ranked)";
+      e_source = Some Security_checker.source;
+      e_make = Security_checker.checker;
+    };
+    {
+      e_name = "leak";
+      e_description = "allocations that never reach a deallocator or escape";
+      e_source = Some Leak_checker.source;
+      e_make = Leak_checker.checker;
+    };
+    {
+      e_name = "range";
+      e_description = "user-controlled values used unchecked as index/size (SECURITY)";
+      e_source = Some Range_checker.source;
+      e_make = Range_checker.checker;
+    };
+    {
+      e_name = "strictfree";
+      e_description =
+        "conservative all-uses free checker with idiom suppression (Sec. 8)";
+      e_source = Some (Strict_free.source ~strict:false);
+      e_make = (fun () -> Strict_free.checker ~suppress_idioms:true);
+    };
+    {
+      e_name = "lockstat";
+      e_description = "per-function lock pairing statistics (ranking code, Sec. 9)";
+      e_source = Some Lock_stat.source;
+      e_make = Lock_stat.checker;
+    };
+    {
+      e_name = "fmt";
+      e_description = "user-controlled format strings (SECURITY)";
+      e_source = Some Fmt_checker.source;
+      e_make = Fmt_checker.checker;
+    };
+    {
+      e_name = "secpath";
+      e_description = "composition: tag user-reachable paths SECURITY (Sec. 9)";
+      e_source = Some Path_annotators.security_source;
+      e_make = Path_annotators.security;
+    };
+    {
+      e_name = "errpath";
+      e_description = "composition: tag error paths ERROR (Sec. 9)";
+      e_source = Some Path_annotators.error_path_source;
+      e_make = Path_annotators.error_path;
+    };
+    {
+      e_name = "pathkill";
+      e_description = "composition extension: stop paths after panic()/BUG() (Sec. 3.2)";
+      e_source = Some Pathkill.source;
+      e_make = Pathkill.checker;
+    };
+  ]
+
+let all () = entries
+let find name = List.find_opt (fun e -> String.equal e.e_name name) entries
+let names () = List.map (fun e -> e.e_name) entries
+
+let loc e =
+  match e.e_source with
+  | None -> 0
+  | Some src ->
+      List.length
+        (List.filter
+           (fun l -> not (String.equal (String.trim l) ""))
+           (String.split_on_char '\n' src))

@@ -1,0 +1,16 @@
+(** Registry of the built-in checkers, for the CLI and examples. *)
+
+type entry = {
+  e_name : string;
+  e_description : string;
+  e_source : string option;  (** metal source, [None] for OCaml-API checkers *)
+  e_make : unit -> Sm.t;
+}
+
+val all : unit -> entry list
+val find : string -> entry option
+val names : unit -> string list
+
+val loc : entry -> int
+(** Lines of metal code of the checker ("extensions are small — usually
+    between 10 and 200 lines", Section 1); 0 for OCaml-API checkers. *)

@@ -1,0 +1,25 @@
+let source =
+  {|
+sm user_pointer_checker {
+  state decl any_pointer v;
+  decl any_expr dst;
+  decl any_expr len;
+
+  start:
+    { v = get_user_pointer(len) } || { v = syscall_arg(len) } ==> v.tainted
+  ;
+
+  v.tainted:
+    { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { annotate("SECURITY");
+        err("dereferencing user pointer %s without validation", mc_identifier(v)); }
+  | { copy_from_user(dst, v, len) } || { copy_to_user(v, dst, len) } ==> v.stop
+  | { validate_user_pointer(v) } ==> { true = v.stop, false = v.tainted }
+  ;
+}
+|}
+
+let checker () =
+  match Metal_compile.load ~file:"security_checker.metal" source with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "security_checker: expected exactly one sm"

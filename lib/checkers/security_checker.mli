@@ -1,0 +1,7 @@
+(** User-pointer security checker (in the spirit of [1]): pointers received
+    from user space must be vetted with [copy_from_user]/[copy_to_user] (or
+    an explicit range check), never dereferenced directly in the kernel.
+    Errors carry the [SECURITY] annotation so ranking puts them first. *)
+
+val source : string
+val checker : unit -> Sm.t

@@ -1,0 +1,51 @@
+let default_debug_fns = [ "printk"; "debug_print"; "dprintf"; "log_ptr" ]
+let default_reinit_fns = [ "reinit"; "pool_put"; "recycle" ]
+
+let source ~strict =
+  let suppression =
+    if strict then ""
+    else
+      (* the paper: "We added eight lines of code to the checker to
+         suppress both classes of false positives." *)
+      let debug =
+        String.concat "\n  | "
+          (List.map
+             (fun f -> Printf.sprintf "{ %s(args) } && ${ mc_contains(mc_stmt, v) } ==> v.freed" f)
+             default_debug_fns)
+      in
+      let reinit =
+        String.concat "\n  | "
+          (List.map (fun f -> Printf.sprintf "{ %s(&v) } ==> v.stop" f) default_reinit_fns)
+      in
+      "  | " ^ debug ^ "\n  | " ^ reinit ^ "\n"
+  in
+  Printf.sprintf
+    {|
+sm strict_free_checker {
+  state decl any_pointer v;
+  decl any_expr x;
+  decl any_arguments args;
+  decl any_fn_call fn;
+
+  start:
+    { kfree(v) } ==> v.freed
+  ;
+
+  v.freed:
+    { kfree(v) } ==> v.stop, { err("double free of %%s!", mc_identifier(v)); }
+%s  | { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { err("use of %%s after free!", mc_identifier(v)); }
+  | { fn(args) } && ${ mc_contains(mc_stmt, v) } ==> v.stop,
+      { err("freed pointer %%s passed to %%s!", mc_identifier(v), mc_identifier(fn)); }
+  | { x = v } ==> v.stop, { err("freed pointer %%s stored!", mc_identifier(v)); }
+  ;
+}
+|}
+    suppression
+
+let checker ~suppress_idioms =
+  match
+    Metal_compile.load ~file:"strict_free.metal" (source ~strict:(not suppress_idioms))
+  with
+  | [ sm ] -> sm
+  | _ -> invalid_arg "strict_free: expected exactly one sm"

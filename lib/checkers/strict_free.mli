@@ -1,0 +1,16 @@
+(** The "conservative" free checker of Section 8 ("Targeted suppression of
+    false positives"): it flags {e every} use of a freed pointer, not just
+    dereferences. The paper reports two classes of false positives for this
+    checker — freed pointers passed to debugging print functions, and (in
+    BSD) addresses of freed variables passed to reinitialising functions —
+    and suppresses both with eight extra lines of metal. We reproduce the
+    checker and the suppression. *)
+
+val source : strict:bool -> string
+(** [strict:true] is the conservative checker; [strict:false] adds the
+    suppression transitions for the idioms above. *)
+
+val checker : suppress_idioms:bool -> Sm.t
+
+val default_debug_fns : string list
+val default_reinit_fns : string list

@@ -1,0 +1,102 @@
+module Sset = Set.Make (String)
+
+let state_values (ext : Sm.t) =
+  let rec dest_values acc = function
+    | Sm.To_var v -> Sset.add v acc
+    | Sm.On_branch (a, b) -> dest_values (dest_values acc a) b
+    | Sm.To_stop | Sm.To_global _ | Sm.Same -> acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc (tr : Sm.transition) ->
+        let acc = dest_values acc tr.tr_dest in
+        match tr.tr_source with Sm.Src_var v -> Sset.add v acc | Sm.Src_global _ -> acc)
+      Sset.empty ext.transitions
+  in
+  Sset.elements acc
+
+let global_values (ext : Sm.t) =
+  let rec dest_values acc = function
+    | Sm.To_global g -> Sset.add g acc
+    | Sm.On_branch (a, b) -> dest_values (dest_values acc a) b
+    | Sm.To_var _ | Sm.To_stop | Sm.Same -> acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc (tr : Sm.transition) ->
+        let acc = dest_values acc tr.tr_dest in
+        match tr.tr_source with
+        | Sm.Src_global g -> Sset.add g acc
+        | Sm.Src_var _ -> acc)
+      (Sset.singleton ext.start_state)
+      ext.transitions
+  in
+  Sset.elements acc
+
+let pointer_params (typing : Ctyping.env) (f : Cast.fundef) =
+  List.filter
+    (fun (_, t) -> Ctyp.is_pointer (Ctyping.resolve typing t) || Ctyp.is_pointer t)
+    f.fparams
+
+let exhaustive_entry_states (sg : Supergraph.t) (ext : Sm.t) =
+  let g = max 1 (List.length (global_values ext)) in
+  let v = List.length (state_values ext) in
+  List.fold_left
+    (fun acc (f : Cast.fundef) ->
+      let params = List.length (pointer_params sg.Supergraph.typing f) in
+      let rec pow b n = if n = 0 then 1 else b * pow b (n - 1) in
+      acc + (g * pow (v + 1) params))
+    0
+    (Ctyping.fundefs sg.Supergraph.typing)
+
+let topdown_entry_states (sg : Supergraph.t) (ext : Sm.t) =
+  (* run once and count distinct tuples at each function's entry block *)
+  let _result, summaries = Engine.run_with_summaries sg [ ext ] in
+  Hashtbl.fold
+    (fun fname (bs, _sfx) acc ->
+      match Supergraph.cfg_of sg fname with
+      | None -> acc
+      | Some cfg -> acc + Summary.srcs_count bs.(cfg.Cfg.entry))
+    summaries 0
+
+let run_exhaustive (sg : Supergraph.t) (ext : Sm.t) =
+  let options = { Engine.default_options with Engine.interproc = false } in
+  let gvals = global_values ext in
+  let svals = state_values ext in
+  let runs = ref 0 in
+  List.iter
+    (fun (f : Cast.fundef) ->
+      let params = pointer_params sg.Supergraph.typing f in
+      (* enumerate assignments of (no state | each state value) to params *)
+      let rec assignments = function
+        | [] -> [ [] ]
+        | (pname, _) :: rest ->
+            let tails = assignments rest in
+            List.concat_map
+              (fun tail ->
+                (None :: List.map (fun v -> Some (pname, v)) svals)
+                |> List.map (fun choice ->
+                       match choice with None -> tail | Some b -> b :: tail))
+              tails
+      in
+      List.iter
+        (fun g ->
+          List.iter
+            (fun assignment ->
+              incr runs;
+              let seeded =
+                let sm = Sm.initial ext in
+                sm.Sm.gstate <- g;
+                List.iter
+                  (fun (pname, v) ->
+                    Sm.add_instance sm
+                      (Sm.new_instance ~target:(Cast.ident pname) ~value:v
+                         ~created_at:(-1) ~created_loc:f.floc ~created_depth:0 ()))
+                  assignment;
+                sm
+              in
+              ignore (Engine.run_function ~options sg seeded ~fname:f.fname))
+            (assignments params))
+        gvals)
+    (Ctyping.fundefs sg.Supergraph.typing);
+  !runs

@@ -1,0 +1,37 @@
+(** The bottom-up exhaustive baseline the paper argues against (Section 6):
+
+    "rather than analyzing each function starting from all possible states,
+    we only analyze each function starting in the states that can reach
+    that function along an interprocedurally valid path."
+
+    A bottom-up summariser in the style of the finite-state RHS algorithm
+    must prepare each function for {e every} possible entry state: every
+    global-state value crossed with every assignment of variable-specific
+    state values to the function's pointer-typed parameters. This module
+    measures both sides:
+
+    - {!exhaustive_entry_states}: the state count the bottom-up scheme
+      would analyse (computed from the extension's state space);
+    - {!run_exhaustive}: actually runs the engine once per such entry state
+      (intraprocedurally), so wall-clock comparisons are possible;
+    - {!topdown_entry_states}: the number of distinct entry states the
+      top-down analysis actually fed each function (read back from the
+      engine's entry-block caches). *)
+
+val state_values : Sm.t -> string list
+(** The variable-specific state values reachable in the extension (targets
+    of [To_var] destinations and sources of variable clauses), excluding
+    the sink. *)
+
+val global_values : Sm.t -> string list
+
+val exhaustive_entry_states : Supergraph.t -> Sm.t -> int
+(** Σ over functions of |gstates| × Π over pointer params (|var states| + 1). *)
+
+val topdown_entry_states : Supergraph.t -> Sm.t -> int
+(** Distinct entry tuples observed per function by an actual top-down run. *)
+
+val run_exhaustive : Supergraph.t -> Sm.t -> int
+(** Run the engine once per exhaustive entry state of every function
+    (interprocedural following disabled — the baseline consumes summaries
+    instead). Returns the number of intraprocedural runs performed. *)

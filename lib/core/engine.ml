@@ -1,0 +1,1613 @@
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+let log_src = Logs.Src.create "mc.engine" ~doc:"xgcc analysis engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type options = {
+  caching : bool;
+  pruning : bool;
+  interproc : bool;
+  auto_kill : bool;
+  synonyms : bool;
+  max_call_depth : int;
+  max_instances : int;
+}
+
+let default_options =
+  {
+    caching = true;
+    pruning = true;
+    interproc = true;
+    auto_kill = true;
+    synonyms = true;
+    max_call_depth = 40;
+    max_instances = 64;
+  }
+
+type stats = {
+  mutable blocks_visited : int;
+  mutable nodes_visited : int;
+  mutable cache_hits : int;
+  mutable paths_explored : int;
+  mutable calls_followed : int;
+  mutable summary_hits : int;
+  mutable pruned_branches : int;
+  mutable transitions_fired : int;
+  mutable instances_created : int;
+  mutable functions_traversed : int;
+      (* distinct functions entered by the traversal, for coverage *)
+}
+
+let new_stats () =
+  {
+    blocks_visited = 0;
+    nodes_visited = 0;
+    cache_hits = 0;
+    paths_explored = 0;
+    calls_followed = 0;
+    summary_hits = 0;
+    pruned_branches = 0;
+    transitions_fired = 0;
+    instances_created = 0;
+    functions_traversed = 0;
+  }
+
+type result = {
+  reports : Report.t list;
+  counters : (string * int * int) list;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Contexts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fsum = {
+  bs : Summary.t array;
+  sfx : Summary.t array;
+  rets : (string, unit) Hashtbl.t;
+      (* values with which a tracked, *returned* object left the function —
+         the "follow simple value flow" hook: callers re-attach the state to
+         the call expression so assignments pick it up as a synonym *)
+}
+
+type ev = Ev_node of Cast.expr | Ev_fresh of string | Ev_scope_end of string list
+
+type rctx = {
+  sg : Supergraph.t;
+  opts : options;
+  collector : Report.collector;
+  counters : (string, int * int) Hashtbl.t;
+  annots : (int, string list) Hashtbl.t;
+  fsums : (string, fsum) Hashtbl.t;
+  events_cache : (string, ev list) Hashtbl.t;
+  dedup : (string, unit) Hashtbl.t;
+  traversed : (string, unit) Hashtbl.t;
+  st : stats;
+  mutable cur_ext : Sm.t;
+}
+
+type fctx = {
+  cfg : Cfg.t;
+  typing : Ctyping.env;
+  fname : string;
+  ffile : string;
+  depth : int;
+  stack : string list;
+  locals : string list;  (* declared locals, not params: filtered from suffix summaries *)
+}
+
+type walk = { sm : Sm.sm_inst; store : Store.t; created : Sset.t }
+
+let get_fsum rctx (cfg : Cfg.t) =
+  match Hashtbl.find_opt rctx.fsums cfg.fname with
+  | Some s -> s
+  | None ->
+      let n = Cfg.n_blocks cfg in
+      let s =
+        {
+          bs = Array.init n (fun _ -> Summary.create ());
+          sfx = Array.init n (fun _ -> Summary.create ());
+          rets = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace rctx.fsums cfg.fname s;
+      s
+
+let make_fctx rctx ~depth ~stack (cfg : Cfg.t) =
+  let f = cfg.func in
+  Hashtbl.replace rctx.traversed f.fname ();
+  {
+    cfg;
+    typing = Ctyping.enter_function rctx.sg.Supergraph.typing f;
+    fname = f.fname;
+    ffile = f.ffile;
+    depth;
+    stack;
+    locals = List.map fst (Cfg.locals_of f);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Events of a block (memoised: trees keep stable eids across visits)  *)
+(* ------------------------------------------------------------------ *)
+
+let annotate_node rctx (e : Cast.expr) tag =
+  let tags = Option.value (Hashtbl.find_opt rctx.annots e.eid) ~default:[] in
+  if not (List.mem tag tags) then Hashtbl.replace rctx.annots e.eid (tag :: tags)
+
+let events_of_block rctx fctx (block : Block.t) =
+  let key = Printf.sprintf "%s#%d" fctx.fname block.bid in
+  match Hashtbl.find_opt rctx.events_cache key with
+  | Some evs -> evs
+  | None ->
+      let of_elem = function
+        | Block.Tree e -> List.map (fun n -> Ev_node n) (Cast.exec_order e)
+        | Block.Decl d -> (
+            match d.Cast.dinit with
+            | Some init ->
+                let synth =
+                  Cast.mk_expr ~loc:init.eloc
+                    (Cast.Eassign (None, Cast.ident ~loc:init.eloc d.Cast.dname, init))
+                in
+                Ev_fresh d.Cast.dname
+                :: List.map (fun n -> Ev_node n) (Cast.exec_order synth)
+            | None -> [ Ev_fresh d.Cast.dname ])
+        | Block.End_of_scope vars -> [ Ev_scope_end vars ]
+      in
+      let term_evs =
+        match block.term with
+        | Block.Branch (c, _, _) ->
+            annotate_node rctx c "mc_branch";
+            List.map (fun n -> Ev_node n) (Cast.exec_order c)
+        | Block.Switch (e, _) ->
+            annotate_node rctx e "mc_branch";
+            List.map (fun n -> Ev_node n) (Cast.exec_order e)
+        | Block.Return (Some e) ->
+            annotate_node rctx e "mc_return";
+            List.map (fun n -> Ev_node n) (Cast.exec_order e)
+        | Block.Jump _ | Block.Return None | Block.Exit -> []
+      in
+      let evs = List.concat_map of_elem block.elems @ term_evs in
+      Hashtbl.replace rctx.events_cache key evs;
+      evs
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bump_counter rctx which rule =
+  let e, c = Option.value (Hashtbl.find_opt rctx.counters rule) ~default:(0, 0) in
+  let e, c = match which with `Example -> (e + 1, c) | `Counterexample -> (e, c + 1) in
+  Hashtbl.replace rctx.counters rule (e, c)
+
+let node_annotated rctx (e : Cast.expr) tag =
+  match Hashtbl.find_opt rctx.annots e.eid with
+  | Some tags -> List.mem tag tags
+  | None -> false
+
+let kill_path_tag = "mc_kill_path"
+
+(* Severity annotations left on AST nodes by previously-run extensions
+   (the SECURITY/ERROR/MINOR composition idiom of Section 9) are folded
+   into reports emitted at those nodes. *)
+let severity_tags = [ "SECURITY"; "ERROR"; "MINOR" ]
+
+let emit_report rctx fctx ~node ~inst ?(annotations = []) ?rule ?var msg =
+  let loc =
+    match node with
+    | Some (n : Cast.expr) -> n.eloc
+    | None -> (
+        match inst with
+        | Some (i : Sm.instance) -> i.created_loc
+        | None -> fctx.cfg.Cfg.func.Cast.floc)
+  in
+  let start_loc, conds, syn, cdepth, default_var =
+    match inst with
+    | Some (i : Sm.instance) ->
+        ( i.created_loc,
+          i.conditionals,
+          i.syn_chain,
+          abs (fctx.depth - i.created_depth),
+          Some (Cprint.expr_to_string i.target) )
+    | None -> (loc, 0, 0, 0, None)
+  in
+  let var =
+    match var with Some (v : Cast.expr) -> Some (Cprint.expr_to_string v) | None -> default_var
+  in
+  let annotations =
+    match node with
+    | Some (n : Cast.expr) -> (
+        match Hashtbl.find_opt rctx.annots n.eid with
+        | Some tags ->
+            annotations
+            @ List.filter
+                (fun t -> List.mem t severity_tags && not (List.mem t annotations))
+                tags
+        | None -> annotations)
+    | None -> annotations
+  in
+  let r =
+    Report.make ~checker:rctx.cur_ext.Sm.sm_name ~message:msg ~loc ~start_loc
+      ~func:fctx.fname ~file:fctx.ffile ?var ?rule ~conditionals:conds ~syn_chain:syn
+      ~call_depth:cdepth ~annotations ()
+  in
+  let key = Printf.sprintf "%s@%s" (Report.identity_key r) (Srcloc.to_string loc) in
+  if not (Hashtbl.mem rctx.dedup key) then begin
+    Hashtbl.replace rctx.dedup key ();
+    Log.info (fun m -> m "report: %a" Report.pp r);
+    Report.emit rctx.collector r
+  end
+
+let make_actx rctx fctx walk ~node ~bindings ~inst : Sm.actx =
+  {
+    a_node = node;
+    a_loc =
+      (match node with
+      | Some (n : Cast.expr) -> n.eloc
+      | None -> Srcloc.dummy);
+    a_bindings = bindings;
+    a_inst = inst;
+    a_sm = walk.sm;
+    a_func = fctx.fname;
+    a_depth = fctx.depth;
+    a_typing = fctx.typing;
+    a_report =
+      (fun ?annotations ?rule ?var msg ->
+        emit_report rctx fctx ~node ~inst ?annotations ?rule ?var msg);
+    a_count = (fun which rule -> bump_counter rctx which rule);
+    a_annotate = (fun e tag -> annotate_node rctx e tag);
+    a_kill_path = (fun () -> walk.sm.killed_path <- true);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Destinations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror a state change onto every synonym of [inst]. *)
+let synonyms_of (sm : Sm.sm_inst) (inst : Sm.instance) =
+  if inst.syn_group = 0 then []
+  else
+    List.filter
+      (fun (i : Sm.instance) -> i != inst && i.syn_group = inst.syn_group)
+      sm.actives
+
+let set_instance_value (sm : Sm.sm_inst) (inst : Sm.instance) v =
+  inst.value <- v;
+  List.iter (fun (i : Sm.instance) -> i.value <- v) (synonyms_of sm inst)
+
+let stop_instance (sm : Sm.sm_inst) (inst : Sm.instance) =
+  let syns = synonyms_of sm inst in
+  Sm.remove_instance sm inst;
+  List.iter (Sm.remove_instance sm) syns
+
+let create_tracked rctx fctx walk ?(syn_chain = 0) ?(data = []) ~target ~value
+    ~(node : Cast.expr) () =
+  if List.length walk.sm.actives >= rctx.opts.max_instances then walk
+  else begin
+    let inst =
+      Sm.new_instance ~data ~syn_chain ~target ~value ~created_at:node.eid
+        ~created_loc:node.eloc ~created_depth:fctx.depth ()
+    in
+    Sm.add_instance walk.sm inst;
+    rctx.st.instances_created <- rctx.st.instances_created + 1;
+    { walk with created = Sset.add inst.target_key walk.created }
+  end
+
+let svar_binding (ext : Sm.t) (bindings : Pattern.bindings) =
+  match ext.svar with
+  | None -> None
+  | Some v -> (
+      match List.assoc_opt v bindings with
+      | Some (Pattern.Bnode tree) -> Some tree
+      | _ -> None)
+
+(* Apply a destination for a transition triggered by [inst] (variable
+   source) or creating/affecting the object bound to the state variable
+   (global source). Returns the updated walk. *)
+(* Apply a destination; returns the updated walk and the instance the
+   transition affected (for creations, the new instance — so that actions,
+   which run after the destination, can initialise its data values). *)
+let apply_dest rctx fctx walk ~(node : Cast.expr option) ~bindings
+    ~(inst : Sm.instance option) (dest : Sm.dest) =
+  let sm = walk.sm in
+  match dest with
+  | Sm.Same -> (walk, inst)
+  | Sm.To_global g ->
+      sm.gstate <- g;
+      (walk, inst)
+  | Sm.To_stop -> (
+      match inst with
+      | Some i ->
+          stop_instance sm i;
+          (walk, inst)
+      | None -> (
+          (* global-source stop: stop the instance on the bound object *)
+          match svar_binding sm.ext bindings with
+          | Some tree -> (
+              match Sm.find_instance sm ~key:(Cast.key_of_expr tree) with
+              | Some i ->
+                  stop_instance sm i;
+                  (walk, Some i)
+              | None -> (walk, None))
+          | None -> (walk, None)))
+  | Sm.To_var v -> (
+      match inst with
+      | Some i ->
+          set_instance_value sm i v;
+          (walk, inst)
+      | None -> (
+          match svar_binding sm.ext bindings with
+          | Some tree -> (
+              match node with
+              | Some n ->
+                  let walk =
+                    create_tracked rctx fctx walk ~target:tree ~value:v ~node:n ()
+                  in
+                  (walk, Sm.find_instance walk.sm ~key:(Cast.key_of_expr tree))
+              | None -> (walk, None))
+          | None -> (walk, None)))
+  | Sm.On_branch (t, f) ->
+      (match node with
+      | Some n ->
+          sm.pendings <-
+            {
+              Sm.p_node = n;
+              p_on_var = None;
+              p_true = t;
+              p_false = f;
+              p_inst_key = Option.map (fun (i : Sm.instance) -> i.target_key) inst;
+              p_bindings = bindings;
+              p_action = None;
+            }
+            :: sm.pendings
+      | None -> ());
+      (walk, inst)
+
+(* ------------------------------------------------------------------ *)
+(* Transitions at a node                                               *)
+(* ------------------------------------------------------------------ *)
+
+let callout_ctx rctx fctx node =
+  { Callout.typing = fctx.typing; node; annots = rctx.annots }
+
+(* Apply the extension at a program point. Returns (any pattern matched,
+   updated walk). Semantics:
+   - variable-specific instances are iterated before the global instance,
+     so e.g. a double-free fires before the start-state transition would
+     silently re-track the pointer;
+   - per instance (and for the global machine) the first matching
+     transition in declaration order wins — this is what makes the
+     targeted-suppression idiom of Section 8 work: a suppression rule
+     listed before the error rule absorbs the idiomatic match;
+   - transitions are judged against the state as it was when the point was
+     reached (no same-node cascading). *)
+let apply_transitions rctx fctx walk (node : Cast.expr) =
+  let sm = walk.sm in
+  let ext = sm.ext in
+  let cctx = callout_ctx rctx fctx (Some node) in
+  let matched = ref false in
+  let touched : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let entry_gstate = sm.gstate in
+  let entry_values : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Sm.instance) -> Hashtbl.replace entry_values i.target_key i.value)
+    sm.actives;
+  let value_at_entry (i : Sm.instance) =
+    Option.value (Hashtbl.find_opt entry_values i.target_key) ~default:i.value
+  in
+  let walk = ref walk in
+  let var_transitions =
+    List.filter
+      (fun (tr : Sm.transition) ->
+        match tr.tr_source with Sm.Src_var _ -> true | Sm.Src_global _ -> false)
+      ext.transitions
+  in
+  (* Callsite modelling (Section 6): "the analysis does not follow calls to
+     kfree because the extension matches these calls". Only call-shaped
+     patterns model a call — a bare hole that happens to match a
+     pointer-valued call expression must not suppress following it. *)
+  let rec expr_shape_is_call (e : Cast.expr) =
+    match e.enode with
+    | Cast.Ecall _ -> true
+    | Cast.Eassign (_, _, r) -> expr_shape_is_call r
+    | Cast.Ecast (_, e1) -> expr_shape_is_call e1
+    | _ -> false
+  in
+  let rec pattern_models_call = function
+    | Pattern.Pexpr e -> expr_shape_is_call e
+    | Pattern.Pcallout _ -> true
+    | Pattern.Pand (a, b) | Pattern.Por (a, b) ->
+        pattern_models_call a || pattern_models_call b
+    | Pattern.Pend_of_path | Pattern.Pnever | Pattern.Palways -> false
+  in
+  List.iter
+    (fun (tr : Sm.transition) ->
+      if (not !matched) && pattern_models_call tr.tr_pattern then
+        match
+          Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
+            (Pattern.At_node node)
+        with
+        | Some _ -> matched := true
+        | None -> ())
+    ext.transitions;
+  (* variable-specific instances first; first matching transition wins *)
+  List.iter
+    (fun (i : Sm.instance) ->
+      if i.created_at <> node.eid && not i.inactive then begin
+        let v0 = value_at_entry i in
+        if String.equal i.value v0 then begin
+          let fired = ref false in
+          List.iter
+            (fun (tr : Sm.transition) ->
+              if not !fired then
+                match tr.tr_source with
+                | Sm.Src_var v when String.equal v v0 -> (
+                    let init =
+                      match ext.svar with
+                      | Some sv -> [ (sv, Pattern.Bnode i.target) ]
+                      | None -> []
+                    in
+                    match
+                      Pattern.match_event ~init ~ctx:cctx ~holes:ext.holes
+                        tr.tr_pattern (Pattern.At_node node)
+                    with
+                    | None -> ()
+                    | Some bindings ->
+                        fired := true;
+                        matched := true;
+                        rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
+                        Hashtbl.replace touched i.target_key ();
+                        let walk', affected =
+                          apply_dest rctx fctx !walk ~node:(Some node) ~bindings
+                            ~inst:(Some i) tr.tr_dest
+                        in
+                        walk := walk';
+                        (match tr.tr_action with
+                        | Some act ->
+                            act
+                              (make_actx rctx fctx !walk ~node:(Some node) ~bindings
+                                 ~inst:affected)
+                        | None -> ()))
+                | Sm.Src_var _ | Sm.Src_global _ -> ())
+            var_transitions
+        end
+      end)
+    sm.actives;
+  (* then the global machine; first matching transition wins *)
+  let gfired = ref false in
+  List.iter
+    (fun (tr : Sm.transition) ->
+      match tr.tr_source with
+      | Sm.Src_var _ -> ()
+      | Sm.Src_global g ->
+          if
+            (not !gfired)
+            && String.equal entry_gstate g
+            && String.equal sm.gstate entry_gstate
+          then
+            match
+              Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
+                (Pattern.At_node node)
+            with
+            | None -> ()
+            | Some bindings ->
+                matched := true;
+                (* suppress re-creation when the bound object was already
+                   transitioned at this very node (e.g. a double free) *)
+                let suppressed =
+                  match svar_binding ext bindings with
+                  | Some tree -> Hashtbl.mem touched (Cast.key_of_expr tree)
+                  | None -> false
+                in
+                if not suppressed then begin
+                  gfired := true;
+                  rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
+                  let walk', affected =
+                    apply_dest rctx fctx !walk ~node:(Some node) ~bindings ~inst:None
+                      tr.tr_dest
+                  in
+                  walk := walk';
+                  match tr.tr_action with
+                  | Some act ->
+                      act
+                        (make_actx rctx fctx !walk ~node:(Some node) ~bindings
+                           ~inst:affected)
+                  | None -> ()
+                end)
+    ext.transitions;
+  (!matched, !walk)
+
+(* End-of-path events: fire [$end_of_path$] transitions for the given
+   instances (those permanently leaving scope) and, when [global] is set,
+   also global-source end-of-path transitions (program termination).
+   First-match-wins per instance, matching the node semantics. *)
+let fire_end_of_path rctx fctx walk ~(instances : Sm.instance list) ~global =
+  let sm = walk.sm in
+  let ext = sm.ext in
+  let cctx = callout_ctx rctx fctx None in
+  let walk = ref walk in
+  List.iter
+    (fun (i : Sm.instance) ->
+      let fired = ref false in
+      List.iter
+        (fun (tr : Sm.transition) ->
+          if (not !fired) && List.memq i sm.actives then
+            match tr.tr_source with
+            | Sm.Src_var v when String.equal i.value v && not i.inactive -> (
+                match
+                  Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
+                    Pattern.At_end_of_path
+                with
+                | None -> ()
+                | Some bindings ->
+                    fired := true;
+                    rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
+                    let bindings =
+                      match ext.svar with
+                      | Some sv -> (sv, Pattern.Bnode i.target) :: bindings
+                      | None -> bindings
+                    in
+                    (* the action runs before the destination so it can
+                       still read the dying instance's state *)
+                    (match tr.tr_action with
+                    | Some act ->
+                        act
+                          (make_actx rctx fctx !walk ~node:None ~bindings
+                             ~inst:(Some i))
+                    | None -> ());
+                    let walk', _ =
+                      apply_dest rctx fctx !walk ~node:None ~bindings ~inst:(Some i)
+                        tr.tr_dest
+                    in
+                    walk := walk')
+            | Sm.Src_var _ | Sm.Src_global _ -> ())
+        ext.transitions)
+    instances;
+  if global then begin
+    let gfired = ref false in
+    List.iter
+      (fun (tr : Sm.transition) ->
+        if not !gfired then
+          match tr.tr_source with
+          | Sm.Src_global g when String.equal sm.gstate g -> (
+              match
+                Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
+                  Pattern.At_end_of_path
+              with
+              | None -> ()
+              | Some bindings ->
+                  gfired := true;
+                  rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
+                  (match tr.tr_action with
+                  | Some act ->
+                      act (make_actx rctx fctx !walk ~node:None ~bindings ~inst:None)
+                  | None -> ());
+                  let walk', _ =
+                    apply_dest rctx fctx !walk ~node:None ~bindings ~inst:None
+                      tr.tr_dest
+                  in
+                  walk := walk')
+          | Sm.Src_global _ | Sm.Src_var _ -> ())
+      ext.transitions
+  end;
+  !walk
+
+(* ------------------------------------------------------------------ *)
+(* Transparent write handling: synonyms, kills, value tracking         *)
+(* ------------------------------------------------------------------ *)
+
+let rec contains_eid (e : Cast.expr) eid =
+  e.eid = eid
+  ||
+  let children =
+    match e.enode with
+    | Cast.Eunary (_, e1)
+    | Cast.Ecast (_, e1)
+    | Cast.Esizeof_expr e1
+    | Cast.Efield (e1, _)
+    | Cast.Earrow (e1, _) ->
+        [ e1 ]
+    | Cast.Ebinary (_, l, r)
+    | Cast.Eassign (_, l, r)
+    | Cast.Eindex (l, r)
+    | Cast.Ecomma (l, r) ->
+        [ l; r ]
+    | Cast.Econd (c, t, f) -> [ c; t; f ]
+    | Cast.Ecall (f, args) -> f :: args
+    | Cast.Einit_list es -> es
+    | _ -> []
+  in
+  List.exists (fun c -> contains_eid c eid) children
+
+let rec strip_casts (e : Cast.expr) =
+  match e.enode with Cast.Ecast (_, e1) -> strip_casts e1 | _ -> e
+
+(* Kill-on-redefinition: [x] was just (re)defined at [node]; any tracked
+   object that uses [x] is transitioned to stop — "the single most important
+   technique for suppressing false positives". *)
+let kill_mentions rctx walk ~(at : int) x =
+  ignore rctx;
+  let sm = walk.sm in
+  let victims =
+    List.filter
+      (fun (i : Sm.instance) ->
+        i.created_at <> at && List.mem x (Cast.idents_of_expr i.target))
+      sm.actives
+  in
+  List.iter (fun i -> Sm.remove_instance sm i) victims
+
+(* Writing through an lvalue path ([*p = e], [x.f = e], [a[i] = e]) defines
+   the named location, not its base variable: only tracked objects that
+   contain the written lvalue are invalidated. *)
+let kill_containing rctx walk ~(at : int) (lv : Cast.expr) =
+  ignore rctx;
+  let sm = walk.sm in
+  let victims =
+    List.filter
+      (fun (i : Sm.instance) ->
+        i.created_at <> at && Cast.contains_expr ~needle:lv i.target)
+      sm.actives
+  in
+  List.iter (fun i -> Sm.remove_instance sm i) victims
+
+let handle_writes rctx fctx walk (node : Cast.expr) =
+  let sm = walk.sm in
+  let opts = rctx.opts in
+  match node.enode with
+  | Cast.Eassign (op, l, r) ->
+      (* a pending path-specific transition whose call result is being
+         stored: remember the destination variable *)
+      List.iter
+        (fun (p : Sm.pending) ->
+          if p.p_on_var = None && contains_eid r p.p_node.Cast.eid then
+            p.p_on_var <-
+              (match Cast.base_lvalue l with
+              | Some { enode = Cast.Eident x; _ } -> Some x
+              | _ -> None))
+        sm.pendings;
+      (* synonyms: q = p gives q a copy of p's state *)
+      let walk =
+        if op = None && opts.synonyms && sm.ext.track_synonyms then begin
+          (* the value of [a = b = e] is [b]'s value: follow chained
+             assignments to the innermost lvalue *)
+          let rec value_source (e : Cast.expr) =
+            match (strip_casts e).enode with
+            | Cast.Eassign (None, l2, _) -> value_source l2
+            | _ -> strip_casts e
+          in
+          let rsrc = value_source r in
+          match Sm.find_instance sm ~key:(Cast.key_of_expr rsrc) with
+          | Some src
+            when src.created_at <> node.eid
+                 && Option.is_some (Cast.base_lvalue l)
+                 && not (Cast.equal_expr l rsrc) ->
+              let group =
+                if src.syn_group = 0 then begin
+                  let g = Sm.fresh_syn_group () in
+                  src.syn_group <- g;
+                  g
+                end
+                else src.syn_group
+              in
+              let walk =
+                create_tracked rctx fctx walk ~syn_chain:(src.syn_chain + 1)
+                  ~data:src.data ~target:l ~value:src.value ~node ()
+              in
+              (match Sm.find_instance walk.sm ~key:(Cast.key_of_expr l) with
+              | Some i when i.created_at = node.eid -> i.syn_group <- group
+              | _ -> ());
+              walk
+          | _ -> walk
+        end
+        else walk
+      in
+      (* kill *)
+      if opts.auto_kill && sm.ext.auto_kill then begin
+        match l.enode with
+        | Cast.Eident x -> kill_mentions rctx walk ~at:node.eid x
+        | _ -> kill_containing rctx walk ~at:node.eid l
+      end;
+      (* value tracking *)
+      let store =
+        match l.enode with
+        | Cast.Eident x -> (
+            match op with
+            | None -> Store.assign walk.store x r
+            | Some o ->
+                Store.assign walk.store x (Cast.mk_expr (Cast.Ebinary (o, l, r))))
+        | _ -> walk.store
+      in
+      { walk with store }
+  | Cast.Eunary (((Cast.Preinc | Cast.Predec | Cast.Postinc | Cast.Postdec) as u), l)
+    -> (
+      (if opts.auto_kill && sm.ext.auto_kill then
+         match l.enode with
+         | Cast.Eident x -> kill_mentions rctx walk ~at:node.eid x
+         | _ -> kill_containing rctx walk ~at:node.eid l);
+      match l.enode with
+      | Cast.Eident x ->
+          let op =
+            match u with
+            | Cast.Preinc | Cast.Postinc -> Cast.Add
+            | _ -> Cast.Sub
+          in
+          let store =
+            Store.assign walk.store x
+              (Cast.mk_expr (Cast.Ebinary (op, l, Cast.intlit 1L)))
+          in
+          { walk with store }
+      | _ -> walk)
+  | Cast.Ecall ({ enode = Cast.Eident f; _ }, args)
+    when Supergraph.cfg_of rctx.sg f = None ->
+      (* unknown function: its callees may write through pointer args *)
+      let store =
+        List.fold_left
+          (fun store (a : Cast.expr) ->
+            match (strip_casts a).enode with
+            | Cast.Eunary (Cast.Addrof, { enode = Cast.Eident x; _ }) ->
+                Store.assign_unknown store x
+            | _ -> store)
+          walk.store args
+      in
+      { walk with store }
+  | _ -> walk
+
+(* ------------------------------------------------------------------ *)
+(* Block edge recording                                                *)
+(* ------------------------------------------------------------------ *)
+
+let record_block_edges (bs : Summary.t) ~depth_base ~entry_g
+    ~(snapshot : Summary.tuple Smap.t) walk =
+  let sm = walk.sm in
+  let exit_g = sm.gstate in
+  ignore
+    (Summary.add_edge bs
+       {
+         Summary.e_src = Summary.global_tuple entry_g;
+         e_dst = Summary.global_tuple exit_g;
+         e_kind = Summary.Transition;
+       });
+  let live = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Sm.instance) ->
+      if not i.inactive then begin
+        Hashtbl.replace live i.target_key ();
+        let cur = Summary.tuple_of_instance ~gstate:exit_g ~depth_base i in
+        if Sset.mem i.target_key walk.created then
+          ignore
+            (Summary.add_edge bs
+               {
+                 Summary.e_src = Summary.unknown_tuple ~gstate:entry_g i.target;
+                 e_dst = cur;
+                 e_kind = Summary.Add;
+               })
+        else
+          match Smap.find_opt i.target_key snapshot with
+          | Some entry_tup ->
+              ignore
+                (Summary.add_edge bs
+                   { Summary.e_src = entry_tup; e_dst = cur; e_kind = Summary.Transition })
+          | None ->
+              ignore
+                (Summary.add_edge bs
+                   {
+                     Summary.e_src = Summary.unknown_tuple ~gstate:entry_g i.target;
+                     e_dst = cur;
+                     e_kind = Summary.Add;
+                   })
+      end)
+    sm.actives;
+  (* entry tuples whose instance died: transition to stop *)
+  Smap.iter
+    (fun key (entry_tup : Summary.tuple) ->
+      if not (Hashtbl.mem live key) then
+        match entry_tup.t_v with
+        | Some v ->
+            ignore
+              (Summary.add_edge bs
+                 {
+                   Summary.e_src = entry_tup;
+                   e_dst =
+                     {
+                       Summary.t_g = exit_g;
+                       t_v = Some { v with Summary.v_value = Sm.stop_value };
+                     };
+                   e_kind = Summary.Transition;
+                 })
+        | None -> ())
+    snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Relax: suffix-summary computation (Figure 6)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Suffix summaries never mention function locals ("the analysis would never
+   use these edges") nor edges ending in stop. *)
+let suffix_eligible fctx (e : Summary.edge) =
+  (not (Summary.ends_in_stop e))
+  &&
+  let local_tv (tv : Summary.tvar option) =
+    match tv with
+    | None -> false
+    | Some v ->
+        List.exists
+          (fun x -> List.mem x fctx.locals)
+          (Cast.idents_of_expr v.Summary.v_tree)
+  in
+  (not (local_tv e.e_src.t_v)) && not (local_tv e.e_dst.t_v)
+
+let propagate fctx (prev_bs : Summary.t) (prev_sfx : Summary.t) (cur_sfx : Summary.t) =
+  let changed = ref false in
+  List.iter
+    (fun (e : Summary.edge) ->
+      if suffix_eligible fctx e then
+        match e.e_kind with
+        | Summary.Transition ->
+            List.iter
+              (fun (pe : Summary.edge) ->
+                let newe =
+                  { Summary.e_src = pe.e_src; e_dst = e.e_dst; e_kind = pe.e_kind }
+                in
+                if suffix_eligible fctx newe && Summary.add_edge prev_sfx newe then
+                  changed := true)
+              (Summary.find_by_dst prev_bs e.e_src)
+        | Summary.Add ->
+            List.iter
+              (fun (pe : Summary.edge) ->
+                if
+                  Summary.is_global_only pe
+                  && String.equal pe.e_dst.t_g e.e_src.t_g
+                then begin
+                  let newe =
+                    { e with Summary.e_src = { e.e_src with Summary.t_g = pe.e_src.t_g } }
+                  in
+                  if Summary.add_edge prev_sfx newe then changed := true
+                end)
+              (Summary.edges prev_bs))
+    (Summary.edges cur_sfx);
+  !changed
+
+(* [backtrace] lists the blocks of the current intraprocedural path, most
+   recent first. The head is the terminal block: the function exit on a
+   completed path, or the block where a cache hit aborted the path. *)
+let relax rctx fctx (backtrace : int list) =
+  let sums = get_fsum rctx fctx.cfg in
+  match backtrace with
+  | [] -> ()
+  | terminal :: rest ->
+      if terminal = fctx.cfg.exit_ then
+        (* ep's suffix summary equals its block summary *)
+        List.iter
+          (fun e ->
+            if suffix_eligible fctx e then ignore (Summary.add_edge sums.sfx.(terminal) e))
+          (Summary.edges sums.bs.(terminal));
+      let rec walk cur = function
+        | [] -> ()
+        | prev :: rest ->
+            let changed = propagate fctx sums.bs.(prev) sums.sfx.(prev) sums.sfx.(cur) in
+            if changed then walk prev rest
+      in
+      walk terminal rest
+
+(* ------------------------------------------------------------------ *)
+(* Pending path-specific transitions                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the pending apply to this branch condition? Either the condition is
+   (or contains at its root) the very node the pattern matched, or it tests
+   the variable the call's result was assigned to. *)
+let pending_applies (p : Sm.pending) (cond : Cast.expr) =
+  let rec root_test (c : Cast.expr) =
+    c.eid = p.p_node.Cast.eid
+    ||
+    match c.enode with
+    | Cast.Ebinary (Cast.Ne, l, { enode = Cast.Eint 0L; _ }) -> root_test l
+    | Cast.Ecast (_, e1) -> root_test e1
+    | _ -> false
+  in
+  if root_test cond then Some false (* direct: polarity as-is *)
+  else
+    match p.p_on_var with
+    | None -> None
+    | Some x -> (
+        match cond.enode with
+        | Cast.Eident y when String.equal x y -> Some false
+        | Cast.Ebinary (Cast.Ne, { enode = Cast.Eident y; _ }, { enode = Cast.Eint 0L; _ })
+          when String.equal x y ->
+            Some false
+        | Cast.Ebinary (Cast.Eq, { enode = Cast.Eident y; _ }, { enode = Cast.Eint 0L; _ })
+          when String.equal x y ->
+            Some true (* inverted polarity *)
+        | _ -> None)
+
+let resolve_pendings rctx fctx walk ~(cond : Cast.expr option) ~taken =
+  let sm = walk.sm in
+  let walk = ref walk in
+  let remaining = ref [] in
+  List.iter
+    (fun (p : Sm.pending) ->
+      let applies =
+        match cond with
+        | None ->
+            (* path end: a pending whose call result was stored but never
+               branched on resolves pessimistically to the false dest; a
+               pending that was never even observable (result discarded or
+               an incidental non-branch match) is dropped without
+               transitioning *)
+            if p.p_on_var = None then `Drop else `Apply false
+        | Some c -> (
+            match pending_applies p c with
+            | None -> `Keep
+            | Some inverted -> `Apply inverted)
+      in
+      match applies with
+      | `Drop -> ()
+      | `Keep -> remaining := p :: !remaining
+      | `Apply inverted ->
+          let taken = match cond with None -> false | Some _ -> taken in
+          let effective = if inverted then not taken else taken in
+          let dest = if effective then p.p_true else p.p_false in
+          let inst =
+            match p.p_inst_key with
+            | Some key -> Sm.find_instance sm ~key
+            | None -> None
+          in
+          let walk', _ =
+            apply_dest rctx fctx !walk ~node:(Some p.p_node) ~bindings:p.p_bindings ~inst
+              dest
+          in
+          walk := walk')
+    sm.pendings;
+  sm.pendings <- List.rev !remaining;
+  !walk
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural: refine / summary application / restore             *)
+(* ------------------------------------------------------------------ *)
+
+type call_setup = {
+  cs_mapping : Refine.mapping;
+  cs_refined : Sm.sm_inst;
+  cs_saved : Sm.instance list;  (* caller-local and sleeping file-scope state *)
+  cs_meta : (string, Sm.instance) Hashtbl.t;  (* refined key -> caller instance *)
+}
+
+let refine_call rctx fctx walk (callee : Cast.fundef) (args : Cast.expr list) =
+  let sm = walk.sm in
+  let mapping = Refine.make_mapping ~params:callee.fparams ~args in
+  let refined = Sm.initial sm.ext in
+  refined.gstate <- sm.gstate;
+  let saved = ref [] in
+  let meta = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Sm.instance) ->
+      if i.inactive then saved := i :: !saved
+      else
+        match
+          Refine.classify_refine ~typing:rctx.sg.Supergraph.typing
+            ~caller:fctx.cfg.func ~callee_file:callee.ffile mapping i.target
+        with
+        | Refine.Mapped tree ->
+            let i' =
+              { (Sm.clone_instance i) with
+                target = tree;
+                target_key = Cast.key_of_expr tree;
+              }
+            in
+            Sm.add_instance refined i';
+            Hashtbl.replace meta i'.Sm.target_key i;
+            (* by-value (Table 2 row 1): the callee sees the state, but the
+               caller's own instance is untouched at return *)
+            if sm.ext.byval_restore && Refine.is_byval_root mapping tree then
+              saved := i :: !saved
+        | Refine.Global_pass ->
+            let i' = Sm.clone_instance i in
+            Sm.add_instance refined i';
+            Hashtbl.replace meta i'.Sm.target_key i
+        | Refine.Inactivate | Refine.Save -> saved := i :: !saved)
+    sm.actives;
+  { cs_mapping = mapping; cs_refined = refined; cs_saved = List.rev !saved; cs_meta = meta }
+
+(* One tracked-object outcome of a call, pulled out of the callee's
+   function summary. *)
+type outcome = {
+  o_tree : Cast.expr;  (* callee-scope tree *)
+  o_value : string;
+  o_from : string option;  (* refined key it transitioned from, None = created *)
+  o_depth : int;  (* creation depth relative to the caller (ranking) *)
+}
+
+(* Partition the applicable function-summary edges into disjoint exit
+   states (Section 6.3 step 5). The summary has lost cross-object path
+   correlation; we build [max per-object multiplicity] exit states, object
+   [j] contributing outcome [min (i, n_j - 1)] to state [i], so the
+   continuation cost stays linear. *)
+let apply_function_summary (sums : fsum) (cfg : Cfg.t) (refined : Sm.sm_inst) :
+    (string * outcome list) list =
+  let sfx = sums.sfx.(cfg.entry) in
+  let all = Summary.edges sfx in
+  if all = [] then
+    (* the callee has never completed a path (e.g. recursion bottom):
+       assume identity *)
+    [
+      ( refined.gstate,
+        List.filter_map
+          (fun (i : Sm.instance) ->
+            if i.inactive then None
+            else
+              Some
+                {
+                  o_tree = i.target;
+                  o_value = i.value;
+                  o_from = Some i.target_key;
+                  o_depth = 0;
+                })
+          refined.actives );
+    ]
+  else begin
+    let g = refined.gstate in
+    let instance_keys =
+      List.filter_map
+        (fun (i : Sm.instance) -> if i.inactive then None else Some i.target_key)
+        refined.actives
+    in
+    (* global outcomes *)
+    let gouts =
+      let from_global =
+        List.filter_map
+          (fun (e : Summary.edge) ->
+            if Summary.is_global_only e && String.equal e.e_src.t_g g then
+              Some e.e_dst.t_g
+            else None)
+          all
+      in
+      let outs = List.sort_uniq String.compare from_global in
+      if outs = [] then [ g ] else outs
+    in
+    (* per-instance outcomes *)
+    let inst_outs =
+      List.filter_map
+        (fun (i : Sm.instance) ->
+          if i.inactive then None
+          else begin
+            let tup = Summary.tuple_of_instance ~gstate:g i in
+            let outs =
+              List.filter_map
+                (fun (e : Summary.edge) ->
+                  if e.e_kind = Summary.Transition && Summary.tuple_equal e.e_src tup
+                  then
+                    match e.e_dst.t_v with
+                    | Some v ->
+                        Some
+                          {
+                            o_tree = v.v_tree;
+                            o_value = v.v_value;
+                            o_from = Some i.target_key;
+                            o_depth = v.v_depth + 1;
+                          }
+                    | None -> None
+                  else None)
+                all
+            in
+            (* dedup by value *)
+            let outs =
+              List.sort_uniq (fun a b -> String.compare a.o_value b.o_value) outs
+            in
+            if outs = [] then None (* stopped (or unseen) in callee: dropped *)
+            else Some outs
+          end)
+        refined.actives
+    in
+    (* created objects *)
+    let add_groups : (string, outcome list) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun (e : Summary.edge) ->
+        if e.e_kind = Summary.Add && String.equal e.e_src.t_g g then
+          match (e.e_src.t_v, e.e_dst.t_v) with
+          | Some sv, Some dv when not (List.mem sv.v_key instance_keys) ->
+              let prev = Option.value (Hashtbl.find_opt add_groups sv.v_key) ~default:[] in
+              let out =
+                {
+                  o_tree = dv.v_tree;
+                  o_value = dv.v_value;
+                  o_from = None;
+                  o_depth = dv.v_depth + 1;
+                }
+              in
+              if not (List.exists (fun o -> String.equal o.o_value out.o_value) prev)
+              then Hashtbl.replace add_groups sv.v_key (out :: prev)
+          | _ -> ())
+      all;
+    let add_outs = Hashtbl.fold (fun _ outs acc -> List.rev outs :: acc) add_groups [] in
+    let k =
+      List.fold_left max 1
+        (List.length gouts
+        :: List.map List.length inst_outs
+        @ List.map List.length add_outs)
+    in
+    let nth_clamped xs i = List.nth xs (min i (List.length xs - 1)) in
+    List.init k (fun i ->
+        let gstate = nth_clamped gouts i in
+        let outs = List.map (fun outs -> nth_clamped outs i) (inst_outs @ add_outs) in
+        (gstate, outs))
+  end
+
+let restore_partition rctx fctx walk0 (setup : call_setup) (callee : Cast.fundef)
+    ~(callsite : Cast.expr) ((gstate, outs) : string * outcome list) : walk =
+  let pre = walk0.sm in
+  let sm' : Sm.sm_inst =
+    {
+      Sm.ext = pre.ext;
+      gstate;
+      actives = [];
+      pendings = List.map (fun (p : Sm.pending) -> { p with Sm.p_on_var = p.p_on_var }) pre.pendings;
+      killed_path = false;
+    }
+  in
+  let created = ref walk0.created in
+  List.iter
+    (fun out ->
+      match
+        Refine.classify_restore ~typing:rctx.sg.Supergraph.typing ~callee
+          setup.cs_mapping out.o_tree
+      with
+      | Refine.Back_dropped -> ()
+      | Refine.Back_global | Refine.Back _ -> (
+          let tree =
+            match
+              Refine.classify_restore ~typing:rctx.sg.Supergraph.typing ~callee
+                setup.cs_mapping out.o_tree
+            with
+            | Refine.Back t -> t
+            | _ -> out.o_tree
+          in
+          match out.o_from with
+          | Some refined_key -> (
+              match Hashtbl.find_opt setup.cs_meta refined_key with
+              | Some orig ->
+                  let value =
+                    if
+                      pre.ext.byval_restore
+                      && Refine.is_byval_root setup.cs_mapping out.o_tree
+                    then orig.value (* Table 2 row 1, by-value restore *)
+                    else out.o_value
+                  in
+                  let i' =
+                    { (Sm.clone_instance orig) with
+                      target = tree;
+                      target_key = Cast.key_of_expr tree;
+                      value;
+                    }
+                  in
+                  Sm.add_instance sm' i'
+              | None ->
+                  let i =
+                    Sm.new_instance ~target:tree ~value:out.o_value
+                      ~created_at:callsite.eid ~created_loc:callsite.eloc
+                      ~created_depth:(fctx.depth + out.o_depth) ()
+                  in
+                  Sm.add_instance sm' i;
+                  created := Sset.add i.Sm.target_key !created)
+          | None ->
+              let i =
+                Sm.new_instance ~target:tree ~value:out.o_value ~created_at:callsite.eid
+                  ~created_loc:callsite.eloc ~created_depth:(fctx.depth + out.o_depth) ()
+              in
+              Sm.add_instance sm' i;
+              created := Sset.add i.Sm.target_key !created))
+    outs;
+  (* saved caller-local state reappears; sleeping file-scope state wakes up
+     if we are back in its file *)
+  List.iter
+    (fun (i : Sm.instance) ->
+      let i = Sm.clone_instance i in
+      (match Cast.idents_of_expr i.target with
+      | x :: _ -> (
+          match Ctyping.lookup_global_info rctx.sg.Supergraph.typing x with
+          | Some (file, true) -> i.inactive <- not (String.equal file fctx.ffile)
+          | _ -> ())
+      | [] -> ());
+      Sm.add_instance sm' i)
+    setup.cs_saved;
+  { sm = sm'; store = walk0.store; created = !created }
+
+(* ------------------------------------------------------------------ *)
+(* The traversal                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec contains_call (e : Cast.expr) =
+  match e.enode with
+  | Cast.Ecall _ -> true
+  | Cast.Eunary (_, e1)
+  | Cast.Ecast (_, e1)
+  | Cast.Esizeof_expr e1
+  | Cast.Efield (e1, _)
+  | Cast.Earrow (e1, _) ->
+      contains_call e1
+  | Cast.Ebinary (_, l, r)
+  | Cast.Eassign (_, l, r)
+  | Cast.Eindex (l, r)
+  | Cast.Ecomma (l, r) ->
+      contains_call l || contains_call r
+  | Cast.Econd (c, t, f) -> contains_call c || contains_call t || contains_call f
+  | Cast.Einit_list es -> List.exists contains_call es
+  | Cast.Eint _ | Cast.Efloat _ | Cast.Echar _ | Cast.Estr _ | Cast.Eident _
+  | Cast.Esizeof_type _ ->
+      false
+
+let call_target rctx (node : Cast.expr) =
+  match node.enode with
+  | Cast.Ecall ({ enode = Cast.Eident f; _ }, args) -> (
+      match Supergraph.cfg_of rctx.sg f with
+      | Some cfg -> Some (f, args, cfg)
+      | None -> None)
+  | _ -> None
+
+let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
+  rctx.st.blocks_visited <- rctx.st.blocks_visited + 1;
+  let block = Cfg.block fctx.cfg bid in
+  let sums = get_fsum rctx fctx.cfg in
+  let bs = sums.bs.(bid) in
+  let sm = walk.sm in
+  let store =
+    if block.havoc = [] then walk.store else Store.havoc walk.store block.havoc
+  in
+  (* cache check: drop instances whose tuple this block has seen; abort the
+     path when nothing new remains *)
+  let aborted =
+    if not rctx.opts.caching then false
+    else begin
+      let seen, fresh =
+        List.partition
+          (fun (i : Sm.instance) ->
+            (not i.inactive)
+            && Summary.mem_src bs (Summary.tuple_of_instance ~gstate:sm.gstate i))
+          sm.actives
+      in
+      let seen = List.filter (fun (i : Sm.instance) -> not i.inactive) seen in
+      sm.actives <- fresh @ List.filter (fun (i : Sm.instance) -> i.inactive) sm.actives;
+      if List.exists (fun (i : Sm.instance) -> not i.inactive) fresh then false
+      else if seen <> [] then true (* every var tuple was cached *)
+      else Summary.mem_src bs (Summary.global_tuple sm.gstate)
+    end
+  in
+  if aborted then begin
+    Log.debug (fun m ->
+        m "[%s] cache hit in %s at B%d" rctx.cur_ext.Sm.sm_name fctx.fname bid);
+    rctx.st.cache_hits <- rctx.st.cache_hits + 1;
+    rctx.st.paths_explored <- rctx.st.paths_explored + 1;
+    relax rctx fctx (bid :: backtrace)
+  end
+  else begin
+    List.iter (Summary.add_src bs) (Summary.tuples_of_sm sm);
+    let entry_g = sm.gstate in
+    let snapshot =
+      List.fold_left
+        (fun m (i : Sm.instance) ->
+          if i.inactive then m
+          else
+            Smap.add i.target_key
+              (Summary.tuple_of_instance ~gstate:entry_g ~depth_base:fctx.depth i)
+              m)
+        Smap.empty sm.actives
+    in
+    let walk = { walk with store; created = Sset.empty } in
+    (* at the function exit node, unresolved path-specific transitions take
+       their false destination before scope-end events fire *)
+    let walk =
+      if bid = fctx.cfg.exit_ && walk.sm.pendings <> [] then
+        resolve_pendings rctx fctx walk ~cond:None ~taken:false
+      else walk
+    in
+    let evs = events_of_block rctx fctx block in
+    process_events rctx fctx evs walk (fun walk' ->
+        (* call-expression instances are ephemeral value-flow carriers:
+           they must not leak into summaries or outlive their statement *)
+        walk'.sm.actives <-
+          List.filter
+            (fun (i : Sm.instance) ->
+              not (contains_call i.target))
+            walk'.sm.actives;
+        record_block_edges bs ~depth_base:fctx.depth ~entry_g ~snapshot walk';
+        let bt = bid :: backtrace in
+        if walk'.sm.killed_path then begin
+          rctx.st.paths_explored <- rctx.st.paths_explored + 1;
+          relax rctx fctx bt
+        end
+        else handle_terminator rctx fctx walk' bt block)
+  end
+
+and process_events rctx fctx evs walk (k : walk -> unit) : unit =
+  match evs with
+  | [] -> k walk
+  | _ when walk.sm.killed_path -> k walk
+  | Ev_scope_end vars :: rest ->
+      let leaving =
+        List.filter
+          (fun (i : Sm.instance) ->
+            (not i.inactive)
+            && List.exists (fun x -> List.mem x vars) (Cast.idents_of_expr i.target))
+          walk.sm.actives
+      in
+      let walk =
+        if leaving = [] then walk
+        else fire_end_of_path rctx fctx walk ~instances:leaving ~global:false
+      in
+      process_events rctx fctx rest walk k
+  | Ev_fresh x :: rest ->
+      if rctx.opts.auto_kill && walk.sm.ext.auto_kill then
+        kill_mentions rctx walk ~at:(-1) x;
+      let walk = { walk with store = Store.assign_unknown walk.store x } in
+      process_events rctx fctx rest walk k
+  | Ev_node node :: rest ->
+      rctx.st.nodes_visited <- rctx.st.nodes_visited + 1;
+      if node_annotated rctx node kill_path_tag then begin
+        walk.sm.killed_path <- true;
+        k walk
+      end
+      else begin
+        let matched, walk = apply_transitions rctx fctx walk node in
+        let walk = handle_writes rctx fctx walk node in
+        match call_target rctx node with
+        | Some (f, args, callee_cfg)
+          when rctx.opts.interproc && (not matched)
+               && fctx.depth < rctx.opts.max_call_depth ->
+            follow_call rctx fctx walk node f args callee_cfg (fun walk' ->
+                process_events rctx fctx rest walk' k)
+        | _ -> process_events rctx fctx rest walk k
+      end
+
+and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t)
+    (k : walk -> unit) : unit =
+  rctx.st.calls_followed <- rctx.st.calls_followed + 1;
+  Log.debug (fun m ->
+      m "[%s] follow %s -> %s at %a (depth %d)" rctx.cur_ext.Sm.sm_name fctx.fname
+        fname Srcloc.pp node.eloc fctx.depth);
+  let callee = callee_cfg.func in
+  let setup = refine_call rctx fctx walk callee args in
+  let sums = get_fsum rctx callee_cfg in
+  let entry_bs = sums.bs.(callee_cfg.entry) in
+  let tuples = Summary.tuples_of_sm setup.cs_refined in
+  let missing = List.filter (fun t -> not (Summary.mem_src entry_bs t)) tuples in
+  if missing = [] then rctx.st.summary_hits <- rctx.st.summary_hits + 1
+  else begin
+    (* analyse the callee in this (refined) state, populating its summary *)
+    let callee_fctx =
+      make_fctx rctx ~depth:(fctx.depth + 1) ~stack:(fname :: fctx.stack) callee_cfg
+    in
+    let callee_sm = Sm.clone setup.cs_refined in
+    callee_sm.pendings <- [];
+    (* False-path pruning stays per-function: caller-specific parameter
+       constants must NOT flow into the callee, or the callee's function
+       summary (keyed only by state tuples, Section 6.2) would memoise
+       conclusions that are valid for one caller only. This also matches
+       the published system, whose pruning was intraprocedural
+       (Section 8, footnote). *)
+    traverse rctx callee_fctx
+      { sm = callee_sm; store = Store.empty; created = Sset.empty }
+      [] callee_cfg.entry
+  end;
+  let partitions = apply_function_summary sums callee_cfg setup.cs_refined in
+  let ret_value =
+    (* simple value flow: if the callee returned a tracked object, its state
+       rides on the call expression so that [l = f(...)] re-attaches it to
+       [l] via the synonym machinery *)
+    Hashtbl.fold (fun v () _acc -> Some v) sums.rets None
+  in
+  List.iter
+    (fun part ->
+      let walk' = restore_partition rctx fctx walk setup callee ~callsite:node part in
+      let walk' =
+        match ret_value with
+        | Some v when not (String.equal v Sm.stop_value) ->
+            let i =
+              Sm.new_instance ~target:node ~value:v ~created_at:node.eid
+                ~created_loc:node.eloc ~created_depth:(fctx.depth + 1) ()
+            in
+            Sm.add_instance walk'.sm i;
+            { walk' with created = Sset.add i.Sm.target_key walk'.created }
+        | _ -> walk'
+      in
+      (* the callee may have written through pointer arguments *)
+      let store =
+        List.fold_left
+          (fun store (a : Cast.expr) ->
+            match (strip_casts a).enode with
+            | Cast.Eunary (Cast.Addrof, { enode = Cast.Eident x; _ }) ->
+                Store.assign_unknown store x
+            | _ -> store)
+          walk'.store args
+      in
+      k { walk' with store })
+    partitions
+
+and handle_terminator rctx fctx walk (bt : int list) (block : Block.t) : unit =
+  match block.term with
+  | Block.Jump b -> traverse rctx fctx walk bt b
+  | Block.Return ret ->
+      (match ret with
+      | Some e ->
+          let key = Cast.key_of_expr (strip_casts e) in
+          let sums = get_fsum rctx fctx.cfg in
+          List.iter
+            (fun (i : Sm.instance) ->
+              if (not i.inactive) && String.equal i.target_key key then
+                Hashtbl.replace sums.rets i.value ())
+            walk.sm.actives
+      | None -> ());
+      traverse rctx fctx walk bt fctx.cfg.exit_
+  | Block.Exit ->
+      rctx.st.paths_explored <- rctx.st.paths_explored + 1;
+      let walk =
+        if fctx.depth = 0 then
+          fire_end_of_path rctx fctx walk
+            ~instances:(List.filter (fun (i : Sm.instance) -> not i.inactive) walk.sm.actives)
+            ~global:true
+        else walk
+      in
+      ignore walk;
+      relax rctx fctx bt
+  | Block.Branch (cond, tdest, fdest) ->
+      let verdict =
+        if rctx.opts.pruning then Store.decide walk.store cond else Store.Unknown
+      in
+      let go taken target ~split =
+        let sm' = Sm.clone walk.sm in
+        if split then
+          List.iter
+            (fun (i : Sm.instance) -> i.conditionals <- i.conditionals + 1)
+            sm'.actives;
+        let store' =
+          if rctx.opts.pruning then Store.assume walk.store cond taken else walk.store
+        in
+        let walk' = { walk with sm = sm'; store = store' } in
+        let walk' = resolve_pendings rctx fctx walk' ~cond:(Some cond) ~taken in
+        traverse rctx fctx walk' bt target
+      in
+      (match verdict with
+      | Store.True ->
+          rctx.st.pruned_branches <- rctx.st.pruned_branches + 1;
+          go true tdest ~split:false
+      | Store.False ->
+          rctx.st.pruned_branches <- rctx.st.pruned_branches + 1;
+          go false fdest ~split:false
+      | Store.Unknown ->
+          go true tdest ~split:true;
+          go false fdest ~split:true)
+  | Block.Switch (scrut, arms) ->
+      let known = if rctx.opts.pruning then Store.eval walk.store scrut else None in
+      let arms_to_take =
+        match known with
+        | Some v -> (
+            match List.find_opt (fun (g, _) -> g = Some v) arms with
+            | Some arm -> [ arm ]
+            | None -> (
+                match List.find_opt (fun (g, _) -> g = None) arms with
+                | Some d -> [ d ]
+                | None -> arms))
+        | None -> arms
+      in
+      if List.length arms_to_take < List.length arms then
+        rctx.st.pruned_branches <- rctx.st.pruned_branches + 1;
+      let split = List.length arms_to_take > 1 in
+      List.iter
+        (fun (guard, target) ->
+          let sm' = Sm.clone walk.sm in
+          if split then
+            List.iter
+              (fun (i : Sm.instance) -> i.conditionals <- i.conditionals + 1)
+              sm'.actives;
+          let store' =
+            match guard with
+            | Some v when rctx.opts.pruning ->
+                Store.assume walk.store
+                  (Cast.mk_expr (Cast.Ebinary (Cast.Eq, scrut, Cast.intlit v)))
+                  true
+            | None when rctx.opts.pruning ->
+                (* default arm: the scrutinee differs from every case guard *)
+                List.fold_left
+                  (fun store (g, _) ->
+                    match g with
+                    | Some v ->
+                        Store.assume store
+                          (Cast.mk_expr (Cast.Ebinary (Cast.Eq, scrut, Cast.intlit v)))
+                          false
+                    | None -> store)
+                  walk.store arms
+            | _ -> walk.store
+          in
+          traverse rctx fctx { walk with sm = sm'; store = store' } bt target)
+        arms_to_take
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_extension rctx (ext : Sm.t) =
+  rctx.cur_ext <- ext;
+  Log.debug (fun m ->
+      m "running extension %s over roots: %s" ext.Sm.sm_name
+        (String.concat ", " (Supergraph.roots rctx.sg)));
+  List.iter
+    (fun root ->
+      match Supergraph.cfg_of rctx.sg root with
+      | None -> ()
+      | Some cfg ->
+          let fctx = make_fctx rctx ~depth:0 ~stack:[ root ] cfg in
+          let walk =
+            { sm = Sm.initial ext; store = Store.empty; created = Sset.empty }
+          in
+          traverse rctx fctx walk [] cfg.entry)
+    (Supergraph.roots rctx.sg)
+
+let new_rctx ?(options = default_options) sg =
+  {
+    sg;
+    opts = options;
+    collector = Report.new_collector ();
+    counters = Hashtbl.create 16;
+    annots = Hashtbl.create 64;
+    fsums = Hashtbl.create 64;
+    events_cache = Hashtbl.create 256;
+    dedup = Hashtbl.create 64;
+    traversed = Hashtbl.create 64;
+    st = new_stats ();
+    cur_ext =
+      Sm.make ~name:"<none>" [];
+  }
+
+let collect_result rctx =
+  rctx.st.functions_traversed <- Hashtbl.length rctx.traversed;
+  {
+    reports = Report.reports rctx.collector;
+    counters =
+      List.sort
+        (fun (a, _, _) (b, _, _) -> String.compare a b)
+        (Hashtbl.fold (fun rule (e, c) acc -> (rule, e, c) :: acc) rctx.counters []);
+    stats = rctx.st;
+  }
+
+let run ?options sg exts =
+  let rctx = new_rctx ?options sg in
+  List.iter
+    (fun ext ->
+      (* summaries are per-extension *)
+      Hashtbl.reset rctx.fsums;
+      run_extension rctx ext)
+    exts;
+  collect_result rctx
+
+let run_with_summaries ?options sg exts =
+  let rctx = new_rctx ?options sg in
+  List.iter
+    (fun ext ->
+      Hashtbl.reset rctx.fsums;
+      run_extension rctx ext)
+    exts;
+  let summaries = Hashtbl.create 16 in
+  Hashtbl.iter (fun fname (s : fsum) -> Hashtbl.replace summaries fname (s.bs, s.sfx)) rctx.fsums;
+  (collect_result rctx, summaries)
+
+let run_function ?options sg (sm : Sm.sm_inst) ~fname =
+  let rctx = new_rctx ?options sg in
+  rctx.cur_ext <- sm.Sm.ext;
+  (match Supergraph.cfg_of sg fname with
+  | None -> ()
+  | Some cfg ->
+      let fctx = make_fctx rctx ~depth:0 ~stack:[ fname ] cfg in
+      traverse rctx fctx
+        { sm = Sm.clone sm; store = Store.empty; created = Sset.empty }
+        [] cfg.entry);
+  collect_result rctx
+
+let check_source ?options ~file src exts =
+  let tu = Cparse.parse_tunit ~file src in
+  let sg = Supergraph.build [ tu ] in
+  run ?options sg exts
+
+let check_files ?options files exts =
+  let tus = List.map Cparse.parse_tunit_file files in
+  let sg = Supergraph.build tus in
+  run ?options sg exts

@@ -1,0 +1,80 @@
+(** The xgcc analysis engine (Sections 5, 6, 8).
+
+    Applies metal extensions to a program's supergraph with:
+
+    - a depth-first, execution-order traversal of each function's CFG, one
+      path at a time, with per-path (clone-on-branch) extension state;
+    - block-level state-tuple caching: a path is aborted as soon as every
+      tuple of the current extension state has already been seen at the
+      block (Section 5.2–5.3);
+    - block summaries (transition + add edges), suffix summaries computed by
+      the backward [relax] pass (Figure 6), and function summaries (the
+      entry block's suffix summary) that memoise whole-function effects
+      (Section 6.2);
+    - a top-down interprocedural traversal from callgraph roots with
+      refine/restore at call boundaries (Section 6.1, Table 2) and
+      summary-driven continuation after calls (Section 6.3);
+    - transparent false-positive suppression: kill-on-redefinition,
+      synonyms, and false-path pruning via {!Store} (Section 8). *)
+
+type options = {
+  caching : bool;  (** block-level state caching (Section 5.2) *)
+  pruning : bool;  (** false-path pruning (Section 8) *)
+  interproc : bool;  (** follow calls to defined functions (Section 6) *)
+  auto_kill : bool;  (** kill-on-redefinition (Section 8) *)
+  synonyms : bool;  (** synonym tracking (Section 8) *)
+  max_call_depth : int;
+  max_instances : int;  (** cap on simultaneously tracked objects per SM *)
+}
+
+val default_options : options
+
+type stats = {
+  mutable blocks_visited : int;
+  mutable nodes_visited : int;
+  mutable cache_hits : int;
+  mutable paths_explored : int;
+  mutable calls_followed : int;
+  mutable summary_hits : int;
+  mutable pruned_branches : int;
+  mutable transitions_fired : int;
+  mutable instances_created : int;
+  mutable functions_traversed : int;
+      (** distinct functions the traversal entered (coverage) *)
+}
+
+type result = {
+  reports : Report.t list;
+  counters : (string * int * int) list;
+      (** rule -> (examples, counterexamples), from [a_count] actions *)
+  stats : stats;
+}
+
+val run : ?options:options -> Supergraph.t -> Sm.t list -> result
+(** Apply each extension in turn (composition order: earlier extensions'
+    AST annotations are visible to later ones), starting from every
+    callgraph root. *)
+
+val run_function :
+  ?options:options -> Supergraph.t -> Sm.sm_inst -> fname:string -> result
+(** Analyse a single function starting from the given extension state — the
+    entry point the exhaustive bottom-up baseline ({!Baseline}) uses to
+    charge one run per possible entry state. *)
+
+val check_source : ?options:options -> file:string -> string -> Sm.t list -> result
+(** Convenience: parse one translation unit from text, build the supergraph,
+    run. *)
+
+val check_files : ?options:options -> string list -> Sm.t list -> result
+(** Parse the given C files into one program and run. *)
+
+(** {1 Introspection} (used by the Figure 5 reproduction and the CLI) *)
+
+type summaries := (string, Summary.t array * Summary.t array) Hashtbl.t
+(** function name -> (block summaries, suffix summaries), indexed by block
+    id. *)
+
+val run_with_summaries :
+  ?options:options -> Supergraph.t -> Sm.t list -> result * summaries
+(** Like {!run} for a single extension list, also returning the summary
+    tables of the {e last} extension run (Figure 5 material). *)

@@ -1,0 +1,35 @@
+type decl = { d_state : bool; d_hole : Holes.t; d_names : string list }
+
+type dest =
+  | Dvar of string * string
+  | Dglobal of string
+  | Dbranch of dest * dest
+  | Dnone
+
+type action_stmt = { ac_name : string; ac_args : Cast.expr list; ac_loc : Srcloc.t }
+
+type rule = {
+  r_pattern : Pattern.t;
+  r_dest : dest;
+  r_actions : action_stmt list;
+  r_loc : Srcloc.t;
+}
+
+type source = Sglobal of string | Svar of string * string
+type clause = { c_source : source; c_rules : rule list }
+
+type t = {
+  sm_name : string;
+  sm_decls : decl list;
+  sm_clauses : clause list;
+  sm_options : string list;
+  sm_loc : Srcloc.t;
+}
+
+let svar_of t =
+  List.find_map
+    (fun d -> if d.d_state then List.nth_opt d.d_names 0 else None)
+    t.sm_decls
+
+let holes_of t =
+  List.concat_map (fun d -> List.map (fun n -> (n, d.d_hole)) d.d_names) t.sm_decls

@@ -1,0 +1,60 @@
+(** Surface syntax of metal (Sections 2–4), as parsed.
+
+    The concrete grammar follows the paper's figures:
+
+    {v
+    sm free_checker {
+      state decl any_pointer v;
+      decl any_expr x;
+
+      start:
+        { kfree(v) } ==> v.freed
+      ;
+      v.freed:
+        { *v }      ==> v.stop, { err("using %s after free!", mc_identifier(v)); }
+      | { kfree(v) } ==> v.stop, { err("double free of %s!", mc_identifier(v)); }
+      ;
+    }
+    v}
+
+    Path-specific destinations are written
+    [{ true = l.locked, false = l.stop }] (Figure 3), callouts [${ ... }],
+    and the end-of-path pattern [$end_of_path$]. *)
+
+type decl = {
+  d_state : bool;  (** declared with [state decl] *)
+  d_hole : Holes.t;
+  d_names : string list;
+}
+
+type dest =
+  | Dvar of string * string  (** [v.freed]; [v.stop] maps to the sink *)
+  | Dglobal of string  (** bare state name: global-state destination *)
+  | Dbranch of dest * dest  (** [{ true = d, false = d }] *)
+  | Dnone  (** action-only rule *)
+
+type action_stmt = { ac_name : string; ac_args : Cast.expr list; ac_loc : Srcloc.t }
+
+type rule = {
+  r_pattern : Pattern.t;
+  r_dest : dest;
+  r_actions : action_stmt list;
+  r_loc : Srcloc.t;
+}
+
+type source = Sglobal of string | Svar of string * string
+
+type clause = { c_source : source; c_rules : rule list }
+
+type t = {
+  sm_name : string;
+  sm_decls : decl list;
+  sm_clauses : clause list;
+  sm_options : string list;  (** [option no_auto_kill;] etc. *)
+  sm_loc : Srcloc.t;
+}
+
+val svar_of : t -> string option
+(** The (single) [state decl] hole name, if any. *)
+
+val holes_of : t -> (string * Holes.t) list

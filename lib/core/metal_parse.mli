@@ -1,0 +1,9 @@
+(** Parser for metal source text (see {!Metal_ast} for the grammar). *)
+
+exception Metal_error of Srcloc.t * string
+
+val parse : file:string -> string -> Metal_ast.t list
+(** Parse every [sm] definition in the text. Raises {!Metal_error} (or
+    {!Cparse.Parse_error} for a malformed embedded C fragment). *)
+
+val parse_file : string -> Metal_ast.t list

@@ -1,0 +1,70 @@
+let rec pp_pattern ppf (p : Pattern.t) =
+  match p with
+  | Pattern.Pexpr e -> Format.fprintf ppf "{ %a }" Cprint.pp_expr e
+  | Pattern.Pand (a, b) -> Format.fprintf ppf "%a && %a" pp_pattern_atom a pp_pattern_atom b
+  | Pattern.Por (a, b) -> Format.fprintf ppf "%a || %a" pp_pattern_atom a pp_pattern_atom b
+  | Pattern.Pcallout e -> Format.fprintf ppf "${ %a }" Cprint.pp_expr e
+  | Pattern.Pend_of_path -> Format.pp_print_string ppf "$end_of_path$"
+  | Pattern.Pnever -> Format.pp_print_string ppf "${0}"
+  | Pattern.Palways -> Format.pp_print_string ppf "${1}"
+
+and pp_pattern_atom ppf p =
+  match p with
+  | Pattern.Pand _ | Pattern.Por _ -> Format.fprintf ppf "(%a)" pp_pattern p
+  | _ -> pp_pattern ppf p
+
+let rec pp_dest ppf (d : Metal_ast.dest) =
+  match d with
+  | Metal_ast.Dvar (v, s) -> Format.fprintf ppf "%s.%s" v s
+  | Metal_ast.Dglobal s -> Format.pp_print_string ppf s
+  | Metal_ast.Dbranch (t, f) ->
+      Format.fprintf ppf "{ true = %a, false = %a }" pp_dest t pp_dest f
+  | Metal_ast.Dnone -> ()
+
+let pp_action ppf (a : Metal_ast.action_stmt) =
+  Format.fprintf ppf "%s(%a);" a.ac_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Cprint.pp_expr)
+    a.ac_args
+
+let pp_rule ppf (r : Metal_ast.rule) =
+  Format.fprintf ppf "@[<hv 2>%a ==>" pp_pattern r.r_pattern;
+  (match (r.r_dest, r.r_actions) with
+  | Metal_ast.Dnone, actions ->
+      Format.fprintf ppf "@ @[<hv 2>{ %a }@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp_action)
+        actions
+  | dest, [] -> Format.fprintf ppf "@ %a" pp_dest dest
+  | dest, actions ->
+      Format.fprintf ppf "@ %a,@ @[<hv 2>{ %a }@]" pp_dest dest
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp_action)
+        actions);
+  Format.fprintf ppf "@]"
+
+let pp ppf (m : Metal_ast.t) =
+  Format.fprintf ppf "@[<v>sm %s {@;<0 2>@[<v>" m.sm_name;
+  List.iter (fun o -> Format.fprintf ppf "option %s;@ " o) m.sm_options;
+  List.iter
+    (fun (d : Metal_ast.decl) ->
+      Format.fprintf ppf "%sdecl %s %s;@ "
+        (if d.d_state then "state " else "")
+        (Holes.name d.d_hole)
+        (String.concat ", " d.d_names))
+    m.sm_decls;
+  List.iteri
+    (fun i (c : Metal_ast.clause) ->
+      if i > 0 || m.sm_decls <> [] || m.sm_options <> [] then Format.fprintf ppf "@ ";
+      (match c.c_source with
+      | Metal_ast.Sglobal g -> Format.fprintf ppf "%s:" g
+      | Metal_ast.Svar (v, s) -> Format.fprintf ppf "%s.%s:" v s);
+      List.iteri
+        (fun j r ->
+          if j = 0 then Format.fprintf ppf "@;<1 2>%a" pp_rule r
+          else Format.fprintf ppf "@ | %a" pp_rule r)
+        c.c_rules;
+      Format.fprintf ppf "@ ;")
+    m.sm_clauses;
+  Format.fprintf ppf "@]@ }@]"
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,11 @@
+(** Pretty-printer for metal definitions: prints a parsed {!Metal_ast.t}
+    back to concrete metal syntax. [parse (print m) = m] up to layout — the
+    round-trip property is part of the test suite, and the printer powers
+    [xgcc show-checker] for generated checkers. *)
+
+val pp_pattern : Format.formatter -> Pattern.t -> unit
+val pp_dest : Format.formatter -> Metal_ast.dest -> unit
+val pp_action : Format.formatter -> Metal_ast.action_stmt -> unit
+val pp_rule : Format.formatter -> Metal_ast.rule -> unit
+val pp : Format.formatter -> Metal_ast.t -> unit
+val to_string : Metal_ast.t -> string

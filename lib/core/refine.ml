@@ -1,0 +1,197 @@
+type pair = {
+  needle : Cast.expr;  (* caller-scope tree *)
+  pname : string;  (* formal parameter name *)
+  via_address : bool;  (* actual was &needle: state maps through *formal *)
+  byval_candidate : bool;  (* plain xa/xf rule *)
+}
+
+type mapping = { pairs : pair list; param_names : string list }
+
+let rec expr_size (e : Cast.expr) =
+  let children =
+    match e.enode with
+    | Cast.Eunary (_, e1)
+    | Cast.Ecast (_, e1)
+    | Cast.Esizeof_expr e1
+    | Cast.Efield (e1, _)
+    | Cast.Earrow (e1, _) ->
+        [ e1 ]
+    | Cast.Ebinary (_, l, r)
+    | Cast.Eassign (_, l, r)
+    | Cast.Eindex (l, r)
+    | Cast.Ecomma (l, r) ->
+        [ l; r ]
+    | Cast.Econd (c, t, f) -> [ c; t; f ]
+    | Cast.Ecall (f, args) -> f :: args
+    | Cast.Einit_list es -> es
+    | _ -> []
+  in
+  1 + List.fold_left (fun acc c -> acc + expr_size c) 0 children
+
+let rec strip_casts (e : Cast.expr) =
+  match e.enode with Cast.Ecast (_, e1) -> strip_casts e1 | _ -> e
+
+(* A marker identifier that cannot clash with C identifiers. *)
+let tmp_name pname = "$" ^ pname
+let is_tmp name = String.length name > 0 && Char.equal name.[0] '$'
+
+let untmp name = String.sub name 1 (String.length name - 1)
+
+let make_mapping ~params ~args =
+  let rec pair_up params args acc =
+    match (params, args) with
+    | [], _ | _, [] -> List.rev acc
+    | (pname, _) :: params, arg :: args ->
+        let arg = strip_casts arg in
+        let p =
+          match arg.enode with
+          | Cast.Eunary (Cast.Addrof, inner) ->
+              { needle = inner; pname; via_address = true; byval_candidate = false }
+          | _ -> { needle = arg; pname; via_address = false; byval_candidate = true }
+        in
+        pair_up params args (p :: acc)
+  in
+  let pairs = pair_up params args [] in
+  let param_names = List.map (fun p -> p.pname) pairs in
+  (* more specific (larger) needles substitute first *)
+  let pairs =
+    List.stable_sort
+      (fun a b -> Int.compare (expr_size b.needle) (expr_size a.needle))
+      pairs
+  in
+  { pairs; param_names }
+
+let repl_of ~tmp p =
+  let name = if tmp then tmp_name p.pname else p.pname in
+  let base = Cast.ident name in
+  if p.via_address then Cast.deref base else base
+
+(* Substitute every tmp marker identifier with its plain formal name. *)
+let rec rename_tmps (e : Cast.expr) =
+  match e.enode with
+  | Cast.Eident x when is_tmp x -> Cast.ident ~loc:e.eloc (untmp x)
+  | _ ->
+      let r = rename_tmps in
+      let renode enode = { e with eid = Cast.fresh_eid (); enode } in
+      (match e.enode with
+      | Cast.Eint _ | Cast.Efloat _ | Cast.Echar _ | Cast.Estr _ | Cast.Eident _
+      | Cast.Esizeof_type _ ->
+          e
+      | Cast.Eunary (u, e1) -> renode (Cast.Eunary (u, r e1))
+      | Cast.Ebinary (o, l, rr) -> renode (Cast.Ebinary (o, r l, r rr))
+      | Cast.Eassign (o, l, rr) -> renode (Cast.Eassign (o, r l, r rr))
+      | Cast.Ecall (f, args) -> renode (Cast.Ecall (r f, List.map r args))
+      | Cast.Efield (e1, f) -> renode (Cast.Efield (r e1, f))
+      | Cast.Earrow (e1, f) -> renode (Cast.Earrow (r e1, f))
+      | Cast.Eindex (a, i) -> renode (Cast.Eindex (r a, r i))
+      | Cast.Ecast (t, e1) -> renode (Cast.Ecast (t, r e1))
+      | Cast.Econd (c, t, f) -> renode (Cast.Econd (r c, r t, r f))
+      | Cast.Ecomma (l, rr) -> renode (Cast.Ecomma (r l, r rr))
+      | Cast.Esizeof_expr e1 -> renode (Cast.Esizeof_expr (r e1))
+      | Cast.Einit_list es -> renode (Cast.Einit_list (List.map r es)))
+
+let refine_tmp m tree =
+  List.fold_left
+    (fun tree p -> Cast.subst_expr ~needle:p.needle ~replacement:(repl_of ~tmp:true p) tree)
+    tree m.pairs
+
+let refine_tree m tree = rename_tmps (refine_tmp m tree)
+
+(* Restore works in two phases to avoid name capture when an actual and a
+   formal share a name: first mark every formal identifier with a tmp
+   marker, then substitute the (marked) formal trees with their actuals.
+   Any marker left afterwards is a formal that cannot map back (a bare [xf]
+   whose actual was [&xa]). *)
+let restore_marked m tree =
+  let marked =
+    List.fold_left
+      (fun tree pname ->
+        Cast.subst_expr ~needle:(Cast.ident pname)
+          ~replacement:(Cast.ident (tmp_name pname))
+          tree)
+      tree m.param_names
+  in
+  let pairs =
+    List.stable_sort
+      (fun a b ->
+        Int.compare (expr_size (repl_of ~tmp:true b)) (expr_size (repl_of ~tmp:true a)))
+      m.pairs
+  in
+  List.fold_left
+    (fun tree p ->
+      Cast.subst_expr ~needle:(repl_of ~tmp:true p) ~replacement:p.needle tree)
+    marked pairs
+
+let restore_tree m tree = rename_tmps (restore_marked m tree)
+
+let is_byval_root m (tree : Cast.expr) =
+  match tree.enode with
+  | Cast.Eident x ->
+      List.exists (fun p -> p.byval_candidate && String.equal p.pname x) m.pairs
+  | _ -> false
+
+type xfer = Mapped of Cast.expr | Global_pass | Inactivate | Save
+type back = Back of Cast.expr | Back_global | Back_dropped
+
+let fun_scope_names (f : Cast.fundef) =
+  let rec locals acc (s : Cast.stmt) =
+    match s.snode with
+    | Cast.Sdecl ds -> List.fold_left (fun acc (d : Cast.decl) -> d.dname :: acc) acc ds
+    | Cast.Sif (_, t, e) ->
+        let acc = locals acc t in
+        Option.fold ~none:acc ~some:(locals acc) e
+    | Cast.Swhile (_, b) | Cast.Sdo (b, _) | Cast.Slabel (_, b) -> locals acc b
+    | Cast.Sfor (init, _, _, b) ->
+        let acc = Option.fold ~none:acc ~some:(locals acc) init in
+        locals acc b
+    | Cast.Sblock ss -> List.fold_left locals acc ss
+    | Cast.Sswitch (_, cases) ->
+        List.fold_left
+          (fun acc (c : Cast.case) -> List.fold_left locals acc c.case_body)
+          acc cases
+    | _ -> acc
+  in
+  List.map fst f.fparams @ locals [] f.fbody
+
+let classify_refine ~typing ~caller ~callee_file m tree =
+  let caller_names = fun_scope_names caller in
+  let refined_tmp = refine_tmp m tree in
+  let idents = Cast.idents_of_expr refined_tmp in
+  let applied = List.exists is_tmp idents in
+  let leftover_local =
+    List.exists (fun x -> (not (is_tmp x)) && List.mem x caller_names) idents
+  in
+  if applied then if leftover_local then Save else Mapped (rename_tmps refined_tmp)
+  else if leftover_local then Save
+  else begin
+    let file_scope_other =
+      List.exists
+        (fun x ->
+          match Ctyping.lookup_global_info typing x with
+          | Some (file, true) -> not (String.equal file callee_file)
+          | _ -> false)
+        idents
+    in
+    if file_scope_other then Inactivate else Global_pass
+  end
+
+let classify_restore ~typing ~callee m tree =
+  ignore typing;
+  let callee_locals =
+    List.filter
+      (fun n -> not (List.mem n m.param_names))
+      (fun_scope_names callee)
+  in
+  let idents = Cast.idents_of_expr tree in
+  if List.exists (fun x -> List.mem x callee_locals) idents then Back_dropped
+  else begin
+    let substituted = restore_marked m tree in
+    let idents' = Cast.idents_of_expr substituted in
+    if List.exists is_tmp idents' then
+      (* a leftover marker is a formal with no mapping back to the caller
+         (e.g. a bare [xf] whose actual was [&xa]) *)
+      Back_dropped
+    else if List.exists (fun x -> List.mem x m.param_names) idents then
+      Back substituted
+    else Back_global
+  end

@@ -1,0 +1,56 @@
+(** Refine/restore of the extension state across a function call
+    (Section 6.1, Table 2).
+
+    The paper's rules all reduce to subtree substitution between actuals and
+    formals:
+
+    - actual [xa], state on [xa] (or [xa.field], [xa->field], [*xa], deeper):
+      substitute [xa := xf] in the tracked tree, reversed at return
+      (by-reference) or left alone (by-value, extension-selected);
+    - actual [&xa], state on [xa] (or deeper): substitute [xa := *xf].
+
+    Global variables pass unchanged; [static] file-scope variables are
+    temporarily inactivated when the callee lives in another file; state
+    attached to caller-local objects that no substitution can express is
+    saved at the boundary and restored at return. *)
+
+type mapping
+
+val make_mapping : params:(string * Ctyp.t) list -> args:Cast.expr list -> mapping
+(** Pairs each formal with its actual; more specific (larger) actuals
+    substitute first. Extra actuals (variadic calls) are ignored. *)
+
+val refine_tree : mapping -> Cast.expr -> Cast.expr
+(** Caller-scope tree to callee scope (applies every applicable rule). *)
+
+val restore_tree : mapping -> Cast.expr -> Cast.expr
+(** Callee-scope tree back to caller scope. *)
+
+val is_byval_root : mapping -> Cast.expr -> bool
+(** Is the (callee-scope) tree exactly a formal that was bound by the plain
+    [xa]/[xf] rule — the only row of Table 2 where the extension may choose
+    pass-by-value restore semantics? *)
+
+(** How a tracked object crosses the call boundary. *)
+type xfer =
+  | Mapped of Cast.expr  (** expressible in callee scope as this tree *)
+  | Global_pass  (** global object: passes unchanged *)
+  | Inactivate  (** file-scope object from another file: passes but sleeps *)
+  | Save  (** caller-local: saved at the boundary, restored at return *)
+
+val classify_refine :
+  typing:Ctyping.env ->
+  caller:Cast.fundef ->
+  callee_file:string ->
+  mapping ->
+  Cast.expr ->
+  xfer
+
+(** How a callee-scope tracked object returns. *)
+type back =
+  | Back of Cast.expr  (** expressible in caller scope as this tree *)
+  | Back_global
+  | Back_dropped  (** callee-local: permanently leaves scope *)
+
+val classify_restore :
+  typing:Ctyping.env -> callee:Cast.fundef -> mapping -> Cast.expr -> back

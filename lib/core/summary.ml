@@ -1,0 +1,122 @@
+type tvar = { v_key : string; v_tree : Cast.expr; v_value : string; v_depth : int }
+(* [v_depth] is the creation depth of the instance relative to the current
+   frame (0 = created here); it rides along for ranking but is excluded
+   from tuple keys so it never affects caching. *)
+type tuple = { t_g : string; t_v : tvar option }
+
+let unknown_value = "<unknown>"
+
+let tuple_key t =
+  match t.t_v with
+  | None -> Printf.sprintf "(%s,<>)" t.t_g
+  | Some v -> Printf.sprintf "(%s,%s->%s)" t.t_g v.v_key v.v_value
+
+let tuple_equal a b = String.equal (tuple_key a) (tuple_key b)
+
+let pp_tuple ppf t =
+  match t.t_v with
+  | None -> Format.fprintf ppf "(%s,<>)" t.t_g
+  | Some v ->
+      Format.fprintf ppf "(%s,v:%s->%s)" t.t_g
+        (Cprint.expr_to_string v.v_tree)
+        (if String.equal v.v_value unknown_value then "unknown" else v.v_value)
+
+let tuple_of_instance ~gstate ?(depth_base = 0) (i : Sm.instance) =
+  {
+    t_g = gstate;
+    t_v =
+      Some
+        {
+          v_key = i.target_key;
+          v_tree = i.target;
+          v_value = i.value;
+          v_depth = max 0 (i.created_depth - depth_base);
+        };
+  }
+
+let global_tuple g = { t_g = g; t_v = None }
+
+let unknown_tuple ~gstate tree =
+  {
+    t_g = gstate;
+    t_v =
+      Some
+        {
+          v_key = Cast.key_of_expr tree;
+          v_tree = tree;
+          v_value = unknown_value;
+          v_depth = 0;
+        };
+  }
+
+let tuples_of_sm (sm : Sm.sm_inst) =
+  let active = List.filter (fun (i : Sm.instance) -> not i.inactive) sm.actives in
+  match active with
+  | [] -> [ global_tuple sm.gstate ]
+  | instances -> List.map (tuple_of_instance ~gstate:sm.gstate) instances
+
+type kind = Transition | Add
+type edge = { e_src : tuple; e_dst : tuple; e_kind : kind }
+
+let edge_key e =
+  Printf.sprintf "%s=>%s:%s" (tuple_key e.e_src) (tuple_key e.e_dst)
+    (match e.e_kind with Transition -> "t" | Add -> "a")
+
+let pp_edge ppf e = Format.fprintf ppf "%a --> %a" pp_tuple e.e_src pp_tuple e.e_dst
+
+let is_global_only e = e.e_src.t_v = None && e.e_dst.t_v = None
+
+let ends_in_stop e =
+  match e.e_dst.t_v with
+  | Some v -> String.equal v.v_value Sm.stop_value
+  | None -> false
+
+type t = {
+  tbl : (string, edge) Hashtbl.t;
+  srcs : (string, unit) Hashtbl.t;
+  mutable order : edge list;  (* insertion order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 8; srcs = Hashtbl.create 8; order = [] }
+
+let add_edge t e =
+  let k = edge_key e in
+  if Hashtbl.mem t.tbl k then false
+  else begin
+    Hashtbl.replace t.tbl k e;
+    t.order <- e :: t.order;
+    true
+  end
+
+let remove_edge t e =
+  let k = edge_key e in
+  if Hashtbl.mem t.tbl k then begin
+    Hashtbl.remove t.tbl k;
+    t.order <- List.filter (fun e' -> not (String.equal (edge_key e') k)) t.order
+  end
+
+let edges t = List.rev t.order
+let transitions t = List.filter (fun e -> e.e_kind = Transition) (edges t)
+let adds t = List.filter (fun e -> e.e_kind = Add) (edges t)
+let mem_src t tup = Hashtbl.mem t.srcs (tuple_key tup)
+let add_src t tup = Hashtbl.replace t.srcs (tuple_key tup) ()
+let srcs_count t = Hashtbl.length t.srcs
+let size t = Hashtbl.length t.tbl
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  Hashtbl.reset t.srcs;
+  t.order <- []
+
+let find_by_dst t tup = List.filter (fun e -> tuple_equal e.e_dst tup) (edges t)
+
+let pp ppf t =
+  let es = edges t in
+  let interesting = List.filter (fun e -> not (is_global_only e)) es in
+  let shown = if interesting = [] then es else interesting in
+  match shown with
+  | [] -> Format.pp_print_string ppf "(empty)"
+  | es ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+        pp_edge ppf es

@@ -1,0 +1,84 @@
+(** State tuples, transition/add edges, and block/suffix summaries
+    (Sections 5.2 and 6.2).
+
+    A state tuple is [(gstate, v)] where [v] is a variable-specific instance
+    or the distinguished placeholder [<>]. Each basic block's summary records
+    the union of all tuples that reached it and how each corresponding SM was
+    transitioned, as two kinds of directed edges:
+
+    - transition edges [(s, v:t→vs) → (s', v:t→vs')];
+    - add edges [(s, v:t→unknown) → (s', v:t→vs')], recording instance
+      creation (the special [unknown] start applies only when nothing is
+      known about [t] at block entry).
+
+    Suffix summaries have the same shape but run from a block's entry to the
+    function exit; a function summary is the entry block's suffix summary.
+    Edges ending in [stop] are kept in block summaries (they drive the
+    intraprocedural cache) but omitted from suffix summaries, as are
+    [<>]→[<>] edges except as global-transition carriers for relaxation. *)
+
+type tvar = {
+  v_key : string;
+  v_tree : Cast.expr;
+  v_value : string;
+  v_depth : int;
+      (** creation depth relative to the recording frame (ranking only;
+          excluded from tuple keys) *)
+}
+
+type tuple = { t_g : string; t_v : tvar option }
+(** [t_v = None] is the [<>] placeholder. *)
+
+val unknown_value : string
+(** Start-tuple value of add edges. *)
+
+val tuple_key : tuple -> string
+val tuple_equal : tuple -> tuple -> bool
+val pp_tuple : Format.formatter -> tuple -> unit
+
+val tuple_of_instance : gstate:string -> ?depth_base:int -> Sm.instance -> tuple
+val global_tuple : string -> tuple
+val unknown_tuple : gstate:string -> Cast.expr -> tuple
+
+val tuples_of_sm : Sm.sm_inst -> tuple list
+(** The extension state as a tuple set: one tuple per active instance, or
+    the placeholder tuple when no instance is active. *)
+
+type kind = Transition | Add
+
+type edge = { e_src : tuple; e_dst : tuple; e_kind : kind }
+
+val edge_key : edge -> string
+val pp_edge : Format.formatter -> edge -> unit
+
+val is_global_only : edge -> bool
+(** Both endpoints are placeholder tuples — the special edges that record
+    how a block updates the global instance. *)
+
+val ends_in_stop : edge -> bool
+
+(** Mutable edge-set summaries with O(1) dedup. *)
+type t
+
+val create : unit -> t
+val add_edge : t -> edge -> bool
+(** [true] if the edge was new. *)
+
+val remove_edge : t -> edge -> unit
+val edges : t -> edge list
+val transitions : t -> edge list
+val adds : t -> edge list
+val mem_src : t -> tuple -> bool
+val add_src : t -> tuple -> unit
+(** Record a tuple as having reached this block (the cache of Section 5.2). *)
+
+val srcs_count : t -> int
+val size : t -> int
+val clear : t -> unit
+
+val find_by_dst : t -> tuple -> edge list
+(** Edges whose destination equals the tuple (for {!Engine}'s relax). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the summary the way Figure 5 does: [<>]→[<>] edges are omitted
+    unless they are the only content. *)

@@ -1,0 +1,377 @@
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
+module I64map = Map.Make (Int64)
+
+type t = {
+  uf : Uf.t;
+  env : int Smap.t;  (* variable -> class id *)
+  consts : int64 Imap.t;  (* class repr -> known constant *)
+  const_class : int I64map.t;  (* constant -> its class *)
+  terms : int Smap.t;  (* congruence key -> class *)
+  diseqs : (int * int) list;
+  lts : (int * int) list;  (* (a, b) means a < b *)
+  les : (int * int) list;  (* (a, b) means a <= b *)
+}
+
+type verdict = True | False | Unknown
+
+let empty =
+  {
+    uf = Uf.empty;
+    env = Smap.empty;
+    consts = Imap.empty;
+    const_class = I64map.empty;
+    terms = Smap.empty;
+    diseqs = [];
+    lts = [];
+    les = [];
+  }
+
+let const_of t c = Imap.find_opt (Uf.find t.uf c) t.consts
+
+let class_of_const t n =
+  match I64map.find_opt n t.const_class with
+  | Some c -> (t, c)
+  | None ->
+      let uf, c = Uf.fresh t.uf in
+      ( {
+          t with
+          uf;
+          consts = Imap.add c n t.consts;
+          const_class = I64map.add n c t.const_class;
+        },
+        c )
+
+(* Merge two classes; constants are carried to the surviving repr. A
+   constant conflict means the path is infeasible, but [decide] catches that
+   case before [assume] is ever called with it, so we just keep one value. *)
+let merge t a b =
+  let ra = Uf.find t.uf a and rb = Uf.find t.uf b in
+  if ra = rb then t
+  else
+    let uf = Uf.union t.uf ra rb in
+    let rb' = Uf.find uf rb in
+    let consts =
+      match Imap.find_opt ra t.consts with
+      | Some n -> Imap.add rb' n t.consts
+      | None -> t.consts
+    in
+    { t with uf; consts }
+
+let class_of_var t x =
+  match Smap.find_opt x t.env with
+  | Some c -> (t, c)
+  | None ->
+      let uf, c = Uf.fresh t.uf in
+      ({ t with uf; env = Smap.add x c t.env }, c)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval t (e : Cast.expr) : int64 option =
+  let ( let* ) = Option.bind in
+  match e.enode with
+  | Cast.Eint n -> Some n
+  | Cast.Echar c -> Some (Int64.of_int (Char.code c))
+  | Cast.Eident x -> (
+      match Smap.find_opt x t.env with Some c -> const_of t c | None -> None)
+  | Cast.Eunary (Cast.Neg, e1) ->
+      let* v = eval t e1 in
+      Some (Int64.neg v)
+  | Cast.Eunary (Cast.Lognot, e1) ->
+      let* v = eval t e1 in
+      Some (if Int64.equal v 0L then 1L else 0L)
+  | Cast.Eunary (Cast.Bitnot, e1) ->
+      let* v = eval t e1 in
+      Some (Int64.lognot v)
+  | Cast.Ebinary (op, l, r) -> (
+      let* a = eval t l in
+      let* b = eval t r in
+      let bool_ c = Some (if c then 1L else 0L) in
+      match op with
+      | Cast.Add -> Some (Int64.add a b)
+      | Cast.Sub -> Some (Int64.sub a b)
+      | Cast.Mul -> Some (Int64.mul a b)
+      | Cast.Div -> if Int64.equal b 0L then None else Some (Int64.div a b)
+      | Cast.Mod -> if Int64.equal b 0L then None else Some (Int64.rem a b)
+      | Cast.Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+      | Cast.Shr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+      | Cast.Lt -> bool_ (Int64.compare a b < 0)
+      | Cast.Gt -> bool_ (Int64.compare a b > 0)
+      | Cast.Le -> bool_ (Int64.compare a b <= 0)
+      | Cast.Ge -> bool_ (Int64.compare a b >= 0)
+      | Cast.Eq -> bool_ (Int64.equal a b)
+      | Cast.Ne -> bool_ (not (Int64.equal a b))
+      | Cast.Band -> Some (Int64.logand a b)
+      | Cast.Bor -> Some (Int64.logor a b)
+      | Cast.Bxor -> Some (Int64.logxor a b)
+      | Cast.Land -> bool_ ((not (Int64.equal a 0L)) && not (Int64.equal b 0L))
+      | Cast.Lor -> bool_ ((not (Int64.equal a 0L)) || not (Int64.equal b 0L)))
+  | Cast.Ecast (_, e1) | Cast.Ecomma (_, e1) -> eval t e1
+  | Cast.Eassign (None, _, r) -> eval t r
+  | _ -> None
+
+(* Class of an expression, creating classes as needed. [None] when the
+   expression's shape cannot be tracked (calls, memory accesses). *)
+let rec class_of_expr t (e : Cast.expr) : t * int option =
+  match eval t e with
+  | Some n ->
+      let t, c = class_of_const t n in
+      (t, Some c)
+  | None -> (
+      match e.enode with
+      | Cast.Eident x ->
+          let t, c = class_of_var t x in
+          (t, Some c)
+      | Cast.Eunary (((Cast.Neg | Cast.Bitnot) as u), e1) -> (
+          let t, c1 = class_of_expr t e1 in
+          match c1 with
+          | None -> (t, None)
+          | Some c1 -> term_class t (Printf.sprintf "u%s:%d" (match u with Cast.Neg -> "-" | _ -> "~") (Uf.find t.uf c1)))
+      | Cast.Ebinary (op, l, r)
+        when (match op with
+             | Cast.Add | Cast.Sub | Cast.Mul | Cast.Div | Cast.Mod | Cast.Band
+             | Cast.Bor | Cast.Bxor | Cast.Shl | Cast.Shr ->
+                 true
+             | _ -> false) -> (
+          let t, cl = class_of_expr t l in
+          match cl with
+          | None -> (t, None)
+          | Some cl -> (
+              let t, cr = class_of_expr t r in
+              match cr with
+              | None -> (t, None)
+              | Some cr ->
+                  term_class t
+                    (Format.asprintf "b%a:%d:%d" Cast.pp_binop op (Uf.find t.uf cl)
+                       (Uf.find t.uf cr))))
+      | Cast.Ecast (_, e1) -> class_of_expr t e1
+      | _ -> (t, None))
+
+and term_class t key =
+  match Smap.find_opt key t.terms with
+  | Some c -> (t, Some c)
+  | None ->
+      let uf, c = Uf.fresh t.uf in
+      ({ t with uf; terms = Smap.add key c t.terms }, Some c)
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let assign t x e =
+  let t, cls = class_of_expr t e in
+  match cls with
+  | Some c -> { t with env = Smap.add x c t.env }
+  | None ->
+      let uf, c = Uf.fresh t.uf in
+      { t with uf; env = Smap.add x c t.env }
+
+let assign_unknown t x =
+  let uf, c = Uf.fresh t.uf in
+  { t with uf; env = Smap.add x c t.env }
+
+let havoc t vars = { t with env = List.fold_left (fun m v -> Smap.remove v m) t.env vars }
+
+(* ------------------------------------------------------------------ *)
+(* Relations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let same_pair t (a, b) (x, y) =
+  let f = Uf.find t.uf in
+  (f a = f x && f b = f y) || (f a = f y && f b = f x)
+
+let ordered_pair t (a, b) (x, y) =
+  let f = Uf.find t.uf in
+  f a = f x && f b = f y
+
+let has_diseq t a b = List.exists (fun p -> same_pair t p (a, b)) t.diseqs
+let has_lt t a b = List.exists (fun p -> ordered_pair t p (a, b)) t.lts
+let has_le t a b = List.exists (fun p -> ordered_pair t p (a, b)) t.les
+
+(* One-hop bounds through the recorded relations and class constants:
+   [upper t c = Some (u, strict)] means c < u (strict) or c <= u. *)
+let upper t c =
+  let cands =
+    (match const_of t c with Some v -> [ (v, false) ] | None -> [])
+    @ List.filter_map
+        (fun (a, b) ->
+          if Uf.find t.uf a = Uf.find t.uf c then
+            match const_of t b with Some v -> Some (v, true) | None -> None
+          else None)
+        t.lts
+    @ List.filter_map
+        (fun (a, b) ->
+          if Uf.find t.uf a = Uf.find t.uf c then
+            match const_of t b with Some v -> Some (v, false) | None -> None
+          else None)
+        t.les
+  in
+  List.fold_left
+    (fun best (v, s) ->
+      match best with
+      | None -> Some (v, s)
+      | Some (bv, bs) ->
+          if Int64.compare v bv < 0 || (Int64.equal v bv && s && not bs) then Some (v, s)
+          else best)
+    None cands
+
+let lower t c =
+  let cands =
+    (match const_of t c with Some v -> [ (v, false) ] | None -> [])
+    @ List.filter_map
+        (fun (a, b) ->
+          if Uf.find t.uf b = Uf.find t.uf c then
+            match const_of t a with Some v -> Some (v, true) | None -> None
+          else None)
+        t.lts
+    @ List.filter_map
+        (fun (a, b) ->
+          if Uf.find t.uf b = Uf.find t.uf c then
+            match const_of t a with Some v -> Some (v, false) | None -> None
+          else None)
+        t.les
+  in
+  List.fold_left
+    (fun best (v, s) ->
+      match best with
+      | None -> Some (v, s)
+      | Some (bv, bs) ->
+          if Int64.compare v bv > 0 || (Int64.equal v bv && s && not bs) then Some (v, s)
+          else best)
+    None cands
+
+type rel = Req | Rne | Rlt | Rle
+
+let negate_rel = function
+  | Req -> (Rne, false)
+  | Rne -> (Req, false)
+  | Rlt -> (Rle, true)  (* !(a<b) = b<=a: swap *)
+  | Rle -> (Rlt, true)  (* !(a<=b) = b<a: swap *)
+
+(* Normalize a condition to (lhs, rel, rhs, swap). *)
+let normalize (e : Cast.expr) : (Cast.expr * rel * Cast.expr * bool) option =
+  match e.enode with
+  | Cast.Ebinary (Cast.Eq, a, b) -> Some (a, Req, b, false)
+  | Cast.Ebinary (Cast.Ne, a, b) -> Some (a, Rne, b, false)
+  | Cast.Ebinary (Cast.Lt, a, b) -> Some (a, Rlt, b, false)
+  | Cast.Ebinary (Cast.Gt, a, b) -> Some (b, Rlt, a, false)
+  | Cast.Ebinary (Cast.Le, a, b) -> Some (a, Rle, b, false)
+  | Cast.Ebinary (Cast.Ge, a, b) -> Some (b, Rle, a, false)
+  | _ -> Some (e, Rne, Cast.intlit 0L, false)
+
+(* A < B is provable from a direct relation or via constant bounds:
+   A (<|<=) u and l (<|<=) B with u < l, or u = l and one side strict. *)
+let lt_holds t a b =
+  has_lt t a b
+  ||
+  match (upper t a, lower t b) with
+  | Some (ua, sa), Some (lb, sb) ->
+      Int64.compare ua lb < 0 || (Int64.equal ua lb && (sa || sb))
+  | _ -> false
+
+(* A >= B via direct relation or bounds: lower(A) >= upper(B). *)
+let ge_holds t a b =
+  has_le t b a || has_lt t b a
+  ||
+  match (lower t a, upper t b) with
+  | Some (la, _), Some (ub, _) -> Int64.compare la ub >= 0
+  | _ -> false
+
+let le_holds t a b =
+  has_le t a b || has_lt t a b || lt_holds t a b
+  ||
+  match (upper t a, lower t b) with
+  | Some (ua, _), Some (lb, _) -> Int64.compare ua lb <= 0
+  | _ -> false
+
+let rec decide t (e : Cast.expr) : verdict =
+  match eval t e with
+  | Some n -> if Int64.equal n 0L then False else True
+  | None -> (
+      match e.enode with
+      | Cast.Eunary (Cast.Lognot, e1) -> (
+          match decide t e1 with True -> False | False -> True | Unknown -> Unknown)
+      | _ -> (
+          match normalize e with
+          | None -> Unknown
+          | Some (a, rel, b, _) -> (
+              let t, ca = class_of_expr t a in
+              let t, cb = class_of_expr t b in
+              match (ca, cb) with
+              | Some ca, Some cb -> (
+                  let eq = Uf.equal t.uf ca cb in
+                  let consts_known =
+                    match (const_of t ca, const_of t cb) with
+                    | Some x, Some y -> Some (Int64.compare x y)
+                    | _ -> None
+                  in
+                  match rel with
+                  | Req ->
+                      if eq then True
+                      else if has_diseq t ca cb || has_lt t ca cb || has_lt t cb ca then
+                        False
+                      else (
+                        match consts_known with
+                        | Some 0 -> True
+                        | Some _ -> False
+                        | None -> Unknown)
+                  | Rne -> (
+                      match decide t { e with enode = Cast.Ebinary (Cast.Eq, a, b) } with
+                      | True -> False
+                      | False -> True
+                      | Unknown -> Unknown)
+                  | Rlt ->
+                      if eq then False
+                      else if lt_holds t ca cb then True
+                      else if ge_holds t ca cb then False
+                      else (
+                        match consts_known with
+                        | Some c -> if c < 0 then True else False
+                        | None -> Unknown)
+                  | Rle ->
+                      if eq || le_holds t ca cb then True
+                      else if lt_holds t cb ca then False
+                      else (
+                        match consts_known with
+                        | Some c -> if c <= 0 then True else False
+                        | None -> Unknown))
+              | _ -> Unknown)))
+
+let rec assume t (e : Cast.expr) taken =
+  match e.enode with
+  | Cast.Eunary (Cast.Lognot, e1) ->
+      (* should have been lowered away, but be safe *)
+      assume_pos t e1 (not taken)
+  | _ -> assume_pos t e taken
+
+and assume_pos t e taken =
+  match normalize e with
+  | None -> t
+  | Some (a, rel, b, _) -> (
+      let rel, swapped = if taken then (rel, false) else negate_rel rel in
+      let a, b = if swapped then (b, a) else (a, b) in
+      let t, ca = class_of_expr t a in
+      let t, cb = class_of_expr t b in
+      match (ca, cb) with
+      | Some ca, Some cb -> (
+          match rel with
+          | Req -> merge t ca cb
+          | Rne -> { t with diseqs = (ca, cb) :: t.diseqs }
+          | Rlt -> { t with lts = (ca, cb) :: t.lts }
+          | Rle -> { t with les = (ca, cb) :: t.les })
+      | _ -> t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>store:";
+  Smap.iter
+    (fun x c ->
+      match const_of t c with
+      | Some n -> Format.fprintf ppf "@ %s = %Ld (class %d)" x n (Uf.find t.uf c)
+      | None -> Format.fprintf ppf "@ %s : class %d" x (Uf.find t.uf c))
+    t.env;
+  List.iter (fun (a, b) -> Format.fprintf ppf "@ class %d != class %d" a b) t.diseqs;
+  List.iter (fun (a, b) -> Format.fprintf ppf "@ class %d < class %d" a b) t.lts;
+  List.iter (fun (a, b) -> Format.fprintf ppf "@ class %d <= class %d" a b) t.les;
+  Format.fprintf ppf "@]"

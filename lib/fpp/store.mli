@@ -1,0 +1,47 @@
+(** Per-path symbolic store for false-path pruning (Section 8).
+
+    Implements the paper's algorithm:
+    1. track variable assignments and comparisons to constants and to other
+       variables, renaming on each assignment (a fresh class per definition);
+    2. evaluate expressions from known constants, otherwise remember the
+       whole expression (congruence: syntactically equal expressions over
+       the same operand classes share a class);
+    3. havoc loop-assigned variables;
+    4. derive equalities via a congruence-closure union-find and keep
+       disequalities and orderings between classes;
+    5. decide branch conditions from constants and class relations;
+    (step 6, summary rollback, lives in the engine).
+
+    The store is persistent: the engine copies it down each DFS branch and
+    discards it on backtrack. *)
+
+type t
+
+type verdict = True | False | Unknown
+
+val empty : t
+
+val assign : t -> string -> Cast.expr -> t
+(** [assign t x e] records [x = e]: [x] gets a fresh binding equal to the
+    class of [e] (constants fold; unknown [e] yields a congruence class keyed
+    by [e]'s shape). *)
+
+val assign_unknown : t -> string -> t
+(** [x] was redefined by something we cannot model (e.g. via a pointer). *)
+
+val havoc : t -> string list -> t
+(** Forget the listed variables (loop rule). *)
+
+val eval : t -> Cast.expr -> int64 option
+(** Constant value of [e] under the store, if known. *)
+
+val decide : t -> Cast.expr -> verdict
+(** Truth of a branch condition under the store. *)
+
+val assume : t -> Cast.expr -> bool -> t
+(** [assume t cond taken] refines the store with the knowledge that [cond]
+    evaluated to [taken]. Contradictory assumptions are possible only when
+    [decide] answered [Unknown]; the refined store then simply records the
+    new facts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+module Imap = Map.Make (Int)
+
+type t = { parent : int Imap.t; next : int }
+
+let empty = { parent = Imap.empty; next = 0 }
+let fresh t = ({ t with next = t.next + 1 }, t.next)
+
+let rec find t x =
+  match Imap.find_opt x t.parent with Some p when p <> x -> find t p | _ -> x
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then t else { t with parent = Imap.add ra rb t.parent }
+
+let equal t a b = find t a = find t b

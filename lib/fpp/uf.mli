@@ -1,0 +1,23 @@
+(** Persistent union-find over integer class ids.
+
+    Persistence matters: the false-path pruner's store is copied down each
+    branch of the DFS and must revert on backtracking (Section 8), so the
+    classic mutable union-find with path compression does not fit. Unions
+    are by naive parent-link; [find] walks to the representative. Stores are
+    small (a handful of tracked variables per path), so the lack of
+    balancing is irrelevant in practice. *)
+
+type t
+
+val empty : t
+
+val fresh : t -> t * int
+(** Allocate a new singleton class. *)
+
+val find : t -> int -> int
+(** Representative of the class containing [x]. *)
+
+val union : t -> int -> int -> t
+(** Merge the two classes; the second argument's representative wins. *)
+
+val equal : t -> int -> int -> bool

@@ -1,0 +1,23 @@
+(** Cross-version false-positive suppression (Section 8, "History").
+
+    "A simple alternative is to just remember false positives from past
+    versions and suppress them in future versions." Reports are matched by
+    {!Report.identity_key} — file, function, variable names and error text —
+    which survives edits better than line numbers. The database is a plain
+    text file, one key per line. *)
+
+type db
+
+val empty : db
+val of_reports : Report.t list -> db
+val add : db -> Report.t -> db
+val mem : db -> Report.t -> bool
+val size : db -> int
+
+val suppress : db -> Report.t list -> Report.t list * int
+(** [(kept, suppressed_count)]. *)
+
+val load : string -> db
+(** Loads a database file; a missing file yields {!empty}. *)
+
+val save : string -> db -> unit

@@ -1,0 +1,20 @@
+(** Minimal JSON emission for reports — machine-readable CLI output, so the
+    ranking/suppression pipeline can feed review tooling (the role the
+    paper's web-based error inspector played). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val escape : string -> string
+
+val of_report : Report.t -> t
+
+val reports_to_string : Report.t list -> string
+(** A JSON array of report objects, one per line inside the array. *)

@@ -1,0 +1,75 @@
+type severity = Security | Error_path | Normal | Minor
+
+let severity_of (r : Report.t) =
+  if List.mem "SECURITY" r.annotations then Security
+  else if List.mem "ERROR" r.annotations then Error_path
+  else if List.mem "MINOR" r.annotations then Minor
+  else Normal
+
+let severity_rank = function Security -> 0 | Error_path -> 1 | Normal -> 2 | Minor -> 3
+
+(* Each conditional is arbitrarily weighted as ten lines of distance. *)
+let distance_score (r : Report.t) =
+  Srcloc.line_distance r.loc r.start_loc + (10 * r.conditionals)
+
+let generic_key (r : Report.t) =
+  ( severity_rank (severity_of r),
+    (if r.call_depth = 0 then 0 else 1),
+    r.call_depth,
+    (if r.syn_chain = 0 then 0 else 1),
+    r.syn_chain,
+    distance_score r )
+
+let compare_keys (a1, a2, a3, a4, a5, a6) (b1, b2, b3, b4, b5, b6) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a2 b2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare a3 b3 in
+      if c <> 0 then c
+      else
+        let c = Int.compare a4 b4 in
+        if c <> 0 then c
+        else
+          let c = Int.compare a5 b5 in
+          if c <> 0 then c else Int.compare a6 b6
+
+let generic_sort reports =
+  List.stable_sort (fun a b -> compare_keys (generic_key a) (generic_key b)) reports
+
+let statistical_sort ~counters reports =
+  let z_of_rule rule =
+    match List.find_opt (fun (r, _, _) -> String.equal r rule) counters with
+    | Some (_, e, c) -> Zstat.z ~n:(e + c) ~e ()
+    | None -> neg_infinity
+  in
+  let z_of (r : Report.t) =
+    match r.rule with Some rule -> z_of_rule rule | None -> neg_infinity
+  in
+  List.stable_sort
+    (fun a b ->
+      let c = Float.compare (z_of b) (z_of a) in
+      if c <> 0 then c else compare_keys (generic_key a) (generic_key b))
+    reports
+
+let stratified reports =
+  let sorted = generic_sort reports in
+  List.filter_map
+    (fun sev ->
+      match List.filter (fun r -> severity_of r = sev) sorted with
+      | [] -> None
+      | rs -> Some (sev, rs))
+    [ Security; Error_path; Normal; Minor ]
+
+let group_by_rule reports =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Report.t) ->
+      let rule = Option.value r.rule ~default:"<no rule>" in
+      if not (Hashtbl.mem tbl rule) then order := rule :: !order;
+      Hashtbl.replace tbl rule (r :: Option.value (Hashtbl.find_opt tbl rule) ~default:[]))
+    reports;
+  List.rev_map (fun rule -> (rule, List.rev (Hashtbl.find tbl rule))) !order

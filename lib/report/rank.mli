@@ -1,0 +1,41 @@
+(** Error ranking (Section 9).
+
+    The ideal ranking puts true, severe, cheap-to-inspect errors first. We
+    approximate it exactly as the paper does:
+
+    - stratify by severity class from checker annotations
+      ([SECURITY] > [ERROR] > unannotated > [MINOR]);
+    - partition local errors before interprocedural ones, the latter ordered
+      by call-chain length;
+    - partition direct errors before synonym-mediated ones, the latter
+      ordered by assignment-chain length;
+    - within a partition, sort by line distance plus ten lines per
+      conditional crossed;
+    - optionally re-rank by the z-statistic of each report's rule
+      ("statistical ranking"). *)
+
+type severity = Security | Error_path | Normal | Minor
+
+val severity_of : Report.t -> severity
+
+val generic_key : Report.t -> int * int * int * int * int * int
+(** The composite sort key implementing the criteria above (smaller ranks
+    first). Exposed for tests. *)
+
+val generic_sort : Report.t list -> Report.t list
+
+val statistical_sort :
+  counters:(string * int * int) list -> Report.t list -> Report.t list
+(** [counters] maps rule names to (examples, counterexamples); reports whose
+    rule has a higher z-statistic come first, unknown rules last. Ties fall
+    back to the generic key. *)
+
+val stratified : Report.t list -> (severity * Report.t list) list
+(** Severity classes in inspection order, each internally generically
+    sorted — "the user can start with the most important class, inspect
+    within that class until the false positive rate is too high ..., and
+    skip to the next class". Empty classes are omitted. *)
+
+val group_by_rule : Report.t list -> (string * Report.t list) list
+(** Group reports computed from a common analysis fact so they can be
+    suppressed together when the fact is wrong. *)

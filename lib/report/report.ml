@@ -1,0 +1,64 @@
+type t = {
+  checker : string;
+  message : string;
+  loc : Srcloc.t;
+  start_loc : Srcloc.t;
+  func : string;
+  file : string;
+  var : string option;
+  rule : string option;
+  conditionals : int;
+  syn_chain : int;
+  call_depth : int;
+  annotations : string list;
+}
+
+let make ~checker ~message ~loc ?(start_loc = Srcloc.dummy) ?(func = "") ?(file = "")
+    ?var ?rule ?(conditionals = 0) ?(syn_chain = 0) ?(call_depth = 0)
+    ?(annotations = []) () =
+  let start_loc = if start_loc == Srcloc.dummy then loc else start_loc in
+  let file = if String.equal file "" then loc.Srcloc.file else file in
+  {
+    checker;
+    message;
+    loc;
+    start_loc;
+    func;
+    file;
+    var;
+    rule;
+    conditionals;
+    syn_chain;
+    call_depth;
+    annotations;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "%a: [%s] %s" Srcloc.pp r.loc r.checker r.message;
+  if r.func <> "" then Format.fprintf ppf " (in %s)" r.func;
+  (match r.annotations with
+  | [] -> ()
+  | anns -> Format.fprintf ppf " {%s}" (String.concat "," anns));
+  if r.call_depth > 0 then Format.fprintf ppf " [interprocedural depth %d]" r.call_depth
+
+let to_string r = Format.asprintf "%a" pp r
+
+let identity_key r =
+  Printf.sprintf "%s|%s|%s|%s|%s" r.file r.func r.checker
+    (Option.value r.var ~default:"")
+    r.message
+
+type collector = { mutable items : t list; mutable n : int }
+
+let new_collector () = { items = []; n = 0 }
+
+let emit c r =
+  c.items <- r :: c.items;
+  c.n <- c.n + 1
+
+let reports c = List.rev c.items
+let count c = c.n
+
+let clear c =
+  c.items <- [];
+  c.n <- 0

@@ -1,0 +1,41 @@
+(** Triage sessions — the inspection loop around ranking and history.
+
+    Section 9's model: the user inspects the ranked reports class by class
+    "until the false positive rate is too high", marking each as real or a
+    false positive. Section 8's "History" then remembers the false
+    positives so future runs suppress them. This module implements the
+    round trip as a plain text file the user edits:
+
+    {v
+    # metal/xgcc triage file — mark each line: R (real), F (false), ? (skip)
+    ?|free_checker|dev.c|f|p|using p after free!
+    v}
+
+    [export] writes reports in ranked order; the user flips the leading
+    marks; [import] reads the verdicts back; [apply] folds the false
+    positives into a history database and summarises per-rule false
+    positive counts (which feed the z-statistic the other way: rules whose
+    reports keep getting marked F are unreliable). *)
+
+type verdict = Real | False_positive | Undecided
+
+type entry = { verdict : verdict; report : Report.t }
+
+val export : Report.t list -> string
+(** Serialise (ranked order preserved). *)
+
+val export_file : string -> Report.t list -> unit
+
+exception Malformed of int * string
+(** Line number and message. *)
+
+val import : reports:Report.t list -> string -> entry list
+(** Re-attach verdicts to the report objects by identity key; reports
+    missing from the file come back [Undecided]. Raises {!Malformed} on
+    unparseable lines. *)
+
+val import_file : reports:Report.t list -> string -> entry list
+
+val apply : entry list -> History.db -> History.db * (string * int * int) list
+(** Fold [False_positive] entries into the history database; also return
+    per-rule (real, false-positive) counts for statistical re-ranking. *)

@@ -1,0 +1,11 @@
+let z ?(p0 = 0.5) ~n ~e () =
+  if n = 0 then neg_infinity
+  else
+    let n = float_of_int n and e = float_of_int e in
+    ((e /. n) -. p0) /. sqrt (p0 *. (1. -. p0) /. n)
+
+let rank_rules rules =
+  let scored =
+    List.map (fun (rule, e, c) -> (rule, z ~n:(e + c) ~e ())) rules
+  in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) scored

@@ -1,0 +1,15 @@
+(** The z-statistic for proportions (Section 9, "Statistical ranking").
+
+    [z (e + c) e] evaluates the hypothesis that an outcome observed [e]
+    times out of [n = e + c] trials is consistent with the null hypothesis
+    probability [p0] (default 0.5 — "a rule is obeyed or violated at
+    random"). Large positive values mean the rule is almost always followed,
+    so its violations are likely real errors. *)
+
+val z : ?p0:float -> n:int -> e:int -> unit -> float
+(** [(e/n - p0) / sqrt (p0 * (1 - p0) / n)]. Returns [neg_infinity] when
+    [n = 0]. *)
+
+val rank_rules : (string * int * int) list -> (string * float) list
+(** [rank_rules [(rule, examples, counterexamples); ...]] sorts rules by
+    descending z-statistic. *)

@@ -1,0 +1,257 @@
+type bug_kind =
+  | Use_after_free
+  | Double_free
+  | Missing_unlock
+  | Double_lock
+  | Null_deref
+  | User_pointer_deref
+  | Interrupts_left_off
+
+type planted = { in_function : string; kind : bug_kind }
+type t = { source : string; planted : planted list }
+
+let bug_kind_to_string = function
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Missing_unlock -> "missing-unlock"
+  | Double_lock -> "double-lock"
+  | Null_deref -> "null-deref"
+  | User_pointer_deref -> "user-pointer-deref"
+  | Interrupts_left_off -> "interrupts-left-off"
+
+let checker_of_kind = function
+  | Use_after_free | Double_free -> "free"
+  | Missing_unlock | Double_lock -> "lock"
+  | Null_deref -> "null"
+  | User_pointer_deref -> "security"
+  | Interrupts_left_off -> "intr"
+
+type scenario =
+  | Alloc
+  | Locking
+  | User_ptr
+  | Interrupts
+  | Helper_call
+  | Null_check
+  | Goto_cleanup
+  | Lock_helper
+
+let scenarios =
+  [|
+    Alloc; Locking; User_ptr; Interrupts; Helper_call; Null_check; Goto_cleanup;
+    Lock_helper;
+  |]
+
+let gen_function rng buf ~prefix idx ~bug_rate planted =
+  let fname = Printf.sprintf "%sgen_fn_%d" prefix idx in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let buggy = Random.State.float rng 1.0 < bug_rate in
+  let plant kind = planted := { in_function = fname; kind } :: !planted in
+  let scenario = scenarios.(Random.State.int rng (Array.length scenarios)) in
+  (match scenario with
+  | Alloc ->
+      add "int %s(int n, int mode) {\n" fname;
+      add "  int *buf = kmalloc(n);\n";
+      add "  if (!buf) { return -1; }\n";
+      add "  *buf = n;\n";
+      (* some incidental control flow *)
+      add "  if (mode > 2) { *buf = *buf + mode; }\n";
+      if buggy then begin
+        match Random.State.int rng 2 with
+        | 0 ->
+            plant Use_after_free;
+            add "  kfree(buf);\n";
+            add "  return *buf;\n"
+        | _ ->
+            plant Double_free;
+            add "  kfree(buf);\n";
+            add "  if (mode) { kfree(buf); }\n";
+            add "  return 0;\n"
+      end
+      else begin
+        add "  n = *buf;\n";
+        add "  kfree(buf);\n";
+        add "  return n;\n"
+      end;
+      add "}\n"
+  | Locking ->
+      add "int %s(struct lk *l, int st) {\n" fname;
+      if buggy && Random.State.bool rng then begin
+        plant Double_lock;
+        add "  lock(l);\n";
+        add "  if (st > 0) { lock(l); }\n";
+        add "  unlock(l);\n";
+        add "  return st;\n"
+      end
+      else if buggy then begin
+        plant Missing_unlock;
+        add "  lock(l);\n";
+        add "  if (st < 0) { return st; }\n";
+        add "  unlock(l);\n";
+        add "  return st;\n"
+      end
+      else begin
+        add "  if (trylock(l)) {\n";
+        add "    st = st + 1;\n";
+        add "    unlock(l);\n";
+        add "  }\n";
+        add "  return st;\n"
+      end;
+      add "}\n"
+  | User_ptr ->
+      add "int %s(int len) {\n" fname;
+      add "  char *u = get_user_pointer(len);\n";
+      add "  char kbuf[64];\n";
+      if buggy then begin
+        plant User_pointer_deref;
+        add "  return *u;\n"
+      end
+      else begin
+        add "  copy_from_user(kbuf, u, len);\n";
+        add "  return kbuf[0];\n"
+      end;
+      add "}\n"
+  | Interrupts ->
+      add "int %s(int work) {\n" fname;
+      add "  cli();\n";
+      add "  work = work * 2;\n";
+      if buggy then begin
+        plant Interrupts_left_off;
+        add "  if (work > 10) { return work; }\n"
+      end;
+      add "  sti();\n";
+      add "  return work;\n";
+      add "}\n"
+  | Null_check ->
+      add "int %s(int n) {\n" fname;
+      add "  int *item = kmalloc(n);\n";
+      if buggy then begin
+        plant Null_deref;
+        add "  *item = n;\n"
+      end
+      else begin
+        add "  if (!item) { return -1; }\n";
+        add "  *item = n;\n"
+      end;
+      add "  kfree(item);\n";
+      add "  return 0;\n";
+      add "}\n"
+  | Goto_cleanup ->
+      add "int %s(struct lk *l, int st) {\n" fname;
+      add "  int err;\n";
+      add "  lock(l);\n";
+      add "  err = 0;\n";
+      if buggy then begin
+        plant Missing_unlock;
+        add "  if (st < 0) { err = -22; goto out; }\n";
+        add "  unlock(l);\n";
+        add "out:\n";
+        add "  return err;\n"
+      end
+      else begin
+        add "  if (st < 0) { err = -22; goto out; }\n";
+        add "  st = st + 1;\n";
+        add "out:\n";
+        add "  unlock(l);\n";
+        add "  return err + st;\n"
+      end;
+      add "}\n"
+  | Lock_helper ->
+      (* interprocedural lock state: the release lives in a helper *)
+      add "static void %s_finish(struct lk *l) { unlock(l); }\n" fname;
+      add "int %s(struct lk *l, int n) {\n" fname;
+      add "  lock(l);\n";
+      add "  n = n * 2;\n";
+      if buggy then begin
+        plant Missing_unlock;
+        add "  if (n < 0) { return n; }\n"
+      end;
+      add "  %s_finish(l);\n" fname;
+      add "  return n;\n";
+      add "}\n"
+  | Helper_call ->
+      (* interprocedural: a helper that frees, a caller that may misuse *)
+      add "static void %s_release(int *p) { kfree(p); }\n" fname;
+      add "int %s(int n) {\n" fname;
+      add "  int *obj = kmalloc(n);\n";
+      add "  if (!obj) { return -1; }\n";
+      add "  *obj = n;\n";
+      add "  %s_release(obj);\n" fname;
+      if buggy then begin
+        plant Use_after_free;
+        add "  return *obj;\n"
+      end
+      else add "  return n;\n";
+      add "}\n");
+  add "\n"
+
+let generate_with ~prefix ~seed ~n_funcs ~bug_rate =
+  let rng = Random.State.make [| seed |] in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "struct lk { int held; };\n\n";
+  let planted = ref [] in
+  for i = 0 to n_funcs - 1 do
+    gen_function rng buf ~prefix i ~bug_rate planted
+  done;
+  { source = Buffer.contents buf; planted = List.rev !planted }
+
+let generate ~seed ~n_funcs ~bug_rate = generate_with ~prefix:"" ~seed ~n_funcs ~bug_rate
+
+let helpers_file =
+  "struct lk { int held; };\n\
+   void shared_release(int *p) { kfree(p); }\n\
+   void shared_unlock(struct lk *l) { unlock(l); }\n\
+   int *shared_alloc(int n) { int *p = kmalloc(n); return p; }\n"
+
+let gen_linked_function rng buf ~prefix idx ~bug_rate planted =
+  let fname = Printf.sprintf "%sxfn_%d" prefix idx in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let buggy = Random.State.float rng 1.0 < bug_rate in
+  let plant kind = planted := { in_function = fname; kind } :: !planted in
+  match Random.State.int rng 2 with
+  | 0 ->
+      add "int %s(int n) {\n" fname;
+      add "  int *obj = shared_alloc(n);\n";
+      add "  if (!obj) { return -1; }\n";
+      add "  *obj = n;\n";
+      add "  shared_release(obj);\n";
+      if buggy then begin
+        plant Use_after_free;
+        add "  return *obj;\n"
+      end
+      else add "  return n;\n";
+      add "}\n\n"
+  | _ ->
+      add "int %s(struct lk *l, int st) {\n" fname;
+      add "  lock(l);\n";
+      if buggy then begin
+        plant Missing_unlock;
+        add "  if (st < 0) { return st; }\n"
+      end;
+      add "  shared_unlock(l);\n";
+      add "  return st;\n";
+      add "}\n\n"
+
+let generate_linked ~seed ~n_files ~funcs_per_file ~bug_rate =
+  let files =
+    List.init n_files (fun i ->
+        let rng = Random.State.make [| seed + (977 * i) |] in
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf "struct lk { int held; };\n\n";
+        let planted = ref [] in
+        for j = 0 to funcs_per_file - 1 do
+          gen_linked_function rng buf ~prefix:(Printf.sprintf "f%d_" i) j ~bug_rate
+            planted
+        done;
+        ( Printf.sprintf "linked_%d.c" i,
+          { source = Buffer.contents buf; planted = List.rev !planted } ))
+  in
+  ("helpers.c", { source = helpers_file; planted = [] }) :: files
+
+let generate_files ~seed ~n_files ~funcs_per_file ~bug_rate =
+  List.init n_files (fun i ->
+      let g =
+        generate_with ~prefix:(Printf.sprintf "f%d_" i) ~seed:(seed + (1000 * i))
+          ~n_funcs:funcs_per_file ~bug_rate
+      in
+      (Printf.sprintf "gen_%d.c" i, g))

@@ -1,0 +1,113 @@
+let buf_program f =
+  let b = Buffer.create 4096 in
+  f b;
+  Buffer.contents b
+
+let diamond_chain ~n =
+  buf_program (fun b ->
+      Buffer.add_string b "int diamond(int *p, int c0) {\n";
+      Buffer.add_string b "  int acc = 0;\n";
+      Buffer.add_string b "  kfree(p);\n";
+      for i = 0 to n - 1 do
+        Buffer.add_string b
+          (Printf.sprintf "  if (c0 + %d) { acc = acc + %d; } else { acc = acc - %d; }\n"
+             i (i + 1) (i + 1))
+      done;
+      Buffer.add_string b "  return *p + acc;\n";
+      Buffer.add_string b "}\n")
+
+let many_tracked ~n =
+  buf_program (fun b ->
+      Buffer.add_string b "int many(void) {\n";
+      for i = 0 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "  int *p%d = kmalloc(8);\n" i)
+      done;
+      for i = 0 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "  kfree(p%d);\n" i)
+      done;
+      Buffer.add_string b "  int acc = 0;\n";
+      for i = 0 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "  acc = acc + *p%d;\n" i)
+      done;
+      Buffer.add_string b "  return acc;\n}\n")
+
+let call_chain ~depth =
+  buf_program (fun b ->
+      Buffer.add_string b (Printf.sprintf "void f%d(int *p) { kfree(p); }\n" depth);
+      for i = depth - 1 downto 1 do
+        Buffer.add_string b
+          (Printf.sprintf "void f%d(int *p) { f%d(p); }\n" i (i + 1))
+      done;
+      Buffer.add_string b "int f0(int *p) {\n  f1(p);\n  return *p;\n}\n")
+
+let call_tree ~depth ~fanout =
+  buf_program (fun b ->
+      Buffer.add_string b "void helper(int *p) { kfree(p); }\n";
+      (* level [depth] are leaves *)
+      let name level idx = Printf.sprintf "t%d_%d" level idx in
+      let width level =
+        let rec pow acc k = if k = 0 then acc else pow (acc * fanout) (k - 1) in
+        pow 1 level
+      in
+      for idx = 0 to width depth - 1 do
+        Buffer.add_string b
+          (Printf.sprintf "void %s(int *p) { helper(p); }\n" (name depth idx))
+      done;
+      for level = depth - 1 downto 1 do
+        for idx = 0 to width level - 1 do
+          Buffer.add_string b (Printf.sprintf "void %s(int *p) {\n" (name level idx));
+          for k = 0 to fanout - 1 do
+            Buffer.add_string b
+              (Printf.sprintf "  %s(p);\n" (name (level + 1) ((idx * fanout) + k)))
+          done;
+          Buffer.add_string b "}\n"
+        done
+      done;
+      Buffer.add_string b "int troot(int *p) {\n";
+      for k = 0 to fanout - 1 do
+        Buffer.add_string b (Printf.sprintf "  %s(p);\n" (name 1 k))
+      done;
+      Buffer.add_string b "  return *p;\n}\n")
+
+let correlated_branches ~n =
+  buf_program (fun b ->
+      Buffer.add_string b "int correlated(int x) {\n";
+      for i = 0 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "  int *p%d = kmalloc(8);\n" i)
+      done;
+      Buffer.add_string b "  int acc = 0;\n";
+      for i = 0 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "  if (x) { kfree(p%d); }\n" i);
+        Buffer.add_string b (Printf.sprintf "  if (!x) { acc = acc + *p%d; }\n" i)
+      done;
+      Buffer.add_string b "  return acc;\n}\n")
+
+let kill_workload ~n =
+  buf_program (fun b ->
+      for i = 0 to n - 1 do
+        Buffer.add_string b
+          (Printf.sprintf
+             "int recycle%d(int *p, int fresh) {\n\
+             \  kfree(p);\n\
+             \  p = make_buffer(fresh);\n\
+             \  return *p;\n\
+              }\n"
+             i)
+      done)
+
+let lock_workload ~n_funcs ~bug_every =
+  buf_program (fun b ->
+      Buffer.add_string b "struct lk { int held; };\n";
+      for i = 0 to n_funcs - 1 do
+        let buggy = bug_every > 0 && i mod bug_every = bug_every - 1 in
+        Buffer.add_string b
+          (Printf.sprintf "int work%d(struct lk *l, int st, int data) {\n" i);
+        Buffer.add_string b "  lock(l);\n";
+        Buffer.add_string b "  data = data + 1;\n";
+        if buggy then
+          (* error path: early return without releasing *)
+          Buffer.add_string b "  if (st < 0) { return st; }\n"
+        else Buffer.add_string b "  if (st < 0) { unlock(l); return st; }\n";
+        Buffer.add_string b "  unlock(l);\n";
+        Buffer.add_string b "  return data;\n}\n"
+      done)

@@ -1,0 +1,13 @@
+
+sm error_path_annotator {
+  decl any_scalar r;
+  decl any_expr b;
+
+  start:
+    { r < 0 } ==> { true = on_error_path, false = start }
+  ;
+
+  on_error_path:
+    ${1} ==> on_error_path, { annotate_ast(mc_stmt, "ERROR"); }
+  ;
+}

@@ -1,0 +1,14 @@
+
+sm free_checker {
+  state decl any_pointer v;
+
+  start:
+    { kfree(v) } || { free(v) } ==> v.freed
+  ;
+
+  v.freed:
+    { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { err("using %s after free!", mc_identifier(v)); }
+  | { kfree(v) } || { free(v) } ==> v.stop, { err("double free of %s!", mc_identifier(v)); }
+  ;
+}

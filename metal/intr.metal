@@ -1,0 +1,16 @@
+
+sm intr_checker {
+  is_enabled:
+    { cli() } || { disable_interrupts() } ==> is_disabled
+  | { sti() } || { enable_interrupts() } ==>
+      { err("enabling interrupts that are already enabled"); }
+  ;
+
+  is_disabled:
+    { sti() } || { enable_interrupts() } ==> is_enabled
+  | { cli() } || { disable_interrupts() } ==>
+      { err("disabling interrupts that are already disabled"); }
+  | $end_of_path$ ==>
+      { annotate("ERROR"); err("path ends with interrupts disabled!"); }
+  ;
+}

@@ -1,0 +1,21 @@
+
+sm leak_checker {
+  state decl any_pointer v;
+  decl any_expr x;
+  decl any_fn_call fn;
+  decl any_arguments args;
+
+  start:
+    ({ v = kmalloc(x) } || { v = malloc(x) }) && ${ mc_is_ident(v) } ==> v.alloced
+  ;
+
+  v.alloced:
+    { kfree(v) } || { free(v) } ==> v.stop
+  | { v } && ${ mc_annotated(mc_stmt, "mc_branch") } ==> { true = v.alloced, false = v.stop }
+  | { v } && ${ mc_annotated(mc_stmt, "mc_return") } ==> v.stop
+  | { x = v } ==> v.stop
+  | { fn(args) } && ${ mc_contains(mc_stmt, v) } ==> v.stop
+  | $end_of_path$ ==> v.stop,
+      { err("allocation stored in %s is never freed (leak)", mc_identifier(v)); }
+  ;
+}

@@ -1,0 +1,18 @@
+
+sm lock_checker {
+  state decl any_pointer l;
+
+  start:
+    { trylock(l) } ==> { true = l.locked, false = l.stop }
+  | { lock(l) } || { spin_lock(l) } ==> l.locked
+  | { unlock(l) } || { spin_unlock(l) } ==>
+      { err("releasing unheld lock %s", mc_identifier(l)); }
+  ;
+
+  l.locked:
+    { unlock(l) } || { spin_unlock(l) } ==> l.stop
+  | { lock(l) } || { spin_lock(l) } || { trylock(l) } ==>
+      { err("double acquire of lock %s", mc_identifier(l)); }
+  | $end_of_path$ ==> l.stop, { err("lock %s never released", mc_identifier(l)); }
+  ;
+}

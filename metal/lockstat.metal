@@ -1,0 +1,19 @@
+
+sm lock_stat {
+  state decl any_pointer l;
+
+  start:
+    { lock(l) } ==> l.locked
+  | { trylock(l) } ==> { true = l.locked, false = l.stop }
+  | { unlock(l) } ==>
+      { counterexample_in_func(); set_rule_to_func();
+        err("%s released without acquire", mc_identifier(l)); }
+  ;
+
+  l.locked:
+    { unlock(l) } ==> l.stop, { example_in_func(); }
+  | $end_of_path$ ==> l.stop,
+      { counterexample_in_func(); set_rule_to_func();
+        err("%s acquired but not released", mc_identifier(l)); }
+  ;
+}

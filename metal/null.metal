@@ -1,0 +1,28 @@
+
+sm null_checker {
+  state decl any_pointer v;
+  decl any_arguments args;
+
+  start:
+    { v = kmalloc(args) } || { v = malloc(args) } ==> v.unchecked
+  ;
+
+  v.unchecked:
+    { v } ==> { true = v.ok, false = v.null }
+  | { v == 0 } ==> { true = v.null, false = v.ok }
+  | { v != 0 } ==> { true = v.ok, false = v.null }
+  | { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { err("dereferencing %s, which may be NULL (unchecked allocation)",
+            mc_identifier(v)); }
+  ;
+
+  v.null:
+    { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { annotate("ERROR");
+        err("dereferencing %s on a path where it is NULL", mc_identifier(v)); }
+  ;
+
+  v.ok:
+    $end_of_path$ ==> v.stop
+  ;
+}

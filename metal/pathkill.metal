@@ -1,0 +1,10 @@
+
+sm path_kill {
+  decl any_fn_call fn;
+  decl any_arguments args;
+
+  start:
+    { fn(args) } && ${ mc_is_call_to(fn, "panic") || mc_is_call_to(fn, "BUG") || mc_is_call_to(fn, "assert_fail") || mc_is_call_to(fn, "exit") || mc_is_call_to(fn, "abort") } ==>
+      { annotate_ast(mc_stmt, "mc_kill_path"); kill_path(); }
+  ;
+}

@@ -1,0 +1,20 @@
+
+sm recursive_lock_checker {
+  state decl any_pointer l;
+
+  start:
+    { rlock(l) } ==> l.held, { incr("depth"); }
+  | { runlock(l) } ==> { err("releasing unheld recursive lock %s", mc_identifier(l)); }
+  ;
+
+  l.held:
+    { rlock(l) } ==> l.held,
+      { incr("depth");
+        err_if_over("depth", 8, "recursive lock depth exceeds bound"); }
+  | { runlock(l) } ==> l.held,
+      { decr("depth");
+        err_if_under("depth", 0, "unbalanced recursive unlock"); }
+  | $end_of_path$ ==> l.stop,
+      { err_if_over("depth", 0, "recursive lock still held at exit"); }
+  ;
+}

@@ -1,0 +1,13 @@
+
+sm security_path_annotator {
+  decl any_arguments args;
+
+  start:
+    { get_user_pointer(args) } || { get_user_int(args) } || { syscall_arg(args) }
+      ==> on_user_path
+  ;
+
+  on_user_path:
+    ${1} ==> on_user_path, { annotate_ast(mc_stmt, "SECURITY"); }
+  ;
+}

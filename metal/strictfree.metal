@@ -1,0 +1,27 @@
+
+sm strict_free_checker {
+  state decl any_pointer v;
+  decl any_expr x;
+  decl any_arguments args;
+  decl any_fn_call fn;
+
+  start:
+    { kfree(v) } ==> v.freed
+  ;
+
+  v.freed:
+    { kfree(v) } ==> v.stop, { err("double free of %s!", mc_identifier(v)); }
+  | { printk(args) } && ${ mc_contains(mc_stmt, v) } ==> v.freed
+  | { debug_print(args) } && ${ mc_contains(mc_stmt, v) } ==> v.freed
+  | { dprintf(args) } && ${ mc_contains(mc_stmt, v) } ==> v.freed
+  | { log_ptr(args) } && ${ mc_contains(mc_stmt, v) } ==> v.freed
+  | { reinit(&v) } ==> v.stop
+  | { pool_put(&v) } ==> v.stop
+  | { recycle(&v) } ==> v.stop
+  | { *v } || ${ mc_derefs(mc_stmt, v) } ==> v.stop,
+      { err("use of %s after free!", mc_identifier(v)); }
+  | { fn(args) } && ${ mc_contains(mc_stmt, v) } ==> v.stop,
+      { err("freed pointer %s passed to %s!", mc_identifier(v), mc_identifier(fn)); }
+  | { x = v } ==> v.stop, { err("freed pointer %s stored!", mc_identifier(v)); }
+  ;
+}

@@ -1,0 +1,179 @@
+(* A hand-written, realistic "character device driver" corpus in the style
+   of the systems code the paper analysed, spread over three files with a
+   known bug inventory. Used by the integration tests.
+
+   Bug inventory (the ground truth):
+     B1  ringbuf.c  rb_destroy       double free of rb->slots
+     B2  ringbuf.c  rb_grow          use-after-free of old (via helper free)
+     B3  chardev.c  dev_ioctl        user pointer dereferenced unvalidated
+     B4  chardev.c  dev_write        lock leaked on the EINVAL early return
+     B5  chardev.c  dev_read         interrupts left disabled on error path
+     B6  sched.c    task_spawn       kmalloc result used without null check
+     B7  sched.c    queue_push       allocation leaked when queue is full
+     B8  sched.c    sched_tick       leak on the mode=0 path (never freed)
+   Non-bugs that must NOT be flagged:
+     N1  rb_put checks trylock correctly
+     N2  dev_open frees and NULLs the scratch buffer (kill suppression)
+     N3  dev_close passes a freed pointer to debug logging only (strictfree
+         suppression idiom; base free checker never flags it)
+     N4  sched_tick's deref of the freed pointer is on an infeasible path
+         (pruning): the free checker stays silent even though the leak
+         checker rightly reports B8
+     N5  task_spawn_checked null-checks through the alloc wrapper *)
+
+let ringbuf_c =
+  {|
+struct ring {
+   int **slots;
+   int cap;
+   int len;
+};
+
+static void slots_release(int **s) {
+   kfree(s);
+}
+
+int rb_init(struct ring *rb, int cap) {
+   rb->slots = kmalloc(cap);
+   if (!rb->slots) { return -1; }
+   rb->cap = cap;
+   rb->len = 0;
+   return 0;
+}
+
+void rb_destroy(struct ring *rb, int twice) {
+   kfree(rb->slots);
+   if (twice) {
+      kfree(rb->slots);       /* B1: double free */
+   }
+}
+
+int rb_grow(struct ring *rb, int ncap) {
+   int **old = rb->slots;
+   rb->slots = kmalloc(ncap);
+   if (!rb->slots) {
+      rb->slots = old;
+      return -1;
+   }
+   slots_release(old);
+   return **old;              /* B2: use after (helper) free */
+}
+|}
+
+let chardev_c =
+  {|
+struct lk { int held; };
+struct ring;
+
+struct lk dev_lock;
+static int dev_count;
+
+int dev_open(int sz) {
+   char *scratch = kmalloc(sz);
+   if (!scratch) { return -1; }
+   scratch[0] = 0;
+   kfree(scratch);
+   scratch = 0;               /* N2: killed; no use-after-free below */
+   dev_count = dev_count + 1;
+   return 0;
+}
+
+int dev_close(int sz) {
+   char *tmp = kmalloc(sz);
+   if (!tmp) { return -1; }
+   kfree(tmp);
+   debug_print(tmp);          /* N3: log-only use of freed pointer */
+   return 0;
+}
+
+int dev_ioctl(int len) {
+   char *ubuf = get_user_pointer(len);
+   char kbuf[16];
+   if (len > 16) { return -1; }
+   return *ubuf;              /* B3: unvalidated user pointer */
+}
+
+int dev_write(struct lk *mu, int n) {
+   lock(mu);
+   if (n < 0) {
+      return -22;             /* B4: lock never released */
+   }
+   dev_count = dev_count + n;
+   unlock(mu);
+   return n;
+}
+
+int dev_read(struct lk *mu, int want) {
+   cli();
+   if (want < 0) {
+      return -1;              /* B5: interrupts left disabled */
+   }
+   want = want + dev_count;
+   sti();
+   return want;
+}
+
+int rb_put(struct lk *mu, int v) {
+   if (trylock(mu)) {         /* N1: correct trylock discipline */
+      dev_count = v;
+      unlock(mu);
+      return 0;
+   }
+   return -16;
+}
+|}
+
+let sched_c =
+  {|
+struct task {
+   int prio;
+   int state;
+};
+
+static int runq_len;
+
+int *task_alloc(int prio) {
+   int *t = kmalloc(prio);
+   return t;
+}
+
+int task_spawn(int prio) {
+   int *t = task_alloc(prio);
+   return *t;                 /* B6: wrapper result not null-checked */
+}
+
+int task_spawn_checked(int prio) {
+   int *t = task_alloc(prio);
+   if (!t) { return -1; }     /* N5: checked through the wrapper */
+   return *t;
+}
+
+int queue_push(int prio) {
+   int *slot = kmalloc(prio);
+   if (!slot) { return -1; }
+   if (runq_len > 64) {
+      return -11;             /* B7: slot leaked on the full-queue path */
+   }
+   *slot = prio;
+   enqueue(slot);
+   return 0;
+}
+
+int sched_tick(int mode) {
+   int *stale = kmalloc(8);
+   if (!stale) { return 0; }
+   if (mode) {
+      kfree(stale);
+   }
+   if (!mode) {
+      return *stale;          /* N4: infeasible with the branch above */
+   }
+   return 0;
+}
+|}
+
+let files = [ ("ringbuf.c", ringbuf_c); ("chardev.c", chardev_c); ("sched.c", sched_c) ]
+
+let supergraph () =
+  Supergraph.build
+    (List.map (fun (name, src) -> Cparse.parse_tunit ~file:name src) files)

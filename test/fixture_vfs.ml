@@ -1,0 +1,146 @@
+(* A second hand-written corpus: a small VFS-flavoured subsystem that leans
+   on the constructs the first corpus does not — recursion, gotos, switch
+   dispatch, file-scope state crossing files, and deeper call chains.
+
+   Bug inventory:
+     V1  inode.c   inode_put       double free via recursive release chain
+     V2  inode.c   walk_path       use-after-free after iput on the parent
+     V3  super.c   sb_remount      goto-based cleanup skips the unlock
+     V4  super.c   sb_ioctl        switch arm dereferences a user pointer
+     V5  cache.c   cache_gc        leak: evicted entry never freed
+   Non-bugs:
+     W1  inode_get's recursion terminates and is clean
+     W2  sb_sync uses goto cleanup correctly (unlock on all paths)
+     W3  cache_lookup's switch covers all arms without state leaks *)
+
+let inode_c =
+  {|
+struct inode {
+   int ino;
+   int refcount;
+   struct inode *parent;
+};
+
+void inode_free(struct inode *n) {
+   kfree(n);
+}
+
+void inode_put(struct inode *n, int both) {
+   inode_free(n);
+   if (both) {
+      inode_free(n);          /* V1: double free through the chain */
+   }
+}
+
+int inode_get(struct inode *n, int depth) {
+   if (depth > 0) {
+      return inode_get(n, depth - 1);   /* W1: clean recursion */
+   }
+   return n->ino;
+}
+
+int walk_path(struct inode *dir) {
+   struct inode *parent = dir->parent;
+   inode_put(parent, 0);
+   return parent->ino;        /* V2: parent freed by inode_put */
+}
+
+void inode_release_all(struct inode *n, int force) {
+   inode_put(n, force);       /* force unknown: both branches explored */
+}
+|}
+
+let super_c =
+  {|
+struct lk { int held; };
+struct superblock {
+   int flags;
+   int dirty;
+};
+
+static int sb_generation;
+
+int sb_remount(struct lk *mu, struct superblock *sb, int flags) {
+   int err;
+   lock(mu);
+   err = 0;
+   if (flags < 0) {
+      err = -22;
+      goto out;               /* V3: 'out' skips the unlock */
+   }
+   sb->flags = flags;
+   unlock(mu);
+out:
+   return err;
+}
+
+int sb_sync(struct lk *mu, struct superblock *sb) {
+   int err;
+   lock(mu);
+   err = 0;
+   if (sb->dirty) {
+      sb->dirty = 0;
+      sb_generation = sb_generation + 1;
+   }
+   goto done;                 /* W2: cleanup label releases the lock */
+done:
+   unlock(mu);
+   return err;
+}
+
+int sb_ioctl(int cmd, int len) {
+   char *ubuf = get_user_pointer(len);
+   char kb[8];
+   switch (cmd) {
+   case 1:
+      copy_from_user(kb, ubuf, len);
+      return kb[0];
+   case 2:
+      return *ubuf;           /* V4: raw user pointer in the cmd=2 arm */
+   default:
+      return -25;
+   }
+}
+|}
+
+let cache_c =
+  {|
+struct entry {
+   int key;
+   int hot;
+};
+
+int cache_lookup(int key, int mode) {
+   int hit;
+   hit = 0;
+   switch (mode) {
+   case 0:
+      hit = key;
+      break;
+   case 1:
+      hit = key + 1;
+      break;
+   default:
+      hit = -1;
+      break;
+   }
+   return hit;                /* W3: clean switch */
+}
+
+int cache_gc(int n) {
+   int *victim = kmalloc(n);
+   if (!victim) { return 0; }
+   *victim = n;
+   if (n > 100) {
+      return 1;               /* V5: victim leaked on eviction overflow */
+   }
+   kfree(victim);
+   return 0;
+}
+|}
+
+let files = [ ("inode.c", inode_c); ("super.c", super_c); ("cache.c", cache_c) ]
+
+let supergraph () =
+  Supergraph.build
+    (List.map (fun (name, src) -> Cparse.parse_tunit ~file:name src) files)

@@ -1,0 +1,91 @@
+(* AST structural operations: equality, keys, substitution, execution
+   order, base lvalues. *)
+
+let e s = Cparse.expr_of_string ~file:"<t>" s
+let t = Alcotest.test_case
+
+let exec_strings s =
+  List.map Cprint.expr_to_string (Cast.exec_order (e s))
+
+let suite =
+  [
+    t "equal ignores ids and locations" `Quick (fun () ->
+        Alcotest.(check bool) "eq" true (Cast.equal_expr (e "a + b*2") (e "a+b*2"));
+        Alcotest.(check bool) "neq" false (Cast.equal_expr (e "a + b") (e "a - b")));
+    t "key discriminates" `Quick (fun () ->
+        Alcotest.(check bool)
+          "same" true
+          (String.equal (Cast.key_of_expr (e "p->f[i]")) (Cast.key_of_expr (e "p->f[i]")));
+        Alcotest.(check bool)
+          "diff" false
+          (String.equal (Cast.key_of_expr (e "p->f")) (Cast.key_of_expr (e "p->g"))));
+    t "key separates call from ident" `Quick (fun () ->
+        Alcotest.(check bool)
+          "f vs f()" false
+          (String.equal (Cast.key_of_expr (e "f")) (Cast.key_of_expr (e "f()"))));
+    t "contains subtree" `Quick (fun () ->
+        Alcotest.(check bool) "yes" true (Cast.contains_expr ~needle:(e "p") (e "*p + 1"));
+        Alcotest.(check bool) "no" false (Cast.contains_expr ~needle:(e "q") (e "*p + 1")));
+    t "subst replaces all occurrences" `Quick (fun () ->
+        let out = Cast.subst_expr ~needle:(e "x") ~replacement:(e "y") (e "x + f(x)") in
+        Alcotest.(check string) "subst" "y + f(y)" (Cprint.expr_to_string out));
+    t "subst of compound needle" `Quick (fun () ->
+        let out =
+          Cast.subst_expr ~needle:(e "p->next") ~replacement:(e "q") (e "p->next->prev")
+        in
+        Alcotest.(check string) "subst" "q->prev" (Cprint.expr_to_string out));
+    t "exec order: RHS before LHS before assignment" `Quick (fun () ->
+        let order = exec_strings "x = y" in
+        Alcotest.(check (list string)) "order" [ "y"; "x"; "x = y" ] order);
+    t "exec order: args before call" `Quick (fun () ->
+        let order = exec_strings "f(g(a), b)" in
+        (* f, a, g(a), b, call *)
+        Alcotest.(check (list string))
+          "order"
+          [ "f"; "g"; "a"; "g(a)"; "b"; "f(g(a), b)" ]
+          order);
+    t "exec order ends at root" `Quick (fun () ->
+        let order = Cast.exec_order (e "a + b * c") in
+        match List.rev order with
+        | root :: _ -> Alcotest.(check bool) "root last" true (Cast.equal_expr root (e "a + b * c"))
+        | [] -> Alcotest.fail "empty");
+    t "base lvalue shapes" `Quick (fun () ->
+        let base s =
+          match Cast.base_lvalue (e s) with
+          | Some { Cast.enode = Cast.Eident x; _ } -> x
+          | _ -> "<none>"
+        in
+        Alcotest.(check string) "x" "x" (base "x");
+        Alcotest.(check string) "x.f" "x" (base "x.f");
+        Alcotest.(check string) "x->f" "x" (base "x->f");
+        Alcotest.(check string) "*x" "x" (base "*x");
+        Alcotest.(check string) "x[i]" "x" (base "x[i]");
+        Alcotest.(check string) "call" "<none>" (base "f(x)"));
+    t "idents_of_expr" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "idents" [ "a"; "i"; "f"; "b" ]
+          (Cast.idents_of_expr (e "a[i] + f(b)")));
+    t "fresh ids are distinct" `Quick (fun () ->
+        let a = Cast.ident "x" and b = Cast.ident "x" in
+        Alcotest.(check bool) "distinct" true (a.Cast.eid <> b.Cast.eid));
+    (* qcheck: substitution identity and idempotence-ish properties *)
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"subst with self is identity" ~count:200
+         QCheck2.Gen.(
+           oneofl
+             [ "a + b"; "f(x, y)"; "*p + q[i]"; "a ? b : c"; "x = y + 1"; "p->f.g" ])
+         (fun src ->
+           let ex = e src in
+           let out = Cast.subst_expr ~needle:(e "zz") ~replacement:(e "ww") ex in
+           Cast.equal_expr ex out));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"key equality coincides with equal_expr" ~count:200
+         QCheck2.Gen.(
+           pair
+             (oneofl [ "a"; "a + b"; "f(a)"; "*p"; "p->f"; "a[1]"; "a = b" ])
+             (oneofl [ "a"; "a + b"; "f(a)"; "*p"; "p->f"; "a[1]"; "a = b" ]))
+         (fun (s1, s2) ->
+           let e1 = e s1 and e2 = e s2 in
+           Bool.equal (Cast.equal_expr e1 e2)
+             (String.equal (Cast.key_of_expr e1) (Cast.key_of_expr e2))));
+  ]

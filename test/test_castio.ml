@@ -1,0 +1,126 @@
+(* S-expressions and AST serialisation (the two-pass architecture). *)
+
+let t = Alcotest.test_case
+
+let suite =
+  [
+    t "sexp atom round trip" `Quick (fun () ->
+        let t1 = Sexp.atom "hello" in
+        Alcotest.(check string) "plain" "hello" (Sexp.to_string t1);
+        let back = Sexp.of_string "hello" in
+        Alcotest.(check bool) "eq" true (back = t1));
+    t "sexp quoting round trip" `Quick (fun () ->
+        let tricky = [ "has space"; "par(en"; "qu\"ote"; "tab\there"; "nl\nthere"; "" ] in
+        List.iter
+          (fun s ->
+            let printed = Sexp.to_string (Sexp.atom s) in
+            match Sexp.of_string printed with
+            | Sexp.Atom s' -> Alcotest.(check string) ("rt " ^ String.escaped s) s s'
+            | Sexp.List _ -> Alcotest.fail "expected atom")
+          tricky);
+    t "sexp nested lists" `Quick (fun () ->
+        let src = "(a (b c) (d (e f)) g)" in
+        let parsed = Sexp.of_string src in
+        Alcotest.(check string) "print" src (Sexp.to_string parsed));
+    t "sexp comments skipped" `Quick (fun () ->
+        match Sexp.of_string "; header\n(a b) ; trailer" with
+        | Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ] -> ()
+        | _ -> Alcotest.fail "bad parse");
+    t "sexp errors carry offsets" `Quick (fun () ->
+        (match Sexp.of_string "(a b" with
+        | exception Sexp.Parse_error (_, _) -> ()
+        | _ -> Alcotest.fail "unterminated should fail");
+        match Sexp.of_string "(a) b" with
+        | exception Sexp.Parse_error (_, _) -> ()
+        | _ -> Alcotest.fail "trailing should fail");
+    t "of_string_many" `Quick (fun () ->
+        Alcotest.(check int) "three" 3 (List.length (Sexp.of_string_many "(a) b (c d)")));
+    t "expr serialisation round trip" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            let e = Cparse.expr_of_string ~file:"t.c" src in
+            let back = Cast_io.expr_of_sexp (Cast_io.expr_to_sexp e) in
+            Alcotest.(check bool) ("rt " ^ src) true (Cast.equal_expr e back))
+          [
+            "a + b * 2"; "f(x, y[i])"; "*p->next"; "(char *)buf"; "a ? b : c";
+            "x = y = 0"; "s.f1.f2"; "sizeof(int)"; "sizeof(x + 1)"; "a, b";
+            "-x + !y"; "p++ + --q"; "\"string with spaces\""; "'c'"; "x += 3";
+          ]);
+    t "ctyp serialisation round trip" `Quick (fun () ->
+        List.iter
+          (fun ty ->
+            let back = Cast_io.ctyp_of_sexp (Cast_io.ctyp_to_sexp ty) in
+            Alcotest.(check bool) (Ctyp.to_string ty) true (Ctyp.equal ty back))
+          [
+            Ctyp.Void; Ctyp.int_; Ctyp.unsigned_int; Ctyp.char_;
+            Ctyp.Ptr (Ctyp.Ptr Ctyp.Void);
+            Ctyp.Array (Ctyp.int_, Some 4);
+            Ctyp.Array (Ctyp.char_, None);
+            Ctyp.Func (Ctyp.int_, [ Ctyp.int_; Ctyp.Ptr Ctyp.char_ ], true);
+            Ctyp.Struct "s"; Ctyp.Union "u"; Ctyp.Enum "e"; Ctyp.Named "t";
+            Ctyp.Unknown;
+          ]);
+    t "tunit round trip preserves analysis results" `Quick (fun () ->
+        let src =
+          "struct lk { int h; };\n\
+           typedef int myint;\n\
+           enum mode { A, B = 5 };\n\
+           static int fsv;\n\
+           int helper(int *p);\n\
+           int f(int *p, int n) {\n\
+           int *q = kmalloc(n);\n\
+           if (!q) { return -1; }\n\
+           kfree(p);\n\
+           switch (n) { case 1: return *p; default: break; }\n\
+           while (n > 0) { n--; }\n\
+           kfree(q);\n\
+           return 0;\n\
+           }"
+        in
+        let tu = Cparse.parse_tunit ~file:"orig.c" src in
+        let tu2 = Cast_io.read_string (Cast_io.emit_string tu) in
+        Alcotest.(check int) "globals" (List.length tu.Cast.tu_globals)
+          (List.length tu2.Cast.tu_globals);
+        let run tu = Engine.run (Supergraph.build [ tu ]) [ Free_checker.checker () ] in
+        let r1 = run tu and r2 = run tu2 in
+        Alcotest.(check (list string)) "same reports"
+          (List.map (fun (r : Report.t) -> r.Report.message) r1.Engine.reports)
+          (List.map (fun (r : Report.t) -> r.Report.message) r2.Engine.reports));
+    t "emit/read files (pass 1 / pass 2)" `Quick (fun () ->
+        let src = "int g(int *p) { kfree(p); return *p; }" in
+        let tu = Cparse.parse_tunit ~file:"g.c" src in
+        let path = Filename.temp_file "mc_ast" ".mcast" in
+        Cast_io.emit_file path tu;
+        let tu2 = Cast_io.read_file path in
+        Sys.remove path;
+        let r = Engine.run (Supergraph.build [ tu2 ]) [ Free_checker.checker () ] in
+        Alcotest.(check int) "error survives round trip" 1
+          (List.length r.Engine.reports));
+    t "AST files are a small multiple of the source (paper: 4-5x)" `Quick (fun () ->
+        let g = Gen.generate ~seed:4 ~n_funcs:20 ~bug_rate:0.3 in
+        let tu = Cparse.parse_tunit ~file:"g.c" g.Gen.source in
+        let emitted = Cast_io.emit_string tu in
+        let ratio =
+          float_of_int (String.length emitted) /. float_of_int (String.length g.Gen.source)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "ratio %.1f in [2, 20]" ratio)
+          true
+          (ratio >= 2.0 && ratio <= 20.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"generated programs round-trip through .mcast"
+         ~count:20
+         QCheck2.Gen.(int_range 1 1000)
+         (fun seed ->
+           let g = Gen.generate ~seed ~n_funcs:6 ~bug_rate:0.5 in
+           let tu = Cparse.parse_tunit ~file:"g.c" g.Gen.source in
+           let tu2 = Cast_io.read_string (Cast_io.emit_string tu) in
+           let reports tu =
+             List.map
+               (fun (r : Report.t) -> (r.Report.func, r.Report.message))
+               (Engine.run (Supergraph.build [ tu ])
+                  [ Free_checker.checker (); Lock_checker.checker () ])
+                 .Engine.reports
+           in
+           reports tu = reports tu2));
+  ]

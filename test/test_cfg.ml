@@ -1,0 +1,158 @@
+(* CFG construction: lowering shapes, short-circuit conditions, loop havoc,
+   switch arms, goto, successors, callgraph roots. *)
+
+let t = Alcotest.test_case
+
+let cfg_of src =
+  match (Cparse.parse_tunit ~file:"<t>" src).Cast.tu_globals with
+  | Cast.Gfun f :: _ -> Cfg.of_fundef f
+  | _ -> Alcotest.fail "expected function"
+
+let branch_conditions cfg =
+  List.filter_map
+    (fun (b : Block.t) ->
+      match b.term with
+      | Block.Branch (c, _, _) -> Some (Cprint.expr_to_string c)
+      | _ -> None)
+    (Array.to_list cfg.Cfg.blocks)
+
+let suite =
+  [
+    t "straight line is one block plus exit" `Quick (fun () ->
+        let cfg = cfg_of "int f(int x) { x = x + 1; return x; }" in
+        Alcotest.(check int) "blocks" 2 (Cfg.n_blocks cfg));
+    t "if produces branch and join" `Quick (fun () ->
+        let cfg = cfg_of "int f(int x) { if (x) x = 1; return x; }" in
+        let branches = branch_conditions cfg in
+        Alcotest.(check (list string)) "conds" [ "x" ] branches);
+    t "short-circuit && lowers to two branches" `Quick (fun () ->
+        let cfg = cfg_of "int f(int a, int b) { if (a && b) return 1; return 0; }" in
+        Alcotest.(check (list string)) "conds" [ "a"; "b" ] (branch_conditions cfg));
+    t "short-circuit || lowers to two branches" `Quick (fun () ->
+        let cfg = cfg_of "int f(int a, int b) { if (a || b) return 1; return 0; }" in
+        Alcotest.(check (list string)) "conds" [ "a"; "b" ] (branch_conditions cfg));
+    t "negation swaps targets, keeps atom" `Quick (fun () ->
+        let cfg = cfg_of "int f(int a) { if (!a) return 1; return 0; }" in
+        Alcotest.(check (list string)) "conds" [ "a" ] (branch_conditions cfg));
+    t "nested mixed condition" `Quick (fun () ->
+        let cfg =
+          cfg_of "int f(int a, int b, int c) { if (a && (b || !c)) return 1; return 0; }"
+        in
+        Alcotest.(check (list string)) "conds" [ "a"; "b"; "c" ] (branch_conditions cfg));
+    t "while loop headers carry havoc" `Quick (fun () ->
+        let cfg =
+          cfg_of "int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }"
+        in
+        let havocs =
+          List.concat_map (fun (b : Block.t) -> b.havoc) (Array.to_list cfg.Cfg.blocks)
+        in
+        Alcotest.(check bool) "i havoced" true (List.mem "i" havocs));
+    t "for loop step variable havoced" `Quick (fun () ->
+        let cfg = cfg_of "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }" in
+        let havocs =
+          List.concat_map (fun (b : Block.t) -> b.havoc) (Array.to_list cfg.Cfg.blocks)
+        in
+        Alcotest.(check bool) "i havoced" true (List.mem "i" havocs);
+        Alcotest.(check bool) "s havoced" true (List.mem "s" havocs));
+    t "do-while body precedes condition" `Quick (fun () ->
+        let cfg = cfg_of "int f(int x) { do { x--; } while (x > 0); return x; }" in
+        Alcotest.(check bool) "has branch" true (branch_conditions cfg <> []));
+    t "switch arms and default" `Quick (fun () ->
+        let cfg =
+          cfg_of
+            "int f(int x) { switch (x) { case 1: return 1; case 2: return 2; default: return 3; } }"
+        in
+        let arms =
+          List.find_map
+            (fun (b : Block.t) ->
+              match b.term with Block.Switch (_, arms) -> Some arms | _ -> None)
+            (Array.to_list cfg.Cfg.blocks)
+        in
+        match arms with
+        | Some arms -> Alcotest.(check int) "arms" 3 (List.length arms)
+        | None -> Alcotest.fail "no switch terminator");
+    t "switch without default gets implicit one" `Quick (fun () ->
+        let cfg = cfg_of "int f(int x) { switch (x) { case 1: return 1; } return 0; }" in
+        let arms =
+          List.find_map
+            (fun (b : Block.t) ->
+              match b.term with Block.Switch (_, arms) -> Some arms | _ -> None)
+            (Array.to_list cfg.Cfg.blocks)
+        in
+        match arms with
+        | Some arms ->
+            Alcotest.(check bool) "has default" true
+              (List.exists (fun (g, _) -> g = None) arms)
+        | None -> Alcotest.fail "no switch terminator");
+    t "goto wires to label block" `Quick (fun () ->
+        let cfg = cfg_of "int f(int x) { if (x) goto out; x = 1; out: return x; }" in
+        (* every block reachable from entry should terminate *)
+        let reachable = Hashtbl.create 8 in
+        let rec visit bid =
+          if not (Hashtbl.mem reachable bid) then begin
+            Hashtbl.replace reachable bid ();
+            List.iter visit (Cfg.successors cfg bid)
+          end
+        in
+        visit cfg.Cfg.entry;
+        Alcotest.(check bool) "exit reachable" true (Hashtbl.mem reachable cfg.Cfg.exit_));
+    t "return flows to exit node" `Quick (fun () ->
+        let cfg = cfg_of "int f(void) { return 1; }" in
+        Alcotest.(check (list int)) "succ" [ cfg.Cfg.exit_ ]
+          (Cfg.successors cfg cfg.Cfg.entry));
+    t "exit node lists locals for scope end" `Quick (fun () ->
+        let cfg = cfg_of "int f(int p) { int a; int b; return p; }" in
+        let exit_b = Cfg.block cfg cfg.Cfg.exit_ in
+        match exit_b.Block.elems with
+        | [ Block.End_of_scope vars ] ->
+            Alcotest.(check (list string)) "locals only" [ "a"; "b" ] vars
+        | _ -> Alcotest.fail "expected End_of_scope");
+    t "break and continue" `Quick (fun () ->
+        let cfg =
+          cfg_of
+            "int f(int n) { int i = 0; while (1) { i++; if (i > n) break; if (i == 2) continue; } return i; }"
+        in
+        Alcotest.(check bool) "built" true (Cfg.n_blocks cfg > 4));
+    (* callgraph *)
+    t "callgraph roots and callees" `Quick (fun () ->
+        let tus =
+          [ Cparse.parse_tunit ~file:"a.c"
+              "void leaf(void) {} void mid(void) { leaf(); } void root(void) { mid(); leaf(); }"
+          ]
+        in
+        let funcs =
+          List.concat_map
+            (fun (tu : Cast.tunit) ->
+              List.filter_map (function Cast.Gfun f -> Some f | _ -> None) tu.tu_globals)
+            tus
+        in
+        let cg = Callgraph.build funcs in
+        Alcotest.(check (list string)) "roots" [ "root" ] (Callgraph.roots cg);
+        Alcotest.(check (list string)) "callees" [ "mid"; "leaf" ] (Callgraph.callees cg "root"));
+    t "recursive cycle gets an arbitrary root" `Quick (fun () ->
+        let tu =
+          Cparse.parse_tunit ~file:"r.c"
+            "void ping(int n) { pong(n); } void pong(int n) { ping(n); }"
+        in
+        let funcs =
+          List.filter_map (function Cast.Gfun f -> Some f | _ -> None) tu.Cast.tu_globals
+        in
+        let cg = Callgraph.build funcs in
+        Alcotest.(check int) "one root" 1 (List.length (Callgraph.roots cg));
+        Alcotest.(check bool) "cycle detected" true (Callgraph.in_cycle cg "ping"));
+    t "self recursion detected" `Quick (fun () ->
+        let tu = Cparse.parse_tunit ~file:"s.c" "int fact(int n) { if (n) return n * fact(n - 1); return 1; }" in
+        let funcs =
+          List.filter_map (function Cast.Gfun f -> Some f | _ -> None) tu.Cast.tu_globals
+        in
+        let cg = Callgraph.build funcs in
+        Alcotest.(check bool) "cyclic" true (Callgraph.in_cycle cg "fact");
+        Alcotest.(check (list string)) "root" [ "fact" ] (Callgraph.roots cg));
+    t "supergraph collects typing and files" `Quick (fun () ->
+        let tu1 = Cparse.parse_tunit ~file:"one.c" "int f(void) { return g(); }" in
+        let tu2 = Cparse.parse_tunit ~file:"two.c" "int g(void) { return 1; }" in
+        let sg = Supergraph.build [ tu1; tu2 ] in
+        Alcotest.(check (option string)) "file of g" (Some "two.c")
+          (Supergraph.file_of_function sg "g");
+        Alcotest.(check (list string)) "roots" [ "f" ] (Supergraph.roots sg));
+  ]

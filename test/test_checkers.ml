@@ -1,0 +1,156 @@
+(* The built-in checkers on focused positive and negative snippets. *)
+
+let t = Alcotest.test_case
+
+let run checkers src = Engine.check_source ~file:"t.c" src checkers
+let count checkers src = List.length (run checkers src).Engine.reports
+
+let free () = [ Free_checker.checker () ]
+let lock () = [ Lock_checker.checker () ]
+let sec () = [ Security_checker.checker () ]
+let intr () = [ Intr_checker.checker () ]
+
+let suite =
+  [
+    t "free: custom deallocator list" `Quick (fun () ->
+        let c = [ Free_checker.checker_for ~dealloc:[ "put_page" ] ] in
+        Alcotest.(check int) "flagged" 1
+          (count c "int f(int *p) { put_page(p); return *p; }");
+        Alcotest.(check int) "kfree not tracked here" 0
+          (count c "int f(int *p) { kfree(p); return *p; }"));
+    t "free: struct field targets" `Quick (fun () ->
+        let src =
+          "struct box { int *data; };\n\
+           int f(struct box *b) { kfree(b->data); return *b->data; }"
+        in
+        Alcotest.(check int) "field tracked" 1 (count (free ()) src));
+    t "free: distinct fields are independent" `Quick (fun () ->
+        let src =
+          "struct box { int *a; int *b; };\n\
+           int f(struct box *x) { kfree(x->a); return *x->b; }"
+        in
+        Alcotest.(check int) "no confusion" 0 (count (free ()) src));
+    t "lock: correct pairing clean" `Quick (fun () ->
+        let src =
+          "struct lk { int h; };\n\
+           int f(struct lk *l) { lock(l); unlock(l); return 0; }"
+        in
+        Alcotest.(check int) "clean" 0 (count (lock ()) src));
+    t "lock: two locks tracked independently" `Quick (fun () ->
+        let src =
+          "struct lk { int h; };\n\
+           int f(struct lk *a, struct lk *b) { lock(a); lock(b); unlock(b); return 0; }"
+        in
+        let r = run (lock ()) src in
+        Alcotest.(check int) "one leak" 1 (List.length r.Engine.reports);
+        match r.Engine.reports with
+        | [ rep ] -> Alcotest.(check (option string)) "its a" (Some "a") rep.Report.var
+        | _ -> ());
+    t "lock: release on all paths required" `Quick (fun () ->
+        let src = Synth.lock_workload ~n_funcs:6 ~bug_every:3 in
+        Alcotest.(check int) "two leaks" 2 (count (lock ()) src));
+    t "rlock: balanced recursion clean" `Quick (fun () ->
+        let src =
+          "struct lk { int h; };\n\
+           int f(struct lk *l) { rlock(l); rlock(l); runlock(l); runlock(l); return 0; }"
+        in
+        Alcotest.(check int) "clean" 0
+          (count [ Lock_checker.recursive_checker () ] src));
+    t "rlock: unbalanced depth flagged" `Quick (fun () ->
+        let src =
+          "struct lk { int h; };\n\
+           int f(struct lk *l) { rlock(l); rlock(l); runlock(l); return 0; }"
+        in
+        Alcotest.(check int) "flagged" 1
+          (count [ Lock_checker.recursive_checker () ] src));
+    t "security: validated pointer is clean" `Quick (fun () ->
+        let src =
+          "int f(int len) { char kb[8]; char *u = get_user_pointer(len); copy_from_user(kb, u, len); return kb[0]; }"
+        in
+        Alcotest.(check int) "clean" 0 (count (sec ()) src));
+    t "security: raw deref flagged with SECURITY" `Quick (fun () ->
+        let src = "int f(int len) { char *u = get_user_pointer(len); return *u; }" in
+        let r = run (sec ()) src in
+        match r.Engine.reports with
+        | [ rep ] ->
+            Alcotest.(check bool) "security annotation" true
+              (List.mem "SECURITY" rep.Report.annotations);
+            Alcotest.(check bool) "ranked as security" true
+              (Rank.severity_of rep = Rank.Security)
+        | _ -> Alcotest.fail "expected one report");
+    t "security: explicit validation with branch" `Quick (fun () ->
+        let src =
+          "int f(int len) { char *u = get_user_pointer(len); if (validate_user_pointer(u)) { return *u; } return 0; }"
+        in
+        Alcotest.(check int) "clean" 0 (count (sec ()) src));
+    t "intr: balanced cli/sti clean" `Quick (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count (intr ()) "int f(void) { cli(); sti(); return 0; }"));
+    t "intr: enable without disable" `Quick (fun () ->
+        let r = run (intr ()) "int f(void) { sti(); return 0; }" in
+        Alcotest.(check int) "flagged" 1 (List.length r.Engine.reports));
+    t "pathkill: annotates and stops its own path" `Quick (fun () ->
+        let r =
+          run
+            [ Pathkill.checker (); Intr_checker.checker () ]
+            "int f(void) { cli(); panic(\"x\"); return 0; }"
+        in
+        (* the missing sti() is on a panic path: suppressed *)
+        Alcotest.(check int) "suppressed" 0 (List.length r.Engine.reports));
+    t "pathkill: custom killer list" `Quick (fun () ->
+        let r =
+          run
+            [ Pathkill.checker_for ~killers:[ "my_die" ]; Free_checker.checker () ]
+            "int f(int *p) { kfree(p); my_die(); return *p; }"
+        in
+        Alcotest.(check int) "suppressed" 0 (List.length r.Engine.reports));
+    t "free_stat: conditional-freer identified and down-ranked" `Quick (fun () ->
+        let src =
+          "void rel(int *p) { kfree(p); }\n\
+           void maybe(int *p, int m) { if (m) { kfree(p); } }\n\
+           int u1(int n) { int *a = kmalloc(n); rel(a); return *a; }\n\
+           int u2(int n) { int *b = kmalloc(n); rel(b); return 0; }\n\
+           int u3(int n) { int *c = kmalloc(n); rel(c); return 0; }\n\
+           int u4(int n) { int *d = kmalloc(n); maybe(d, 0); return *d; }\n\
+           int u5(int n) { int *e2 = kmalloc(n); maybe(e2, 0); return *e2; }"
+        in
+        let tu = Cparse.parse_tunit ~file:"t.c" src in
+        let sg = Supergraph.build [ tu ] in
+        let frees = Free_stat.freeing_functions sg ~dealloc:[ "kfree" ] in
+        Alcotest.(check bool) "rel frees" true (List.mem_assoc "rel" frees);
+        Alcotest.(check bool) "maybe frees (flow-insensitive!)" true
+          (List.mem_assoc "maybe" frees);
+        let _result, ranking = Free_stat.run sg ~dealloc:[ "kfree" ] in
+        let z rule = Option.value (List.assoc_opt rule ranking) ~default:nan in
+        Alcotest.(check bool) "rel more reliable than maybe" true (z "rel" > z "maybe"));
+    t "infer_pairs: finds the paired rule and its violation" `Quick (fun () ->
+        let src =
+          "int a1(int n) { acquire_thing(n); release_thing(n); return 0; }\n\
+           int a2(int n) { acquire_thing(n); n++; release_thing(n); return 0; }\n\
+           int a3(int n) { acquire_thing(n); return n; }"
+        in
+        let tu = Cparse.parse_tunit ~file:"t.c" src in
+        let sg = Supergraph.build [ tu ] in
+        let pairs = Infer_pairs.candidates sg () in
+        Alcotest.(check bool) "pair found" true
+          (List.mem ("acquire_thing", "release_thing") pairs);
+        let result, _ = Infer_pairs.run sg ~pairs:[ ("acquire_thing", "release_thing") ] in
+        let viol =
+          List.filter
+            (fun (r : Report.t) -> String.equal r.Report.func "a3")
+            result.Engine.reports
+        in
+        Alcotest.(check int) "violation in a3" 1 (List.length viol);
+        let e, c =
+          match result.Engine.counters with
+          | [ (_, e, c) ] -> (e, c)
+          | _ -> Alcotest.fail "one rule expected"
+        in
+        Alcotest.(check int) "examples" 2 e;
+        Alcotest.(check int) "counterexamples" 1 c);
+    t "registry finds all names" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) n true (Option.is_some (Registry.find n)))
+          (Registry.names ()));
+  ]

@@ -1,0 +1,205 @@
+(* The second wave of checkers: leaks, tainted ranges, the conservative
+   free checker with targeted suppression (Section 8), null-check rule
+   inference, and severity annotation composition. *)
+
+let t = Alcotest.test_case
+
+let run checkers src = Engine.check_source ~file:"t.c" src checkers
+let count checkers src = List.length (run checkers src).Engine.reports
+let msgs r = List.map (fun (x : Report.t) -> x.Report.message) r.Engine.reports
+
+let suite =
+  [
+    (* leak checker *)
+    t "leak: allocation never freed" `Quick (fun () ->
+        let r = run [ Leak_checker.checker () ] "int f(int n) { int *p = kmalloc(n); *p = n; return n; }" in
+        Alcotest.(check (list string)) "leak"
+          [ "allocation stored in p is never freed (leak)" ]
+          (msgs r));
+    t "leak: freed allocation is clean" `Quick (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count [ Leak_checker.checker () ]
+             "int f(int n) { int *p = kmalloc(n); kfree(p); return n; }"));
+    t "leak: leak on one path only" `Quick (fun () ->
+        Alcotest.(check int) "one" 1
+          (count [ Leak_checker.checker () ]
+             "int f(int n) { int *p = kmalloc(n); if (n) { return n; } kfree(p); return 0; }"));
+    t "leak: returned pointer escapes" `Quick (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count [ Leak_checker.checker () ]
+             "int *f(int n) { int *p = kmalloc(n); return p; }"));
+    t "leak: stored pointer escapes" `Quick (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count [ Leak_checker.checker () ]
+             "struct s { int *slot; };\n\
+              int f(struct s *st, int n) { int *p = kmalloc(n); st->slot = p; return 0; }"));
+    t "leak: pointer passed to a call escapes" `Quick (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count [ Leak_checker.checker () ]
+             "int f(int n) { int *p = kmalloc(n); enqueue(p); return 0; }"));
+    t "leak: failed allocation needs no free" `Quick (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count [ Leak_checker.checker () ]
+             "int f(int n) { int *p = kmalloc(n); if (!p) { return -1; } kfree(p); return 0; }"));
+    (* range checker *)
+    t "range: unchecked user index flagged as SECURITY" `Quick (fun () ->
+        let r =
+          run [ Range_checker.checker () ]
+            "int f(int *tbl) { int n = get_user_int(); return tbl[n]; }"
+        in
+        match r.Engine.reports with
+        | [ rep ] ->
+            Alcotest.(check bool) "security" true
+              (List.mem "SECURITY" rep.Report.annotations)
+        | _ -> Alcotest.fail "expected one report");
+    t "range: bounds-checked index is clean" `Quick (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count [ Range_checker.checker () ]
+             "int f(int *tbl, int max) { int n = get_user_int(); if (n < max) { return tbl[n]; } return 0; }"));
+    t "range: failed check keeps taint" `Quick (fun () ->
+        Alcotest.(check int) "flagged" 1
+          (count [ Range_checker.checker () ]
+             "int f(int *tbl, int max) { int n = get_user_int(); if (n < max) { return 0; } return tbl[n]; }"));
+    t "range: user size to kmalloc flagged" `Quick (fun () ->
+        Alcotest.(check int) "flagged" 1
+          (count [ Range_checker.checker () ]
+             "int f(void) { int n = get_user_int(); int *p = kmalloc(n); return 0; }"));
+    (* strict free + targeted suppression *)
+    t "strict free: any use flagged without suppression" `Quick (fun () ->
+        let src =
+          "int f(int *p) { kfree(p); debug_print(p); return 0; }"
+        in
+        Alcotest.(check int) "conservative FP" 1
+          (count [ Strict_free.checker ~suppress_idioms:false ] src);
+        Alcotest.(check int) "suppressed" 0
+          (count [ Strict_free.checker ~suppress_idioms:true ] src));
+    t "strict free: reinit-by-address idiom suppressed and killed" `Quick (fun () ->
+        let src = "int f(int *p) { kfree(p); reinit(&p); return *p; }" in
+        (* after reinit(&p) the pointer is valid again: no report at all *)
+        Alcotest.(check int) "reinit accepted" 0
+          (count [ Strict_free.checker ~suppress_idioms:true ] src);
+        Alcotest.(check bool) "conservative flags it" true
+          (count [ Strict_free.checker ~suppress_idioms:false ] src >= 1));
+    t "strict free: true errors survive suppression" `Quick (fun () ->
+        let src = "int f(int *p) { kfree(p); use(p); return 0; }" in
+        Alcotest.(check int) "still flagged" 1
+          (count [ Strict_free.checker ~suppress_idioms:true ] src));
+    t "strict free: stored freed pointer flagged" `Quick (fun () ->
+        let src = "int *g;\nint f(int *p) { kfree(p); g = p; return 0; }" in
+        Alcotest.(check int) "flagged" 1
+          (count [ Strict_free.checker ~suppress_idioms:true ] src));
+    (* null-check inference *)
+    t "infer_nullcheck: reliable rule found, deviant use reported" `Quick (fun () ->
+        let src =
+          "int a(void) { int *p = get_obj(); if (!p) { return 0; } return *p; }\n\
+           int b(void) { int *q = get_obj(); if (q) { return *q; } return 0; }\n\
+           int c(void) { int *r = get_obj(); if (!r) { return 0; } return *r; }\n\
+           int d(void) { int *s = get_obj(); return *s; }"
+        in
+        let tu = Cparse.parse_tunit ~file:"t.c" src in
+        let sg = Supergraph.build [ tu ] in
+        let cands = Infer_nullcheck.candidates sg in
+        Alcotest.(check (list string)) "candidate" [ "get_obj" ] cands;
+        let result, ranking = Infer_nullcheck.run sg ~funcs:cands in
+        let viol =
+          List.filter (fun (r : Report.t) -> String.equal r.Report.func "d")
+            result.Engine.reports
+        in
+        Alcotest.(check int) "violation in d" 1 (List.length viol);
+        match ranking with
+        | (rule, z) :: _ ->
+            Alcotest.(check string) "rule" "get_obj" rule;
+            Alcotest.(check bool) "positive z" true (z > 0.0)
+        | [] -> Alcotest.fail "no ranking");
+    (* annotation composition into severities *)
+    t "severity annotations on AST nodes reach reports" `Quick (fun () ->
+        (* a first extension annotates every deref of 'danger' with
+           SECURITY; the free checker's report then ranks as security *)
+        Callout.install_builtins ();
+        let annotator =
+          List.hd
+            (Metal_compile.load ~file:"<m>"
+               {|sm annotate_danger {
+                  decl any_pointer v;
+                  start:
+                    { *v } && ${ mc_name_contains(v, "danger") } ==>
+                      { annotate_ast(mc_stmt, "SECURITY"); }
+                  ;
+                }|})
+        in
+        let src = "int f(int *danger_buf) { kfree(danger_buf); return *danger_buf; }" in
+        let r = run [ annotator; Free_checker.checker () ] src in
+        match r.Engine.reports with
+        | [ rep ] ->
+            Alcotest.(check bool) "picked up SECURITY" true
+              (List.mem "SECURITY" rep.Report.annotations)
+        | _ -> Alcotest.fail "expected one report");
+    t "ranking code: wrapper functions sink, real bugs rise" `Quick (fun () ->
+        (* worker pairs locks correctly many times with one slip; the
+           acquire-wrapper never releases (every call a counterexample) *)
+        let src =
+          "struct lk { int h; };\n\
+           void acquire_wrapper(struct lk *l) { lock(l); }\n\
+           int worker1(struct lk *l) { lock(l); unlock(l); lock(l); unlock(l); return 0; }\n\
+           int worker2(struct lk *l) { lock(l); unlock(l); lock(l); unlock(l); return 0; }\n\
+           int worker3(struct lk *l, int c) { lock(l); unlock(l); lock(l); if (c) { return 1; } unlock(l); return 0; }"
+        in
+        let tu = Cparse.parse_tunit ~file:"t.c" src in
+        let sg = Supergraph.build [ tu ] in
+        let _result, ranking = Lock_stat.run sg in
+        let z f = Option.value (List.assoc_opt f ranking) ~default:nan in
+        (* worker3 has many successes and one slip: highest-ranked error
+           site; the wrapper is all counterexamples: lowest *)
+        Alcotest.(check bool) "worker3 above wrapper" true
+          (z "worker3" > z "acquire_wrapper"));
+    t "path annotators: SECURITY and ERROR stratify downstream reports" `Quick
+      (fun () ->
+        let src =
+          "int f_sec(int len) { char *u = get_user_pointer(len); kfree(u); return *u; }\n\
+           int f_err(int *p, int r) { kfree(p); if (r < 0) { return *p; } return 0; }\n\
+           int f_norm(int *p) { kfree(p); return *p; }"
+        in
+        let r =
+          run
+            [
+              Path_annotators.security ();
+              Path_annotators.error_path ();
+              Free_checker.checker ();
+            ]
+            src
+        in
+        let sev func =
+          match
+            List.find_opt (fun (x : Report.t) -> String.equal x.Report.func func)
+              r.Engine.reports
+          with
+          | Some rep -> Rank.severity_of rep
+          | None -> Alcotest.fail ("no report in " ^ func)
+        in
+        Alcotest.(check bool) "f_sec is SECURITY" true (sev "f_sec" = Rank.Security);
+        Alcotest.(check bool) "f_err is ERROR" true (sev "f_err" = Rank.Error_path);
+        Alcotest.(check bool) "f_norm is normal" true (sev "f_norm" = Rank.Normal);
+        (* ranking order: security, error, normal *)
+        match Rank.generic_sort r.Engine.reports with
+        | a :: b :: c :: _ ->
+            Alcotest.(check (list string)) "order" [ "f_sec"; "f_err"; "f_norm" ]
+              [ a.Report.func; b.Report.func; c.Report.func ]
+        | _ -> Alcotest.fail "expected three reports");
+    t "fmt: user string as format flagged; %s idiom clean" `Quick (fun () ->
+        let bad = "int f(int n) { char *s = get_user_string(n); printf(s); return 0; }" in
+        let good =
+          "int f(int n) { char *s = get_user_string(n); printf(\"%s\", s); return 0; }"
+        in
+        let r = run [ Fmt_checker.checker () ] bad in
+        Alcotest.(check int) "flagged" 1 (List.length r.Engine.reports);
+        (match r.Engine.reports with
+        | [ rep ] ->
+            Alcotest.(check bool) "SECURITY" true
+              (List.mem "SECURITY" rep.Report.annotations)
+        | _ -> ());
+        Alcotest.(check int) "idiom clean" 0 (count [ Fmt_checker.checker () ] good));
+    t "registry includes the new checkers" `Quick (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check bool) n true (Option.is_some (Registry.find n)))
+          [ "leak"; "range"; "strictfree"; "fmt"; "lockstat"; "secpath"; "errpath" ]);
+  ]

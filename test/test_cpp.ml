@@ -1,0 +1,175 @@
+(* The mini preprocessor: macros, conditionals, includes — and the key
+   property that checkers match post-expansion code. *)
+
+let t = Alcotest.test_case
+let pp ?defines ?resolve_include src = Cpp.preprocess ?defines ?resolve_include ~file:"t.c" src
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.equal (String.sub hay i m) needle || go (i + 1)) in
+  go 0
+
+let suite =
+  [
+    t "object-like macro expands" `Quick (fun () ->
+        let out = pp "#define LIMIT 64\nint x = LIMIT;" in
+        Alcotest.(check bool) "expanded" true (contains out "int x = 64;"));
+    t "function-like macro with arguments" `Quick (fun () ->
+        let out = pp "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nint m = MAX(x + 1, y);" in
+        Alcotest.(check bool) "expanded" true
+          (contains out "((x + 1) > (y) ? (x + 1) : (y))"));
+    t "nested macro expansion" `Quick (fun () ->
+        let out = pp "#define A B\n#define B 42\nint x = A;" in
+        Alcotest.(check bool) "two steps" true (contains out "int x = 42;"));
+    t "self-referential macros terminate" `Quick (fun () ->
+        let out = pp "#define LOOP LOOP + 1\nint x = LOOP;" in
+        Alcotest.(check bool) "guarded" true (contains out "LOOP + 1"));
+    t "no expansion inside strings or comments" `Quick (fun () ->
+        let out =
+          pp "#define FOO 1\nchar *s = \"FOO\"; /* FOO */ int x = FOO; // FOO"
+        in
+        Alcotest.(check bool) "string kept" true (contains out "\"FOO\"");
+        Alcotest.(check bool) "block comment kept" true (contains out "/* FOO */");
+        Alcotest.(check bool) "code expanded" true (contains out "int x = 1;"));
+    t "undef stops expansion" `Quick (fun () ->
+        let out = pp "#define N 1\n#undef N\nint x = N;" in
+        Alcotest.(check bool) "not expanded" true (contains out "int x = N;"));
+    t "ifdef / else / endif" `Quick (fun () ->
+        let out = pp "#define DEBUG\n#ifdef DEBUG\nint a;\n#else\nint b;\n#endif" in
+        Alcotest.(check bool) "then branch" true (contains out "int a;");
+        Alcotest.(check bool) "else dropped" false (contains out "int b;");
+        let out2 = pp "#ifdef NOPE\nint a;\n#else\nint b;\n#endif" in
+        Alcotest.(check bool) "else branch" true (contains out2 "int b;"));
+    t "ifndef and nesting" `Quick (fun () ->
+        let out =
+          pp "#ifndef GUARD\n#define GUARD\n#ifdef GUARD\nint inner;\n#endif\nint outer;\n#endif"
+        in
+        Alcotest.(check bool) "inner" true (contains out "int inner;");
+        Alcotest.(check bool) "outer" true (contains out "int outer;"));
+    t "#if 0 disables a region" `Quick (fun () ->
+        let out = pp "#if 0\nint dead;\n#endif\nint live;" in
+        Alcotest.(check bool) "dead gone" false (contains out "int dead;");
+        Alcotest.(check bool) "live kept" true (contains out "int live;"));
+    t "line continuations join" `Quick (fun () ->
+        let out = pp "#define TWO \\\n 2\nint x = TWO;" in
+        Alcotest.(check bool) "joined" true (contains out "int x = 2;"));
+    t "include via resolver" `Quick (fun () ->
+        let resolve = function
+          | "defs.h" -> Some "#define FROM_HEADER 7\n"
+          | _ -> None
+        in
+        let out = pp ~resolve_include:resolve "#include \"defs.h\"\nint x = FROM_HEADER;" in
+        Alcotest.(check bool) "header macro" true (contains out "int x = 7;"));
+    t "missing include becomes a comment" `Quick (fun () ->
+        let out = pp "#include <linux/slab.h>\nint x;" in
+        Alcotest.(check bool) "skipped note" true (contains out "include skipped");
+        Alcotest.(check bool) "rest kept" true (contains out "int x;"));
+    t "command-line defines" `Quick (fun () ->
+        let out = pp ~defines:[ ("MODE", "3") ] "int x = MODE;" in
+        Alcotest.(check bool) "defined" true (contains out "int x = 3;"));
+    t "line numbers survive directives" `Quick (fun () ->
+        let src = "#define F 1\nint f(int *p) {\nkfree(p);\nreturn *p;\n}" in
+        let out = pp src in
+        let tu = Cparse.parse_tunit ~file:"lines.c" out in
+        let r =
+          Engine.run (Supergraph.build [ tu ]) [ Free_checker.checker () ]
+        in
+        match r.Engine.reports with
+        | [ rep ] -> Alcotest.(check int) "deref on line 4" 4 rep.Report.loc.Srcloc.line
+        | _ -> Alcotest.fail "expected one report");
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"preprocessing preserves line counts" ~count:30
+         QCheck2.Gen.(int_range 1 2000)
+         (fun seed ->
+           let g = Gen.generate ~seed ~n_funcs:4 ~bug_rate:0.5 in
+           let src =
+             "#define GUARD 1\n#ifdef GUARD\n" ^ g.Gen.source ^ "\n#endif\n"
+           in
+           let count s =
+             String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+           in
+           count (Cpp.preprocess ~file:"g.c" src) = count src));
+    t "macro-heavy corpus: same findings as hand-expanded code" `Quick (fun () ->
+        let macro_src =
+          "#define ALLOC(n) kmalloc(n)\n\
+           #define RELEASE(p) kfree(p)\n\
+           #define CHECKED(p) if (!p) { return -1; }\n\
+           int a(int n) { int *x = ALLOC(n); CHECKED(x) RELEASE(x); return *x; }\n\
+           int b(int n) { int *y = ALLOC(n); CHECKED(y) RELEASE(y); return 0; }"
+        in
+        let plain_src =
+          "int a(int n) { int *x = kmalloc(n); if (!x) { return -1; } kfree(x); return *x; }\n\
+           int b(int n) { int *y = kmalloc(n); if (!y) { return -1; } kfree(y); return 0; }"
+        in
+        let reports src =
+          List.sort compare
+            (List.map
+               (fun (r : Report.t) -> (r.Report.func, r.Report.message))
+               (Engine.check_source ~file:"m.c" src [ Free_checker.checker () ])
+                 .Engine.reports)
+        in
+        Alcotest.(check (list (pair string string)))
+          "identical"
+          (reports plain_src)
+          (reports (Cpp.preprocess ~file:"m.c" macro_src)));
+    t "checkers match post-expansion actions (the xgcc property)" `Quick (fun () ->
+        (* the kernel-style wrapper expands to a kfree the checker sees *)
+        let src =
+          "#define KFREE(p) kfree(p)\n\
+           #define DEREF(p) (*(p))\n\
+           int f(int *buf) {\n\
+           KFREE(buf);\n\
+           return DEREF(buf);\n\
+           }"
+        in
+        let out = pp src in
+        let r =
+          Engine.check_source ~file:"m.c" out [ Free_checker.checker () ]
+        in
+        Alcotest.(check int) "use-after-free through macros" 1
+          (List.length r.Engine.reports));
+    t "do-while(0) wrapper macros behave (kill inside macro)" `Quick (fun () ->
+        let src =
+          "#define SAFE_FREE(p) do { kfree(p); p = 0; } while (0)\n\
+           #define RAW_FREE(p) kfree(p)\n\
+           int safe(int *a) { SAFE_FREE(a); return *a; }\n\
+           int raw(int *b) { RAW_FREE(b); return *b; }"
+        in
+        let r =
+          Engine.check_source ~file:"w.c" (pp src) [ Free_checker.checker () ]
+        in
+        let funcs = List.map (fun (x : Report.t) -> x.Report.func) r.Engine.reports in
+        Alcotest.(check (list string)) "only raw flagged" [ "raw" ] funcs);
+    t "macro-defined lock discipline" `Quick (fun () ->
+        let src =
+          "#define LOCK_GUARD(l) lock(l)\n\
+           #define UNLOCK_GUARD(l) unlock(l)\n\
+           struct lk { int h; };\n\
+           int f(struct lk *m, int c) {\n\
+           LOCK_GUARD(m);\n\
+           if (c) { return c; }\n\
+           UNLOCK_GUARD(m);\n\
+           return 0;\n\
+           }"
+        in
+        let r = Engine.check_source ~file:"l.c" (pp src) [ Lock_checker.checker () ] in
+        Alcotest.(check int) "leak through macro" 1 (List.length r.Engine.reports));
+    t "conditional compilation changes the bug population" `Quick (fun () ->
+        let src =
+          "int f(int *p) {\n\
+           kfree(p);\n\
+           #ifdef PARANOID\n\
+           p = 0;\n\
+           #endif\n\
+           return *p;\n\
+           }"
+        in
+        let count defines =
+          List.length
+            (Engine.check_source ~file:"c.c" (pp ~defines src)
+               [ Free_checker.checker () ])
+              .Engine.reports
+        in
+        Alcotest.(check int) "without PARANOID: bug" 1 (count []);
+        Alcotest.(check int) "with PARANOID: killed" 0 (count [ ("PARANOID", "") ]));
+  ]

@@ -1,0 +1,96 @@
+(* Light type inference used by typed pattern holes. *)
+
+let t = Alcotest.test_case
+let e s = Cparse.expr_of_string ~file:"<t>" s
+
+let env =
+  Ctyping.of_program
+    [
+      Cparse.parse_tunit ~file:"<t>"
+        {|
+typedef int myint;
+typedef myint *intp;
+struct node { int value; struct node *next; };
+int gi; float gf; int *gp; char *gs;
+struct node gn; struct node *gnp;
+intp tp;
+int add(int a, int b);
+int *alloc(int n);
+|};
+    ]
+
+let ty s = Ctyping.type_of_expr env (e s)
+
+let check_ty name src expected =
+  t name `Quick (fun () ->
+      Alcotest.(check string) name expected (Ctyp.to_string (ty src)))
+
+let suite =
+  [
+    check_ty "int literal" "42" "int";
+    check_ty "global int" "gi" "int";
+    check_ty "float" "gf" "float";
+    check_ty "deref pointer" "*gp" "int";
+    check_ty "address-of" "&gi" "int *";
+    check_ty "string literal" "\"s\"" "char *";
+    check_ty "field access" "gn.value" "int";
+    check_ty "arrow access" "gnp->value" "int";
+    check_ty "nested arrow" "gnp->next->next" "struct node *";
+    check_ty "index" "gp[3]" "int";
+    check_ty "call returns declared type" "add(1, 2)" "int";
+    check_ty "call returning pointer" "alloc(4)" "int *";
+    check_ty "deref of call" "*alloc(4)" "int";
+    check_ty "comparison is int" "gi < gf" "int";
+    check_ty "cast wins" "(char *)gp" "char *";
+    check_ty "pointer arithmetic keeps pointer" "gp + 1" "int *";
+    check_ty "comma takes rhs" "gi, gf" "float";
+    check_ty "assignment has lhs type" "gi = 2" "int";
+    check_ty "unknown ident" "mystery" "?";
+    t "typedef resolution" `Quick (fun () ->
+        Alcotest.(check bool) "tp is pointer" true (Ctyping.is_pointer_expr env (e "tp"));
+        Alcotest.(check string) "deref typedef ptr" "int"
+          (Ctyp.to_string (Ctyping.type_of_expr env (e "*tp"))));
+    t "is_pointer_expr" `Quick (fun () ->
+        Alcotest.(check bool) "gp" true (Ctyping.is_pointer_expr env (e "gp"));
+        Alcotest.(check bool) "gi" false (Ctyping.is_pointer_expr env (e "gi"));
+        Alcotest.(check bool) "&gi" true (Ctyping.is_pointer_expr env (e "&gi"));
+        Alcotest.(check bool) "gnp->next" true (Ctyping.is_pointer_expr env (e "gnp->next")));
+    t "is_scalar_expr" `Quick (fun () ->
+        Alcotest.(check bool) "int" true (Ctyping.is_scalar_expr env (e "gi"));
+        Alcotest.(check bool) "struct" false (Ctyping.is_scalar_expr env (e "gn")));
+    t "enter_function sees params and locals" `Quick (fun () ->
+        let tu =
+          Cparse.parse_tunit ~file:"<t>"
+            "int f(int *param) { int local; { char inner; } return 0; }"
+        in
+        match tu.Cast.tu_globals with
+        | [ Cast.Gfun f ] ->
+            let fenv = Ctyping.enter_function env f in
+            Alcotest.(check bool) "param" true
+              (Ctyping.is_pointer_expr fenv (e "param"));
+            Alcotest.(check string) "local" "int"
+              (Ctyp.to_string (Ctyping.type_of_expr fenv (e "local")));
+            Alcotest.(check string) "inner-scope local" "char"
+              (Ctyp.to_string (Ctyping.type_of_expr fenv (e "inner")))
+        | _ -> Alcotest.fail "expected function");
+    t "global info for file-scope rules" `Quick (fun () ->
+        let tu1 = Cparse.parse_tunit ~file:"a.c" "static int fsv; int shared;" in
+        let env = Ctyping.of_program [ tu1 ] in
+        Alcotest.(check (option (pair string bool))) "static" (Some ("a.c", true))
+          (Ctyping.lookup_global_info env "fsv");
+        Alcotest.(check (option (pair string bool))) "extern" (Some ("a.c", false))
+          (Ctyping.lookup_global_info env "shared");
+        Alcotest.(check (option (pair string bool))) "unknown" None
+          (Ctyping.lookup_global_info env "nope"));
+    t "holes match via typing" `Quick (fun () ->
+        Alcotest.(check bool) "any_pointer gp" true
+          (Holes.matches env Holes.Any_pointer (e "gp"));
+        Alcotest.(check bool) "any_pointer gi" false
+          (Holes.matches env Holes.Any_pointer (e "gi"));
+        Alcotest.(check bool) "concrete int" true
+          (Holes.matches env (Holes.Concrete Ctyp.int_) (e "gi"));
+        Alcotest.(check bool) "any_fn_call" true
+          (Holes.matches env Holes.Any_fn_call (e "add(1,2)"));
+        Alcotest.(check bool) "hole names parse" true
+          (Holes.of_name "any_arguments" = Some Holes.Any_arguments));
+  ]

@@ -1,0 +1,217 @@
+(* Intraprocedural engine behaviour: transitions, kills, synonyms, caching,
+   branch splitting, global state, composition, instance caps. *)
+
+let t = Alcotest.test_case
+
+let run ?options ?(checkers = [ Free_checker.checker () ]) src =
+  Engine.check_source ?options ~file:"t.c" src checkers
+
+let msgs result = List.map (fun (r : Report.t) -> r.Report.message) result.Engine.reports
+let count result = List.length result.Engine.reports
+
+let suite =
+  [
+    t "use after free flagged" `Quick (fun () ->
+        let r = run "int f(int *p) { kfree(p); return *p; }" in
+        Alcotest.(check (list string)) "msgs" [ "using p after free!" ] (msgs r));
+    t "double free flagged" `Quick (fun () ->
+        let r = run "int f(int *p) { kfree(p); kfree(p); return 0; }" in
+        Alcotest.(check (list string)) "msgs" [ "double free of p!" ] (msgs r));
+    t "free then no use is clean" `Quick (fun () ->
+        let r = run "int f(int *p) { kfree(p); return 0; }" in
+        Alcotest.(check int) "none" 0 (count r));
+    t "no transition fires at the creating statement (Section 3.2)" `Quick
+      (fun () ->
+        (* a single kfree must not immediately double-free *)
+        let r = run "int f(int *p) { kfree(p); return 0; }" in
+        Alcotest.(check int) "no dup" 0 (count r));
+    t "refree after stop reinstantiates the SM" `Quick (fun () ->
+        let r =
+          run "int f(int *p) { kfree(p); kfree(p); kfree(p); return 0; }"
+        in
+        (* kfree2 errors and stops; kfree3 re-creates then... only one error
+           because the double-free message dedups per location pair; at
+           least one error must be present *)
+        Alcotest.(check bool) "errors" true (count r >= 1));
+    t "kill on redefinition suppresses FP (p = 0)" `Quick (fun () ->
+        let r = run "int f(int *p) { kfree(p); p = 0; return *p; }" in
+        Alcotest.(check int) "no report" 0 (count r));
+    t "kill extends to expressions using the variable" `Quick (fun () ->
+        (* a[i] has state; i redefined; a[i] must be killed *)
+        let r =
+          run
+            "int g(int **a, int i) { kfree(a[i]); i = i + 1; return *a[i]; }"
+        in
+        Alcotest.(check int) "killed" 0 (count r));
+    t "increment kills dependent expressions" `Quick (fun () ->
+        let r = run "int g(int **a, int i) { kfree(a[i]); i++; return *a[i]; }" in
+        Alcotest.(check int) "killed" 0 (count r));
+    t "auto-kill can be disabled per checker" `Quick (fun () ->
+        let src = "int f(int *p) { kfree(p); p = 0; return *p; }" in
+        let sm =
+          List.hd
+            (Metal_compile.load ~file:"<m>"
+               ({|sm nk { option no_auto_kill; state decl any_pointer v;
+                  start: { kfree(v) } ==> v.freed;
+                  v.freed: { *v } ==> v.stop, { err("use after free"); }; }|}))
+        in
+        let r = run ~checkers:[ sm ] src in
+        Alcotest.(check int) "reported without kill" 1 (count r));
+    t "synonyms catch aliased use (q = p)" `Quick (fun () ->
+        let r = run "int f(int *p) { int *q; kfree(p); q = p; return *q; }" in
+        Alcotest.(check (list string)) "msgs" [ "using q after free!" ] (msgs r));
+    t "synonym state mirrors on transition" `Quick (fun () ->
+        (* unlocking via the alias releases the original too *)
+        let src =
+          "struct lk { int x; };\n\
+           int f(struct lk *a) { struct lk *b; lock(a); b = a; unlock(b); return 0; }"
+        in
+        let r = run ~checkers:[ Lock_checker.checker () ] src in
+        Alcotest.(check int) "no leak report" 0 (count r));
+    t "branch splits and rejoins" `Quick (fun () ->
+        let r =
+          run
+            "int f(int *p, int c) { if (c) { kfree(p); } else { kfree(p); } return *p; }"
+        in
+        Alcotest.(check int) "one report" 1 (count r));
+    t "error only on the freeing path" `Quick (fun () ->
+        let r = run "int f(int *p, int c) { if (c) { kfree(p); } return 0; }" in
+        Alcotest.(check int) "clean" 0 (count r));
+    t "loops terminate via caching" `Quick (fun () ->
+        let r =
+          run
+            "int f(int *p, int n) { while (n > 0) { n = n - 1; } kfree(p); return *p; }"
+        in
+        Alcotest.(check int) "one" 1 (count r));
+    t "free inside loop: cache bounds reanalysis" `Quick (fun () ->
+        let r =
+          run "int f(int **a, int n) { int i = 0; while (i < n) { kfree(a[i]); i = i + 1; } return 0; }"
+        in
+        (* a[i] killed by i reassignment each iteration; must terminate *)
+        Alcotest.(check int) "no fp" 0 (count r));
+    t "switch: all arms explored" `Quick (fun () ->
+        let r =
+          run
+            "int f(int *p, int m) { switch (m) { case 1: kfree(p); break; default: break; } return *p; }"
+        in
+        Alcotest.(check int) "one" 1 (count r));
+    t "global state machine (interrupts)" `Quick (fun () ->
+        let src = "int f(int w) { cli(); if (w) { return w; } sti(); return 0; }" in
+        let r = run ~checkers:[ Intr_checker.checker () ] src in
+        Alcotest.(check (list string)) "msg"
+          [ "path ends with interrupts disabled!" ]
+          (msgs r));
+    t "global double-disable" `Quick (fun () ->
+        let src = "int f(void) { cli(); cli(); sti(); return 0; }" in
+        let r = run ~checkers:[ Intr_checker.checker () ] src in
+        Alcotest.(check bool) "double disable" true
+          (List.mem "disabling interrupts that are already disabled" (msgs r)));
+    t "composition: path-kill suppresses downstream reports" `Quick (fun () ->
+        let src = "int f(int *p) { kfree(p); panic(\"dead\"); return *p; }" in
+        let r =
+          run ~checkers:[ Pathkill.checker (); Free_checker.checker () ] src
+        in
+        Alcotest.(check int) "suppressed" 0 (count r));
+    t "without path-kill the report appears" `Quick (fun () ->
+        let src = "int f(int *p) { kfree(p); panic(\"dead\"); return *p; }" in
+        let r = run src in
+        Alcotest.(check int) "present" 1 (count r));
+    t "caching stats: revisits are hits" `Quick (fun () ->
+        let src =
+          "int f(int *p, int a, int b) { kfree(p); if (a) { b = 1; } if (b) { a = 2; } return *p; }"
+        in
+        let r = run src in
+        Alcotest.(check bool) "has cache hits" true (r.Engine.stats.Engine.cache_hits > 0));
+    t "caching off explores exponentially more paths" `Quick (fun () ->
+        let src = Synth.diamond_chain ~n:8 in
+        let on = run src in
+        let off = run ~options:{ Engine.default_options with Engine.caching = false } src in
+        Alcotest.(check bool) "fewer paths with caching" true
+          (on.Engine.stats.Engine.paths_explored * 4
+          < off.Engine.stats.Engine.paths_explored);
+        Alcotest.(check int) "same errors" (count on) (count off));
+    t "independence: instances scale linearly" `Quick (fun () ->
+        let r10 = run (Synth.many_tracked ~n:10) in
+        let r20 = run (Synth.many_tracked ~n:20) in
+        Alcotest.(check int) "10 errors" 10 (count r10);
+        Alcotest.(check int) "20 errors" 20 (count r20);
+        let n10 = r10.Engine.stats.Engine.nodes_visited in
+        let n20 = r20.Engine.stats.Engine.nodes_visited in
+        (* roughly linear: visiting nodes should not quadruple *)
+        Alcotest.(check bool) "sub-quadratic" true (n20 < n10 * 3));
+    t "instance cap bounds tracking" `Quick (fun () ->
+        let src = Synth.many_tracked ~n:50 in
+        let r =
+          run ~options:{ Engine.default_options with Engine.max_instances = 5 } src
+        in
+        Alcotest.(check bool) "capped" true (count r <= 6));
+    t "trylock models both outcomes (Fig. 3)" `Quick (fun () ->
+        let src =
+          "struct lk { int x; };\n\
+           int f(struct lk *l) { if (trylock(l)) { unlock(l); } return 0; }"
+        in
+        let r = run ~checkers:[ Lock_checker.checker () ] src in
+        Alcotest.(check int) "clean" 0 (count r));
+    t "trylock false branch holds no lock" `Quick (fun () ->
+        let src =
+          "struct lk { int x; };\n\
+           int f(struct lk *l) { if (trylock(l)) { return 1; } return 0; }"
+        in
+        let r = run ~checkers:[ Lock_checker.checker () ] src in
+        (* true branch: lock held, return -> "never released" *)
+        Alcotest.(check (list string)) "leak on true branch"
+          [ "lock l never released" ]
+          (msgs r));
+    t "trylock result stored in variable then branched" `Quick (fun () ->
+        let src =
+          "struct lk { int x; };\n\
+           int f(struct lk *l) { int ok; ok = trylock(l); if (ok) { unlock(l); } return 0; }"
+        in
+        let r = run ~checkers:[ Lock_checker.checker () ] src in
+        Alcotest.(check int) "clean" 0 (count r));
+    t "declaration initializer is an assignment event" `Quick (fun () ->
+        let src = "int f(void) { int *p = kmalloc(4); return *p; }" in
+        let r = run ~checkers:[ Null_checker.checker () ] src in
+        Alcotest.(check int) "unchecked deref" 1 (count r));
+    t "null checker: checked pointer is clean" `Quick (fun () ->
+        let src =
+          "int f(void) { int *p = kmalloc(4); if (!p) { return -1; } return *p; }"
+        in
+        let r = run ~checkers:[ Null_checker.checker () ] src in
+        Alcotest.(check int) "clean" 0 (count r));
+    t "null checker: deref on failed-check path" `Quick (fun () ->
+        let src =
+          "int f(void) { int *p = kmalloc(4); if (!p) { return *p; } return 0; }"
+        in
+        let r = run ~checkers:[ Null_checker.checker () ] src in
+        Alcotest.(check bool) "definite null deref" true
+          (List.exists
+             (fun (m : string) ->
+               String.length m > 0 && String.sub m 0 13 = "dereferencing")
+             (msgs r)));
+    t "several checkers in one run share nothing but annotations" `Quick
+      (fun () ->
+        let src =
+          "int f(int *p) { kfree(p); cli(); sti(); return *p; }"
+        in
+        let r =
+          run ~checkers:[ Free_checker.checker (); Intr_checker.checker () ] src
+        in
+        Alcotest.(check int) "only the free error" 1 (count r));
+    t "report carries conditionals crossed" `Quick (fun () ->
+        let src =
+          "int f(int *p, int a, int b) { kfree(p); if (a) { b = 1; } if (b) { a = 1; } return *p; }"
+        in
+        let r = run src in
+        match r.Engine.reports with
+        | rep :: _ -> Alcotest.(check bool) "conds > 0" true (rep.Report.conditionals > 0)
+        | [] -> Alcotest.fail "expected a report");
+    t "report start_loc is the free site" `Quick (fun () ->
+        let src = "int f(int *p) {\n  kfree(p);\n  return *p;\n}" in
+        let r = run src in
+        match r.Engine.reports with
+        | rep :: _ ->
+            Alcotest.(check int) "start line" 2 rep.Report.start_loc.Srcloc.line;
+            Alcotest.(check int) "err line" 3 rep.Report.loc.Srcloc.line
+        | [] -> Alcotest.fail "expected a report");
+  ]

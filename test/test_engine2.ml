@@ -1,0 +1,147 @@
+(* Engine edge cases: unusual C shapes, option toggles, multi-checker
+   interactions. *)
+
+let t = Alcotest.test_case
+
+let run ?options ?(checkers = [ Free_checker.checker () ]) src =
+  Engine.check_source ?options ~file:"t.c" src checkers
+
+let count ?options ?checkers src = List.length (run ?options ?checkers src).Engine.reports
+
+let suite =
+  [
+    t "state survives goto" `Quick (fun () ->
+        let src =
+          "int f(int *p, int c) { kfree(p); if (c) goto use; return 0; use: return *p; }"
+        in
+        Alcotest.(check int) "err" 1 (count src));
+    t "goto loop terminates" `Quick (fun () ->
+        let src =
+          "int f(int n) { again: n = n - 1; if (n > 0) goto again; return n; }"
+        in
+        Alcotest.(check int) "no reports" 0 (count src));
+    t "switch fallthrough carries state" `Quick (fun () ->
+        let src =
+          "int f(int *p, int m) {\n\
+           switch (m) {\n\
+           case 1: kfree(p);\n\
+           case 2: return *p;\n\
+           default: break;\n\
+           }\n\
+           return 0;\n\
+           }"
+        in
+        (* case 1 falls through to the deref *)
+        Alcotest.(check int) "err" 1 (count src));
+    t "ternary subexpressions are visited" `Quick (fun () ->
+        let src = "int f(int *p, int c) { kfree(p); return c ? *p : 0; }" in
+        Alcotest.(check int) "err in ternary arm" 1 (count src));
+    t "comma expression order" `Quick (fun () ->
+        let src = "int f(int *p) { int x; x = (kfree(p), *p); return x; }" in
+        Alcotest.(check int) "err" 1 (count src));
+    t "compound assignment kills" `Quick (fun () ->
+        let src = "int f(int **a, int i) { kfree(a[i]); i += 1; return *a[i]; }" in
+        Alcotest.(check int) "killed" 0 (count src));
+    t "do-while body analysed" `Quick (fun () ->
+        let src = "int f(int *p, int n) { kfree(p); do { n = *p; } while (0); return n; }" in
+        Alcotest.(check int) "err" 1 (count src));
+    t "nested call arguments in exec order" `Quick (fun () ->
+        let src = "int f(int *p) { use(kfree(p), *p); return 0; }" in
+        (* kfree(p) is an argument evaluated before *p *)
+        Alcotest.(check int) "err" 1 (count src));
+    t "for loop with free inside" `Quick (fun () ->
+        let src =
+          "int f(int *p, int n) { for (int i = 0; i < n; i++) { if (i == 2) { kfree(p); } } return *p; }"
+        in
+        Alcotest.(check bool) "found" true (count src >= 1));
+    t "no_synonyms option stops alias tracking" `Quick (fun () ->
+        let src = "int f(int *p) { int *q; kfree(p); q = p; return *q; }" in
+        Alcotest.(check int) "with synonyms" 1 (count src);
+        Alcotest.(check int) "without" 0
+          (count ~options:{ Engine.default_options with Engine.synonyms = false } src));
+    t "max_call_depth bounds recursion work" `Quick (fun () ->
+        let src = Synth.call_chain ~depth:30 in
+        let r =
+          run ~options:{ Engine.default_options with Engine.max_call_depth = 5 } src
+        in
+        (* depth-capped: the free at the bottom is never seen *)
+        Alcotest.(check int) "no report" 0 (List.length r.Engine.reports));
+    t "two sms from one metal file both run" `Quick (fun () ->
+        let sms =
+          Metal_compile.load ~file:"<m>"
+            {|sm first { start: { a() } ==> { err("saw a"); }; }
+              sm second { start: { b() } ==> { err("saw b"); }; }|}
+        in
+        let r = run ~checkers:sms "int f(void) { a(); b(); return 0; }" in
+        Alcotest.(check int) "both" 2 (List.length r.Engine.reports));
+    t "string and char literals in patterns" `Quick (fun () ->
+        let sms =
+          Metal_compile.load ~file:"<m>"
+            {|sm lit { decl any_arguments args;
+               start: { strcpy(args) } && ${ mc_num_args(args) == 2 } ==> { err("strcpy!"); }; }|}
+        in
+        let r = run ~checkers:sms "int f(char *d, char *s) { strcpy(d, s); return 0; }" in
+        Alcotest.(check int) "flagged" 1 (List.length r.Engine.reports));
+    t "instance data values persist across blocks" `Quick (fun () ->
+        let src =
+          "struct lk { int h; };\n\
+           int f(struct lk *l, int c) { rlock(l); if (c) { rlock(l); runlock(l); } runlock(l); return 0; }"
+        in
+        Alcotest.(check int) "balanced" 0
+          (count ~checkers:[ Lock_checker.recursive_checker () ] src));
+    t "global + var state interplay" `Quick (fun () ->
+        (* a checker whose var transitions are gated on the global state *)
+        let sms =
+          Metal_compile.load ~file:"<m>"
+            {|sm gated {
+               state decl any_pointer v;
+               outside:
+                 { enter() } ==> inside
+               ;
+               inside:
+                 { leave() } ==> outside
+               | { touch(v) } ==> v.dirty
+               ;
+               v.dirty:
+                 { *v } ==> v.stop, { err("dirty deref"); }
+               ;
+             }|}
+        in
+        let flagged =
+          count ~checkers:sms
+            "int f(int *p) { enter(); touch(p); return *p; }"
+        in
+        let clean =
+          count ~checkers:sms "int f(int *p) { touch(p); return *p; }"
+        in
+        Alcotest.(check int) "inside flags" 1 flagged;
+        Alcotest.(check int) "outside ignores" 0 clean);
+    t "engine handles empty functions" `Quick (fun () ->
+        Alcotest.(check int) "empty" 0 (count "void f(void) {}"));
+    t "unreachable code after return is not analysed" `Quick (fun () ->
+        let src = "int f(int *p) { return 0; kfree(p); return *p; }" in
+        Alcotest.(check int) "dead" 0 (count src));
+    t "report dedup: same error reported once across paths" `Quick (fun () ->
+        let src =
+          "int f(int *p, int a) { kfree(p); if (a) { a = 1; } else { a = 2; } return *p; }"
+        in
+        Alcotest.(check int) "single" 1 (count src));
+    t "annotations survive between extensions in one run" `Quick (fun () ->
+        let first =
+          List.hd
+            (Metal_compile.load ~file:"<m>"
+               {|sm marker { decl any_fn_call fn; decl any_arguments args;
+                  start: { fn(args) } && ${ mc_is_call_to(fn, "seal") } ==>
+                    { annotate_ast(mc_stmt, "sealed"); }; }|})
+        in
+        let second =
+          List.hd
+            (Metal_compile.load ~file:"<m>"
+               {|sm reader { decl any_fn_call fn; decl any_arguments args;
+                  start: { fn(args) } && ${ mc_annotated(mc_stmt, "sealed") } ==>
+                    { err("saw sealed call"); }; }|})
+        in
+        let r = run ~checkers:[ first; second ] "int f(void) { seal(); return 0; }" in
+        Alcotest.(check int) "second sees first's mark" 1
+          (List.length r.Engine.reports));
+  ]

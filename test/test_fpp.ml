@@ -1,0 +1,120 @@
+(* P4: false-path pruning end-to-end (Section 8). *)
+
+let t = Alcotest.test_case
+
+let run ?options ?(checkers = [ Free_checker.checker () ]) src =
+  Engine.check_source ?options ~file:"t.c" src checkers
+
+let count r = List.length r.Engine.reports
+let no_prune = { Engine.default_options with Engine.pruning = false }
+
+let suite =
+  [
+    t "contradictory conditions pruned (Fig. 2 core)" `Quick (fun () ->
+        let src =
+          "int f(int *p, int x) { if (x) { kfree(p); } if (!x) { return *p; } return 0; }"
+        in
+        Alcotest.(check int) "pruned" 0 (count (run src));
+        Alcotest.(check int) "unpruned FP" 1 (count (run ~options:no_prune src)));
+    t "equality guards prune" `Quick (fun () ->
+        let src =
+          "int f(int *p, int x) { if (x == 1) { kfree(p); } if (x == 2) { return *p; } return 0; }"
+        in
+        Alcotest.(check int) "pruned" 0 (count (run src)));
+    t "constant conditions fold" `Quick (fun () ->
+        let src = "int f(int *p) { if (0) { kfree(p); } return *p; }" in
+        Alcotest.(check int) "dead code skipped" 0 (count (run src)));
+    t "constant-true keeps the live branch" `Quick (fun () ->
+        let src = "int f(int *p) { if (1) { kfree(p); } return *p; }" in
+        Alcotest.(check int) "real error" 1 (count (run src)));
+    t "assignment then test prunes" `Quick (fun () ->
+        let src =
+          "int f(int *p) { int mode = 0; if (mode) { kfree(p); } return *p; }"
+        in
+        Alcotest.(check int) "pruned" 0 (count (run src)));
+    t "derived values prune (y = x + 1)" `Quick (fun () ->
+        let src =
+          "int f(int *p) { int x = 1; int y = x + 1; if (y == 2) { kfree(p); } return 0; }"
+        in
+        let r = run src in
+        (* kfree happens on the (feasible) path; no error, but the branch
+           must be decided, not split *)
+        Alcotest.(check int) "no error" 0 (count r);
+        Alcotest.(check bool) "branch decided" true
+          (r.Engine.stats.Engine.pruned_branches > 0));
+    t "congruence classes via copies (synonym null check idiom)" `Quick (fun () ->
+        (* p = q = kmalloc(); checking p also validates q *)
+        let src =
+          "int f(void) { int *p; int *q; p = q = kmalloc(8); if (!p) { return 0; } return *q; }"
+        in
+        let r = run ~checkers:[ Null_checker.checker () ] src in
+        Alcotest.(check int) "no FP on q" 0 (count r));
+    t "inequalities prune transitively contradictory branches" `Quick (fun () ->
+        let src =
+          "int f(int *p, int x) { if (x < 3) { kfree(p); } if (x > 5) { return *p; } return 0; }"
+        in
+        Alcotest.(check int) "pruned" 0 (count (run src)));
+    t "loop havoc prevents wrong pruning" `Quick (fun () ->
+        (* x starts 0 but is modified in the loop: the analysis must NOT
+           assume x == 0 after it *)
+        let src =
+          "int f(int *p, int n) {\n\
+           int x = 0;\n\
+           while (n > 0) { x = x + 1; n = n - 1; }\n\
+           if (x) { kfree(p); }\n\
+           if (x) { return *p; }\n\
+           return 0;\n\
+           }"
+        in
+        (* both ifs have the same condition, so the path x && x reaching
+           *p after kfree is feasible: a real (path-sensitive) error *)
+        Alcotest.(check int) "real error kept" 1 (count (run src));
+        let src_dead =
+          "int f(int *p, int n) { int x = 0; if (x) { kfree(p); } return *p; }"
+        in
+        Alcotest.(check int) "no-loop constant still prunes" 0 (count (run src_dead)));
+    t "same-condition branches stay correlated" `Quick (fun () ->
+        let src =
+          "int f(int *p, int x) { if (x) { kfree(p); } if (x) { return *p; } return 0; }"
+        in
+        (* feasible: x true on both; real error *)
+        Alcotest.(check int) "real error" 1 (count (run src)));
+    t "unknown-call results are not pruned" `Quick (fun () ->
+        let src =
+          "int f(int *p) { int r = probe(); if (r) { kfree(p); } if (!r) { return 0; } return *p; }"
+        in
+        (* r unknown but consistent: error on r-true path *)
+        Alcotest.(check int) "error kept" 1 (count (run src)));
+    t "switch pruning on known scrutinee" `Quick (fun () ->
+        let src =
+          "int f(int *p) { int m = 3; switch (m) { case 1: kfree(p); break; default: break; } return *p; }"
+        in
+        Alcotest.(check int) "case 1 dead" 0 (count (run src)));
+    t "switch assumption inside a case arm" `Quick (fun () ->
+        let src =
+          "int f(int *p, int m) {\n\
+           switch (m) { case 1: kfree(p); break; default: break; }\n\
+           if (m == 1) { return 0; }\n\
+           return *p;\n\
+           }"
+        in
+        (* in the case-1 arm m==1 is assumed, so 'return *p' is unreachable
+           with p freed *)
+        Alcotest.(check int) "pruned" 0 (count (run src)));
+    t "default arm knows the scrutinee differs from the guards" `Quick (fun () ->
+        let src =
+          "int f(int *p, int m) {\n\
+           switch (m) { case 1: break; default: kfree(p); break; }\n\
+           if (m == 1) { return *p; }\n\
+           return 0;\n\
+           }"
+        in
+        (* p is freed only when m != 1; the deref is guarded by m == 1 *)
+        Alcotest.(check int) "pruned" 0 (count (run src)));
+    t "address-taken variables are havocked at unknown calls" `Quick (fun () ->
+        let src =
+          "int f(int *p) { int x = 0; fill(&x); if (x) { kfree(p); } if (x) { return *p; } return 0; }"
+        in
+        (* x unknown after fill(&x): correlated branches give a real error *)
+        Alcotest.(check int) "error kept" 1 (count (run src)));
+  ]

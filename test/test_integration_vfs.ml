@@ -1,0 +1,72 @@
+(* Integration tests over the VFS corpus (fixture_vfs.ml): recursion,
+   gotos, switch dispatch, deeper interprocedural chains. *)
+
+let t = Alcotest.test_case
+
+let run_all () =
+  let sg = Fixture_vfs.supergraph () in
+  Engine.run sg
+    [
+      Free_checker.checker ();
+      Lock_checker.checker ();
+      Security_checker.checker ();
+      Leak_checker.checker ();
+    ]
+
+let reports_in result func =
+  List.filter (fun (r : Report.t) -> String.equal r.Report.func func)
+    result.Engine.reports
+
+let has result ~checker ~func =
+  List.exists
+    (fun (r : Report.t) ->
+      String.equal r.Report.checker checker && String.equal r.Report.func func)
+    result.Engine.reports
+
+let suite =
+  [
+    t "V1: double free via the release chain" `Quick (fun () ->
+        (* the error fires where the second kfree happens: inside
+           inode_free, entered the second time with n already freed *)
+        let r = run_all () in
+        Alcotest.(check bool) "found" true
+          (has r ~checker:"free_checker" ~func:"inode_free"));
+    t "V2: use-after-free after inode_put(parent)" `Quick (fun () ->
+        let r = run_all () in
+        Alcotest.(check bool) "found" true
+          (has r ~checker:"free_checker" ~func:"walk_path");
+        (* and it is an interprocedural find *)
+        match
+          List.find_opt
+            (fun (x : Report.t) ->
+              String.equal x.Report.func "walk_path"
+              && String.equal x.Report.checker "free_checker")
+            r.Engine.reports
+        with
+        | Some rep -> Alcotest.(check bool) "interproc" true (rep.Report.call_depth > 0)
+        | None -> ());
+    t "V3: goto-based cleanup that skips the unlock" `Quick (fun () ->
+        let r = run_all () in
+        Alcotest.(check bool) "found" true
+          (has r ~checker:"lock_checker" ~func:"sb_remount"));
+    t "V4: user pointer in one switch arm only" `Quick (fun () ->
+        let r = run_all () in
+        Alcotest.(check bool) "found" true
+          (has r ~checker:"user_pointer_checker" ~func:"sb_ioctl");
+        Alcotest.(check int) "exactly one report there" 1
+          (List.length (reports_in r "sb_ioctl")));
+    t "V5: leak on the eviction overflow path" `Quick (fun () ->
+        let r = run_all () in
+        Alcotest.(check bool) "found" true
+          (has r ~checker:"leak_checker" ~func:"cache_gc"));
+    t "W1/W2/W3: recursion, correct goto cleanup, clean switch" `Quick (fun () ->
+        let r = run_all () in
+        List.iter
+          (fun func ->
+            Alcotest.(check (list string)) (func ^ " clean") []
+              (List.map (fun (x : Report.t) -> x.Report.message) (reports_in r func)))
+          [ "inode_get"; "sb_sync"; "cache_lookup" ]);
+    t "recursive inode_get terminates with caching" `Quick (fun () ->
+        let r = run_all () in
+        Alcotest.(check bool) "ran" true (r.Engine.stats.Engine.blocks_visited > 0));
+  ]

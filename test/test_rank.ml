@@ -1,0 +1,142 @@
+(* Section 9: generic ranking, severity stratification, z-statistic,
+   statistical sort, grouping, history suppression. *)
+
+let t = Alcotest.test_case
+
+let mk ?(checker = "c") ?(msg = "m") ?(line = 10) ?(start_line = 10) ?(conds = 0)
+    ?(syn = 0) ?(depth = 0) ?(annotations = []) ?rule ?(func = "f") ?var () =
+  Report.make ~checker ~message:msg
+    ~loc:(Srcloc.make ~file:"x.c" ~line ~col:1)
+    ~start_loc:(Srcloc.make ~file:"x.c" ~line:start_line ~col:1)
+    ~func ~file:"x.c" ?var ?rule ~conditionals:conds ~syn_chain:syn ~call_depth:depth
+    ~annotations ()
+
+let order reports = List.map (fun (r : Report.t) -> r.Report.message) reports
+
+let suite =
+  [
+    t "distance ranks near errors first" `Quick (fun () ->
+        let far = mk ~msg:"far" ~line:100 ~start_line:1 () in
+        let near = mk ~msg:"near" ~line:12 ~start_line:10 () in
+        Alcotest.(check (list string)) "order" [ "near"; "far" ]
+          (order (Rank.generic_sort [ far; near ])));
+    t "each conditional counts as ten lines" `Quick (fun () ->
+        let conds = mk ~msg:"conds" ~line:10 ~start_line:10 ~conds:3 () in
+        let dist = mk ~msg:"dist" ~line:35 ~start_line:10 () in
+        (* 30 vs 25 lines-equivalent *)
+        Alcotest.(check (list string)) "order" [ "dist"; "conds" ]
+          (order (Rank.generic_sort [ conds; dist ])));
+    t "local errors rank above interprocedural" `Quick (fun () ->
+        let inter = mk ~msg:"inter" ~depth:1 () in
+        let local = mk ~msg:"local" ~line:90 ~start_line:1 () in
+        Alcotest.(check (list string)) "order" [ "local"; "inter" ]
+          (order (Rank.generic_sort [ inter; local ])));
+    t "global errors ordered by call-chain length" `Quick (fun () ->
+        let d3 = mk ~msg:"d3" ~depth:3 () in
+        let d1 = mk ~msg:"d1" ~depth:1 () in
+        Alcotest.(check (list string)) "order" [ "d1"; "d3" ]
+          (order (Rank.generic_sort [ d3; d1 ])));
+    t "direct errors rank above synonym-mediated" `Quick (fun () ->
+        let syn = mk ~msg:"syn" ~syn:2 () in
+        let direct = mk ~msg:"direct" ~line:80 ~start_line:1 () in
+        Alcotest.(check (list string)) "order" [ "direct"; "syn" ]
+          (order (Rank.generic_sort [ syn; direct ])));
+    t "synonyms ordered by chain length" `Quick (fun () ->
+        let s2 = mk ~msg:"s2" ~syn:2 () in
+        let s1 = mk ~msg:"s1" ~syn:1 () in
+        Alcotest.(check (list string)) "order" [ "s1"; "s2" ]
+          (order (Rank.generic_sort [ s2; s1 ])));
+    t "severity stratifies above everything" `Quick (fun () ->
+        let minor = mk ~msg:"minor" ~annotations:[ "MINOR" ] () in
+        let sec = mk ~msg:"sec" ~line:500 ~start_line:1 ~depth:4 ~annotations:[ "SECURITY" ] () in
+        let err = mk ~msg:"err" ~annotations:[ "ERROR" ] () in
+        let normal = mk ~msg:"normal" () in
+        Alcotest.(check (list string)) "order" [ "sec"; "err"; "normal"; "minor" ]
+          (order (Rank.generic_sort [ minor; sec; err; normal ])));
+    t "z-statistic formula" `Quick (fun () ->
+        (* z(n=100, e=90) with p0 = .5: (0.9-0.5)/sqrt(0.0025) = 8 *)
+        Alcotest.(check (float 1e-9)) "z" 8.0 (Zstat.z ~n:100 ~e:90 ());
+        Alcotest.(check (float 1e-9)) "z half" 0.0 (Zstat.z ~n:10 ~e:5 ());
+        Alcotest.(check bool) "empty" true (Zstat.z ~n:0 ~e:0 () = neg_infinity));
+    t "rank_rules sorts by reliability" `Quick (fun () ->
+        let ranked =
+          Zstat.rank_rules
+            [ ("random", 5, 5); ("reliable", 99, 1); ("inverted", 1, 9) ]
+        in
+        Alcotest.(check (list string)) "order" [ "reliable"; "random"; "inverted" ]
+          (List.map fst ranked));
+    t "statistical sort pushes bad-rule clusters down" `Quick (fun () ->
+        let good = mk ~msg:"real" ~rule:"always_free" () in
+        let noise1 = mk ~msg:"n1" ~rule:"cond_free" () in
+        let noise2 = mk ~msg:"n2" ~rule:"cond_free" () in
+        let counters = [ ("always_free", 50, 1); ("cond_free", 2, 48) ] in
+        Alcotest.(check (list string)) "order" [ "real"; "n1"; "n2" ]
+          (order (Rank.statistical_sort ~counters [ noise1; good; noise2 ])));
+    t "group_by_rule groups common analysis facts" `Quick (fun () ->
+        let a1 = mk ~msg:"a1" ~rule:"A" () in
+        let b1 = mk ~msg:"b1" ~rule:"B" () in
+        let a2 = mk ~msg:"a2" ~rule:"A" () in
+        let groups = Rank.group_by_rule [ a1; b1; a2 ] in
+        Alcotest.(check (list string)) "rules" [ "A"; "B" ] (List.map fst groups);
+        Alcotest.(check int) "A size" 2 (List.length (List.assoc "A" groups)));
+    t "sort is stable for equal keys" `Quick (fun () ->
+        let r1 = mk ~msg:"first" () in
+        let r2 = mk ~msg:"second" () in
+        Alcotest.(check (list string)) "stable" [ "first"; "second" ]
+          (order (Rank.generic_sort [ r1; r2 ])));
+    t "stratified classes in inspection order" `Quick (fun () ->
+        let sec = mk ~msg:"sec" ~annotations:[ "SECURITY" ] () in
+        let nrm1 = mk ~msg:"n1" () in
+        let nrm2 = mk ~msg:"n2" ~line:90 ~start_line:1 () in
+        let strata = Rank.stratified [ nrm2; sec; nrm1 ] in
+        match strata with
+        | [ (Rank.Security, [ s1 ]); (Rank.Normal, [ a; b ]) ] ->
+            Alcotest.(check string) "sec" "sec" s1.Report.message;
+            Alcotest.(check (list string)) "normals sorted" [ "n1"; "n2" ]
+              [ a.Report.message; b.Report.message ]
+        | _ -> Alcotest.fail "bad strata");
+    (* history *)
+    t "history suppression matches identity, not line numbers" `Quick (fun () ->
+        let v1 = mk ~msg:"use after free" ~func:"f" ~var:"p" ~line:10 () in
+        let db = History.of_reports [ v1 ] in
+        (* same error moved to a different line: still suppressed *)
+        let v2 = mk ~msg:"use after free" ~func:"f" ~var:"p" ~line:42 () in
+        let kept, n = History.suppress db [ v2 ] in
+        Alcotest.(check int) "suppressed" 1 n;
+        Alcotest.(check int) "kept" 0 (List.length kept));
+    t "history distinguishes variables and functions" `Quick (fun () ->
+        let v1 = mk ~msg:"m" ~func:"f" ~var:"p" () in
+        let db = History.of_reports [ v1 ] in
+        let other_var = mk ~msg:"m" ~func:"f" ~var:"q" () in
+        let other_fn = mk ~msg:"m" ~func:"g" ~var:"p" () in
+        let kept, _ = History.suppress db [ other_var; other_fn ] in
+        Alcotest.(check int) "both kept" 2 (List.length kept));
+    t "history save/load round-trips" `Quick (fun () ->
+        let v1 = mk ~msg:"m1" () and v2 = mk ~msg:"m2" () in
+        let db = History.of_reports [ v1; v2 ] in
+        let path = Filename.temp_file "mc_history" ".db" in
+        History.save path db;
+        let db2 = History.load path in
+        Sys.remove path;
+        Alcotest.(check int) "size" 2 (History.size db2);
+        Alcotest.(check bool) "mem" true (History.mem db2 v1));
+    t "loading a missing history file is empty" `Quick (fun () ->
+        let db = History.load "/nonexistent/path/xyz.db" in
+        Alcotest.(check int) "empty" 0 (History.size db));
+    (* report plumbing *)
+    t "report identity key fields" `Quick (fun () ->
+        let r = mk ~checker:"free" ~msg:"boom" ~func:"f" ~var:"p" () in
+        let k = Report.identity_key r in
+        Alcotest.(check bool) "has file" true (String.length k > 0);
+        let r2 = mk ~checker:"free" ~msg:"boom" ~func:"f" ~var:"p" ~line:99 () in
+        Alcotest.(check string) "line-insensitive" k (Report.identity_key r2));
+    t "collector preserves order" `Quick (fun () ->
+        let c = Report.new_collector () in
+        Report.emit c (mk ~msg:"a" ());
+        Report.emit c (mk ~msg:"b" ());
+        Alcotest.(check (list string)) "order" [ "a"; "b" ]
+          (List.map (fun (r : Report.t) -> r.Report.message) (Report.reports c));
+        Alcotest.(check int) "count" 2 (Report.count c);
+        Report.clear c;
+        Alcotest.(check int) "cleared" 0 (Report.count c));
+  ]

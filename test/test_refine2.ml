@@ -1,0 +1,144 @@
+(* Dedicated refine/restore classification suite (Table 2 plumbing beyond
+   the mapping algebra covered in test_interproc). *)
+
+let t = Alcotest.test_case
+let e s = Cparse.expr_of_string ~file:"<t>" s
+
+let program =
+  {|
+int global_obj;
+static int file_scope_obj;
+void callee(int *xf, int n) { n = n + 1; }
+int caller(int *xa, int m) {
+   int local_only;
+   local_only = m;
+   callee(xa, m);
+   return local_only;
+}
+|}
+
+let setup () =
+  let tu = Cparse.parse_tunit ~file:"a.c" program in
+  let typing = Ctyping.of_program [ tu ] in
+  let funcs =
+    List.filter_map (function Cast.Gfun f -> Some f | _ -> None) tu.Cast.tu_globals
+  in
+  let find n = List.find (fun (f : Cast.fundef) -> String.equal f.fname n) funcs in
+  (typing, find "caller", find "callee")
+
+let mapping () =
+  Refine.make_mapping
+    ~params:[ ("xf", Ctyp.Ptr Ctyp.int_); ("n", Ctyp.int_) ]
+    ~args:[ e "xa"; e "m" ]
+
+let classify tree =
+  let typing, caller, callee = setup () in
+  Refine.classify_refine ~typing ~caller ~callee_file:callee.Cast.ffile (mapping ())
+    (e tree)
+
+let classify_back tree =
+  let typing, _, callee = setup () in
+  Refine.classify_restore ~typing ~callee (mapping ()) (e tree)
+
+let xfer =
+  Alcotest.testable
+    (fun ppf -> function
+      | Refine.Mapped t -> Format.fprintf ppf "Mapped(%s)" (Cprint.expr_to_string t)
+      | Refine.Global_pass -> Format.pp_print_string ppf "Global_pass"
+      | Refine.Inactivate -> Format.pp_print_string ppf "Inactivate"
+      | Refine.Save -> Format.pp_print_string ppf "Save")
+    (fun a b ->
+      match (a, b) with
+      | Refine.Mapped x, Refine.Mapped y -> Cast.equal_expr x y
+      | Refine.Global_pass, Refine.Global_pass
+      | Refine.Inactivate, Refine.Inactivate
+      | Refine.Save, Refine.Save ->
+          true
+      | _ -> false)
+
+let back =
+  Alcotest.testable
+    (fun ppf -> function
+      | Refine.Back t -> Format.fprintf ppf "Back(%s)" (Cprint.expr_to_string t)
+      | Refine.Back_global -> Format.pp_print_string ppf "Back_global"
+      | Refine.Back_dropped -> Format.pp_print_string ppf "Back_dropped")
+    (fun a b ->
+      match (a, b) with
+      | Refine.Back x, Refine.Back y -> Cast.equal_expr x y
+      | Refine.Back_global, Refine.Back_global
+      | Refine.Back_dropped, Refine.Back_dropped ->
+          true
+      | _ -> false)
+
+let suite =
+  [
+    t "argument state maps into the callee" `Quick (fun () ->
+        Alcotest.check xfer "xa" (Refine.Mapped (e "xf")) (classify "xa");
+        Alcotest.check xfer "*xa" (Refine.Mapped (e "*xf")) (classify "*xa");
+        Alcotest.check xfer "xa->next" (Refine.Mapped (e "xf->next")) (classify "xa->next"));
+    t "global objects pass unchanged" `Quick (fun () ->
+        Alcotest.check xfer "global" Refine.Global_pass (classify "global_obj"));
+    t "file-scope statics cross files asleep" `Quick (fun () ->
+        (* caller and callee are in the same file here: stays active *)
+        Alcotest.check xfer "same file" Refine.Global_pass (classify "file_scope_obj");
+        (* simulate a callee in another file *)
+        let typing, caller, _ = setup () in
+        let other_callee =
+          {
+            Cast.fname = "other";
+            freturn = Ctyp.Void;
+            fparams = [ ("xf", Ctyp.Ptr Ctyp.int_); ("n", Ctyp.int_) ];
+            fvariadic = false;
+            fbody = Cast.mk_stmt (Cast.Sblock []);
+            floc = Srcloc.dummy;
+            ffile = "b.c";
+            fstatic = false;
+          }
+        in
+        ignore other_callee;
+        let r =
+          Refine.classify_refine ~typing ~caller ~callee_file:"b.c" (mapping ())
+            (e "file_scope_obj")
+        in
+        Alcotest.check xfer "cross file" Refine.Inactivate r);
+    t "caller-local state is saved" `Quick (fun () ->
+        Alcotest.check xfer "local" Refine.Save (classify "local_only");
+        Alcotest.check xfer "local expr" Refine.Save (classify "local_only + 1"));
+    t "mixed tree with a leftover caller-local is saved" `Quick (fun () ->
+        Alcotest.check xfer "mixed" Refine.Save (classify "xa[local_only]"));
+    t "restore maps formals back" `Quick (fun () ->
+        Alcotest.check back "xf" (Refine.Back (e "xa")) (classify_back "xf");
+        Alcotest.check back "*xf" (Refine.Back (e "*xa")) (classify_back "*xf");
+        Alcotest.check back "xf->f" (Refine.Back (e "xa->f")) (classify_back "xf->f"));
+    t "restore passes globals through" `Quick (fun () ->
+        Alcotest.check back "global" Refine.Back_global (classify_back "global_obj"));
+    t "by-value root detection" `Quick (fun () ->
+        let m = mapping () in
+        Alcotest.(check bool) "xf is byval root" true (Refine.is_byval_root m (e "xf"));
+        Alcotest.(check bool) "*xf is not" false (Refine.is_byval_root m (e "*xf"));
+        let m2 =
+          Refine.make_mapping ~params:[ ("xf", Ctyp.Ptr Ctyp.int_) ] ~args:[ e "&xa" ]
+        in
+        Alcotest.(check bool) "&-mapped formal is not byval" false
+          (Refine.is_byval_root m2 (e "xf")));
+    t "variadic extras are ignored" `Quick (fun () ->
+        let m =
+          Refine.make_mapping ~params:[ ("fmt", Ctyp.Ptr Ctyp.char_) ]
+            ~args:[ e "f"; e "a"; e "b" ]
+        in
+        Alcotest.(check string) "only fmt mapped" "fmt"
+          (Cprint.expr_to_string (Refine.refine_tree m (e "f")));
+        Alcotest.(check string) "extras untouched" "a"
+          (Cprint.expr_to_string (Refine.refine_tree m (e "a"))));
+    t "missing actuals leave formals unmapped" `Quick (fun () ->
+        let m = Refine.make_mapping ~params:[ ("p", Ctyp.void_ptr); ("q", Ctyp.void_ptr) ]
+            ~args:[ e "x" ] in
+        (* q has no actual: a tree over q cannot come back *)
+        let typing, _, callee = setup () in
+        ignore typing;
+        ignore callee;
+        Alcotest.(check string) "p maps" "p"
+          (Cprint.expr_to_string (Refine.refine_tree m (e "x")));
+        Alcotest.(check string) "restore p" "x"
+          (Cprint.expr_to_string (Refine.restore_tree m (e "p"))));
+  ]

@@ -1,0 +1,135 @@
+(* False-path pruning store (Section 8): value tracking, congruence
+   closure, orderings, havoc, branch decisions. *)
+
+let e s = Cparse.expr_of_string ~file:"<t>" s
+let t = Alcotest.test_case
+
+let verdict =
+  Alcotest.testable
+    (fun ppf v ->
+      Format.pp_print_string ppf
+        (match v with Store.True -> "True" | Store.False -> "False" | Store.Unknown -> "Unknown"))
+    ( = )
+
+let suite =
+  [
+    t "constants decide" `Quick (fun () ->
+        let s = Store.empty in
+        Alcotest.check verdict "1" Store.True (Store.decide s (e "1"));
+        Alcotest.check verdict "0" Store.False (Store.decide s (e "0"));
+        Alcotest.check verdict "2 > 1" Store.True (Store.decide s (e "2 > 1")));
+    t "assignment of constant propagates" `Quick (fun () ->
+        let s = Store.assign Store.empty "x" (e "10") in
+        Alcotest.(check (option int64)) "x" (Some 10L) (Store.eval s (e "x"));
+        Alcotest.check verdict "x == 10" Store.True (Store.decide s (e "x == 10"));
+        Alcotest.check verdict "x < 5" Store.False (Store.decide s (e "x < 5")));
+    t "expression over known values folds" `Quick (fun () ->
+        let s = Store.assign Store.empty "x" (e "10") in
+        let s = Store.assign s "y" (e "x + 1") in
+        Alcotest.(check (option int64)) "y" (Some 11L) (Store.eval s (e "y")));
+    t "renaming: reassignment invalidates old facts" `Quick (fun () ->
+        let s = Store.assign Store.empty "x" (e "1") in
+        let s = Store.assign s "x" (e "2") in
+        Alcotest.(check (option int64)) "x" (Some 2L) (Store.eval s (e "x")));
+    t "congruence: same expression same class" `Quick (fun () ->
+        let s = Store.assign Store.empty "y" (e "x + 1") in
+        let s = Store.assign s "z" (e "x + 1") in
+        Alcotest.check verdict "y == z" Store.True (Store.decide s (e "y == z")));
+    t "congruence: different expressions unknown" `Quick (fun () ->
+        let s = Store.assign Store.empty "y" (e "x + 1") in
+        let s = Store.assign s "z" (e "x + 2") in
+        Alcotest.check verdict "y == z" Store.Unknown (Store.decide s (e "y == z")));
+    t "copy assignment creates equality" `Quick (fun () ->
+        let s = Store.assign Store.empty "y" (e "x") in
+        Alcotest.check verdict "x == y" Store.True (Store.decide s (e "x == y")));
+    t "assume equality merges classes" `Quick (fun () ->
+        let s = Store.assume Store.empty (e "a == b") true in
+        Alcotest.check verdict "a == b" Store.True (Store.decide s (e "a == b"));
+        Alcotest.check verdict "a != b" Store.False (Store.decide s (e "a != b")));
+    t "assume disequality" `Quick (fun () ->
+        let s = Store.assume Store.empty (e "a == b") false in
+        Alcotest.check verdict "a == b" Store.False (Store.decide s (e "a == b")));
+    t "truthiness tracks through branches (the Figure 2 pattern)" `Quick (fun () ->
+        (* taking if(x) true then asking if(!x) must prune *)
+        let s = Store.assume Store.empty (e "x") true in
+        Alcotest.check verdict "x" Store.True (Store.decide s (e "x"));
+        let s0 = Store.assume Store.empty (e "x") false in
+        Alcotest.check verdict "x on false branch" Store.False (Store.decide s0 (e "x"));
+        Alcotest.check verdict "x == 0" Store.True (Store.decide s0 (e "x == 0")));
+    t "orderings: x < y assumed" `Quick (fun () ->
+        let s = Store.assume Store.empty (e "x < y") true in
+        Alcotest.check verdict "x < y" Store.True (Store.decide s (e "x < y"));
+        Alcotest.check verdict "y < x" Store.False (Store.decide s (e "y < x"));
+        Alcotest.check verdict "x == y" Store.False (Store.decide s (e "x == y"));
+        Alcotest.check verdict "x <= y" Store.True (Store.decide s (e "x <= y")));
+    t "orderings: negation of < is >=" `Quick (fun () ->
+        let s = Store.assume Store.empty (e "x < y") false in
+        Alcotest.check verdict "y <= x" Store.True (Store.decide s (e "y <= x"));
+        Alcotest.check verdict "x < y" Store.False (Store.decide s (e "x < y")));
+    t "equality propagates constants" `Quick (fun () ->
+        let s = Store.assign Store.empty "x" (e "5") in
+        let s = Store.assume s (e "y == x") true in
+        Alcotest.(check (option int64)) "y" (Some 5L) (Store.eval s (e "y")));
+    t "havoc forgets" `Quick (fun () ->
+        let s = Store.assign Store.empty "x" (e "1") in
+        let s = Store.havoc s [ "x" ] in
+        Alcotest.(check (option int64)) "x" None (Store.eval s (e "x"));
+        Alcotest.check verdict "x == 1" Store.Unknown (Store.decide s (e "x == 1")));
+    t "calls are opaque" `Quick (fun () ->
+        let s = Store.assign Store.empty "x" (e "f()") in
+        Alcotest.(check (option int64)) "x" None (Store.eval s (e "x"));
+        let s2 = Store.assign s "y" (e "f()") in
+        Alcotest.check verdict "x == y" Store.Unknown (Store.decide s2 (e "x == y")));
+    t "comparison via constants on both sides" `Quick (fun () ->
+        let s = Store.assign Store.empty "a" (e "3") in
+        let s = Store.assign s "b" (e "7") in
+        Alcotest.check verdict "a < b" Store.True (Store.decide s (e "a < b"));
+        Alcotest.check verdict "a >= b" Store.False (Store.decide s (e "a >= b")));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"assume is consistent with decide" ~count:300
+         QCheck2.Gen.(
+           list_size (int_range 1 5)
+             (tup2
+                (oneofl [ "x < y"; "x == y"; "y < z"; "x == 3"; "z != 0" ])
+                bool))
+         (fun assumptions ->
+           (* after an assume, decide must not contradict it unless an
+              earlier assumption already decided it the other way *)
+           let e s = Cparse.expr_of_string ~file:"<q>" s in
+           let ok = ref true in
+           let _ =
+             List.fold_left
+               (fun st (cond_src, taken) ->
+                 let cond = e cond_src in
+                 let before = Store.decide st cond in
+                 let st' = Store.assume st cond taken in
+                 (match (before, Store.decide st' cond, taken) with
+                 | Store.Unknown, Store.False, true -> ok := false
+                 | Store.Unknown, Store.True, false -> ok := false
+                 | _ -> ());
+                 st')
+               Store.empty assumptions
+           in
+           !ok));
+    (* qcheck: decisions are never wrong w.r.t. a concrete environment *)
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"decide is sound on concrete assignments" ~count:500
+         QCheck2.Gen.(
+           tup3 (int_range (-5) 5) (int_range (-5) 5)
+             (oneofl [ "x < y"; "x == y"; "x != y"; "x <= y"; "x > 5"; "x + y == 0" ]))
+         (fun (vx, vy, cond_src) ->
+           let s = Store.assign Store.empty "x" (e (string_of_int vx)) in
+           let s = Store.assign s "y" (e (string_of_int vy)) in
+           let cond = e cond_src in
+           let concrete =
+             let env_eval = Store.eval s cond in
+             match env_eval with
+             | Some n -> Some (not (Int64.equal n 0L))
+             | None -> None
+           in
+           match (Store.decide s cond, concrete) with
+           | Store.True, Some b -> b
+           | Store.False, Some b -> not b
+           | Store.Unknown, _ -> true
+           | _, None -> true));
+  ]

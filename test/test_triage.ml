@@ -1,0 +1,107 @@
+(* Triage sessions: export/import round trip, verdict application. *)
+
+let t = Alcotest.test_case
+
+let mk ?(msg = "m") ?(func = "f") ?var ?rule () =
+  Report.make ~checker:"c" ~message:msg
+    ~loc:(Srcloc.make ~file:"x.c" ~line:5 ~col:1)
+    ~func ~file:"x.c" ?var ?rule ()
+
+let suite =
+  [
+    t "export lists all reports with undecided marks" `Quick (fun () ->
+        let reports = [ mk ~msg:"a" (); mk ~msg:"b" () ] in
+        let text = Triage.export reports in
+        let lines =
+          List.filter
+            (fun l -> String.length l > 0 && l.[0] <> '#')
+            (String.split_on_char '\n' text)
+        in
+        Alcotest.(check int) "two entries" 2 (List.length lines);
+        List.iter
+          (fun l -> Alcotest.(check char) "mark" '?' l.[0])
+          lines);
+    t "import round trip attaches verdicts" `Quick (fun () ->
+        let r1 = mk ~msg:"real one" () and r2 = mk ~msg:"noise" () in
+        let text = Triage.export [ r1; r2 ] in
+        (* mark the first R, second F *)
+        let marked =
+          String.split_on_char '\n' text
+          |> List.map (fun l ->
+                 if String.length l = 0 || l.[0] = '#' then l
+                 else if
+                   String.length l > 10
+                   &&
+                   let n = String.length l and pat = "real one" in
+                   let m = String.length pat in
+                   let rec go i =
+                     i + m <= n && (String.equal (String.sub l i m) pat || go (i + 1))
+                   in
+                   go 0
+                 then "R" ^ String.sub l 1 (String.length l - 1)
+                 else "F" ^ String.sub l 1 (String.length l - 1))
+          |> String.concat "\n"
+        in
+        let entries = Triage.import ~reports:[ r1; r2 ] marked in
+        (match entries with
+        | [ e1; e2 ] ->
+            Alcotest.(check bool) "r1 real" true (e1.Triage.verdict = Triage.Real);
+            Alcotest.(check bool) "r2 fp" true
+              (e2.Triage.verdict = Triage.False_positive)
+        | _ -> Alcotest.fail "two entries expected"));
+    t "missing entries come back undecided" `Quick (fun () ->
+        let r1 = mk ~msg:"present" () and r2 = mk ~msg:"absent" () in
+        let text = Triage.export [ r1 ] in
+        let entries = Triage.import ~reports:[ r1; r2 ] text in
+        match entries with
+        | [ _; e2 ] ->
+            Alcotest.(check bool) "undecided" true (e2.Triage.verdict = Triage.Undecided)
+        | _ -> Alcotest.fail "two entries expected");
+    t "malformed lines raise with line numbers" `Quick (fun () ->
+        (match Triage.import ~reports:[] "garbage line without pipes" with
+        | exception Triage.Malformed (1, _) -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+        match Triage.import ~reports:[] "X|a|b|c|d|e|f" with
+        | exception Triage.Malformed (1, _) -> ()
+        | _ -> Alcotest.fail "expected Malformed for bad mark");
+    t "apply folds false positives into history and counts rules" `Quick (fun () ->
+        let fp = mk ~msg:"fp" ~rule:"ruleA" () in
+        let real = mk ~msg:"real" ~rule:"ruleA" () in
+        let other = mk ~msg:"other" ~rule:"ruleB" () in
+        let entries =
+          [
+            { Triage.verdict = Triage.False_positive; report = fp };
+            { Triage.verdict = Triage.Real; report = real };
+            { Triage.verdict = Triage.Undecided; report = other };
+          ]
+        in
+        let db, stats = Triage.apply entries History.empty in
+        Alcotest.(check int) "one suppressed" 1 (History.size db);
+        Alcotest.(check bool) "fp suppressed" true (History.mem db fp);
+        Alcotest.(check bool) "real kept" false (History.mem db real);
+        Alcotest.(check (list (triple string int int))) "rule stats"
+          [ ("ruleA", 1, 1); ("ruleB", 0, 0) ]
+          stats);
+    t "end-to-end: triaged FPs vanish from the next run" `Quick (fun () ->
+        let src = "int f(int *p) { kfree(p); return *p; }" in
+        let run () =
+          (Engine.check_source ~file:"t.c" src [ Free_checker.checker () ]).Engine.reports
+        in
+        let r1 = run () in
+        let text = Triage.export r1 in
+        (* user marks everything as FP *)
+        let marked =
+          String.concat "\n"
+            (List.map
+               (fun l ->
+                 if String.length l > 0 && l.[0] = '?' then
+                   "F" ^ String.sub l 1 (String.length l - 1)
+                 else l)
+               (String.split_on_char '\n' text))
+        in
+        let entries = Triage.import ~reports:r1 marked in
+        let db, _ = Triage.apply entries History.empty in
+        let kept, suppressed = History.suppress db (run ()) in
+        Alcotest.(check int) "all suppressed" 0 (List.length kept);
+        Alcotest.(check int) "count" (List.length r1) suppressed);
+  ]

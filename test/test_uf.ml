@@ -1,0 +1,62 @@
+(* Persistent union-find: the backbone of the congruence closure. *)
+
+let t = Alcotest.test_case
+
+let suite =
+  [
+    t "fresh classes are distinct" `Quick (fun () ->
+        let u, a = Uf.fresh Uf.empty in
+        let u, b = Uf.fresh u in
+        Alcotest.(check bool) "distinct" false (Uf.equal u a b));
+    t "union merges" `Quick (fun () ->
+        let u, a = Uf.fresh Uf.empty in
+        let u, b = Uf.fresh u in
+        let u = Uf.union u a b in
+        Alcotest.(check bool) "merged" true (Uf.equal u a b));
+    t "union is transitive" `Quick (fun () ->
+        let u, a = Uf.fresh Uf.empty in
+        let u, b = Uf.fresh u in
+        let u, c = Uf.fresh u in
+        let u = Uf.union u a b in
+        let u = Uf.union u b c in
+        Alcotest.(check bool) "a~c" true (Uf.equal u a c));
+    t "persistence: old version unaffected" `Quick (fun () ->
+        let u, a = Uf.fresh Uf.empty in
+        let u, b = Uf.fresh u in
+        let u2 = Uf.union u a b in
+        Alcotest.(check bool) "new merged" true (Uf.equal u2 a b);
+        Alcotest.(check bool) "old separate" false (Uf.equal u a b));
+    t "find is idempotent" `Quick (fun () ->
+        let u, a = Uf.fresh Uf.empty in
+        let u, b = Uf.fresh u in
+        let u = Uf.union u a b in
+        let r = Uf.find u a in
+        Alcotest.(check int) "stable" r (Uf.find u r));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"random unions keep equivalence relation" ~count:200
+         QCheck2.Gen.(list_size (int_bound 20) (pair (int_bound 9) (int_bound 9)))
+         (fun pairs ->
+           (* build 10 classes, apply unions, check symmetry/transitivity *)
+           let u = ref Uf.empty in
+           let ids = Array.init 10 (fun _ ->
+               let u', x = Uf.fresh !u in
+               u := u';
+               x)
+           in
+           List.iter (fun (i, j) -> u := Uf.union !u ids.(i) ids.(j)) pairs;
+           let ok = ref true in
+           for i = 0 to 9 do
+             for j = 0 to 9 do
+               if Uf.equal !u ids.(i) ids.(j) <> Uf.equal !u ids.(j) ids.(i) then
+                 ok := false;
+               for k = 0 to 9 do
+                 if
+                   Uf.equal !u ids.(i) ids.(j)
+                   && Uf.equal !u ids.(j) ids.(k)
+                   && not (Uf.equal !u ids.(i) ids.(k))
+                 then ok := false
+               done
+             done
+           done;
+           !ok));
+  ]

@@ -1,0 +1,206 @@
+(* Workload generators: determinism, parseability, ground-truth detection. *)
+
+let t = Alcotest.test_case
+
+let all_checkers () = List.map (fun e -> e.Registry.e_make ()) (Registry.all ())
+
+let detect (g : Gen.t) =
+  let tu = Cparse.parse_tunit ~file:"gen.c" g.Gen.source in
+  let sg = Supergraph.build [ tu ] in
+  let result = Engine.run sg (all_checkers ()) in
+  let found (p : Gen.planted) =
+    List.exists
+      (fun (r : Report.t) -> String.equal r.Report.func p.Gen.in_function)
+      result.Engine.reports
+  in
+  (List.length (List.filter found g.Gen.planted), List.length g.Gen.planted, result)
+
+let suite =
+  [
+    t "generation is deterministic per seed" `Quick (fun () ->
+        let a = Gen.generate ~seed:11 ~n_funcs:10 ~bug_rate:0.5 in
+        let b = Gen.generate ~seed:11 ~n_funcs:10 ~bug_rate:0.5 in
+        Alcotest.(check string) "same source" a.Gen.source b.Gen.source;
+        let c = Gen.generate ~seed:12 ~n_funcs:10 ~bug_rate:0.5 in
+        Alcotest.(check bool) "different seed differs" true
+          (not (String.equal a.Gen.source c.Gen.source)));
+    t "generated programs parse and round-trip" `Quick (fun () ->
+        let g = Gen.generate ~seed:3 ~n_funcs:25 ~bug_rate:0.4 in
+        let tu = Cparse.parse_tunit ~file:"gen.c" g.Gen.source in
+        let printed = Cprint.tunit_to_string tu in
+        let tu2 = Cparse.parse_tunit ~file:"gen2.c" printed in
+        Alcotest.(check int) "same #globals" (List.length tu.Cast.tu_globals)
+          (List.length tu2.Cast.tu_globals));
+    t "zero bug rate yields no planted bugs and no reports" `Quick (fun () ->
+        let g = Gen.generate ~seed:5 ~n_funcs:30 ~bug_rate:0.0 in
+        Alcotest.(check int) "none planted" 0 (List.length g.Gen.planted);
+        let _, _, result = detect g in
+        Alcotest.(check int) "no false positives" 0
+          (List.length result.Engine.reports));
+    t "planted bugs are detected (several seeds)" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let g = Gen.generate ~seed ~n_funcs:20 ~bug_rate:0.5 in
+            let found, planted, _ = detect g in
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d: %d/%d" seed found planted)
+              true
+              (float_of_int found >= 0.9 *. float_of_int planted))
+          [ 1; 2; 3; 4; 5 ]);
+    t "reports point at functions with planted bugs (low FP)" `Quick (fun () ->
+        let g = Gen.generate ~seed:9 ~n_funcs:30 ~bug_rate:0.3 in
+        let _, _, result = detect g in
+        let buggy_fns =
+          List.map (fun (p : Gen.planted) -> p.Gen.in_function) g.Gen.planted
+        in
+        let fps =
+          List.filter
+            (fun (r : Report.t) -> not (List.mem r.Report.func buggy_fns))
+            result.Engine.reports
+        in
+        Alcotest.(check int) "no false positives" 0 (List.length fps));
+    t "multi-file generation crosses files" `Quick (fun () ->
+        let files = Gen.generate_files ~seed:2 ~n_files:3 ~funcs_per_file:8 ~bug_rate:0.4 in
+        Alcotest.(check int) "3 files" 3 (List.length files);
+        let tus =
+          List.map (fun (name, g) -> Cparse.parse_tunit ~file:name g.Gen.source) files
+        in
+        let sg = Supergraph.build tus in
+        let result = Engine.run sg (all_checkers ()) in
+        let planted = List.concat_map (fun (_, g) -> g.Gen.planted) files in
+        Alcotest.(check bool) "some bugs found" true
+          (planted = [] || result.Engine.reports <> []));
+    t "synthetic scaling programs parse" `Quick (fun () ->
+        List.iter
+          (fun src -> ignore (Cparse.parse_tunit ~file:"s.c" src))
+          [
+            Synth.diamond_chain ~n:6;
+            Synth.many_tracked ~n:8;
+            Synth.call_chain ~depth:5;
+            Synth.call_tree ~depth:2 ~fanout:3;
+            Synth.correlated_branches ~n:4;
+            Synth.lock_workload ~n_funcs:5 ~bug_every:2;
+          ]);
+    t "correlated branches have zero true errors" `Quick (fun () ->
+        let r =
+          Engine.check_source ~file:"c.c"
+            (Synth.correlated_branches ~n:5)
+            [ Free_checker.checker () ]
+        in
+        Alcotest.(check int) "pruned to zero" 0 (List.length r.Engine.reports));
+    t "scales to a 1000-function program in reasonable time" `Quick (fun () ->
+        let g = Gen.generate ~seed:77 ~n_funcs:1000 ~bug_rate:0.25 in
+        let t0 = Sys.time () in
+        let found, planted, _ = detect g in
+        let dt = Sys.time () -. t0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "all found (%d/%d)" found planted)
+          true (found = planted);
+        Alcotest.(check bool)
+          (Printf.sprintf "fast enough (%.2fs)" dt)
+          true (dt < 30.0));
+    t "linked corpus: cross-file interprocedural bugs detected" `Quick (fun () ->
+        let files =
+          Gen.generate_linked ~seed:8 ~n_files:3 ~funcs_per_file:6 ~bug_rate:0.5
+        in
+        let tus =
+          List.map (fun (name, (g : Gen.t)) -> Cparse.parse_tunit ~file:name g.Gen.source)
+            files
+        in
+        let sg = Supergraph.build tus in
+        let result =
+          Engine.run sg [ Free_checker.checker (); Lock_checker.checker () ]
+        in
+        let planted = List.concat_map (fun (_, (g : Gen.t)) -> g.Gen.planted) files in
+        Alcotest.(check bool) "bugs planted" true (planted <> []);
+        List.iter
+          (fun (p : Gen.planted) ->
+            Alcotest.(check bool)
+              (p.Gen.in_function ^ " found")
+              true
+              (List.exists
+                 (fun (r : Report.t) -> String.equal r.Report.func p.Gen.in_function)
+                 result.Engine.reports))
+          planted;
+        (* no reports in clean functions (helpers never flagged) *)
+        let buggy = List.map (fun (p : Gen.planted) -> p.Gen.in_function) planted in
+        List.iter
+          (fun (r : Report.t) ->
+            Alcotest.(check bool)
+              (r.Report.func ^ " expected buggy")
+              true
+              (List.mem r.Report.func buggy))
+          result.Engine.reports);
+    t "kill workload: zero FPs with kill, n without" `Quick (fun () ->
+        let src = Synth.kill_workload ~n:6 in
+        let run options =
+          List.length
+            (Engine.check_source ~options ~file:"k.c" src [ Free_checker.checker () ])
+              .Engine.reports
+        in
+        Alcotest.(check int) "kill on" 0 (run Engine.default_options);
+        Alcotest.(check int) "kill off" 6
+          (run { Engine.default_options with Engine.auto_kill = false }));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"caching never changes the report set" ~count:25
+         QCheck2.Gen.(int_range 1 5000)
+         (fun seed ->
+           (* loop-free generated programs: caching is a pure optimisation *)
+           let g = Gen.generate ~seed ~n_funcs:6 ~bug_rate:0.5 in
+           let run options =
+             List.sort compare
+               (List.map
+                  (fun (r : Report.t) -> (r.Report.func, r.Report.message))
+                  (Engine.check_source ~options ~file:"g.c" g.Gen.source
+                     [ Free_checker.checker (); Lock_checker.checker () ])
+                    .Engine.reports)
+           in
+           run Engine.default_options
+           = run { Engine.default_options with Engine.caching = false }));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"pruning only ever removes reports" ~count:25
+         QCheck2.Gen.(int_range 1 5000)
+         (fun seed ->
+           let g = Gen.generate ~seed ~n_funcs:6 ~bug_rate:0.5 in
+           let run options =
+             List.sort_uniq compare
+               (List.map
+                  (fun (r : Report.t) -> (r.Report.func, r.Report.message))
+                  (Engine.check_source ~options ~file:"g.c" g.Gen.source
+                     [ Free_checker.checker (); Lock_checker.checker () ])
+                    .Engine.reports)
+           in
+           let pruned = run Engine.default_options in
+           let unpruned = run { Engine.default_options with Engine.pruning = false } in
+           List.for_all (fun r -> List.mem r unpruned) pruned));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"no option combination crashes the engine" ~count:40
+         QCheck2.Gen.(tup2 (int_range 1 2000) (int_bound 31))
+         (fun (seed, bits) ->
+           let g = Gen.generate ~seed ~n_funcs:5 ~bug_rate:0.5 in
+           let options =
+             {
+               Engine.default_options with
+               Engine.caching = bits land 1 = 0;
+               pruning = bits land 2 = 0;
+               interproc = bits land 4 = 0;
+               auto_kill = bits land 8 = 0;
+               synonyms = bits land 16 = 0;
+             }
+           in
+           let r =
+             Engine.check_source ~options ~file:"g.c" g.Gen.source (all_checkers ())
+           in
+           List.length r.Engine.reports >= 0));
+    t "bug kinds map to checkers" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool)
+              (Gen.bug_kind_to_string k)
+              true
+              (Option.is_some (Registry.find (Gen.checker_of_kind k))))
+          [
+            Gen.Use_after_free; Gen.Double_free; Gen.Missing_unlock; Gen.Double_lock;
+            Gen.Null_deref; Gen.User_pointer_deref; Gen.Interrupts_left_off;
+          ]);
+  ]
