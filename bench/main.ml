@@ -365,6 +365,64 @@ let bench_tests () =
     Test.make ~name:"zstat_rank_50_rules" (stage (fun () -> Zstat.rank_rules zdata));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel root analysis: -j 1 vs -j N on a multi-file workload        *)
+(* ------------------------------------------------------------------ *)
+
+let table_parallel () =
+  header "J  | Domain-parallel root analysis (-j 1 vs -j N, wall clock)";
+  let files =
+    Gen.generate_files ~seed:13 ~n_files:6 ~funcs_per_file:10 ~bug_rate:0.3
+  in
+  let sg =
+    Supergraph.build
+      (List.map (fun (file, g) -> Cparse.parse_tunit ~file g.Gen.source) files)
+  in
+  let all_checkers = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+  let jn = Pool.recommended_jobs () in
+  (* determinism first: the parallel merge must reproduce sequential output *)
+  let seq = Engine.run ~jobs:1 sg all_checkers in
+  let par = Engine.run ~jobs:(max 2 jn) sg all_checkers in
+  let key (r : Report.t) = Report.to_string r in
+  let same =
+    List.equal String.equal
+      (List.map key (Rank.generic_sort seq.Engine.reports))
+      (List.map key (Rank.generic_sort par.Engine.reports))
+  in
+  Printf.printf "deterministic: %b (%d reports either way)\n" same
+    (List.length seq.Engine.reports);
+  (* wall-clock (monotonic) per-run estimate for each job count *)
+  let measure jobs =
+    let test =
+      Test.make
+        ~name:(Printf.sprintf "check_j%d" jobs)
+        (Staged.stage (fun () -> Engine.run ~jobs sg all_checkers))
+    in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+    let ols =
+      Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+    let analyzed = Analyze.all ols Instance.monotonic_clock results in
+    Hashtbl.fold
+      (fun _ res acc ->
+        match Analyze.OLS.estimates res with Some (e :: _) -> e | _ -> acc)
+      analyzed nan
+  in
+  let j1_ns = measure 1 in
+  let jn_ns = measure (max 2 jn) in
+  let speedup = j1_ns /. jn_ns in
+  Printf.printf "%-16s %16s\n" "JOBS" "ns/run";
+  Printf.printf "%-16d %16.1f\n" 1 j1_ns;
+  Printf.printf "%-16d %16.1f\n" (max 2 jn) jn_ns;
+  Printf.printf
+    "BENCH {\"experiment\": \"parallel_speedup\", \"jobs\": %d, \"cores\": %d, \
+     \"j1_ns\": %.1f, \"jn_ns\": %.1f, \"speedup\": %.3f, \"deterministic\": %b}\n"
+    (max 2 jn) jn j1_ns jn_ns speedup same;
+  Printf.printf
+    "paper note: roots are independent given the supergraph, so the analysis\n\
+     parallelises across callgraph roots; on one core expect speedup <= 1\n"
+
 let run_benchmarks () =
   header "Bechamel micro-benchmarks (ns per run, OLS estimate)";
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -401,6 +459,7 @@ let () =
   table_detection ();
   table_p10 ();
   table_scale ();
+  table_parallel ();
   run_benchmarks ();
   line ();
   print_endline "done."

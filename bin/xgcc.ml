@@ -98,9 +98,13 @@ let setup_logs verbose =
     Logs.set_level (Some Logs.Debug)
   end
 
+(* -j 0 means "use every core"; anything else is the worker-domain count. *)
+let effective_jobs jobs =
+  if jobs = 0 then Pool.recommended_jobs () else max 1 jobs
+
 let do_check files checkers metal_files rank_mode fmt history_db update_history
     no_cache no_prune no_interproc no_kill no_synonyms stats verbose use_cpp defines
-    incdirs =
+    incdirs jobs =
   setup_logs verbose;
   set_cpp ~use_cpp ~defines ~incdirs;
   if files = [] then begin
@@ -110,7 +114,7 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
   let sg = load_program files in
   let exts = resolve_checkers checkers metal_files in
   let options = options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms in
-  let result = Engine.run ~options sg exts in
+  let result = Engine.run ~options ~jobs:(effective_jobs jobs) sg exts in
   let reports = result.Engine.reports in
   let reports, suppressed =
     match history_db with
@@ -233,12 +237,18 @@ let check_cmd =
     Arg.(value & opt_all dir [] & info [ "I" ] ~docv:"DIR"
            ~doc:"Include search directory (implies --cpp).")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Analyse callgraph roots on $(docv) worker domains (0 = all \
+                 cores; default 1 = sequential). Reports are identical to a \
+                 sequential run.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Run checkers over C files")
     Term.(
       const do_check $ files $ checkers $ metal_files $ rank $ fmt $ history $ update
       $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ stats $ verbose
-      $ use_cpp $ defines $ incdirs)
+      $ use_cpp $ defines $ incdirs $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* list-checkers / show-checker                                        *)
@@ -297,7 +307,7 @@ let dump_cfg_cmd =
     (Cmd.info "dump-cfg" ~doc:"Print control-flow graphs")
     Term.(const do_dump_cfg $ files $ fname)
 
-let print_summaries sg summaries =
+let print_summary_tables sg summaries =
   Hashtbl.iter
     (fun fname (bs, sfx) ->
       match Supergraph.cfg_of sg fname with
@@ -319,16 +329,30 @@ let print_summaries sg summaries =
           Format.printf "@]@.")
     summaries
 
-let do_dump_summaries files checker metal_files =
+(* Summaries are per-extension: print each extension's tables under its
+   own banner (a single extension keeps the old flat layout). *)
+let print_summaries sg per_ext =
+  match per_ext with
+  | [ (_, summaries) ] -> print_summary_tables sg summaries
+  | _ ->
+      List.iter
+        (fun (ext_name, summaries) ->
+          Format.printf "##### extension %s #####@.@." ext_name;
+          print_summary_tables sg summaries)
+        per_ext
+
+let do_dump_summaries files checkers metal_files =
   let sg = load_program files in
-  let exts = resolve_checkers (Option.to_list checker) metal_files in
-  let _result, summaries = Engine.run_with_summaries sg exts in
-  print_summaries sg summaries
+  let exts = resolve_checkers checkers metal_files in
+  let _result, per_ext = Engine.run_with_summaries sg exts in
+  print_summaries sg per_ext
 
 let dump_summaries_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
   let checker =
-    Arg.(value & opt (some string) None & info [ "c"; "checker" ] ~docv:"NAME")
+    Arg.(value & opt_all string [] & info [ "c"; "checker" ] ~docv:"NAME"
+           ~doc:"Checker to run (repeatable); summaries are reported per \
+                 extension.")
   in
   let metal_files =
     Arg.(value & opt_all file [] & info [ "m"; "metal" ] ~docv:"FILE.metal")
@@ -451,16 +475,22 @@ let gen_cmd =
 (* emit (pass 1)                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let do_emit files outdir use_cpp defines incdirs =
+let do_emit files outdir use_cpp defines incdirs jobs =
   set_cpp ~use_cpp ~defines ~incdirs;
-  List.iter
-    (fun f ->
-      let tu = load_tunit f in
-      let base = Filename.remove_extension (Filename.basename f) ^ ".mcast" in
-      let out = Filename.concat outdir base in
-      Cast_io.emit_file out tu;
-      Format.printf "%s -> %s@." f out)
-    files
+  (* Pass-1 per-file emission is embarrassingly parallel: each task
+     preprocesses, parses and writes one file; messages are printed in
+     input order afterwards so the output is scheduling-independent. *)
+  let files = Array.of_list files in
+  let outputs =
+    Pool.run ~jobs:(effective_jobs jobs) (Array.length files) (fun i ->
+        let f = files.(i) in
+        let tu = load_tunit f in
+        let base = Filename.remove_extension (Filename.basename f) ^ ".mcast" in
+        let out = Filename.concat outdir base in
+        Cast_io.emit_file out tu;
+        out)
+  in
+  Array.iteri (fun i out -> Format.printf "%s -> %s@." files.(i) out) outputs
 
 let emit_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c") in
@@ -473,10 +503,14 @@ let emit_cmd =
   in
   let defines = Arg.(value & opt_all string [] & info [ "D" ] ~docv:"NAME[=VAL]") in
   let incdirs = Arg.(value & opt_all dir [] & info [ "I" ] ~docv:"DIR") in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Emit files on $(docv) worker domains (0 = all cores).")
+  in
   Cmd.v
     (Cmd.info "emit"
        ~doc:"Pass 1: (preprocess and) parse C files in isolation, emit ASTs (.mcast)")
-    Term.(const do_emit $ files $ outdir $ use_cpp $ defines $ incdirs)
+    Term.(const do_emit $ files $ outdir $ use_cpp $ defines $ incdirs $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* triage                                                              *)

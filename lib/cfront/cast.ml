@@ -97,16 +97,12 @@ type global =
 
 type tunit = { tu_file : string; tu_globals : global list }
 
-let eid_counter = ref 0
-let sid_counter = ref 0
-
-let fresh_eid () =
-  incr eid_counter;
-  !eid_counter
-
-let fresh_sid () =
-  incr sid_counter;
-  !sid_counter
+(* Atomic so ids stay unique when several domains parse or synthesise
+   nodes concurrently (parallel pass-1 emission, domain-parallel engine). *)
+let eid_counter = Atomic.make 0
+let sid_counter = Atomic.make 0
+let fresh_eid () = 1 + Atomic.fetch_and_add eid_counter 1
+let fresh_sid () = 1 + Atomic.fetch_and_add sid_counter 1
 
 let mk_expr ?(loc = Srcloc.dummy) enode = { eid = fresh_eid (); eloc = loc; enode }
 let mk_stmt ?(loc = Srcloc.dummy) snode = { sid = fresh_sid (); sloc = loc; snode }

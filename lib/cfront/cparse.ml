@@ -77,8 +77,12 @@ let is_type_start st =
 
 (* Parameter names are dropped from Ctyp.Func; function definitions need
    them, so the declarator parser records the most recent (outermost)
-   named parameter list here. *)
-let last_named_params : (string * Ctyp.t) list ref = ref []
+   named parameter list here. Domain-local so concurrent parses (parallel
+   pass-1 emission) don't clobber each other's in-flight declarator. *)
+let last_named_params_key : (string * Ctyp.t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let last_named_params () = Domain.DLS.get last_named_params_key
 
 type specifiers = {
   spec_typ : Ctyp.t;
@@ -333,7 +337,7 @@ and parse_declarator_suffixes st base =
       advance st;
       let params, variadic = parse_params st in
       eat st Tok.RPAREN;
-      last_named_params := params;
+      last_named_params () := params;
       Ctyp.Func (base, List.map snd params, variadic)
   | _ -> base
 
@@ -827,7 +831,7 @@ let parse_global st : Cast.global list =
              parse_declarator keeps names via parse_params — but the type
              dropped them. We recover them by re-walking the token span is
              overkill; instead parse_params stored names in [last_params]. *)
-          let params = !last_named_params in
+          let params = !(last_named_params ()) in
           advance st;
           let body_stmts = parse_stmt_list st in
           eat st Tok.RBRACE;

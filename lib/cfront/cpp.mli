@@ -9,8 +9,13 @@
     - object-like and function-like [#define] (textual substitution with
       balanced-parenthesis argument parsing, recursive expansion with a
       self-reference guard), [#undef];
-    - [#ifdef] / [#ifndef] / [#else] / [#endif], plus literal [#if 0] /
-      [#if 1] (anything else under [#if] is treated as false);
+    - [#ifdef] / [#ifndef] / [#else] / [#endif], plus [#if] / [#elif]
+      over integer constant expressions: [defined(X)] / [defined X],
+      decimal/hex/octal and character literals, unary [! ~ + -], binary
+      [* / % + - << >> < <= > >= == != & ^ | && ||], and parentheses.
+      Macros in the expression are expanded first; identifiers that
+      survive expansion evaluate to 0, as in C. Expressions inside
+      inactive regions are not evaluated;
     - [#include "file"] through a caller-supplied resolver;
     - line continuations, and comment/string protection (no expansion
       inside string or character literals, or comments).

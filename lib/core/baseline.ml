@@ -51,7 +51,10 @@ let exhaustive_entry_states (sg : Supergraph.t) (ext : Sm.t) =
 
 let topdown_entry_states (sg : Supergraph.t) (ext : Sm.t) =
   (* run once and count distinct tuples at each function's entry block *)
-  let _result, summaries = Engine.run_with_summaries sg [ ext ] in
+  let _result, per_ext = Engine.run_with_summaries sg [ ext ] in
+  let summaries =
+    match per_ext with [ (_, s) ] -> s | _ -> assert false
+  in
   Hashtbl.fold
     (fun fname (bs, _sfx) acc ->
       match Supergraph.cfg_of sg fname with

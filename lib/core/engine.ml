@@ -1525,22 +1525,23 @@ and handle_terminator rctx fctx walk (bt : int list) (block : Block.t) : unit =
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let run_root rctx (ext : Sm.t) root =
+  match Supergraph.cfg_of rctx.sg root with
+  | None -> ()
+  | Some cfg ->
+      let fctx = make_fctx rctx ~depth:0 ~stack:[ root ] cfg in
+      let walk =
+        { sm = Sm.initial ext; store = Store.empty; created = Sset.empty }
+      in
+      traverse rctx fctx walk [] cfg.entry
+
 let run_extension rctx (ext : Sm.t) =
   rctx.cur_ext <- ext;
+  let roots = Supergraph.roots rctx.sg in
   Log.debug (fun m ->
       m "running extension %s over roots: %s" ext.Sm.sm_name
-        (String.concat ", " (Supergraph.roots rctx.sg)));
-  List.iter
-    (fun root ->
-      match Supergraph.cfg_of rctx.sg root with
-      | None -> ()
-      | Some cfg ->
-          let fctx = make_fctx rctx ~depth:0 ~stack:[ root ] cfg in
-          let walk =
-            { sm = Sm.initial ext; store = Store.empty; created = Sset.empty }
-          in
-          traverse rctx fctx walk [] cfg.entry)
-    (Supergraph.roots rctx.sg)
+        (String.concat ", " roots));
+  List.iter (run_root rctx ext) roots
 
 let new_rctx ?(options = default_options) sg =
   {
@@ -1569,26 +1570,122 @@ let collect_result rctx =
     stats = rctx.st;
   }
 
-let run ?options sg exts =
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel execution                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-root traversals are independent monotone computations over the
+   shared, immutable supergraph — the only cross-root coupling in the
+   sequential engine is through caches (function summaries, block src
+   tuples, report dedup) that trade repeated work for nothing observable.
+   So the parallel mode gives every root task a private [rctx] (collector,
+   counters, stats, fsums, events cache, dedup) and folds the results back
+   in root order, which makes the output independent of how the pool
+   schedules roots onto domains. *)
+
+(* The same key [emit_report] guards the per-rctx dedup table with. *)
+let report_key (r : Report.t) =
+  Printf.sprintf "%s@%s" (Report.identity_key r) (Srcloc.to_string r.Report.loc)
+
+(* Fold a worker's annotation table into [base], preserving each node's
+   tag insertion order (annotate_node prepends). *)
+let merge_annots base worker =
+  Hashtbl.iter
+    (fun eid tags ->
+      let cur = Option.value (Hashtbl.find_opt base eid) ~default:[] in
+      let cur =
+        List.fold_left
+          (fun cur tag -> if List.mem tag cur then cur else tag :: cur)
+          cur (List.rev tags)
+      in
+      Hashtbl.replace base eid cur)
+    worker
+
+let add_stats (acc : stats) (s : stats) =
+  acc.blocks_visited <- acc.blocks_visited + s.blocks_visited;
+  acc.nodes_visited <- acc.nodes_visited + s.nodes_visited;
+  acc.cache_hits <- acc.cache_hits + s.cache_hits;
+  acc.paths_explored <- acc.paths_explored + s.paths_explored;
+  acc.calls_followed <- acc.calls_followed + s.calls_followed;
+  acc.summary_hits <- acc.summary_hits + s.summary_hits;
+  acc.pruned_branches <- acc.pruned_branches + s.pruned_branches;
+  acc.transitions_fired <- acc.transitions_fired + s.transitions_fired;
+  acc.instances_created <- acc.instances_created + s.instances_created
+
+let run_extension_parallel ~jobs base (ext : Sm.t) =
+  base.cur_ext <- ext;
+  let roots = Array.of_list (Supergraph.roots base.sg) in
+  Log.debug (fun m ->
+      m "running extension %s over %d roots on %d domains" ext.Sm.sm_name
+        (Array.length roots) jobs);
+  let tasks =
+    Pool.run ~jobs (Array.length roots) (fun i ->
+        let rctx = new_rctx ~options:base.opts base.sg in
+        rctx.cur_ext <- ext;
+        (* annotations left by previously-run extensions (the composition
+           idiom of Section 9) must be visible to every worker; [base] is
+           read-only while the pool runs *)
+        Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
+        run_root rctx ext roots.(i);
+        rctx)
+  in
+  (* Deterministic merge, in root order. The dedup table is fresh per
+     extension rather than shared across extensions the way one mutable
+     table is in the sequential path — report identity keys embed the
+     checker name, so the observable result is the same and no mutable
+     state leaks between extension runs. *)
+  let dedup : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (w : rctx) ->
+      List.iter
+        (fun r ->
+          let key = report_key r in
+          if not (Hashtbl.mem dedup key) then begin
+            Hashtbl.replace dedup key ();
+            Report.emit base.collector r
+          end)
+        (Report.reports w.collector);
+      Hashtbl.iter
+        (fun rule (e, c) ->
+          let e0, c0 =
+            Option.value (Hashtbl.find_opt base.counters rule) ~default:(0, 0)
+          in
+          Hashtbl.replace base.counters rule (e0 + e, c0 + c))
+        w.counters;
+      merge_annots base.annots w.annots;
+      Hashtbl.iter (fun f () -> Hashtbl.replace base.traversed f ()) w.traversed;
+      add_stats base.st w.st)
+    tasks
+
+let run ?options ?(jobs = 1) sg exts =
   let rctx = new_rctx ?options sg in
+  (* callout registration mutates a global table: force it before domains
+     race on first lookup *)
+  if jobs > 1 then Callout.install_builtins ();
   List.iter
     (fun ext ->
       (* summaries are per-extension *)
       Hashtbl.reset rctx.fsums;
-      run_extension rctx ext)
+      if jobs > 1 then run_extension_parallel ~jobs rctx ext
+      else run_extension rctx ext)
     exts;
   collect_result rctx
 
 let run_with_summaries ?options sg exts =
   let rctx = new_rctx ?options sg in
-  List.iter
-    (fun ext ->
-      Hashtbl.reset rctx.fsums;
-      run_extension rctx ext)
-    exts;
-  let summaries = Hashtbl.create 16 in
-  Hashtbl.iter (fun fname (s : fsum) -> Hashtbl.replace summaries fname (s.bs, s.sfx)) rctx.fsums;
-  (collect_result rctx, summaries)
+  let per_ext =
+    List.map
+      (fun ext ->
+        Hashtbl.reset rctx.fsums;
+        run_extension rctx ext;
+        let summaries = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun fname (s : fsum) -> Hashtbl.replace summaries fname (s.bs, s.sfx))
+          rctx.fsums;
+        (ext.Sm.sm_name, summaries))
+      exts
+  in
+  (collect_result rctx, per_ext)
 
 let run_function ?options sg (sm : Sm.sm_inst) ~fname =
   let rctx = new_rctx ?options sg in

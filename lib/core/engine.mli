@@ -50,10 +50,22 @@ type result = {
   stats : stats;
 }
 
-val run : ?options:options -> Supergraph.t -> Sm.t list -> result
+val run : ?options:options -> ?jobs:int -> Supergraph.t -> Sm.t list -> result
 (** Apply each extension in turn (composition order: earlier extensions'
     AST annotations are visible to later ones), starting from every
-    callgraph root. *)
+    callgraph root.
+
+    [jobs] (default 1) is the number of worker domains. With [jobs = 1]
+    the engine runs exactly as before — one root context shared by every
+    root, function summaries reused across roots. With [jobs > 1] each
+    callgraph root is analysed on a domain pool ({!Pool}) in a private
+    root context over the shared supergraph, and the per-root results are
+    merged deterministically in root order (reports re-deduplicated by
+    their identity key, counters and stats summed), so the reports are
+    identical to the sequential run and independent of scheduling.
+    Annotations still compose across extensions (merged between extension
+    runs); annotations made during one root's traversal are not visible to
+    {e other roots of the same extension} in parallel mode. *)
 
 val run_function :
   ?options:options -> Supergraph.t -> Sm.sm_inst -> fname:string -> result
@@ -75,6 +87,8 @@ type summaries := (string, Summary.t array * Summary.t array) Hashtbl.t
     id. *)
 
 val run_with_summaries :
-  ?options:options -> Supergraph.t -> Sm.t list -> result * summaries
-(** Like {!run} for a single extension list, also returning the summary
-    tables of the {e last} extension run (Figure 5 material). *)
+  ?options:options -> Supergraph.t -> Sm.t list -> result * (string * summaries) list
+(** Like {!run} (sequential), also returning each extension's summary
+    tables, keyed by extension name in run order (Figure 5 material).
+    Summaries are per-extension: running two extensions returns two
+    entries, not just the last extension's tables. *)

@@ -1,0 +1,27 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run ~jobs n f =
+  if n <= 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get failure = None then begin
+        (match f i with
+        | v -> results.(i) <- Some v
+        | exception e -> ignore (Atomic.compare_and_set failure None (Some e)));
+        worker ()
+      end
+    in
+    (* the calling domain is worker number [jobs]; spawn the rest *)
+    let spawned = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.run: task skipped")
+      results
+  end

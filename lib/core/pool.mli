@@ -1,0 +1,23 @@
+(** A fixed-size domain pool over a shared work queue (OCaml 5 [Domain]s,
+    stdlib only).
+
+    The engine's unit of parallelism is one callgraph root (or, in pass 1,
+    one input file): tasks are independent, so the pool is a plain atomic
+    work queue — each domain repeatedly claims the next unclaimed index and
+    evaluates it. Results come back in index order regardless of which
+    domain ran which task, which is what makes the engine's merge step
+    deterministic. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1 — the
+    default worker count for [-j 0]. *)
+
+val run : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] domains
+    (the calling domain included) and returns the results in index order.
+
+    [jobs <= 1] or [n <= 1] runs everything inline in the calling domain —
+    no domain is spawned, so the sequential path is byte-for-byte the old
+    behavior. Tasks must not raise for flow control: the first exception
+    raised by any task aborts the queue (no new tasks start), is captured,
+    and is re-raised in the calling domain after all workers join. *)

@@ -170,8 +170,6 @@ let pp_inst ppf sm =
     sm.actives;
   Format.fprintf ppf "@]"
 
-let syn_group_counter = ref 0
-
-let fresh_syn_group () =
-  incr syn_group_counter;
-  !syn_group_counter
+(* Atomic: synonym groups must stay distinct across engine worker domains. *)
+let syn_group_counter = Atomic.make 0
+let fresh_syn_group () = 1 + Atomic.fetch_and_add syn_group_counter 1

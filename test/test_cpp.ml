@@ -172,4 +172,94 @@ let suite =
         in
         Alcotest.(check int) "without PARANOID: bug" 1 (count []);
         Alcotest.(check int) "with PARANOID: killed" 0 (count [ ("PARANOID", "") ]));
+    (* --- #if / #elif constant expressions ---------------------------- *)
+    t "#if defined(X) and defined X" `Quick (fun () ->
+        let out =
+          pp ~defines:[ ("FEATURE", "") ]
+            "#if defined(FEATURE)\nint a;\n#endif\n#if defined FEATURE\nint b;\n#endif\n#if defined(NOPE)\nint c;\n#endif"
+        in
+        Alcotest.(check bool) "paren form" true (contains out "int a;");
+        Alcotest.(check bool) "bare form" true (contains out "int b;");
+        Alcotest.(check bool) "undefined false" false (contains out "int c;"));
+    t "#if arithmetic, comparison and logic" `Quick (fun () ->
+        let out =
+          pp ~defines:[ ("VER", "3") ]
+            "#if VER >= 2 && VER < 10\nint pass;\n#endif\n\
+             #if VER == 2 || VER * 2 == 6\nint arith;\n#endif\n\
+             #if !defined(MISSING) && (VER + 1) % 2 == 0\nint parity;\n#endif\n\
+             #if VER > 100\nint big;\n#endif"
+        in
+        Alcotest.(check bool) "range" true (contains out "int pass;");
+        Alcotest.(check bool) "arith" true (contains out "int arith;");
+        Alcotest.(check bool) "parity" true (contains out "int parity;");
+        Alcotest.(check bool) "false comparison" false (contains out "int big;"));
+    t "#if hex and char literals, undefined idents are 0" `Quick (fun () ->
+        let out =
+          pp
+            "#if 0x10 == 16\nint hex;\n#endif\n\
+             #if 'A' == 65\nint chr;\n#endif\n\
+             #if UNDEFINED_THING\nint undef;\n#endif"
+        in
+        Alcotest.(check bool) "hex" true (contains out "int hex;");
+        Alcotest.(check bool) "char" true (contains out "int chr;");
+        Alcotest.(check bool) "undefined -> 0" false (contains out "int undef;"));
+    t "#elif chains take exactly one branch" `Quick (fun () ->
+        let src v =
+          Printf.sprintf
+            "#define V %d\n#if V == 1\nint one;\n#elif V == 2\nint two;\n#elif V == 3\nint three;\n#else\nint other;\n#endif"
+            v
+        in
+        let branch v = pp (src v) in
+        Alcotest.(check bool) "v=1 one" true (contains (branch 1) "int one;");
+        Alcotest.(check bool) "v=1 not two" false (contains (branch 1) "int two;");
+        Alcotest.(check bool) "v=2 two" true (contains (branch 2) "int two;");
+        Alcotest.(check bool) "v=2 not else" false (contains (branch 2) "int other;");
+        Alcotest.(check bool) "v=3 three" true (contains (branch 3) "int three;");
+        Alcotest.(check bool) "v=9 else" true (contains (branch 9) "int other;"));
+    t "#elif after a taken branch stays off even if true" `Quick (fun () ->
+        let out = pp "#if 1\nint first;\n#elif 1\nint second;\n#else\nint third;\n#endif" in
+        Alcotest.(check bool) "first kept" true (contains out "int first;");
+        Alcotest.(check bool) "true #elif skipped" false (contains out "int second;");
+        Alcotest.(check bool) "else skipped" false (contains out "int third;"));
+    t "#if inside an inactive region is not evaluated" `Quick (fun () ->
+        (* garbage expression under #if 0 must not raise *)
+        let out = pp "#if 0\n#if ) not ( an expression\nint x;\n#endif\n#endif\nint live;" in
+        Alcotest.(check bool) "survives" true (contains out "int live;");
+        Alcotest.(check bool) "dead gone" false (contains out "int x;"));
+    t "#if macro expansion feeds the expression" `Quick (fun () ->
+        let out =
+          pp
+            "#define A 2\n#define B (A * 3)\n#if B == 6\nint six;\n#endif\n\
+             #define PICK(x) ((x) + 1)\n#if PICK(4) == 5\nint five;\n#endif"
+        in
+        Alcotest.(check bool) "object macro" true (contains out "int six;");
+        Alcotest.(check bool) "function macro" true (contains out "int five;"));
+    t "#if conditional compilation drives checker findings" `Quick (fun () ->
+        let src =
+          "int f(int *p) {\n\
+           kfree(p);\n\
+           #if defined(HARDEN) && HARDEN >= 2\n\
+           p = 0;\n\
+           #endif\n\
+           return *p;\n\
+           }"
+        in
+        let count defines =
+          List.length
+            (Engine.check_source ~file:"c.c" (pp ~defines src)
+               [ Free_checker.checker () ])
+              .Engine.reports
+        in
+        Alcotest.(check int) "no HARDEN: bug" 1 (count []);
+        Alcotest.(check int) "HARDEN=1: still a bug" 1 (count [ ("HARDEN", "1") ]);
+        Alcotest.(check int) "HARDEN=2: killed" 0 (count [ ("HARDEN", "2") ]));
+    t "bad #if expressions raise Cpp_error with location" `Quick (fun () ->
+        let bad s =
+          match pp s with
+          | _ -> Alcotest.fail "expected Cpp_error"
+          | exception Cpp.Cpp_error (loc, _) -> loc.Srcloc.line
+        in
+        Alcotest.(check int) "unbalanced paren" 1 (bad "#if (1\nint x;\n#endif");
+        Alcotest.(check int) "empty expr" 2 (bad "int y;\n#if\nint x;\n#endif");
+        Alcotest.(check int) "division by zero" 1 (bad "#if 1 / 0\nint x;\n#endif"));
   ]

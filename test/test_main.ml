@@ -33,4 +33,5 @@ let () =
       ("callouts", Test_callout.suite);
       ("printers", Test_pp.suite);
       ("triage", Test_triage.suite);
+      ("parallel", Test_parallel.suite);
     ]

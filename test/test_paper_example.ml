@@ -75,7 +75,8 @@ let suite =
            w->freed; q must not appear *)
         let tu = Cparse.parse_tunit ~file:"fig2.c" fig2 in
         let sg = Supergraph.build [ tu ] in
-        let _, summaries = Engine.run_with_summaries sg [ Free_checker.checker () ] in
+        let _, per_ext = Engine.run_with_summaries sg [ Free_checker.checker () ] in
+        let summaries = snd (List.hd per_ext) in
         let _, sfx = Hashtbl.find summaries "contrived" in
         let cfg = Option.get (Supergraph.cfg_of sg "contrived") in
         let entry_sfx = sfx.(cfg.Cfg.entry) in

@@ -7,7 +7,10 @@ let t = Alcotest.test_case
 let summaries_for ?(checker = Free_checker.checker ()) src =
   let tu = Cparse.parse_tunit ~file:"t.c" src in
   let sg = Supergraph.build [ tu ] in
-  let result, summaries = Engine.run_with_summaries sg [ checker ] in
+  let result, per_ext = Engine.run_with_summaries sg [ checker ] in
+  let summaries =
+    match per_ext with [ (_, s) ] -> s | _ -> failwith "one extension expected"
+  in
   (sg, result, summaries)
 
 let entry_suffix sg summaries fname =

@@ -27,7 +27,10 @@ int contrived_caller(int *w, int x, int *p) {
 let with_summaries f =
   let tu = Cparse.parse_tunit ~file:"fig2.c" fig2 in
   let sg = Supergraph.build [ tu ] in
-  let _, summaries = Engine.run_with_summaries sg [ Free_checker.checker () ] in
+  let _, per_ext = Engine.run_with_summaries sg [ Free_checker.checker () ] in
+  let summaries =
+    match per_ext with [ (_, s) ] -> s | _ -> failwith "one extension expected"
+  in
   f sg summaries
 
 let edges_of sum = List.map (Format.asprintf "%a" Summary.pp_edge) (Summary.edges sum)
@@ -109,6 +112,33 @@ let suite =
               (fun s ->
                 Alcotest.(check bool) ("from bs: " ^ s) true (mem bs.(ep) s))
               (edges_of sfx.(ep))));
+    t "run_with_summaries keys summaries by extension" `Quick (fun () ->
+        (* regression: fsums used to be reset per extension, so with two
+           checkers only the last extension's summaries survived *)
+        let tu = Cparse.parse_tunit ~file:"fig2.c" fig2 in
+        let sg = Supergraph.build [ tu ] in
+        let free = Free_checker.checker () in
+        let lock = Lock_checker.checker () in
+        let _, per_ext = Engine.run_with_summaries sg [ free; lock ] in
+        let names = List.map fst per_ext in
+        Alcotest.(check (list string))
+          "both extensions, in run order"
+          [ free.Sm.sm_name; lock.Sm.sm_name ]
+          names;
+        (* the first extension's summaries are the free checker's, not a
+           leftover from the lock run: contrived has kfree transitions *)
+        let free_sums = List.assoc free.Sm.sm_name per_ext in
+        let bs, _ = Hashtbl.find free_sums "contrived" in
+        let bid = block_with sg "contrived" "kfree(w);" in
+        Alcotest.(check bool) "free edges under free key" true
+          (mem bs.(bid) "(start,v:w->unknown) --> (start,v:w->freed)");
+        (* and the lock checker's table is its own: no kfree edges there *)
+        let lock_sums = List.assoc lock.Sm.sm_name per_ext in
+        (match Hashtbl.find_opt lock_sums "contrived" with
+        | None -> ()
+        | Some (lbs, _) ->
+            Alcotest.(check bool) "no free edges under lock key" false
+              (mem lbs.(bid) "(start,v:w->unknown) --> (start,v:w->freed)")));
     (* --- Summary data structure semantics --------------------------- *)
     t "edges deduplicate" `Quick (fun () ->
         let s = Summary.create () in
