@@ -42,9 +42,20 @@ let resolve_include incdirs name =
       if Sys.file_exists path then Some (read_file path) else None)
     ("." :: incdirs)
 
+(* AST object cache configuration: (cache dir, persist new objects).
+   Hit/miss counters are atomic because pass-1 emission loads files on a
+   domain pool. *)
+let ast_cache_conf = ref None
+let ast_hits = Atomic.make 0
+let ast_misses = Atomic.make 0
+
+let set_ast_cache ~cache_dir ~persist =
+  ast_cache_conf := Option.map (fun dir -> (dir, persist)) cache_dir
+
 (* Pass 2 (Section 6): .mcast files are pre-parsed ASTs emitted by pass 1
    ('xgcc emit'); anything else is (optionally preprocessed and) parsed
-   from C source. *)
+   from C source — via the content-addressed object cache when
+   --cache-dir is given, so a warm run skips lexing and parsing. *)
 let load_tunit f =
   if Filename.check_suffix f ".mcast" then Cast_io.read_file f
   else begin
@@ -55,28 +66,68 @@ let load_tunit f =
       | Some (defines, incdirs) ->
           Cpp.preprocess ~defines ~resolve_include:(resolve_include incdirs) ~file:f src
     in
-    Cparse.parse_tunit ~file:f src
+    match !ast_cache_conf with
+    | None -> Cparse.parse_tunit ~file:f src
+    | Some (cache_dir, persist) -> (
+        let fp = Cast_io.ast_fingerprint ~file:f ~source:src in
+        match Cast_io.read_cached ~cache_dir fp with
+        | Some tu ->
+            Atomic.incr ast_hits;
+            tu
+        | None ->
+            Atomic.incr ast_misses;
+            let tu = Cparse.parse_tunit ~file:f src in
+            if persist then Cast_io.write_cached ~cache_dir fp tu;
+            tu)
   end
 
 let load_program files = Supergraph.build (List.map load_tunit files)
 
+(* Each extension comes with its defining source text, which the
+   persistent cache digests into its keys: editing a checker (or anything
+   earlier in the composition chain) invalidates its cached results. *)
 let resolve_checkers names metal_files =
   let builtin =
     List.map
       (fun name ->
         match Registry.find name with
-        | Some e -> e.Registry.e_make ()
+        | Some e ->
+            ( e.Registry.e_make (),
+              Option.value e.Registry.e_source
+                ~default:(e.Registry.e_name ^ "\n" ^ e.Registry.e_description) )
         | None ->
             Format.eprintf "unknown checker '%s'; try list-checkers@." name;
             exit 2)
       names
   in
   let from_files =
-    List.concat_map (fun f -> Metal_compile.load_file f) metal_files
+    List.concat_map
+      (fun f ->
+        let src = read_file f in
+        List.map (fun sm -> (sm, src)) (Metal_compile.load_file f))
+      metal_files
   in
   match builtin @ from_files with
-  | [] -> [ Free_checker.checker () ]
+  | [] -> (
+      match Registry.find "free" with
+      | Some e ->
+          [
+            ( Free_checker.checker (),
+              Option.value e.Registry.e_source ~default:"free" );
+          ]
+      | None -> [ (Free_checker.checker (), "free") ])
   | cs -> cs
+
+let open_store ~cache_dir ~persist ~options sources =
+  Option.map
+    (fun dir ->
+      let ext_keys =
+        Summary_store.ext_keys_of
+          ~options_digest:(Engine.options_digest options)
+          ~sources
+      in
+      Summary_store.create ~dir ~persist ~ext_keys ())
+    cache_dir
 
 let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms =
   {
@@ -104,17 +155,28 @@ let effective_jobs jobs =
 
 let do_check files checkers metal_files rank_mode fmt history_db update_history
     no_cache no_prune no_interproc no_kill no_synonyms stats verbose use_cpp defines
-    incdirs jobs =
+    incdirs jobs cache_dir no_cache_persist =
   setup_logs verbose;
   set_cpp ~use_cpp ~defines ~incdirs;
+  set_ast_cache ~cache_dir ~persist:(not no_cache_persist);
   if files = [] then begin
     Format.eprintf "no input files@.";
     exit 2
   end;
-  let sg = load_program files in
-  let exts = resolve_checkers checkers metal_files in
+  let exts_src = resolve_checkers checkers metal_files in
+  let exts = List.map fst exts_src in
   let options = options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms in
-  let result = Engine.run ~options ~jobs:(effective_jobs jobs) sg exts in
+  let store =
+    open_store ~cache_dir ~persist:(not no_cache_persist) ~options
+      (List.map snd exts_src)
+  in
+  let t0 = Unix.gettimeofday () in
+  let tus = List.map load_tunit files in
+  let t1 = Unix.gettimeofday () in
+  let sg = Supergraph.build tus in
+  let t2 = Unix.gettimeofday () in
+  let result = Engine.run ~options ~jobs:(effective_jobs jobs) ?cache:store sg exts in
+  let t3 = Unix.gettimeofday () in
   let reports = result.Engine.reports in
   let reports, suppressed =
     match history_db with
@@ -178,7 +240,17 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
       List.length (Ctyping.fundefs sg.Supergraph.typing)
     in
     Format.printf "coverage: %d / %d functions traversed@."
-      st.Engine.functions_traversed total
+      st.Engine.functions_traversed total;
+    Format.printf
+      "phases: preprocess+parse %.3fs, cfg+supergraph %.3fs, analysis %.3fs@."
+      (t1 -. t0) (t2 -. t1) (t3 -. t2);
+    match store with
+    | Some s ->
+        let cst = Summary_store.stats s in
+        cst.Summary_store.ast_hits <- Atomic.get ast_hits;
+        cst.Summary_store.ast_misses <- Atomic.get ast_misses;
+        Format.printf "%a@." Summary_store.pp_stats s
+    | None -> ()
   end;
   if ranked = [] && not (String.equal fmt "json") then
     Format.printf "no errors found@."
@@ -243,12 +315,23 @@ let check_cmd =
                  cores; default 1 = sequential). Reports are identical to a \
                  sequential run.")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent incremental cache: reuse parsed ASTs and per-root \
+                 analysis results whose content fingerprints still match, \
+                 recompute only what an edit invalidated. Reports are \
+                 byte-identical to an uncached run.")
+  in
+  let no_cache_persist =
+    Arg.(value & flag & info [ "no-cache-persist" ]
+           ~doc:"Read from --cache-dir but do not write new entries back.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Run checkers over C files")
     Term.(
       const do_check $ files $ checkers $ metal_files $ rank $ fmt $ history $ update
       $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ stats $ verbose
-      $ use_cpp $ defines $ incdirs $ jobs)
+      $ use_cpp $ defines $ incdirs $ jobs $ cache_dir $ no_cache_persist)
 
 (* ------------------------------------------------------------------ *)
 (* list-checkers / show-checker                                        *)
@@ -343,7 +426,7 @@ let print_summaries sg per_ext =
 
 let do_dump_summaries files checkers metal_files =
   let sg = load_program files in
-  let exts = resolve_checkers checkers metal_files in
+  let exts = List.map fst (resolve_checkers checkers metal_files) in
   let _result, per_ext = Engine.run_with_summaries sg exts in
   print_summaries sg per_ext
 
@@ -475,22 +558,32 @@ let gen_cmd =
 (* emit (pass 1)                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let do_emit files outdir use_cpp defines incdirs jobs =
+let do_emit files outdir use_cpp defines incdirs jobs cache_dir no_cache_persist =
   set_cpp ~use_cpp ~defines ~incdirs;
+  set_ast_cache ~cache_dir ~persist:(not no_cache_persist);
   (* Pass-1 per-file emission is embarrassingly parallel: each task
      preprocesses, parses and writes one file; messages are printed in
-     input order afterwards so the output is scheduling-independent. *)
-  let files = Array.of_list files in
+     input order afterwards so the output is scheduling-independent.
+     Output names come from emit_targets, which keeps the plain basename
+     unless two inputs share it (a/util.c and b/util.c used to silently
+     overwrite each other) and errors on residual collisions. *)
+  let targets =
+    try Array.of_list (Cast_io.emit_targets files)
+    with Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
   let outputs =
-    Pool.run ~jobs:(effective_jobs jobs) (Array.length files) (fun i ->
-        let f = files.(i) in
+    Pool.run ~jobs:(effective_jobs jobs) (Array.length targets) (fun i ->
+        let f, base = targets.(i) in
         let tu = load_tunit f in
-        let base = Filename.remove_extension (Filename.basename f) ^ ".mcast" in
         let out = Filename.concat outdir base in
         Cast_io.emit_file out tu;
         out)
   in
-  Array.iteri (fun i out -> Format.printf "%s -> %s@." files.(i) out) outputs
+  Array.iteri
+    (fun i out -> Format.printf "%s -> %s@." (fst targets.(i)) out)
+    outputs
 
 let emit_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c") in
@@ -507,10 +600,20 @@ let emit_cmd =
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Emit files on $(docv) worker domains (0 = all cores).")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Reuse cached ASTs for unchanged inputs instead of re-parsing.")
+  in
+  let no_cache_persist =
+    Arg.(value & flag & info [ "no-cache-persist" ]
+           ~doc:"Read from --cache-dir but do not write new entries back.")
+  in
   Cmd.v
     (Cmd.info "emit"
        ~doc:"Pass 1: (preprocess and) parse C files in isolation, emit ASTs (.mcast)")
-    Term.(const do_emit $ files $ outdir $ use_cpp $ defines $ incdirs $ jobs)
+    Term.(
+      const do_emit $ files $ outdir $ use_cpp $ defines $ incdirs $ jobs $ cache_dir
+      $ no_cache_persist)
 
 (* ------------------------------------------------------------------ *)
 (* triage                                                              *)
@@ -518,7 +621,7 @@ let emit_cmd =
 
 let do_triage files checkers metal_files out apply_file history_db =
   let sg = load_program files in
-  let exts = resolve_checkers checkers metal_files in
+  let exts = List.map fst (resolve_checkers checkers metal_files) in
   let result = Engine.run sg exts in
   let ranked = Rank.generic_sort result.Engine.reports in
   match apply_file with

@@ -146,6 +146,21 @@ let is_defined t f = Smap.mem f t.callees_
 let functions t = List.map fst (Smap.bindings t.callees_)
 let in_cycle t f = Sset.mem f t.cyclic
 
+let closure_hashes t ~body_hash =
+  let tbl = Hashtbl.create 64 in
+  Smap.iter
+    (fun f _ ->
+      let closure = reachable t.callees_ [ f ] in
+      let pairs =
+        List.map (fun g -> (g, body_hash g)) (Sset.elements closure)
+      in
+      Hashtbl.replace tbl f (Fingerprint.combine_pairs pairs))
+    t.callees_;
+  fun f ->
+    match Hashtbl.find_opt tbl f with
+    | Some h -> h
+    | None -> Fingerprint.combine_pairs [ (f, body_hash f) ]
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>roots: %s" (String.concat ", " t.roots_);
   Smap.iter

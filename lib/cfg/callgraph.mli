@@ -22,4 +22,13 @@ val functions : t -> string list
 val in_cycle : t -> string -> bool
 (** Whether the function participates in a recursive call chain. *)
 
+val closure_hashes : t -> body_hash:(string -> Fingerprint.t) -> string -> Fingerprint.t
+(** [closure_hashes t ~body_hash] precomputes, for every defined function,
+    a fingerprint over its transitive callee closure (itself included):
+    the combined [(name, body_hash name)] pairs of every reachable callee,
+    in sorted name order. Editing a leaf callee therefore changes exactly
+    the hashes of that function and its transitive callers — the
+    invalidation rule of the persistent summary cache. The returned lookup
+    falls back to the function's own pair for undefined names. *)
+
 val pp : Format.formatter -> t -> unit

@@ -425,3 +425,85 @@ let read_file path =
   let src = really_input_string ic n in
   close_in ic;
   read_string src
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed AST object cache                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Bump whenever the sexp encoding above (or the parser semantics that
+   feed it) change: every cached object becomes unreachable at once. *)
+let format_version = "mcast-1"
+
+let ast_fingerprint ~file ~source =
+  (* The file name is part of the key: source locations ([ffile], locs)
+     are baked into the emitted AST, so identical text under two names
+     must not share an object. *)
+  Fingerprint.of_string ~salt:format_version (file ^ "\x00" ^ source)
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
+    end
+  in
+  go dir
+
+let cached_path ~cache_dir fp = Filename.concat (Filename.concat cache_dir "ast") (fp ^ ".mcast")
+
+let read_cached ~cache_dir fp =
+  let path = cached_path ~cache_dir fp in
+  if Sys.file_exists path then
+    try Some (read_file path) with Sexp.Parse_error _ | Sexp.Decode_error _ -> None
+  else None
+
+let write_cached ~cache_dir fp tu =
+  let path = cached_path ~cache_dir fp in
+  mkdir_p (Filename.dirname path);
+  (* tmp + rename in the same directory so concurrent writers (e.g. two
+     [-j] runs sharing a cache) never expose a torn object. *)
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "obj" ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (emit_string tu);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Emit output naming                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let emit_targets files =
+  let plain f = Filename.remove_extension (Filename.basename f) ^ ".mcast" in
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let b = plain f in
+      Hashtbl.replace counts b (1 + Option.value ~default:0 (Hashtbl.find_opt counts b)))
+    files;
+  let from_path f =
+    let rec strip p =
+      if String.length p >= 2 && String.sub p 0 2 = "./" then
+        strip (String.sub p 2 (String.length p - 2))
+      else p
+    in
+    let p = strip (Filename.remove_extension f) in
+    String.map (function '/' | '\\' | ':' -> '_' | c -> c) p ^ ".mcast"
+  in
+  let targets =
+    List.map
+      (fun f ->
+        let b = plain f in
+        (f, if Hashtbl.find counts b = 1 then b else from_path f))
+      files
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f, t) ->
+      match Hashtbl.find_opt seen t with
+      | Some prev ->
+          invalid_arg
+            (Printf.sprintf "emit: output name %s collides for inputs %s and %s" t prev f)
+      | None -> Hashtbl.add seen t f)
+    targets;
+  targets

@@ -16,6 +16,8 @@ val stmt_to_sexp : Cast.stmt -> Sexp.t
 val stmt_of_sexp : Sexp.t -> Cast.stmt
 val ctyp_to_sexp : Ctyp.t -> Sexp.t
 val ctyp_of_sexp : Sexp.t -> Ctyp.t
+val global_to_sexp : Cast.global -> Sexp.t
+val global_of_sexp : Sexp.t -> Cast.global
 val tunit_to_sexp : Cast.tunit -> Sexp.t
 val tunit_of_sexp : Sexp.t -> Cast.tunit
 
@@ -28,3 +30,32 @@ val read_file : string -> Cast.tunit
 
 val emit_string : Cast.tunit -> string
 val read_string : string -> Cast.tunit
+
+(** {1 Content-addressed AST object cache}
+
+    Pass 1 results keyed by post-preprocess content: a warm run whose
+    fingerprint matches reuses the emitted object instead of re-lexing
+    and re-parsing the translation unit. *)
+
+val format_version : string
+(** Salt for {!ast_fingerprint}; bump on any encoding change. *)
+
+val ast_fingerprint : file:string -> source:string -> Fingerprint.t
+(** Key for one translation unit: the input file name plus its
+    post-preprocess text (locations are baked into the AST, so the name
+    is part of the content). *)
+
+val cached_path : cache_dir:string -> Fingerprint.t -> string
+(** Where the object for [fp] lives: [<cache_dir>/ast/<fp>.mcast]. *)
+
+val read_cached : cache_dir:string -> Fingerprint.t -> Cast.tunit option
+(** [None] on a miss or an unreadable (torn / stale-format) object. *)
+
+val write_cached : cache_dir:string -> Fingerprint.t -> Cast.tunit -> unit
+(** Atomic (tmp + rename) write; creates the directory as needed. *)
+
+val emit_targets : string list -> (string * string) list
+(** Map each input file to a unique [.mcast] output basename: the plain
+    basename when unique among the inputs, otherwise a path-derived name
+    (separators folded to ['_']). Raises [Invalid_argument] if names
+    still collide (e.g. a duplicated input path). *)

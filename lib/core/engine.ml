@@ -1657,19 +1657,385 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
       add_stats base.st w.st)
     tasks
 
-let run ?options ?(jobs = 1) sg exts =
-  let rctx = new_rctx ?options sg in
-  (* callout registration mutates a global table: force it before domains
-     race on first lookup *)
-  if jobs > 1 then Callout.install_builtins ();
+(* ------------------------------------------------------------------ *)
+(* Persistent-cache execution                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The cached mode reuses the parallel-mode execution model: every root is
+   an independent computation in a private rctx, merged in root order.
+   That equivalence (established for [-j]) is what lets a warm run replay
+   a stored per-root result verbatim — the merge cannot tell a replayed
+   root from a recomputed one. Cached function summaries are deliberately
+   NOT seeded into live traversals: a seeded summary would take summary
+   hits that suppress exactly the re-traversals that emit reports, so the
+   warm output would stop being byte-identical to the cold run. They are
+   kept as the invalidation ledger (hit/stale/absent accounting) and as
+   write-back artifacts instead. *)
+
+let options_digest (o : options) =
+  Printf.sprintf "c%b p%b i%b k%b s%b d%d m%d" o.caching o.pruning o.interproc
+    o.auto_kill o.synonyms o.max_call_depth o.max_instances
+
+let stats_to_list (s : stats) =
+  [
+    s.blocks_visited; s.nodes_visited; s.cache_hits; s.paths_explored;
+    s.calls_followed; s.summary_hits; s.pruned_branches; s.transitions_fired;
+    s.instances_created;
+  ]
+
+let add_stats_list (acc : stats) = function
+  | [ b; n; ch; p; cf; sh; pb; tf; ic ] ->
+      acc.blocks_visited <- acc.blocks_visited + b;
+      acc.nodes_visited <- acc.nodes_visited + n;
+      acc.cache_hits <- acc.cache_hits + ch;
+      acc.paths_explored <- acc.paths_explored + p;
+      acc.calls_followed <- acc.calls_followed + cf;
+      acc.summary_hits <- acc.summary_hits + sh;
+      acc.pruned_branches <- acc.pruned_branches + pb;
+      acc.transitions_fired <- acc.transitions_fired + tf;
+      acc.instances_created <- acc.instances_created + ic
+  | _ -> ()
+
+let rec iter_exprs_expr f (e : Cast.expr) =
+  f e;
+  let children =
+    match e.enode with
+    | Cast.Eunary (_, e1)
+    | Cast.Ecast (_, e1)
+    | Cast.Esizeof_expr e1
+    | Cast.Efield (e1, _)
+    | Cast.Earrow (e1, _) ->
+        [ e1 ]
+    | Cast.Ebinary (_, l, r)
+    | Cast.Eassign (_, l, r)
+    | Cast.Eindex (l, r)
+    | Cast.Ecomma (l, r) ->
+        [ l; r ]
+    | Cast.Econd (c, t, fe) -> [ c; t; fe ]
+    | Cast.Ecall (fn, args) -> fn :: args
+    | Cast.Einit_list es -> es
+    | Cast.Eint _ | Cast.Efloat _ | Cast.Echar _ | Cast.Estr _ | Cast.Eident _
+    | Cast.Esizeof_type _ ->
+        []
+  in
+  List.iter (iter_exprs_expr f) children
+
+let rec iter_exprs_stmt f (s : Cast.stmt) =
+  match s.snode with
+  | Cast.Sexpr e -> iter_exprs_expr f e
+  | Cast.Sdecl ds ->
+      List.iter
+        (fun (d : Cast.decl) -> Option.iter (iter_exprs_expr f) d.dinit)
+        ds
+  | Cast.Sif (c, t, e) ->
+      iter_exprs_expr f c;
+      iter_exprs_stmt f t;
+      Option.iter (iter_exprs_stmt f) e
+  | Cast.Swhile (c, b) ->
+      iter_exprs_expr f c;
+      iter_exprs_stmt f b
+  | Cast.Sdo (b, c) ->
+      iter_exprs_stmt f b;
+      iter_exprs_expr f c
+  | Cast.Sfor (init, c, step, b) ->
+      Option.iter (iter_exprs_stmt f) init;
+      Option.iter (iter_exprs_expr f) c;
+      Option.iter (iter_exprs_expr f) step;
+      iter_exprs_stmt f b
+  | Cast.Sreturn e -> Option.iter (iter_exprs_expr f) e
+  | Cast.Sblock ss -> List.iter (iter_exprs_stmt f) ss
+  | Cast.Sswitch (e, cases) ->
+      iter_exprs_expr f e;
+      List.iter
+        (fun (c : Cast.case) -> List.iter (iter_exprs_stmt f) c.case_body)
+        cases
+  | Cast.Slabel (_, s1) -> iter_exprs_stmt f s1
+  | Cast.Sbreak | Cast.Scontinue | Cast.Sgoto _ | Cast.Snull -> ()
+
+(* Node ids are not stable across runs (decoding allocates fresh ids), so
+   persisted annotation deltas are positional — (location, printed
+   expression) — and re-resolved against the current program here. *)
+let annot_key (e : Cast.expr) =
+  Printf.sprintf "%s:%d:%d|%s" e.eloc.Srcloc.file e.eloc.Srcloc.line
+    e.eloc.Srcloc.col (Cprint.expr_to_string e)
+
+let build_annot_indexes (sg : Supergraph.t) =
+  let by_eid : (int, Cast.expr) Hashtbl.t = Hashtbl.create 1024 in
+  let by_key : (string, int list) Hashtbl.t = Hashtbl.create 1024 in
+  let visit e =
+    if not (Hashtbl.mem by_eid e.Cast.eid) then begin
+      Hashtbl.replace by_eid e.Cast.eid e;
+      let k = annot_key e in
+      let cur = Option.value (Hashtbl.find_opt by_key k) ~default:[] in
+      Hashtbl.replace by_key k (e.Cast.eid :: cur)
+    end
+  in
   List.iter
-    (fun ext ->
-      (* summaries are per-extension *)
+    (fun (tu : Cast.tunit) ->
+      List.iter
+        (function
+          | Cast.Gfun fd -> iter_exprs_stmt visit fd.fbody
+          | Cast.Gvar { gdecl = { dinit = Some e; _ }; _ } -> iter_exprs_expr visit e
+          | _ -> ())
+        tu.tu_globals)
+    sg.Supergraph.tunits;
+  (by_eid, by_key)
+
+(* The tags a worker added beyond the base table it was seeded from,
+   oldest-first, attached to the worker's expression node. Tags on nodes
+   absent from the program index (per-rctx synthesised nodes, e.g.
+   declaration initialisers) are dropped — matching parallel mode, where
+   their ids are meaningless to other workers anyway. *)
+let annot_delta ~base ~by_eid (worker : (int, string list) Hashtbl.t) =
+  let deltas =
+    Hashtbl.fold
+      (fun eid tags acc ->
+        let fresh_n =
+          List.length tags
+          - List.length (Option.value (Hashtbl.find_opt base eid) ~default:[])
+        in
+        if fresh_n <= 0 then acc
+        else
+          match Hashtbl.find_opt by_eid eid with
+          | None -> acc
+          | Some e ->
+              let fresh = List.rev (List.filteri (fun i _ -> i < fresh_n) tags) in
+              (e.Cast.eloc, Cprint.expr_to_string e, fresh) :: acc)
+      worker []
+  in
+  List.sort
+    (fun ((a : Srcloc.t), pa, _) ((b : Srcloc.t), pb, _) ->
+      compare (a.file, a.line, a.col, pa) (b.file, b.line, b.col, pb))
+    deltas
+
+let inject_annots base ~by_key annots =
+  List.iter
+    (fun ((loc : Srcloc.t), printed, tags) ->
+      let k = Printf.sprintf "%s:%d:%d|%s" loc.file loc.line loc.col printed in
+      match Hashtbl.find_opt by_key k with
+      | None -> ()
+      | Some eids ->
+          List.iter
+            (fun eid ->
+              let cur =
+                ref (Option.value (Hashtbl.find_opt base.annots eid) ~default:[])
+              in
+              List.iter
+                (fun tag -> if not (List.mem tag !cur) then cur := tag :: !cur)
+                tags;
+              Hashtbl.replace base.annots eid !cur)
+            eids)
+    annots
+
+let merge_fsum_into (dst : fsum) (src : fsum) =
+  let union (d : Summary.t array) (s : Summary.t array) =
+    Array.iteri
+      (fun i sum ->
+        List.iter (fun e -> ignore (Summary.add_edge d.(i) e)) (Summary.edges sum);
+        List.iter (Summary.add_src_key d.(i)) (Summary.srcs_list sum))
+      s
+  in
+  union dst.bs src.bs;
+  union dst.sfx src.sfx;
+  Hashtbl.iter (fun k () -> Hashtbl.replace dst.rets k ()) src.rets
+
+let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~by_eid ~by_key base
+    (ext : Sm.t) =
+  base.cur_ext <- ext;
+  let cg = base.sg.Supergraph.callgraph in
+  (* the invalidation ledger: which persisted function summaries survived
+     this program state (criterion: a leaf edit flips exactly the leaf and
+     its transitive callers to stale) *)
+  let fn_probe = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace fn_probe f
+        (Summary_store.probe_fn store ~ext:ext_key ~fname:f ~closure:(closure_of f)))
+    (Callgraph.functions cg);
+  let roots = Array.of_list (Supergraph.roots base.sg) in
+  let plans =
+    Array.map
+      (fun r ->
+        match
+          Summary_store.load_root store ~ext:ext_key ~root:r ~closure:(closure_of r)
+        with
+        | Some e -> `Replay e
+        | None -> `Compute)
+      roots
+  in
+  let invalid = ref [] in
+  Array.iteri
+    (fun i p -> match p with `Compute -> invalid := i :: !invalid | `Replay _ -> ())
+    plans;
+  let invalid = Array.of_list (List.rev !invalid) in
+  Log.debug (fun m ->
+      m "extension %s: %d/%d roots replayed from cache" ext.Sm.sm_name
+        (Array.length roots - Array.length invalid)
+        (Array.length roots));
+  let base_snapshot = Hashtbl.copy base.annots in
+  let workers =
+    Pool.run ~jobs (Array.length invalid) (fun j ->
+        let rctx = new_rctx ~options:base.opts base.sg in
+        rctx.cur_ext <- ext;
+        Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
+        run_root rctx ext roots.(invalid.(j));
+        rctx)
+  in
+  let worker_of = Hashtbl.create 16 in
+  Array.iteri (fun j idx -> Hashtbl.replace worker_of idx j) invalid;
+  (* deterministic merge in root order, replayed and recomputed roots alike *)
+  let dedup : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let emit_merged r =
+    let key = report_key r in
+    if not (Hashtbl.mem dedup key) then begin
+      Hashtbl.replace dedup key ();
+      Report.emit base.collector r
+    end
+  in
+  let add_counter rule e c =
+    let e0, c0 = Option.value (Hashtbl.find_opt base.counters rule) ~default:(0, 0) in
+    Hashtbl.replace base.counters rule (e0 + e, c0 + c)
+  in
+  Array.iteri
+    (fun idx root ->
+      match plans.(idx) with
+      | `Replay (e : Summary_store.root_entry) ->
+          List.iter emit_merged e.r_reports;
+          List.iter (fun (rule, ex, cx) -> add_counter rule ex cx) e.r_counters;
+          inject_annots base ~by_key e.r_annots;
+          List.iter (fun f -> Hashtbl.replace base.traversed f ()) e.r_traversed;
+          add_stats_list base.st e.r_stats
+      | `Compute ->
+          let w = workers.(Hashtbl.find worker_of idx) in
+          List.iter emit_merged (Report.reports w.collector);
+          Hashtbl.iter (fun rule (e, c) -> add_counter rule e c) w.counters;
+          merge_annots base.annots w.annots;
+          Hashtbl.iter (fun f () -> Hashtbl.replace base.traversed f ()) w.traversed;
+          add_stats base.st w.st;
+          if Summary_store.persist store then
+            Summary_store.store_root store ~ext:ext_key
+              {
+                Summary_store.r_root = root;
+                r_closure = closure_of root;
+                r_reports = Report.reports w.collector;
+                r_counters =
+                  List.sort
+                    (fun (a, _, _) (b, _, _) -> String.compare a b)
+                    (Hashtbl.fold
+                       (fun rule (e, c) acc -> (rule, e, c) :: acc)
+                       w.counters []);
+                r_annots = annot_delta ~base:base_snapshot ~by_eid w.annots;
+                r_traversed =
+                  List.sort String.compare
+                    (Hashtbl.fold (fun f () acc -> f :: acc) w.traversed []);
+                r_stats = stats_to_list w.st;
+              })
+    roots;
+  (* write back function summaries for entries the ledger no longer covers,
+     merging worker tables in root order (deterministic: workers are
+     scheduling-independent and add_edge dedups) *)
+  if Summary_store.persist store && Array.length invalid > 0 then begin
+    let merged : (string, fsum) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun idx ->
+        let w = workers.(Hashtbl.find worker_of idx) in
+        let fnames =
+          List.sort String.compare
+            (Hashtbl.fold (fun f _ acc -> f :: acc) w.fsums [])
+        in
+        List.iter
+          (fun fname ->
+            let src = Hashtbl.find w.fsums fname in
+            let dst =
+              match Hashtbl.find_opt merged fname with
+              | Some d -> d
+              | None ->
+                  let n = Array.length src.bs in
+                  let d =
+                    {
+                      bs = Array.init n (fun _ -> Summary.create ());
+                      sfx = Array.init n (fun _ -> Summary.create ());
+                      rets = Hashtbl.create 4;
+                    }
+                  in
+                  Hashtbl.replace merged fname d;
+                  d
+            in
+            merge_fsum_into dst src)
+          fnames)
+      invalid;
+    let fnames =
+      List.sort String.compare (Hashtbl.fold (fun f _ acc -> f :: acc) merged [])
+    in
+    List.iter
+      (fun fname ->
+        match Hashtbl.find_opt fn_probe fname with
+        | Some Summary_store.Hit -> () (* still valid: keep the stored entry *)
+        | _ ->
+            let s = Hashtbl.find merged fname in
+            Summary_store.store_fn store ~ext:ext_key ~fname
+              ~closure:(closure_of fname) ~bs:s.bs ~sfx:s.sfx
+              ~rets:
+                (List.sort String.compare
+                   (Hashtbl.fold (fun k () acc -> k :: acc) s.rets [])))
+      fnames
+  end
+
+let run_cached ?options ~jobs store sg exts =
+  let rctx = new_rctx ?options sg in
+  Callout.install_builtins ();
+  let body_hash_tbl = Hashtbl.create 64 in
+  let body_hash f =
+    match Hashtbl.find_opt body_hash_tbl f with
+    | Some h -> h
+    | None ->
+        let h =
+          match Supergraph.cfg_of sg f with
+          | Some (cfg : Cfg.t) ->
+              Fingerprint.of_string ~salt:Cast_io.format_version
+                (Sexp.to_string (Cast_io.global_to_sexp (Cast.Gfun cfg.func)))
+          | None -> Fingerprint.of_string f
+        in
+        Hashtbl.replace body_hash_tbl f h;
+        h
+  in
+  let cg = sg.Supergraph.callgraph in
+  let closure = Callgraph.closure_hashes cg ~body_hash in
+  let program_hash =
+    Fingerprint.combine_pairs
+      (List.map (fun f -> (f, body_hash f)) (Callgraph.functions cg))
+  in
+  let by_eid, by_key = build_annot_indexes sg in
+  List.iteri
+    (fun i ext ->
       Hashtbl.reset rctx.fsums;
-      if jobs > 1 then run_extension_parallel ~jobs rctx ext
-      else run_extension rctx ext)
+      (* extensions after the first see the annotations earlier extensions
+         left anywhere in the program, so their entries key on the whole
+         program rather than the per-root closure (conservative) *)
+      let closure_of f =
+        if i = 0 then closure f else Fingerprint.combine [ closure f; program_hash ]
+      in
+      run_extension_cached ~jobs ~store ~ext_key:(Summary_store.ext_key store i)
+        ~closure_of ~by_eid ~by_key rctx ext)
     exts;
   collect_result rctx
+
+let run ?options ?(jobs = 1) ?cache sg exts =
+  match cache with
+  | Some store -> run_cached ?options ~jobs store sg exts
+  | None ->
+      let rctx = new_rctx ?options sg in
+      (* callout registration mutates a global table: force it before domains
+         race on first lookup *)
+      if jobs > 1 then Callout.install_builtins ();
+      List.iter
+        (fun ext ->
+          (* summaries are per-extension *)
+          Hashtbl.reset rctx.fsums;
+          if jobs > 1 then run_extension_parallel ~jobs rctx ext
+          else run_extension rctx ext)
+        exts;
+      collect_result rctx
 
 let run_with_summaries ?options sg exts =
   let rctx = new_rctx ?options sg in

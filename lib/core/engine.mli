@@ -50,7 +50,17 @@ type result = {
   stats : stats;
 }
 
-val run : ?options:options -> ?jobs:int -> Supergraph.t -> Sm.t list -> result
+val options_digest : options -> string
+(** Stable textual digest of the options, folded into persistent cache
+    keys (an option change must invalidate cached results). *)
+
+val run :
+  ?options:options ->
+  ?jobs:int ->
+  ?cache:Summary_store.t ->
+  Supergraph.t ->
+  Sm.t list ->
+  result
 (** Apply each extension in turn (composition order: earlier extensions'
     AST annotations are visible to later ones), starting from every
     callgraph root.
@@ -65,7 +75,17 @@ val run : ?options:options -> ?jobs:int -> Supergraph.t -> Sm.t list -> result
     identical to the sequential run and independent of scheduling.
     Annotations still compose across extensions (merged between extension
     runs); annotations made during one root's traversal are not visible to
-    {e other roots of the same extension} in parallel mode. *)
+    {e other roots of the same extension} in parallel mode.
+
+    [cache] switches to persistent incremental execution on top of the
+    same per-root model: roots whose transitive-callee closure hash
+    matches a stored entry are replayed verbatim from the store, the rest
+    are recomputed on the pool ([jobs] applies to them) and written back
+    (unless the store is read-only). Reports stay byte-identical to an
+    uncached run at any [jobs]. Per-function summaries are persisted as
+    the invalidation ledger — a leaf edit flips exactly the leaf and its
+    transitive callers to stale — with hit/stale/absent counts in the
+    store's stats. *)
 
 val run_function :
   ?options:options -> Supergraph.t -> Sm.sm_inst -> fname:string -> result

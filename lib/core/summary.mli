@@ -79,6 +79,18 @@ val clear : t -> unit
 val find_by_dst : t -> tuple -> edge list
 (** Edges whose destination equals the tuple (for {!Engine}'s relax). *)
 
+val srcs_list : t -> string list
+(** Recorded source-tuple keys, sorted (deterministic, for persistence). *)
+
+val add_src_key : t -> string -> unit
+(** Re-record a persisted source-tuple key verbatim. *)
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t
+(** Summary persistence: edges (in insertion order) plus src-tuple keys.
+    Round-trips everything the engine's caches consult; expression trees
+    are re-decoded with fresh node ids. Raises [Sexp.Decode_error]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints the summary the way Figure 5 does: [<>]→[<>] edges are omitted
     unless they are the only content. *)

@@ -1,0 +1,276 @@
+type probe = Hit | Stale | Absent
+
+type stats = {
+  mutable ast_hits : int;
+  mutable ast_misses : int;
+  mutable fn_hits : int;
+  mutable fn_stale : int;
+  mutable fn_absent : int;
+  mutable roots_replayed : int;
+  mutable roots_recomputed : int;
+}
+
+type t = {
+  dir : string;
+  persist_ : bool;
+  ext_keys : Fingerprint.t array;
+  st : stats;
+}
+
+(* Bump on any change to the entry encodings below: every stored entry
+   becomes unreachable at once instead of being misdecoded. *)
+let store_version = "sumstore-1"
+
+let create ~dir ?(persist = true) ~ext_keys () =
+  {
+    dir;
+    persist_ = persist;
+    ext_keys = Array.of_list ext_keys;
+    st =
+      {
+        ast_hits = 0;
+        ast_misses = 0;
+        fn_hits = 0;
+        fn_stale = 0;
+        fn_absent = 0;
+        roots_replayed = 0;
+        roots_recomputed = 0;
+      };
+  }
+
+let ext_keys_of ~options_digest ~sources =
+  let rec go prefix = function
+    | [] -> []
+    | src :: rest ->
+        let prefix = prefix @ [ Fingerprint.of_string src ] in
+        Fingerprint.combine (Fingerprint.of_string ~salt:store_version options_digest :: prefix)
+        :: go prefix rest
+  in
+  go [] sources
+
+let ext_key t i = t.ext_keys.(i)
+let persist t = t.persist_
+let stats t = t.st
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "cache: ast %d hit / %d miss; summaries %d hit / %d stale / %d absent; roots %d replayed / %d recomputed"
+    t.st.ast_hits t.st.ast_misses t.st.fn_hits t.st.fn_stale t.st.fn_absent
+    t.st.roots_replayed t.st.roots_recomputed
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
+    end
+  in
+  go dir
+
+let entry_path t ~kind ~ext ~name =
+  Filename.concat
+    (Filename.concat t.dir kind)
+    (Fingerprint.combine [ ext; Fingerprint.of_string name ] ^ ".sexp")
+
+let read_entry path =
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      Some (Sexp.of_string src)
+    with Sexp.Parse_error _ | Sys_error _ -> None
+
+let write_entry t path sx =
+  if t.persist_ then begin
+    mkdir_p (Filename.dirname path);
+    let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "entry" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (Sexp.to_string sx);
+    output_char oc '\n';
+    close_out oc;
+    Sys.rename tmp path
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Function-summary entries                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* (fn <name> <closure> (rets k...) ((<bs> <sfx>) ...)) *)
+
+let fn_to_sexp ~fname ~closure ~bs ~sfx ~rets =
+  Sexp.list
+    [
+      Sexp.atom "fn";
+      Sexp.atom fname;
+      Sexp.atom closure;
+      Sexp.list (List.map Sexp.atom rets);
+      Sexp.list
+        (Array.to_list
+           (Array.mapi
+              (fun i b -> Sexp.list [ Summary.to_sexp b; Summary.to_sexp sfx.(i) ])
+              bs));
+    ]
+
+let fn_header = function
+  | Sexp.List (Sexp.Atom "fn" :: Sexp.Atom fname :: Sexp.Atom closure :: _) ->
+      Some (fname, closure)
+  | _ -> None
+
+let probe_fn t ~ext ~fname ~closure =
+  let path = entry_path t ~kind:"sum" ~ext ~name:fname in
+  let r =
+    match Option.bind (read_entry path) fn_header with
+    | Some (name, stored) when String.equal name fname ->
+        if String.equal stored closure then Hit else Stale
+    | Some _ | None -> Absent
+  in
+  (match r with
+  | Hit -> t.st.fn_hits <- t.st.fn_hits + 1
+  | Stale -> t.st.fn_stale <- t.st.fn_stale + 1
+  | Absent -> t.st.fn_absent <- t.st.fn_absent + 1);
+  r
+
+let store_fn t ~ext ~fname ~closure ~bs ~sfx ~rets =
+  write_entry t
+    (entry_path t ~kind:"sum" ~ext ~name:fname)
+    (fn_to_sexp ~fname ~closure ~bs ~sfx ~rets)
+
+let load_fn t ~ext ~fname ~closure =
+  match read_entry (entry_path t ~kind:"sum" ~ext ~name:fname) with
+  | Some
+      (Sexp.List
+        [ Sexp.Atom "fn"; Sexp.Atom name; Sexp.Atom stored; Sexp.List rets;
+          Sexp.List blocks ])
+    when String.equal name fname && String.equal stored closure -> (
+      try
+        let pairs =
+          List.map
+            (function
+              | Sexp.List [ b; s ] -> (Summary.of_sexp b, Summary.of_sexp s)
+              | _ -> raise (Sexp.Decode_error "bad block pair"))
+            blocks
+        in
+        let rets =
+          List.map
+            (function
+              | Sexp.Atom k -> k
+              | _ -> raise (Sexp.Decode_error "bad ret key"))
+            rets
+        in
+        Some
+          ( Array.of_list (List.map fst pairs),
+            Array.of_list (List.map snd pairs),
+            rets )
+      with Sexp.Decode_error _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Root replay entries                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type root_entry = {
+  r_root : string;
+  r_closure : Fingerprint.t;
+  r_reports : Report.t list;
+  r_counters : (string * int * int) list;
+  r_annots : (Srcloc.t * string * string list) list;
+  r_traversed : string list;
+  r_stats : int list;
+}
+
+let counter_to_sexp (rule, e, c) =
+  Sexp.list
+    [ Sexp.atom rule; Sexp.atom (string_of_int e); Sexp.atom (string_of_int c) ]
+
+let counter_of_sexp = function
+  | Sexp.List [ Sexp.Atom rule; Sexp.Atom e; Sexp.Atom c ] ->
+      (rule, int_of_string e, int_of_string c)
+  | _ -> raise (Sexp.Decode_error "bad counter")
+
+let annot_to_sexp ((loc : Srcloc.t), printed, tags) =
+  Sexp.list
+    [
+      Sexp.atom loc.file;
+      Sexp.atom (string_of_int loc.line);
+      Sexp.atom (string_of_int loc.col);
+      Sexp.atom printed;
+      Sexp.list (List.map Sexp.atom tags);
+    ]
+
+let annot_of_sexp = function
+  | Sexp.List
+      [ Sexp.Atom file; Sexp.Atom line; Sexp.Atom col; Sexp.Atom printed;
+        Sexp.List tags ] ->
+      ( Srcloc.make ~file ~line:(int_of_string line) ~col:(int_of_string col),
+        printed,
+        List.map
+          (function
+            | Sexp.Atom tag -> tag
+            | _ -> raise (Sexp.Decode_error "bad tag"))
+          tags )
+  | _ -> raise (Sexp.Decode_error "bad annot")
+
+let atoms_of = function
+  | Sexp.List items ->
+      List.map
+        (function
+          | Sexp.Atom a -> a
+          | _ -> raise (Sexp.Decode_error "bad atom list"))
+        items
+  | _ -> raise (Sexp.Decode_error "bad atom list")
+
+let root_to_sexp e =
+  Sexp.list
+    [
+      Sexp.atom "root";
+      Sexp.atom e.r_root;
+      Sexp.atom e.r_closure;
+      Sexp.list (List.map Report.to_sexp e.r_reports);
+      Sexp.list (List.map counter_to_sexp e.r_counters);
+      Sexp.list (List.map annot_to_sexp e.r_annots);
+      Sexp.list (List.map Sexp.atom e.r_traversed);
+      Sexp.list (List.map (fun i -> Sexp.atom (string_of_int i)) e.r_stats);
+    ]
+
+let root_of_sexp = function
+  | Sexp.List
+      [ Sexp.Atom "root"; Sexp.Atom r_root; Sexp.Atom r_closure;
+        Sexp.List reports; Sexp.List counters; Sexp.List annots; traversed; stats ]
+    ->
+      {
+        r_root;
+        r_closure;
+        r_reports = List.map Report.of_sexp reports;
+        r_counters = List.map counter_of_sexp counters;
+        r_annots = List.map annot_of_sexp annots;
+        r_traversed = atoms_of traversed;
+        r_stats = List.map int_of_string (atoms_of stats);
+      }
+  | other -> raise (Sexp.Decode_error ("bad root entry " ^ Sexp.to_string other))
+
+let load_root t ~ext ~root ~closure =
+  let path = entry_path t ~kind:"root" ~ext ~name:root in
+  let r =
+    match read_entry path with
+    | None -> None
+    | Some sx -> (
+        match try Some (root_of_sexp sx) with Sexp.Decode_error _ -> None with
+        | Some e
+          when String.equal e.r_root root && String.equal e.r_closure closure ->
+            Some e
+        | Some _ | None -> None)
+  in
+  (match r with
+  | Some _ -> t.st.roots_replayed <- t.st.roots_replayed + 1
+  | None -> t.st.roots_recomputed <- t.st.roots_recomputed + 1);
+  r
+
+let store_root t ~ext e =
+  write_entry t (entry_path t ~kind:"root" ~ext ~name:e.r_root) (root_to_sexp e)

@@ -1,0 +1,102 @@
+(** Persistent, content-addressed store for pass-2 analysis results.
+
+    Two kinds of entries, both keyed by an {e extension key} (a digest of
+    the store format version, the engine options, and the chain of
+    extension sources up to and including this one — earlier extensions'
+    annotations feed later ones, so an edit to any earlier extension must
+    invalidate everything downstream):
+
+    - {e function-summary entries} ([sum/]): one per defined function,
+      carrying the block and suffix summaries plus returned-state keys,
+      validated against the function's transitive-callee closure hash.
+      These are the invalidation ledger — editing a leaf callee flips
+      exactly that function's and its transitive callers' entries to
+      stale ({!probe}) — and the write-back artifact of a run.
+    - {e root replay entries} ([root/]): the complete result of analysing
+      one callgraph root (reports, counter deltas, annotation deltas,
+      traversed set, stat counters), validated the same way. A warm run
+      replays valid roots verbatim and recomputes only invalid ones,
+      which is what makes warm output byte-identical to a cold run:
+      seeding summaries into a live traversal would take summary hits
+      that suppress exactly the re-traversals that emit reports.
+
+    All writes are atomic (tmp + rename in the target directory), so a
+    store may be shared by concurrent runs. Unreadable or mismatched
+    entries degrade to misses, never to errors. *)
+
+type t
+
+type probe = Hit | Stale | Absent
+
+type stats = {
+  mutable ast_hits : int;  (** pass-1 object-cache hits (driver-maintained) *)
+  mutable ast_misses : int;
+  mutable fn_hits : int;  (** function-summary entries still valid *)
+  mutable fn_stale : int;  (** present but closure hash changed *)
+  mutable fn_absent : int;
+  mutable roots_replayed : int;
+  mutable roots_recomputed : int;
+}
+
+val create : dir:string -> ?persist:bool -> ext_keys:Fingerprint.t list -> unit -> t
+(** [persist] (default true): when false the store is read-only — warm
+    hits still replay but nothing is written back. [ext_keys] must align
+    positionally with the extension list handed to [Engine.run]. *)
+
+val ext_keys_of : options_digest:string -> sources:string list -> Fingerprint.t list
+(** The chain-prefix keys: the key for extension [i] digests the store
+    version, [options_digest], and [sources.(0..i)]. *)
+
+val ext_key : t -> int -> Fingerprint.t
+val persist : t -> bool
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> t -> unit
+(** One [--stats] line: AST, function-summary and root cache counters. *)
+
+(** {1 Function-summary entries} *)
+
+val probe_fn : t -> ext:Fingerprint.t -> fname:string -> closure:Fingerprint.t -> probe
+(** Validity check only (bumps [fn_*] stats): is the stored entry for
+    [fname] still keyed by [closure]? *)
+
+val store_fn :
+  t ->
+  ext:Fingerprint.t ->
+  fname:string ->
+  closure:Fingerprint.t ->
+  bs:Summary.t array ->
+  sfx:Summary.t array ->
+  rets:string list ->
+  unit
+
+val load_fn :
+  t ->
+  ext:Fingerprint.t ->
+  fname:string ->
+  closure:Fingerprint.t ->
+  (Summary.t array * Summary.t array * string list) option
+(** [None] on absence, closure mismatch, or a corrupt entry. *)
+
+(** {1 Root replay entries} *)
+
+type root_entry = {
+  r_root : string;
+  r_closure : Fingerprint.t;
+  r_reports : Report.t list;  (** in emission order *)
+  r_counters : (string * int * int) list;
+  r_annots : (Srcloc.t * string * string list) list;
+      (** annotation delta: (location, printed expression, tags
+          oldest-first) — node ids are not stable across runs, so deltas
+          are stored positionally and re-resolved against the current
+          ASTs at replay time *)
+  r_traversed : string list;
+  r_stats : int list;  (** engine stat counters, in [Engine]'s field order *)
+}
+
+val load_root :
+  t -> ext:Fingerprint.t -> root:string -> closure:Fingerprint.t -> root_entry option
+(** Bumps [roots_replayed] on a hit, [roots_recomputed] otherwise. *)
+
+val store_root : t -> ext:Fingerprint.t -> root_entry -> unit
+(** No-op when the store was opened with [persist:false]. *)

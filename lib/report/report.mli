@@ -46,6 +46,11 @@ val identity_key : t -> string
     file name, function name, variable names and the error text — fields
     that are "relatively invariant under edits (unlike line numbers)". *)
 
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t
+(** Lossless round-trip; used by the persistent result cache. Raises
+    [Sexp.Decode_error] on malformed input. *)
+
 type collector
 
 val new_collector : unit -> collector

@@ -1,0 +1,248 @@
+(* The persistent incremental cache: fingerprints, the pass-1 AST object
+   cache (including emit-target disambiguation), summary serialisation,
+   and the engine's cached mode — warm runs must be byte-identical to
+   cold runs at any job count, and a leaf edit must invalidate exactly
+   the leaf and its transitive callers. *)
+
+let t = Alcotest.test_case
+
+let temp_dir () =
+  let f = Filename.temp_file "xgcc_test_cache" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let free () = [ Free_checker.checker () ]
+
+let sg_of_files files =
+  Supergraph.build
+    (List.map (fun (file, src) -> Cparse.parse_tunit ~file src) files)
+
+let store_over dir =
+  Summary_store.create ~dir
+    ~ext_keys:
+      (Summary_store.ext_keys_of
+         ~options_digest:(Engine.options_digest Engine.default_options)
+         ~sources:[ "free" ])
+    ()
+
+(* emission-order report lines: the byte-identity contract is about output
+   order, so no sorting here *)
+let report_lines (r : Engine.result) = List.map Report.to_string r.Engine.reports
+
+let leaf_v1 =
+  "static void leaf(int *p) { kfree(p); }\n\
+   int caller(int n) { int *x = kmalloc(n); leaf(x); return *x; }\n\
+   int unrelated(int n) { int *y = kmalloc(n); kfree(y); return *y; }\n"
+
+(* same program with the leaf's body edited *)
+let leaf_v2 =
+  "static void leaf(int *p) { int e = 1; (void)e; kfree(p); }\n\
+   int caller(int n) { int *x = kmalloc(n); leaf(x); return *x; }\n\
+   int unrelated(int n) { int *y = kmalloc(n); kfree(y); return *y; }\n"
+
+let suite =
+  [
+    t "fingerprints are stable and content-sensitive" `Quick (fun () ->
+        Alcotest.(check string)
+          "same input, same digest"
+          (Fingerprint.of_string "hello")
+          (Fingerprint.of_string "hello");
+        Alcotest.(check bool)
+          "different input, different digest" false
+          (String.equal (Fingerprint.of_string "a") (Fingerprint.of_string "b"));
+        Alcotest.(check bool)
+          "salt changes the digest" false
+          (String.equal
+             (Fingerprint.of_string ~salt:"v1" "x")
+             (Fingerprint.of_string ~salt:"v2" "x"));
+        Alcotest.(check bool)
+          "combine is order-sensitive" false
+          (String.equal
+             (Fingerprint.combine [ "a"; "b" ])
+             (Fingerprint.combine [ "b"; "a" ])));
+    t "ast fingerprint includes the file name" `Quick (fun () ->
+        (* locations are baked into the AST, so the same text under two
+           names must yield two cache objects *)
+        Alcotest.(check bool)
+          "same source, different file" false
+          (String.equal
+             (Cast_io.ast_fingerprint ~file:"a.c" ~source:"int x;")
+             (Cast_io.ast_fingerprint ~file:"b.c" ~source:"int x;")));
+    t "AST object cache round-trips a translation unit" `Quick (fun () ->
+        let cache_dir = temp_dir () in
+        let src = "int f(int *p) { kfree(p); return *p; }" in
+        let tu = Cparse.parse_tunit ~file:"rt.c" src in
+        let fp = Cast_io.ast_fingerprint ~file:"rt.c" ~source:src in
+        Alcotest.(check bool)
+          "miss before write" true
+          (Cast_io.read_cached ~cache_dir fp = None);
+        Cast_io.write_cached ~cache_dir fp tu;
+        match Cast_io.read_cached ~cache_dir fp with
+        | None -> Alcotest.fail "expected a cache hit"
+        | Some tu' ->
+            Alcotest.(check string)
+              "identical emitted form" (Cast_io.emit_string tu)
+              (Cast_io.emit_string tu'));
+    t "emit targets keep unique basenames, disambiguate collisions" `Quick
+      (fun () ->
+        Alcotest.(check (list (pair string string)))
+          "unique basenames unchanged"
+          [ ("dir/x.c", "x.mcast"); ("dir/y.c", "y.mcast") ]
+          (Cast_io.emit_targets [ "dir/x.c"; "dir/y.c" ]);
+        (* the regression: a/util.c and b/util.c used to overwrite each
+           other's util.mcast *)
+        let targets = Cast_io.emit_targets [ "a/util.c"; "b/util.c" ] in
+        let outs = List.map snd targets in
+        Alcotest.(check int)
+          "two distinct outputs" 2
+          (List.length (List.sort_uniq String.compare outs));
+        List.iter
+          (fun o ->
+            Alcotest.(check bool) "keeps .mcast suffix" true
+              (Filename.check_suffix o ".mcast"))
+          outs;
+        match Cast_io.emit_targets [ "dup.c"; "./dup.c" ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument on a residual collision");
+    t "summary sexp round-trip is lossless" `Quick (fun () ->
+        let src =
+          "int use(int *p, int c) { if (c) { kfree(p); } return *p; }\n\
+           int top(int *p, int c) { use(p, c); return 0; }"
+        in
+        let sg = sg_of_files [ ("s.c", src) ] in
+        let _, per_ext = Engine.run_with_summaries sg (free ()) in
+        let checked = ref 0 in
+        List.iter
+          (fun (_, tbl) ->
+            Hashtbl.iter
+              (fun _ (bs, sfx) ->
+                Array.iter
+                  (fun s ->
+                    incr checked;
+                    let sx = Summary.to_sexp s in
+                    Alcotest.(check string)
+                      "to_sexp . of_sexp . to_sexp = to_sexp"
+                      (Sexp.to_string sx)
+                      (Sexp.to_string (Summary.to_sexp (Summary.of_sexp sx))))
+                  (Array.append bs sfx))
+              tbl)
+          per_ext;
+        Alcotest.(check bool) "exercised some summaries" true (!checked > 0));
+    t "root entries round-trip through the store" `Quick (fun () ->
+        let dir = temp_dir () in
+        let store = store_over dir in
+        let ext = Summary_store.ext_key store 0 in
+        let r = Engine.check_source ~file:"r.c" leaf_v1 (free ()) in
+        Alcotest.(check bool) "have a report" true (r.Engine.reports <> []);
+        let entry =
+          {
+            Summary_store.r_root = "caller";
+            r_closure = Fingerprint.of_string "closure";
+            r_reports = r.Engine.reports;
+            r_counters = [ ("rule", 3, 1) ];
+            r_annots = [];
+            r_traversed = [ "caller"; "leaf" ];
+            r_stats = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+          }
+        in
+        Summary_store.store_root store ~ext entry;
+        (match
+           Summary_store.load_root store ~ext ~root:"caller"
+             ~closure:(Fingerprint.of_string "closure")
+         with
+        | None -> Alcotest.fail "expected a root hit"
+        | Some e ->
+            Alcotest.(check (list string))
+              "reports round-trip"
+              (List.map Report.to_string entry.Summary_store.r_reports)
+              (List.map Report.to_string e.Summary_store.r_reports);
+            Alcotest.(check (list (triple string int int)))
+              "counters round-trip" entry.Summary_store.r_counters
+              e.Summary_store.r_counters;
+            Alcotest.(check (list string))
+              "traversed round-trips" entry.Summary_store.r_traversed
+              e.Summary_store.r_traversed);
+        Alcotest.(check bool)
+          "stale closure misses" true
+          (Summary_store.load_root store ~ext ~root:"caller"
+             ~closure:(Fingerprint.of_string "other")
+          = None));
+    t "warm run is byte-identical to cold, including -j" `Quick (fun () ->
+        let files =
+          Gen.generate_files ~seed:31 ~n_files:3 ~funcs_per_file:8 ~bug_rate:0.5
+          |> List.map (fun (file, g) -> (file, g.Gen.source))
+        in
+        let sg = sg_of_files files in
+        let uncached = Engine.run sg (free ()) in
+        let dir = temp_dir () in
+        let cold = Engine.run ~cache:(store_over dir) sg (free ()) in
+        let warm_store = store_over dir in
+        let warm = Engine.run ~cache:warm_store sg (free ()) in
+        let warm4 = Engine.run ~jobs:4 ~cache:(store_over dir) sg (free ()) in
+        Alcotest.(check (list string))
+          "cold = uncached" (report_lines uncached) (report_lines cold);
+        Alcotest.(check (list string))
+          "warm = uncached" (report_lines uncached) (report_lines warm);
+        Alcotest.(check (list string))
+          "warm -j 4 = uncached" (report_lines uncached) (report_lines warm4);
+        let st = Summary_store.stats warm_store in
+        Alcotest.(check int)
+          "warm run recomputes nothing" 0 st.Summary_store.roots_recomputed;
+        Alcotest.(check bool)
+          "warm run replays roots" true (st.Summary_store.roots_replayed > 0));
+    t "leaf edit invalidates the leaf and its callers only" `Quick (fun () ->
+        let dir = temp_dir () in
+        (* cold run populates the store for v1 *)
+        let _ =
+          Engine.run
+            ~cache:(store_over dir)
+            (sg_of_files [ ("inv.c", leaf_v1) ])
+            (free ())
+        in
+        let store = store_over dir in
+        let v2 =
+          Engine.run ~cache:store (sg_of_files [ ("inv.c", leaf_v2) ]) (free ())
+        in
+        let st = Summary_store.stats store in
+        (* functions: leaf, caller, unrelated — leaf changed, so leaf and
+           caller go stale; unrelated still hits *)
+        Alcotest.(check int) "one summary still valid" 1 st.Summary_store.fn_hits;
+        Alcotest.(check int) "leaf and caller stale" 2 st.Summary_store.fn_stale;
+        Alcotest.(check int) "nothing absent" 0 st.Summary_store.fn_absent;
+        (* roots: caller (recomputed — its closure contains leaf) and
+           unrelated (replayed verbatim) *)
+        Alcotest.(check int) "unrelated replays" 1 st.Summary_store.roots_replayed;
+        Alcotest.(check int) "caller recomputes" 1 st.Summary_store.roots_recomputed;
+        (* and the result still matches an uncached run of v2 *)
+        let uncached = Engine.check_source ~file:"inv.c" leaf_v2 (free ()) in
+        Alcotest.(check (list string))
+          "edited run = uncached" (report_lines uncached) (report_lines v2));
+    t "persist:false stores replay but never write" `Quick (fun () ->
+        let dir = temp_dir () in
+        let sg = sg_of_files [ ("ro.c", leaf_v1) ] in
+        let ro =
+          Summary_store.create ~dir ~persist:false
+            ~ext_keys:
+              (Summary_store.ext_keys_of
+                 ~options_digest:(Engine.options_digest Engine.default_options)
+                 ~sources:[ "free" ])
+            ()
+        in
+        let _ = Engine.run ~cache:ro sg (free ()) in
+        Alcotest.(check bool)
+          "no entries written" true
+          (not (Sys.file_exists (Filename.concat dir "root")));
+        (* a second read-only run still misses — nothing was persisted *)
+        let ro2 =
+          Summary_store.create ~dir ~persist:false
+            ~ext_keys:
+              (Summary_store.ext_keys_of
+                 ~options_digest:(Engine.options_digest Engine.default_options)
+                 ~sources:[ "free" ])
+            ()
+        in
+        let _ = Engine.run ~cache:ro2 sg (free ()) in
+        Alcotest.(check int)
+          "still cold" 0 (Summary_store.stats ro2).Summary_store.roots_replayed);
+  ]

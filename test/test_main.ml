@@ -34,4 +34,5 @@ let () =
       ("printers", Test_pp.suite);
       ("triage", Test_triage.suite);
       ("parallel", Test_parallel.suite);
+      ("cache", Test_cache.suite);
     ]
