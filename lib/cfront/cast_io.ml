@@ -454,7 +454,14 @@ let cached_path ~cache_dir fp = Filename.concat (Filename.concat cache_dir "ast"
 let read_cached ~cache_dir fp =
   let path = cached_path ~cache_dir fp in
   if Sys.file_exists path then
-    try Some (read_file path) with Sexp.Parse_error _ | Sexp.Decode_error _ -> None
+    (* a corrupt or vanished object is a miss, never an error: literal
+       atoms decode with int_of_string/Int64.of_string/Char.chr, which
+       raise Failure/Invalid_argument on tampered or truncated entries *)
+    try Some (read_file path)
+    with
+    | Sexp.Parse_error _ | Sexp.Decode_error _ | Failure _
+    | Invalid_argument _ | Sys_error _
+    -> None
   else None
 
 let write_cached ~cache_dir fp tu =

@@ -1672,9 +1672,17 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
    kept as the invalidation ledger (hit/stale/absent accounting) and as
    write-back artifacts instead. *)
 
+(* Bump whenever engine or builtin-checker semantics change in a way that
+   can alter analysis output. The digest below is folded into every
+   persistent cache key, so a stamp change orphans results computed by
+   older builds instead of silently replaying them — the store's format
+   version only guards the entry encoding, not what the engine computed. *)
+let analysis_version = "xgcc-analysis-2"
+
 let options_digest (o : options) =
-  Printf.sprintf "c%b p%b i%b k%b s%b d%d m%d" o.caching o.pruning o.interproc
-    o.auto_kill o.synonyms o.max_call_depth o.max_instances
+  Printf.sprintf "%s c%b p%b i%b k%b s%b d%d m%d" analysis_version o.caching
+    o.pruning o.interproc o.auto_kill o.synonyms o.max_call_depth
+    o.max_instances
 
 let stats_to_list (s : stats) =
   [
@@ -1753,40 +1761,61 @@ let rec iter_exprs_stmt f (s : Cast.stmt) =
   | Cast.Sbreak | Cast.Scontinue | Cast.Sgoto _ | Cast.Snull -> ()
 
 (* Node ids are not stable across runs (decoding allocates fresh ids), so
-   persisted annotation deltas are positional — (location, printed
-   expression) — and re-resolved against the current program here. *)
-let annot_key (e : Cast.expr) =
-  Printf.sprintf "%s:%d:%d|%s" e.eloc.Srcloc.file e.eloc.Srcloc.line
-    e.eloc.Srcloc.col (Cprint.expr_to_string e)
+   persisted annotation deltas are positional and re-resolved against the
+   current program here. (location, printed expression) alone is
+   ambiguous — the same header parsed into two translation units, or
+   macro expansion duplicating an expression at one location, gives
+   distinct nodes the same key — so the key also carries the enclosing
+   global definition's name and the node's occurrence rank under that
+   (location, printed, definition) triple, assigned in the deterministic
+   index-traversal order below. Replay then targets exactly the node the
+   worker annotated, never a positional twin. *)
+let annot_base (loc : Srcloc.t) ~printed ~ctx =
+  Printf.sprintf "%s:%d:%d|%s|%s" loc.file loc.line loc.col printed ctx
 
-let build_annot_indexes (sg : Supergraph.t) =
-  let by_eid : (int, Cast.expr) Hashtbl.t = Hashtbl.create 1024 in
-  let by_key : (string, int list) Hashtbl.t = Hashtbl.create 1024 in
-  let visit e =
-    if not (Hashtbl.mem by_eid e.Cast.eid) then begin
-      Hashtbl.replace by_eid e.Cast.eid e;
-      let k = annot_key e in
-      let cur = Option.value (Hashtbl.find_opt by_key k) ~default:[] in
-      Hashtbl.replace by_key k (e.Cast.eid :: cur)
+type annot_index = {
+  ai_exprs : (int, Cast.expr) Hashtbl.t;  (* eid -> node *)
+  ai_pos : (int, string * int) Hashtbl.t;  (* eid -> (enclosing def, occurrence) *)
+  ai_ids : (string, int) Hashtbl.t;  (* full positional key -> eid *)
+}
+
+let build_annot_index (sg : Supergraph.t) =
+  let ix =
+    {
+      ai_exprs = Hashtbl.create 1024;
+      ai_pos = Hashtbl.create 1024;
+      ai_ids = Hashtbl.create 1024;
+    }
+  in
+  let occs : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let visit ctx (e : Cast.expr) =
+    if not (Hashtbl.mem ix.ai_exprs e.Cast.eid) then begin
+      Hashtbl.replace ix.ai_exprs e.Cast.eid e;
+      let base = annot_base e.eloc ~printed:(Cprint.expr_to_string e) ~ctx in
+      let occ = Option.value (Hashtbl.find_opt occs base) ~default:0 in
+      Hashtbl.replace occs base (occ + 1);
+      Hashtbl.replace ix.ai_pos e.Cast.eid (ctx, occ);
+      Hashtbl.replace ix.ai_ids (base ^ "#" ^ string_of_int occ) e.Cast.eid
     end
   in
   List.iter
     (fun (tu : Cast.tunit) ->
       List.iter
         (function
-          | Cast.Gfun fd -> iter_exprs_stmt visit fd.fbody
-          | Cast.Gvar { gdecl = { dinit = Some e; _ }; _ } -> iter_exprs_expr visit e
+          | Cast.Gfun fd -> iter_exprs_stmt (visit fd.fname) fd.fbody
+          | Cast.Gvar { gdecl = { dname; dinit = Some e; _ }; _ } ->
+              iter_exprs_expr (visit dname) e
           | _ -> ())
         tu.tu_globals)
     sg.Supergraph.tunits;
-  (by_eid, by_key)
+  ix
 
 (* The tags a worker added beyond the base table it was seeded from,
    oldest-first, attached to the worker's expression node. Tags on nodes
    absent from the program index (per-rctx synthesised nodes, e.g.
    declaration initialisers) are dropped — matching parallel mode, where
    their ids are meaningless to other workers anyway. *)
-let annot_delta ~base ~by_eid (worker : (int, string list) Hashtbl.t) =
+let annot_delta ~base ~ix (worker : (int, string list) Hashtbl.t) =
   let deltas =
     Hashtbl.fold
       (fun eid tags acc ->
@@ -1796,35 +1825,33 @@ let annot_delta ~base ~by_eid (worker : (int, string list) Hashtbl.t) =
         in
         if fresh_n <= 0 then acc
         else
-          match Hashtbl.find_opt by_eid eid with
+          match Hashtbl.find_opt ix.ai_exprs eid with
           | None -> acc
           | Some e ->
+              let ctx, occ = Hashtbl.find ix.ai_pos eid in
               let fresh = List.rev (List.filteri (fun i _ -> i < fresh_n) tags) in
-              (e.Cast.eloc, Cprint.expr_to_string e, fresh) :: acc)
+              (e.Cast.eloc, Cprint.expr_to_string e, ctx, occ, fresh) :: acc)
       worker []
   in
   List.sort
-    (fun ((a : Srcloc.t), pa, _) ((b : Srcloc.t), pb, _) ->
-      compare (a.file, a.line, a.col, pa) (b.file, b.line, b.col, pb))
+    (fun ((a : Srcloc.t), pa, ca, oa, _) ((b : Srcloc.t), pb, cb, ob, _) ->
+      compare (a.file, a.line, a.col, pa, ca, oa) (b.file, b.line, b.col, pb, cb, ob))
     deltas
 
-let inject_annots base ~by_key annots =
+let inject_annots base ~ix annots =
   List.iter
-    (fun ((loc : Srcloc.t), printed, tags) ->
-      let k = Printf.sprintf "%s:%d:%d|%s" loc.file loc.line loc.col printed in
-      match Hashtbl.find_opt by_key k with
+    (fun ((loc : Srcloc.t), printed, ctx, occ, tags) ->
+      let k = annot_base loc ~printed ~ctx ^ "#" ^ string_of_int occ in
+      match Hashtbl.find_opt ix.ai_ids k with
       | None -> ()
-      | Some eids ->
+      | Some eid ->
+          let cur =
+            ref (Option.value (Hashtbl.find_opt base.annots eid) ~default:[])
+          in
           List.iter
-            (fun eid ->
-              let cur =
-                ref (Option.value (Hashtbl.find_opt base.annots eid) ~default:[])
-              in
-              List.iter
-                (fun tag -> if not (List.mem tag !cur) then cur := tag :: !cur)
-                tags;
-              Hashtbl.replace base.annots eid !cur)
-            eids)
+            (fun tag -> if not (List.mem tag !cur) then cur := tag :: !cur)
+            tags;
+          Hashtbl.replace base.annots eid !cur)
     annots
 
 let merge_fsum_into (dst : fsum) (src : fsum) =
@@ -1839,7 +1866,7 @@ let merge_fsum_into (dst : fsum) (src : fsum) =
   union dst.sfx src.sfx;
   Hashtbl.iter (fun k () -> Hashtbl.replace dst.rets k ()) src.rets
 
-let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~by_eid ~by_key base
+let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
     (ext : Sm.t) =
   base.cur_ext <- ext;
   let cg = base.sg.Supergraph.callgraph in
@@ -1902,7 +1929,7 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~by_eid ~by_key base
       | `Replay (e : Summary_store.root_entry) ->
           List.iter emit_merged e.r_reports;
           List.iter (fun (rule, ex, cx) -> add_counter rule ex cx) e.r_counters;
-          inject_annots base ~by_key e.r_annots;
+          inject_annots base ~ix e.r_annots;
           List.iter (fun f -> Hashtbl.replace base.traversed f ()) e.r_traversed;
           add_stats_list base.st e.r_stats
       | `Compute ->
@@ -1924,7 +1951,7 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~by_eid ~by_key base
                     (Hashtbl.fold
                        (fun rule (e, c) acc -> (rule, e, c) :: acc)
                        w.counters []);
-                r_annots = annot_delta ~base:base_snapshot ~by_eid w.annots;
+                r_annots = annot_delta ~base:base_snapshot ~ix w.annots;
                 r_traversed =
                   List.sort String.compare
                     (Hashtbl.fold (fun f () acc -> f :: acc) w.traversed []);
@@ -2001,11 +2028,29 @@ let run_cached ?options ~jobs store sg exts =
   in
   let cg = sg.Supergraph.callgraph in
   let closure = Callgraph.closure_hashes cg ~body_hash in
+  (* Analysis output depends on more than function bodies: typedefs,
+     struct/union layouts, enum constants, prototypes and global-variable
+     declarations all feed the typing environment (and file-scope statics
+     drive sleep/wake partitioning), yet none of them appear in any Gfun
+     sexp. Hash every non-function global into every closure key so a
+     declaration-level edit invalidates cached entries too. *)
+  let decls_hash =
+    Fingerprint.of_string ~salt:Cast_io.format_version
+      (String.concat "\x00"
+         (List.concat_map
+            (fun (tu : Cast.tunit) ->
+              List.filter_map
+                (function
+                  | Cast.Gfun _ -> None
+                  | g -> Some (Sexp.to_string (Cast_io.global_to_sexp g)))
+                tu.tu_globals)
+            sg.Supergraph.tunits))
+  in
   let program_hash =
     Fingerprint.combine_pairs
       (List.map (fun f -> (f, body_hash f)) (Callgraph.functions cg))
   in
-  let by_eid, by_key = build_annot_indexes sg in
+  let ix = build_annot_index sg in
   List.iteri
     (fun i ext ->
       Hashtbl.reset rctx.fsums;
@@ -2013,10 +2058,11 @@ let run_cached ?options ~jobs store sg exts =
          left anywhere in the program, so their entries key on the whole
          program rather than the per-root closure (conservative) *)
       let closure_of f =
-        if i = 0 then closure f else Fingerprint.combine [ closure f; program_hash ]
+        if i = 0 then Fingerprint.combine [ closure f; decls_hash ]
+        else Fingerprint.combine [ closure f; decls_hash; program_hash ]
       in
       run_extension_cached ~jobs ~store ~ext_key:(Summary_store.ext_key store i)
-        ~closure_of ~by_eid ~by_key rctx ext)
+        ~closure_of ~ix rctx ext)
     exts;
   collect_result rctx
 

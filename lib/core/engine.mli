@@ -50,9 +50,17 @@ type result = {
   stats : stats;
 }
 
+val analysis_version : string
+(** Semantic version stamp of the engine and builtin checkers, bumped on
+    any change that can alter analysis output. {!options_digest} folds it
+    into every persistent cache key so results computed by an older build
+    are orphaned rather than silently replayed (the store's format
+    version only guards the entry encoding, not the semantics). *)
+
 val options_digest : options -> string
-(** Stable textual digest of the options, folded into persistent cache
-    keys (an option change must invalidate cached results). *)
+(** Stable textual digest of the options, prefixed with
+    {!analysis_version} and folded into persistent cache keys (an option
+    or engine-semantics change must invalidate cached results). *)
 
 val run :
   ?options:options ->

@@ -19,7 +19,7 @@ type t = {
 
 (* Bump on any change to the entry encodings below: every stored entry
    becomes unreachable at once instead of being misdecoded. *)
-let store_version = "sumstore-1"
+let store_version = "sumstore-2"
 
 let create ~dir ?(persist = true) ~ext_keys () =
   {
@@ -168,7 +168,9 @@ let load_fn t ~ext ~fname ~closure =
           ( Array.of_list (List.map fst pairs),
             Array.of_list (List.map snd pairs),
             rets )
-      with Sexp.Decode_error _ -> None)
+      (* a corrupt entry is a miss, never an error: numeric atoms decode
+         with int_of_string & co., which raise Failure/Invalid_argument *)
+      with Sexp.Decode_error _ | Failure _ | Invalid_argument _ -> None)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -180,7 +182,7 @@ type root_entry = {
   r_closure : Fingerprint.t;
   r_reports : Report.t list;
   r_counters : (string * int * int) list;
-  r_annots : (Srcloc.t * string * string list) list;
+  r_annots : (Srcloc.t * string * string * int * string list) list;
   r_traversed : string list;
   r_stats : int list;
 }
@@ -194,22 +196,26 @@ let counter_of_sexp = function
       (rule, int_of_string e, int_of_string c)
   | _ -> raise (Sexp.Decode_error "bad counter")
 
-let annot_to_sexp ((loc : Srcloc.t), printed, tags) =
+let annot_to_sexp ((loc : Srcloc.t), printed, ctx, occ, tags) =
   Sexp.list
     [
       Sexp.atom loc.file;
       Sexp.atom (string_of_int loc.line);
       Sexp.atom (string_of_int loc.col);
       Sexp.atom printed;
+      Sexp.atom ctx;
+      Sexp.atom (string_of_int occ);
       Sexp.list (List.map Sexp.atom tags);
     ]
 
 let annot_of_sexp = function
   | Sexp.List
       [ Sexp.Atom file; Sexp.Atom line; Sexp.Atom col; Sexp.Atom printed;
-        Sexp.List tags ] ->
+        Sexp.Atom ctx; Sexp.Atom occ; Sexp.List tags ] ->
       ( Srcloc.make ~file ~line:(int_of_string line) ~col:(int_of_string col),
         printed,
+        ctx,
+        int_of_string occ,
         List.map
           (function
             | Sexp.Atom tag -> tag
@@ -261,7 +267,12 @@ let load_root t ~ext ~root ~closure =
     match read_entry path with
     | None -> None
     | Some sx -> (
-        match try Some (root_of_sexp sx) with Sexp.Decode_error _ -> None with
+        (* a corrupt entry is a miss, never an error: numeric atoms decode
+           with int_of_string & co., which raise Failure/Invalid_argument *)
+        match
+          try Some (root_of_sexp sx)
+          with Sexp.Decode_error _ | Failure _ | Invalid_argument _ -> None
+        with
         | Some e
           when String.equal e.r_root root && String.equal e.r_closure closure ->
             Some e

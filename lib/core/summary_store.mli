@@ -85,11 +85,15 @@ type root_entry = {
   r_closure : Fingerprint.t;
   r_reports : Report.t list;  (** in emission order *)
   r_counters : (string * int * int) list;
-  r_annots : (Srcloc.t * string * string list) list;
-      (** annotation delta: (location, printed expression, tags
-          oldest-first) — node ids are not stable across runs, so deltas
-          are stored positionally and re-resolved against the current
-          ASTs at replay time *)
+  r_annots : (Srcloc.t * string * string * int * string list) list;
+      (** annotation delta: (location, printed expression, enclosing
+          global definition, occurrence rank, tags oldest-first) — node
+          ids are not stable across runs, so deltas are stored
+          positionally and re-resolved against the current ASTs at replay
+          time; the definition name and occurrence rank disambiguate
+          positional twins (the same header parsed into two translation
+          units, macro expansion repeating an expression at one location)
+          so replay targets exactly the node the worker annotated *)
   r_traversed : string list;
   r_stats : int list;  (** engine stat counters, in [Engine]'s field order *)
 }

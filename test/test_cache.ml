@@ -245,4 +245,127 @@ let suite =
         let _ = Engine.run ~cache:ro2 sg (free ()) in
         Alcotest.(check int)
           "still cold" 0 (Summary_store.stats ro2).Summary_store.roots_replayed);
+    t "options digest carries the analysis version stamp" `Quick (fun () ->
+        (* the stamp is what orphans cached results when engine or builtin
+           checker semantics change without any checker source changing *)
+        let d = Engine.options_digest Engine.default_options in
+        let v = Engine.analysis_version in
+        Alcotest.(check bool)
+          "digest starts with the version stamp" true
+          (String.length d > String.length v
+          && String.equal (String.sub d 0 (String.length v)) v));
+    t "non-function global edit invalidates cached roots" `Quick (fun () ->
+        (* the regression: typedefs, struct layouts, enums, prototypes and
+           global-variable declarations feed analysis through the typing
+           environment but appear in no function-body hash, so editing one
+           used to leave every closure key — and the stale cached results —
+           untouched *)
+        let v1 = "int g = 1;\n" ^ leaf_v1 in
+        let v2 = "int g = 2;\n" ^ leaf_v1 in
+        let dir = temp_dir () in
+        let _ =
+          Engine.run ~cache:(store_over dir) (sg_of_files [ ("g.c", v1) ]) (free ())
+        in
+        let store = store_over dir in
+        let warm =
+          Engine.run ~cache:store (sg_of_files [ ("g.c", v2) ]) (free ())
+        in
+        let st = Summary_store.stats store in
+        Alcotest.(check int)
+          "no root replays across a declaration edit" 0
+          st.Summary_store.roots_replayed;
+        Alcotest.(check int)
+          "no summary hits across a declaration edit" 0 st.Summary_store.fn_hits;
+        let uncached = Engine.check_source ~file:"g.c" v2 (free ()) in
+        Alcotest.(check (list string))
+          "edited run = uncached" (report_lines uncached) (report_lines warm));
+    t "corrupt root entries degrade to misses" `Quick (fun () ->
+        let dir = temp_dir () in
+        let sg = sg_of_files [ ("c.c", leaf_v1) ] in
+        let uncached = Engine.run sg (free ()) in
+        let _ = Engine.run ~cache:(store_over dir) sg (free ()) in
+        (* tamper: still a well-formed sexp of the right shape, but with a
+           non-numeric stat atom — decoding raises Failure, which must read
+           as a miss rather than abort the run *)
+        let rootdir = Filename.concat dir "root" in
+        Array.iter
+          (fun f ->
+            let oc = open_out (Filename.concat rootdir f) in
+            output_string oc "(root caller x () () () () (zz))\n";
+            close_out oc)
+          (Sys.readdir rootdir);
+        let store = store_over dir in
+        let warm = Engine.run ~cache:store sg (free ()) in
+        Alcotest.(check int)
+          "all roots recompute" 0 (Summary_store.stats store).Summary_store.roots_replayed;
+        Alcotest.(check (list string))
+          "reports unaffected" (report_lines uncached) (report_lines warm));
+    t "corrupt summary entries degrade to misses" `Quick (fun () ->
+        let dir = temp_dir () in
+        let store = store_over dir in
+        let ext = Summary_store.ext_key store 0 in
+        Summary_store.store_fn store ~ext ~fname:"f" ~closure:"c" ~bs:[||]
+          ~sfx:[||] ~rets:[];
+        (* matching header, but a tuple whose location decodes with
+           int_of_string: Failure must read as a miss *)
+        let sumdir = Filename.concat dir "sum" in
+        Array.iter
+          (fun f ->
+            let oc = open_out (Filename.concat sumdir f) in
+            output_string oc
+              "(fn f c () (((sum ((t (g k ((v x) (@ f zz 1)) val 0) (g))) ()) (sum () ()))))\n";
+            close_out oc)
+          (Sys.readdir sumdir);
+        Alcotest.(check bool)
+          "corrupt entry loads as None" true
+          (Summary_store.load_fn store ~ext ~fname:"f" ~closure:"c" = None));
+    t "corrupt AST cache objects degrade to misses" `Quick (fun () ->
+        let cache_dir = temp_dir () in
+        let src = "int f(int *p) { kfree(p); return *p; }" in
+        let tu = Cparse.parse_tunit ~file:"cc.c" src in
+        let fp = Cast_io.ast_fingerprint ~file:"cc.c" ~source:src in
+        Cast_io.write_cached ~cache_dir fp tu;
+        (* parses as a sexp, but the enum item raises Failure in decoding *)
+        let astdir = Filename.concat cache_dir "ast" in
+        Array.iter
+          (fun f ->
+            let oc = open_out (Filename.concat astdir f) in
+            output_string oc "(tunit cc.c (enumdef E (k zz)))\n";
+            close_out oc)
+          (Sys.readdir astdir);
+        Alcotest.(check bool)
+          "corrupt object reads as a miss" true
+          (Cast_io.read_cached ~cache_dir fp = None));
+    t "positional twins replay byte-identically" `Quick (fun () ->
+        (* two translation units claiming the same file name (a header
+           parsed into two units), with textually identical expressions at
+           identical positions inside different functions: the persisted
+           annotation delta must resolve back to exactly the node the
+           worker annotated, not to every node sharing its position *)
+        let files =
+          [
+            ("twin.h", "int a(int *p) { if (p) { kfree(p); } return 0; }\n");
+            ("twin.h", "int b(int *p) { if (p) { kfree(p); } return 0; }\n");
+          ]
+        in
+        let exts () = [ Free_checker.checker (); Leak_checker.checker () ] in
+        let store2 dir =
+          Summary_store.create ~dir
+            ~ext_keys:
+              (Summary_store.ext_keys_of
+                 ~options_digest:(Engine.options_digest Engine.default_options)
+                 ~sources:[ "free"; "leak" ])
+            ()
+        in
+        let sg = sg_of_files files in
+        let uncached = Engine.run sg (exts ()) in
+        let dir = temp_dir () in
+        let _ = Engine.run ~cache:(store2 dir) sg (exts ()) in
+        let warm_store = store2 dir in
+        let warm = Engine.run ~cache:warm_store sg (exts ()) in
+        Alcotest.(check (list string))
+          "warm = uncached" (report_lines uncached) (report_lines warm);
+        Alcotest.(check int)
+          "warm run replays every root" 0
+          (Summary_store.stats warm_store).Summary_store.roots_recomputed);
   ]
