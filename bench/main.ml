@@ -424,18 +424,94 @@ let table_parallel () =
   in
   let j1_ns = measure 1 in
   let jn_ns = measure (max 2 jn) in
-  let speedup = j1_ns /. jn_ns in
   Printf.printf "%-16s %16s\n" "JOBS" "ns/run";
   Printf.printf "%-16d %16.1f\n" 1 j1_ns;
   Printf.printf "%-16d %16.1f\n" (max 2 jn) jn_ns;
+  (* [jn] is the real core count (Domain.recommended_domain_count). A
+     speedup ratio measured on one core is noise, not a parallelism claim,
+     so it is recorded as null there rather than as a number a dashboard
+     could mistake for a regression. *)
+  let speedup_field =
+    if jn <= 1 then "null" else Printf.sprintf "%.3f" (j1_ns /. jn_ns)
+  in
   bench_out
     (Printf.sprintf
        "{\"experiment\": \"parallel_speedup\", \"jobs\": %d, \"cores\": %d, \
-        \"j1_ns\": %.1f, \"jn_ns\": %.1f, \"speedup\": %.3f, \"deterministic\": %b}"
-       (max 2 jn) jn j1_ns jn_ns speedup same);
+        \"j1_ns\": %.1f, \"jn_ns\": %.1f, \"speedup\": %s, \"deterministic\": %b}"
+       (max 2 jn) jn j1_ns jn_ns speedup_field same);
+  if jn <= 1 then
+    Printf.printf
+      "single core detected: speedup not claimed (parallel run only checks \
+       determinism)\n"
+  else Printf.printf "speedup at -j %d on %d cores: %.2fx\n" (max 2 jn) jn (j1_ns /. jn_ns);
   Printf.printf
     "paper note: roots are independent given the supergraph, so the analysis\n\
      parallelises across callgraph roots; on one core expect speedup <= 1\n"
+
+(* ------------------------------------------------------------------ *)
+(* State interning: cold-path wall clock and allocation                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B label for the representation under test, settable from the
+   environment so the same harness can measure two builds (the
+   BENCH_results.json trajectory then shows before/after lines):
+   XGCC_BENCH_IMPL=strings ./bench   # string-keyed state (pre-interning)
+   default: "interned"               # interned-id state *)
+let bench_impl =
+  match Sys.getenv_opt "XGCC_BENCH_IMPL" with Some s -> s | None -> "interned"
+
+let table_interning ?(reps = 5) () =
+  header "I  | State representation: cold analysis wall clock + allocation";
+  (* Path-heavy synthetic workloads: deep diamond chains and many tracked
+     instances stress the block cache (mem_src/add_src probes), the call
+     tree stresses summary application and relax (find_by_dst), and the
+     generated corpus mixes everything at whole-program scale. *)
+  let srcs =
+    [
+      ("diamond14", Synth.diamond_chain ~n:14);
+      ("tracked32", Synth.many_tracked ~n:32);
+      ("calltree3^4", Synth.call_tree ~depth:4 ~fanout:3);
+      ("correlated6", Synth.correlated_branches ~n:6);
+      ("workload120", (Gen.generate ~seed:99 ~n_funcs:120 ~bug_rate:0.3).Gen.source);
+    ]
+  in
+  let sgs = List.map (fun (_, src) -> sg_of src) srcs in
+  let checkers = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+  (* every Engine.run builds a fresh root context, so each rep is a cold
+     run: no block summaries or function summaries survive between reps *)
+  let run_all () = List.iter (fun sg -> ignore (Engine.run sg checkers)) sgs in
+  run_all () (* warm up pattern compilation and allocator arenas *);
+  let measure () =
+    Gc.minor ();
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      run_all ()
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    let da = (Gc.allocated_bytes () -. a0) /. float_of_int reps in
+    (dt *. 1e9, da)
+  in
+  let ns, alloc = measure () in
+  (* GC satellite: same workload with the batch-run minor heap the CLI
+     sets (bin/xgcc.ml), to keep the effect measured rather than asserted *)
+  let g0 = Gc.get () in
+  Gc.set { g0 with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  let ns_bigminor, _ = measure () in
+  Gc.set g0;
+  Printf.printf "%-14s %18s %20s\n" "IMPL" "ns/cold-run" "bytes alloc/run";
+  Printf.printf "%-14s %18.0f %20.0f\n" bench_impl ns alloc;
+  Printf.printf "with 4M-word minor heap: %18.0f ns/run (%.2fx)\n" ns_bigminor
+    (ns /. ns_bigminor);
+  bench_out
+    (Printf.sprintf
+       "{\"experiment\": \"state_interning\", \"impl\": \"%s\", \"reps\": %d, \
+        \"ns_per_run\": %.0f, \"alloc_bytes_per_run\": %.0f, \
+        \"ns_per_run_4Mw_minor\": %.0f}"
+       bench_impl reps ns alloc ns_bigminor);
+  Printf.printf
+    "workloads: %s\n"
+    (String.concat ", " (List.map fst srcs))
 
 (* ------------------------------------------------------------------ *)
 (* Persistent incremental cache: cold vs warm vs single-file edit       *)
@@ -580,23 +656,37 @@ let run_benchmarks () =
         analyzed)
     (bench_tests ())
 
+(* --smoke: the quick subset CI runs on every PR — the experiments that
+   append BENCH lines (perf trajectory), with reduced repetition, and no
+   bechamel micro-benchmark sweep. *)
 let () =
+  let smoke = Array.exists (String.equal "--smoke") Sys.argv in
   print_endline "metal/xgcc benchmark harness";
-  print_endline "(one experiment per table/figure/claim; see DESIGN.md index)";
-  table_f2 ();
-  table_t1 ();
-  table_t2 ();
-  table_p1 ();
-  table_p2 ();
-  table_p3 ();
-  table_p4 ();
-  table_p5 ();
-  table_p6 ();
-  table_detection ();
-  table_p10 ();
-  table_scale ();
-  table_parallel ();
-  table_cache ();
-  run_benchmarks ();
+  print_endline
+    (if smoke then "(smoke mode: BENCH-line experiments only)"
+     else "(one experiment per table/figure/claim; see DESIGN.md index)");
+  if smoke then begin
+    table_interning ~reps:2 ();
+    table_parallel ();
+    table_cache ()
+  end
+  else begin
+    table_f2 ();
+    table_t1 ();
+    table_t2 ();
+    table_p1 ();
+    table_p2 ();
+    table_p3 ();
+    table_p4 ();
+    table_p5 ();
+    table_p6 ();
+    table_detection ();
+    table_p10 ();
+    table_scale ();
+    table_interning ();
+    table_parallel ();
+    table_cache ();
+    run_benchmarks ()
+  end;
   line ();
   print_endline "done."

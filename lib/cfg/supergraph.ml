@@ -1,3 +1,7 @@
+let log_src = Logs.Src.create "mc.supergraph" ~doc:"xgcc supergraph construction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type t = {
   cfgs : (string, Cfg.t) Hashtbl.t;
   callgraph : Callgraph.t;
@@ -13,6 +17,26 @@ let build tunits =
           (function Cast.Gfun f -> Some f | _ -> None)
           tu.tu_globals)
       tunits
+  in
+  (* A program with two definitions of the same function is ill-formed, but
+     multi-file runs over unrelated sources hit it in practice. Keep the
+     first definition (input order, so the choice is deterministic) and warn
+     with both locations; later ones are dropped from both the CFG table and
+     the callgraph, so every layer sees the same single body. *)
+  let seen : (string, Cast.fundef) Hashtbl.t = Hashtbl.create 64 in
+  let funcs =
+    List.filter
+      (fun (f : Cast.fundef) ->
+        match Hashtbl.find_opt seen f.fname with
+        | None ->
+            Hashtbl.add seen f.fname f;
+            true
+        | Some first ->
+            Log.warn (fun m ->
+                m "duplicate definition of %s at %a ignored (keeping %a)"
+                  f.fname Srcloc.pp f.floc Srcloc.pp first.floc);
+            false)
+      funcs
   in
   let cfgs = Hashtbl.create 64 in
   List.iter (fun (f : Cast.fundef) -> Hashtbl.replace cfgs f.fname (Cfg.of_fundef f)) funcs;

@@ -18,7 +18,13 @@ type t = {
 
 val build : Cast.tunit list -> t
 (** Pass 2 of Section 6: collect every function definition, build CFGs, the
-    callgraph, and a global typing environment. *)
+    callgraph, and a global typing environment.
+
+    If the same function name is defined more than once across the input
+    units, the first definition (in input order) wins everywhere — CFG
+    table and callgraph alike — and a warning naming both locations is
+    logged; previously later definitions silently replaced earlier ones in
+    the CFG table while the callgraph still saw every body. *)
 
 val cfg_of : t -> string -> Cfg.t option
 val fundef_of : t -> string -> Cast.fundef option

@@ -175,8 +175,7 @@ let rec equal_expr a b =
       false
 
 (* Canonical key: a compact prefix-form rendering. *)
-let key_of_expr e =
-  let buf = Buffer.create 32 in
+let add_key_of_expr buf e =
   let add = Buffer.add_string buf in
   let rec go e =
     match e.enode with
@@ -282,7 +281,11 @@ let key_of_expr e =
           es;
         add ")"
   in
-  go e;
+  go e
+
+let key_of_expr e =
+  let buf = Buffer.create 32 in
+  add_key_of_expr buf e;
   Buffer.contents buf
 
 let compare_expr a b = String.compare (key_of_expr a) (key_of_expr b)

@@ -133,6 +133,10 @@ val key_of_expr : expr -> string
 (** Canonical string key for hashing tracked program objects; two expressions
     have equal keys iff they are [equal_expr]. *)
 
+val add_key_of_expr : Buffer.t -> expr -> unit
+(** [key_of_expr] rendered into an existing buffer — the allocation-light
+    path for callers that intern or concatenate keys. *)
+
 val contains_expr : needle:expr -> expr -> bool
 (** [contains_expr ~needle e] holds when [needle] occurs in [e] as a subtree
     (including [e] itself). *)

@@ -38,6 +38,13 @@ type stats = {
   mutable instances_created : int;
   mutable functions_traversed : int;
       (* distinct functions entered by the traversal, for coverage *)
+  mutable cache_probes : int;
+      (* block-cache and summary-cache membership tests (each an interned
+         integer lookup); cache_hits / cache_probes is the hit rate *)
+  mutable intern_atoms : int;
+  mutable intern_tuples : int;
+      (* final intern-table sizes, summed over root contexts; not persisted
+         in the summary store (replayed roots contribute 0) *)
 }
 
 let new_stats () =
@@ -52,6 +59,9 @@ let new_stats () =
     transitions_fired = 0;
     instances_created = 0;
     functions_traversed = 0;
+    cache_probes = 0;
+    intern_atoms = 0;
+    intern_tuples = 0;
   }
 
 type result = {
@@ -78,6 +88,7 @@ type ev = Ev_node of Cast.expr | Ev_fresh of string | Ev_scope_end of string lis
 type rctx = {
   sg : Supergraph.t;
   opts : options;
+  intern : Intern.t;  (* shared by every summary this context creates *)
   collector : Report.collector;
   counters : (string, int * int) Hashtbl.t;
   annots : (int, string list) Hashtbl.t;
@@ -108,8 +119,8 @@ let get_fsum rctx (cfg : Cfg.t) =
       let n = Cfg.n_blocks cfg in
       let s =
         {
-          bs = Array.init n (fun _ -> Summary.create ());
-          sfx = Array.init n (fun _ -> Summary.create ());
+          bs = Array.init n (fun _ -> Summary.create ~intern:rctx.intern ());
+          sfx = Array.init n (fun _ -> Summary.create ~intern:rctx.intern ());
           rets = Hashtbl.create 4;
         }
       in
@@ -779,7 +790,7 @@ let record_block_edges (bs : Summary.t) ~depth_base ~entry_g
           ignore
             (Summary.add_edge bs
                {
-                 Summary.e_src = Summary.unknown_tuple ~gstate:entry_g i.target;
+                 Summary.e_src = Summary.unknown_tuple_of_instance ~gstate:entry_g i;
                  e_dst = cur;
                  e_kind = Summary.Add;
                })
@@ -793,7 +804,7 @@ let record_block_edges (bs : Summary.t) ~depth_base ~entry_g
               ignore
                 (Summary.add_edge bs
                    {
-                     Summary.e_src = Summary.unknown_tuple ~gstate:entry_g i.target;
+                     Summary.e_src = Summary.unknown_tuple_of_instance ~gstate:entry_g i;
                      e_dst = cur;
                      e_kind = Summary.Add;
                    })
@@ -981,21 +992,18 @@ let refine_call rctx fctx walk (callee : Cast.fundef) (args : Cast.expr list) =
   refined.gstate <- sm.gstate;
   let saved = ref [] in
   let meta = Hashtbl.create 8 in
+  let caller_scope = Refine.scope_names fctx.cfg.func in
   List.iter
     (fun (i : Sm.instance) ->
       if i.inactive then saved := i :: !saved
       else
         match
           Refine.classify_refine ~typing:rctx.sg.Supergraph.typing
-            ~caller:fctx.cfg.func ~callee_file:callee.ffile mapping i.target
+            ~caller:fctx.cfg.func ~caller_scope ~callee_file:callee.ffile mapping
+            i.target
         with
         | Refine.Mapped tree ->
-            let i' =
-              { (Sm.clone_instance i) with
-                target = tree;
-                target_key = Cast.key_of_expr tree;
-              }
-            in
+            let i' = Sm.retargeted i ~target:tree in
             Sm.add_instance refined i';
             Hashtbl.replace meta i'.Sm.target_key i;
             (* by-value (Table 2 row 1): the callee sees the state, but the
@@ -1147,21 +1155,17 @@ let restore_partition rctx fctx walk0 (setup : call_setup) (callee : Cast.fundef
     }
   in
   let created = ref walk0.created in
+  let callee_scope = Refine.scope_names callee in
   List.iter
     (fun out ->
       match
         Refine.classify_restore ~typing:rctx.sg.Supergraph.typing ~callee
-          setup.cs_mapping out.o_tree
+          ~callee_scope setup.cs_mapping out.o_tree
       with
       | Refine.Back_dropped -> ()
-      | Refine.Back_global | Refine.Back _ -> (
+      | (Refine.Back_global | Refine.Back _) as back -> (
           let tree =
-            match
-              Refine.classify_restore ~typing:rctx.sg.Supergraph.typing ~callee
-                setup.cs_mapping out.o_tree
-            with
-            | Refine.Back t -> t
-            | _ -> out.o_tree
+            match back with Refine.Back t -> t | _ -> out.o_tree
           in
           match out.o_from with
           | Some refined_key -> (
@@ -1174,13 +1178,7 @@ let restore_partition rctx fctx walk0 (setup : call_setup) (callee : Cast.fundef
                     then orig.value (* Table 2 row 1, by-value restore *)
                     else out.o_value
                   in
-                  let i' =
-                    { (Sm.clone_instance orig) with
-                      target = tree;
-                      target_key = Cast.key_of_expr tree;
-                      value;
-                    }
-                  in
+                  let i' = Sm.retargeted orig ~target:tree ~value in
                   Sm.add_instance sm' i'
               | None ->
                   let i =
@@ -1263,14 +1261,19 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
         List.partition
           (fun (i : Sm.instance) ->
             (not i.inactive)
-            && Summary.mem_src bs (Summary.tuple_of_instance ~gstate:sm.gstate i))
+            &&
+            (rctx.st.cache_probes <- rctx.st.cache_probes + 1;
+             Summary.mem_src_instance bs ~gstate:sm.gstate i))
           sm.actives
       in
       let seen = List.filter (fun (i : Sm.instance) -> not i.inactive) seen in
       sm.actives <- fresh @ List.filter (fun (i : Sm.instance) -> i.inactive) sm.actives;
       if List.exists (fun (i : Sm.instance) -> not i.inactive) fresh then false
       else if seen <> [] then true (* every var tuple was cached *)
-      else Summary.mem_src bs (Summary.global_tuple sm.gstate)
+      else begin
+        rctx.st.cache_probes <- rctx.st.cache_probes + 1;
+        Summary.mem_src_global bs sm.gstate
+      end
     end
   in
   if aborted then begin
@@ -1281,7 +1284,7 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
     relax rctx fctx (bid :: backtrace)
   end
   else begin
-    List.iter (Summary.add_src bs) (Summary.tuples_of_sm sm);
+    Summary.add_src_sm bs sm;
     let entry_g = sm.gstate in
     let snapshot =
       List.fold_left
@@ -1369,9 +1372,28 @@ and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t
   let setup = refine_call rctx fctx walk callee args in
   let sums = get_fsum rctx callee_cfg in
   let entry_bs = sums.bs.(callee_cfg.entry) in
-  let tuples = Summary.tuples_of_sm setup.cs_refined in
-  let missing = List.filter (fun t -> not (Summary.mem_src entry_bs t)) tuples in
-  if missing = [] then rctx.st.summary_hits <- rctx.st.summary_hits + 1
+  (* has the callee's entry block already seen every tuple of the refined
+     state? (the probes mirror [Summary.tuples_of_sm]) *)
+  let all_cached =
+    let refined = setup.cs_refined in
+    let any = ref false in
+    let missing = ref false in
+    List.iter
+      (fun (i : Sm.instance) ->
+        if not i.Sm.inactive then begin
+          any := true;
+          rctx.st.cache_probes <- rctx.st.cache_probes + 1;
+          if not (Summary.mem_src_instance entry_bs ~gstate:refined.Sm.gstate i) then
+            missing := true
+        end)
+      refined.Sm.actives;
+    if !any then not !missing
+    else begin
+      rctx.st.cache_probes <- rctx.st.cache_probes + 1;
+      Summary.mem_src_global entry_bs refined.Sm.gstate
+    end
+  in
+  if all_cached then rctx.st.summary_hits <- rctx.st.summary_hits + 1
   else begin
     (* analyse the callee in this (refined) state, populating its summary *)
     let callee_fctx =
@@ -1547,6 +1569,7 @@ let new_rctx ?(options = default_options) sg =
   {
     sg;
     opts = options;
+    intern = Intern.create ();
     collector = Report.new_collector ();
     counters = Hashtbl.create 16;
     annots = Hashtbl.create 64;
@@ -1561,6 +1584,10 @@ let new_rctx ?(options = default_options) sg =
 
 let collect_result rctx =
   rctx.st.functions_traversed <- Hashtbl.length rctx.traversed;
+  (* fold in this context's own intern tables; worker contexts already
+     contributed theirs through [add_stats] *)
+  rctx.st.intern_atoms <- rctx.st.intern_atoms + Intern.n_atoms rctx.intern;
+  rctx.st.intern_tuples <- rctx.st.intern_tuples + Intern.n_tuples rctx.intern;
   {
     reports = Report.reports rctx.collector;
     counters =
@@ -1610,23 +1637,51 @@ let add_stats (acc : stats) (s : stats) =
   acc.summary_hits <- acc.summary_hits + s.summary_hits;
   acc.pruned_branches <- acc.pruned_branches + s.pruned_branches;
   acc.transitions_fired <- acc.transitions_fired + s.transitions_fired;
-  acc.instances_created <- acc.instances_created + s.instances_created
+  acc.instances_created <- acc.instances_created + s.instances_created;
+  acc.cache_probes <- acc.cache_probes + s.cache_probes;
+  acc.intern_atoms <- acc.intern_atoms + s.intern_atoms;
+  acc.intern_tuples <- acc.intern_tuples + s.intern_tuples
+
+(* Stamp a worker context's intern-table sizes into its stats so the
+   root-order merge can fold them like any other counter. *)
+let seal_worker_stats (w : rctx) =
+  w.st.intern_atoms <- Intern.n_atoms w.intern;
+  w.st.intern_tuples <- Intern.n_tuples w.intern
 
 let run_extension_parallel ~jobs base (ext : Sm.t) =
   base.cur_ext <- ext;
   let roots = Array.of_list (Supergraph.roots base.sg) in
+  let ranges = Pool.chunks ~jobs (Array.length roots) in
   Log.debug (fun m ->
-      m "running extension %s over %d roots on %d domains" ext.Sm.sm_name
-        (Array.length roots) jobs);
+      m "running extension %s over %d roots in %d chunks on %d domains"
+        ext.Sm.sm_name (Array.length roots) (Array.length ranges) jobs);
   let tasks =
-    Pool.run ~jobs (Array.length roots) (fun i ->
+    Pool.run ~jobs (Array.length ranges) (fun c ->
+        let start, len = ranges.(c) in
         let rctx = new_rctx ~options:base.opts base.sg in
         rctx.cur_ext <- ext;
-        (* annotations left by previously-run extensions (the composition
-           idiom of Section 9) must be visible to every worker; [base] is
-           read-only while the pool runs *)
-        Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
-        run_root rctx ext roots.(i);
+        (* Roots within a chunk share the context's function summaries,
+           exactly as the sequential engine shares them across all roots.
+           Annotations are the exception: each root must start from the base
+           table (annotations left by previously-run extensions, the
+           composition idiom of Section 9) and NOT see what earlier roots in
+           its chunk added, or the output would depend on which roots share
+           a chunk, i.e. on [jobs]. The events cache resets with it, since
+           building events is what lays down the engine's own [mc_branch] /
+           [mc_return] tags. Per-root deltas are folded into [acc] in root
+           order, matching the cross-chunk merge below. [base] is read-only
+           while the pool runs. *)
+        let acc = Hashtbl.create 64 in
+        for i = start to start + len - 1 do
+          Hashtbl.reset rctx.annots;
+          Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
+          Hashtbl.reset rctx.events_cache;
+          run_root rctx ext roots.(i);
+          merge_annots acc rctx.annots
+        done;
+        Hashtbl.reset rctx.annots;
+        Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) acc;
+        seal_worker_stats rctx;
         rctx)
   in
   (* Deterministic merge, in root order. The dedup table is fresh per
@@ -1906,6 +1961,7 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
         rctx.cur_ext <- ext;
         Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
         run_root rctx ext roots.(invalid.(j));
+        seal_worker_stats rctx;
         rctx)
   in
   let worker_of = Hashtbl.create 16 in
@@ -1963,6 +2019,10 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
      scheduling-independent and add_edge dedups) *)
   if Summary_store.persist store && Array.length invalid > 0 then begin
     let merged : (string, fsum) Hashtbl.t = Hashtbl.create 64 in
+    (* one intern table for the whole write-back merge: the worker tables'
+       ids are context-local, but [merge_fsum_into] re-adds edges by
+       content, so any interner works and a shared one dedups the strings *)
+    let mit = Intern.create () in
     Array.iter
       (fun idx ->
         let w = workers.(Hashtbl.find worker_of idx) in
@@ -1980,8 +2040,8 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
                   let n = Array.length src.bs in
                   let d =
                     {
-                      bs = Array.init n (fun _ -> Summary.create ());
-                      sfx = Array.init n (fun _ -> Summary.create ());
+                      bs = Array.init n (fun _ -> Summary.create ~intern:mit ());
+                      sfx = Array.init n (fun _ -> Summary.create ~intern:mit ());
                       rets = Hashtbl.create 4;
                     }
                   in

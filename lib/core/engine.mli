@@ -41,6 +41,15 @@ type stats = {
   mutable instances_created : int;
   mutable functions_traversed : int;
       (** distinct functions the traversal entered (coverage) *)
+  mutable cache_probes : int;
+      (** block-cache and summary-cache membership tests, each an interned
+          integer lookup; [cache_hits / cache_probes] is the hit rate *)
+  mutable intern_atoms : int;
+  mutable intern_tuples : int;
+      (** final intern-table sizes ({!Intern}), summed over root contexts.
+          The three counters above are process-local observability: they
+          are not persisted in the summary store, so roots replayed from a
+          warm cache contribute 0. *)
 }
 
 type result = {
@@ -75,12 +84,16 @@ val run :
 
     [jobs] (default 1) is the number of worker domains. With [jobs = 1]
     the engine runs exactly as before — one root context shared by every
-    root, function summaries reused across roots. With [jobs > 1] each
-    callgraph root is analysed on a domain pool ({!Pool}) in a private
-    root context over the shared supergraph, and the per-root results are
-    merged deterministically in root order (reports re-deduplicated by
-    their identity key, counters and stats summed), so the reports are
-    identical to the sequential run and independent of scheduling.
+    root, function summaries reused across roots. With [jobs > 1] the
+    callgraph roots are batched into contiguous chunks (about four per
+    worker, {!Pool.chunks}) and each chunk is analysed on a domain pool
+    ({!Pool}) in a private root context over the shared supergraph — roots
+    within a chunk share function summaries the way the sequential engine
+    does, while AST annotations stay per-root so the output cannot depend
+    on the chunk layout. Results are merged deterministically in chunk
+    (hence root) order (reports re-deduplicated by their identity key,
+    counters and stats summed), so the reports are identical to the
+    sequential run and independent of scheduling.
     Annotations still compose across extensions (merged between extension
     runs); annotations made during one root's traversal are not visible to
     {e other roots of the same extension} in parallel mode.

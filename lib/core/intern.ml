@@ -1,0 +1,77 @@
+(* Per-root intern tables: dense integer ids for the strings the traversal
+   hot path used to rebuild and rehash on every cache probe.
+
+   Two id spaces share one table:
+
+   - atoms: any string (a gstate, an instance value, an expression key from
+     [Cast.key_of_expr], or a fully rendered tuple key) mapped to a dense
+     int; [name] is an array read back to the string.
+   - tuples: the triple (gstate atom, target-key atom, value atom) mapped
+     to the atom id of its rendered tuple key. The rendering happens at
+     most once per distinct triple; every later probe is an int-triple
+     hash lookup that allocates nothing but the key triple.
+
+   Because a tuple id IS the atom id of its rendered key, two tuples get
+   the same id exactly when their rendered keys are equal — the identity
+   the string-keyed representation used. Persisted source-tuple keys
+   (re-recorded verbatim through [Summary.add_src_key]) intern into the
+   same space, so replayed and recomputed state cannot disagree.
+
+   Tables are per root context and never shared across domains; [stamp]
+   distinguishes interners so ids cached inside long-lived values
+   ([Sm.instance]) can be validated before reuse. *)
+
+type t = {
+  mutable names : string array; (* atom id -> string *)
+  mutable n : int;
+  ids : (string, int) Hashtbl.t; (* string -> atom id *)
+  triples : (int * int * int, int) Hashtbl.t; (* (g, vkey, vval) -> tuple id *)
+  stamp : int;
+}
+
+(* Atomic: stamps must stay unique across engine worker domains. *)
+let stamp_counter = Atomic.make 0
+
+let create () =
+  {
+    names = Array.make 64 "";
+    n = 0;
+    ids = Hashtbl.create 256;
+    triples = Hashtbl.create 256;
+    stamp = 1 + Atomic.fetch_and_add stamp_counter 1;
+  }
+
+let stamp t = t.stamp
+let n_atoms t = t.n
+let n_tuples t = Hashtbl.length t.triples
+
+let atom t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+      let id = t.n in
+      if id = Array.length t.names then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- s;
+      t.n <- id + 1;
+      Hashtbl.replace t.ids s id;
+      id
+
+let name t id = t.names.(id)
+
+let no_var = -1
+
+let tuple t ~g ~vkey ~vval =
+  match Hashtbl.find_opt t.triples (g, vkey, vval) with
+  | Some id -> id
+  | None ->
+      let rendered =
+        if vkey = no_var then Printf.sprintf "(%s,<>)" (name t g)
+        else Printf.sprintf "(%s,%s->%s)" (name t g) (name t vkey) (name t vval)
+      in
+      let id = atom t rendered in
+      Hashtbl.replace t.triples (g, vkey, vval) id;
+      id

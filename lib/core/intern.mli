@@ -1,0 +1,45 @@
+(** Per-root intern tables: dense integer ids for state-tuple components.
+
+    The traversal hot path ({!Engine}'s block-cache probes, edge dedup,
+    and suffix-summary relaxation) used to render every state tuple to a
+    string ([Printf.sprintf]) and hash it on each probe. This module maps
+    the components — gstates, instance values, expression keys — to dense
+    ints ({e atoms}) and full tuples to the atom id of their rendered key,
+    so each distinct tuple is rendered at most once and every subsequent
+    probe is an integer hash lookup.
+
+    A tuple id equals the atom id of its rendered key, so id equality is
+    exactly rendered-key equality — the identity the string-keyed
+    representation used, which is what keeps reports, counters and
+    serialised summaries byte-identical.
+
+    One interner lives per root context ({!Engine}); it is never shared
+    across domains. *)
+
+type t
+
+val create : unit -> t
+
+val stamp : t -> int
+(** Unique (process-wide) identity of this interner. Ids cached inside
+    long-lived mutable values record the stamp they were minted under and
+    are re-interned when it no longer matches. *)
+
+val atom : t -> string -> int
+(** Intern a string, returning its dense id (stable for the life of the
+    interner). *)
+
+val name : t -> int -> string
+(** The string behind an atom id (array read). *)
+
+val no_var : int
+(** Pseudo-atom for the [<>] placeholder component of a tuple. *)
+
+val tuple : t -> g:int -> vkey:int -> vval:int -> int
+(** Id of the state tuple [(g, vkey->vval)] — or [(g, <>)] when [vkey] is
+    {!no_var}. Renders the tuple key (exactly as [Summary.tuple_key] does)
+    on first sight only. *)
+
+val n_atoms : t -> int
+val n_tuples : t -> int
+(** Table sizes, for [--stats]. *)

@@ -12,6 +12,13 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1 — the
     default worker count for [-j 0]. *)
 
+val chunks : jobs:int -> int -> (int * int) array
+(** [chunks ~jobs n] partitions [0 .. n-1] into contiguous [(start, length)]
+    ranges, about four per worker (never more than [n], never empty).
+    Batching items into chunked tasks amortises per-task fixed costs that
+    dominated one-task-per-item scheduling; contiguity keeps a chunk-order
+    merge identical to an item-order merge. *)
+
 val run : jobs:int -> int -> (int -> 'a) -> 'a array
 (** [run ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] domains
     (the calling domain included) and returns the results in index order.

@@ -153,8 +153,12 @@ let fun_scope_names (f : Cast.fundef) =
   in
   List.map fst f.fparams @ locals [] f.fbody
 
-let classify_refine ~typing ~caller ~callee_file m tree =
-  let caller_names = fun_scope_names caller in
+let scope_names = fun_scope_names
+
+let classify_refine ~typing ~caller ?caller_scope ~callee_file m tree =
+  let caller_names =
+    match caller_scope with Some ns -> ns | None -> fun_scope_names caller
+  in
   let refined_tmp = refine_tmp m tree in
   let idents = Cast.idents_of_expr refined_tmp in
   let applied = List.exists is_tmp idents in
@@ -175,12 +179,12 @@ let classify_refine ~typing ~caller ~callee_file m tree =
     if file_scope_other then Inactivate else Global_pass
   end
 
-let classify_restore ~typing ~callee m tree =
+let classify_restore ~typing ~callee ?callee_scope m tree =
   ignore typing;
   let callee_locals =
     List.filter
       (fun n -> not (List.mem n m.param_names))
-      (fun_scope_names callee)
+      (match callee_scope with Some ns -> ns | None -> fun_scope_names callee)
   in
   let idents = Cast.idents_of_expr tree in
   if List.exists (fun x -> List.mem x callee_locals) idents then Back_dropped

@@ -38,9 +38,16 @@ type xfer =
   | Inactivate  (** file-scope object from another file: passes but sleeps *)
   | Save  (** caller-local: saved at the boundary, restored at return *)
 
+val scope_names : Cast.fundef -> string list
+(** Parameter and local names of a function — what [classify_refine] /
+    [classify_restore] consult. Recomputed on every classification unless
+    the caller hoists it via [?caller_scope] / [?callee_scope]; the engine
+    computes it once per call boundary instead of once per instance. *)
+
 val classify_refine :
   typing:Ctyping.env ->
   caller:Cast.fundef ->
+  ?caller_scope:string list ->
   callee_file:string ->
   mapping ->
   Cast.expr ->
@@ -53,4 +60,9 @@ type back =
   | Back_dropped  (** callee-local: permanently leaves scope *)
 
 val classify_restore :
-  typing:Ctyping.env -> callee:Cast.fundef -> mapping -> Cast.expr -> back
+  typing:Ctyping.env ->
+  callee:Cast.fundef ->
+  ?callee_scope:string list ->
+  mapping ->
+  Cast.expr ->
+  back

@@ -5,6 +5,11 @@ let stop_value = "stop"
 type instance = {
   target : Cast.expr;
   target_key : string;
+  mutable ikey : int;
+  mutable ikey_stamp : int;
+      (* interned id of [target_key], valid only while [ikey_stamp] matches
+         the owning interner's stamp (0 = never interned); managed by
+         [Summary], reset whenever [target_key] changes *)
   mutable value : value;
   mutable data : (string * string) list;
   mutable int_data : (string * int) list;
@@ -99,6 +104,8 @@ let clone_instance i =
   {
     target = i.target;
     target_key = i.target_key;
+    ikey = i.ikey;
+    ikey_stamp = i.ikey_stamp;
     value = i.value;
     data = i.data;
     int_data = i.int_data;
@@ -125,6 +132,8 @@ let new_instance ?(data = []) ?(syn_chain = 0) ~target ~value ~created_at ~creat
   {
     target;
     target_key = Cast.key_of_expr target;
+    ikey = -1;
+    ikey_stamp = 0;
     value;
     data;
     int_data = [];
@@ -135,6 +144,16 @@ let new_instance ?(data = []) ?(syn_chain = 0) ~target ~value ~created_at ~creat
     syn_chain;
     syn_group = 0;
     inactive = false;
+  }
+
+let retargeted ?value i ~target =
+  {
+    (clone_instance i) with
+    target;
+    target_key = Cast.key_of_expr target;
+    ikey = -1;
+    ikey_stamp = 0;
+    value = Option.value value ~default:i.value;
   }
 
 let find_instance sm ~key =

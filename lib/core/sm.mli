@@ -20,6 +20,10 @@ val stop_value : value
 type instance = {
   target : Cast.expr;  (** the program object carrying the state *)
   target_key : string;  (** canonical key of [target] *)
+  mutable ikey : int;
+  mutable ikey_stamp : int;
+      (** cached interned id of [target_key] and the stamp of the interner
+          it was minted under (0 = never interned); managed by [Summary] *)
   mutable value : value;
   mutable data : (string * string) list;
       (** extension-defined data value (Section 3.1): arbitrary fields the
@@ -146,6 +150,12 @@ val new_instance :
   created_depth:int ->
   unit ->
   instance
+
+val retargeted : ?value:value -> instance -> target:Cast.expr -> instance
+(** A copy of the instance re-attached to [target] (fresh [target_key],
+    interned-key cache invalidated), optionally with a new value. The only
+    safe way to change an instance's target: a record [with] update would
+    carry the stale [ikey] cache over to the new key. *)
 
 val find_instance : sm_inst -> key:string -> instance option
 (** Active (non-inactive) instance attached to the object with this key. *)

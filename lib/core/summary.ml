@@ -11,7 +11,16 @@ let tuple_key t =
   | None -> Printf.sprintf "(%s,<>)" t.t_g
   | Some v -> Printf.sprintf "(%s,%s->%s)" t.t_g v.v_key v.v_value
 
-let tuple_equal a b = String.equal (tuple_key a) (tuple_key b)
+(* Component-wise: equal iff the rendered keys are equal (neither state
+   names nor expression keys can produce the separators), without paying
+   for the rendering. *)
+let tuple_equal a b =
+  String.equal a.t_g b.t_g
+  &&
+  match (a.t_v, b.t_v) with
+  | None, None -> true
+  | Some va, Some vb -> String.equal va.v_key vb.v_key && String.equal va.v_value vb.v_value
+  | None, Some _ | Some _, None -> false
 
 let pp_tuple ppf t =
   match t.t_v with
@@ -49,6 +58,16 @@ let unknown_tuple ~gstate tree =
         };
   }
 
+(* Same tuple as [unknown_tuple ~gstate i.target], but reusing the key the
+   instance already carries instead of re-rendering the expression. *)
+let unknown_tuple_of_instance ~gstate (i : Sm.instance) =
+  {
+    t_g = gstate;
+    t_v =
+      Some
+        { v_key = i.target_key; v_tree = i.target; v_value = unknown_value; v_depth = 0 };
+  }
+
 let tuples_of_sm (sm : Sm.sm_inst) =
   let active = List.filter (fun (i : Sm.instance) -> not i.inactive) sm.actives in
   match active with
@@ -71,51 +90,138 @@ let ends_in_stop e =
   | Some v -> String.equal v.v_value Sm.stop_value
   | None -> false
 
+(* A summary keys everything by interned tuple ids: [tbl] (edge dedup) by
+   the packed (src id, dst id, kind), [srcs] (the block cache) and [by_dst]
+   (the relax index) by tuple id. The interner is typically shared by every
+   summary of a root context, so an id computed against one summary is
+   valid against all of them and per-instance id caches amortise across
+   blocks. *)
 type t = {
-  tbl : (string, edge) Hashtbl.t;
-  srcs : (string, unit) Hashtbl.t;
+  it : Intern.t;
+  tbl : (int, edge) Hashtbl.t;
+  srcs : (int, unit) Hashtbl.t;
+  by_dst : (int, edge list) Hashtbl.t;  (* dst tuple id -> edges, newest first *)
   mutable order : edge list;  (* insertion order, newest first *)
 }
 
-let create () = { tbl = Hashtbl.create 8; srcs = Hashtbl.create 8; order = [] }
+let create ?intern () =
+  let it = match intern with Some it -> it | None -> Intern.create () in
+  {
+    it;
+    tbl = Hashtbl.create 8;
+    srcs = Hashtbl.create 8;
+    by_dst = Hashtbl.create 8;
+    order = [];
+  }
+
+let tuple_id t tup =
+  let g = Intern.atom t.it tup.t_g in
+  match tup.t_v with
+  | None -> Intern.tuple t.it ~g ~vkey:Intern.no_var ~vval:Intern.no_var
+  | Some v ->
+      Intern.tuple t.it ~g ~vkey:(Intern.atom t.it v.v_key)
+        ~vval:(Intern.atom t.it v.v_value)
+
+(* The interned id of the instance's target key, cached on the instance and
+   revalidated against the interner's stamp (instances cross interner
+   boundaries when summaries are merged or replayed). *)
+let instance_key_atom it (i : Sm.instance) =
+  if i.Sm.ikey_stamp = Intern.stamp it then i.Sm.ikey
+  else begin
+    let a = Intern.atom it i.Sm.target_key in
+    i.Sm.ikey <- a;
+    i.Sm.ikey_stamp <- Intern.stamp it;
+    a
+  end
+
+let instance_tuple_id t ~gstate (i : Sm.instance) =
+  Intern.tuple t.it
+    ~g:(Intern.atom t.it gstate)
+    ~vkey:(instance_key_atom t.it i)
+    ~vval:(Intern.atom t.it i.Sm.value)
+
+let global_tuple_id t g =
+  Intern.tuple t.it ~g:(Intern.atom t.it g) ~vkey:Intern.no_var ~vval:Intern.no_var
+
+(* Tuple ids stay well under 2^30 (they count distinct strings seen by one
+   root), so a packed 63-bit int is a safe edge key. *)
+let pack_edge_id s d kind = (s lsl 32) lor (d lsl 1) lor kind
+
+let edge_ids t e =
+  let s = tuple_id t e.e_src in
+  let d = tuple_id t e.e_dst in
+  let k = match e.e_kind with Transition -> 0 | Add -> 1 in
+  (s, d, pack_edge_id s d k)
 
 let add_edge t e =
-  let k = edge_key e in
+  let _, d, k = edge_ids t e in
   if Hashtbl.mem t.tbl k then false
   else begin
     Hashtbl.replace t.tbl k e;
     t.order <- e :: t.order;
+    Hashtbl.replace t.by_dst d
+      (e :: Option.value (Hashtbl.find_opt t.by_dst d) ~default:[]);
     true
   end
 
 let remove_edge t e =
-  let k = edge_key e in
+  let _, d, k = edge_ids t e in
   if Hashtbl.mem t.tbl k then begin
     Hashtbl.remove t.tbl k;
-    t.order <- List.filter (fun e' -> not (String.equal (edge_key e') k)) t.order
+    let not_e e' = (let _, _, k' = edge_ids t e' in k') <> k in
+    t.order <- List.filter not_e t.order;
+    match Hashtbl.find_opt t.by_dst d with
+    | Some es -> Hashtbl.replace t.by_dst d (List.filter not_e es)
+    | None -> ()
   end
 
 let edges t = List.rev t.order
 let transitions t = List.filter (fun e -> e.e_kind = Transition) (edges t)
 let adds t = List.filter (fun e -> e.e_kind = Add) (edges t)
-let mem_src t tup = Hashtbl.mem t.srcs (tuple_key tup)
-let add_src t tup = Hashtbl.replace t.srcs (tuple_key tup) ()
+let mem_src t tup = Hashtbl.mem t.srcs (tuple_id t tup)
+let add_src t tup = Hashtbl.replace t.srcs (tuple_id t tup) ()
+let mem_src_instance t ~gstate i = Hashtbl.mem t.srcs (instance_tuple_id t ~gstate i)
+let mem_src_global t g = Hashtbl.mem t.srcs (global_tuple_id t g)
+
+let add_src_sm t (sm : Sm.sm_inst) =
+  let any = ref false in
+  List.iter
+    (fun (i : Sm.instance) ->
+      if not i.Sm.inactive then begin
+        any := true;
+        Hashtbl.replace t.srcs (instance_tuple_id t ~gstate:sm.Sm.gstate i) ()
+      end)
+    sm.Sm.actives;
+  if not !any then Hashtbl.replace t.srcs (global_tuple_id t sm.Sm.gstate) ()
+
 let srcs_count t = Hashtbl.length t.srcs
 let size t = Hashtbl.length t.tbl
 
 let clear t =
   Hashtbl.reset t.tbl;
   Hashtbl.reset t.srcs;
+  Hashtbl.reset t.by_dst;
   t.order <- []
 
-let find_by_dst t tup = List.filter (fun e -> tuple_equal e.e_dst tup) (edges t)
+(* Oldest-first, matching the pre-index behavior of filtering [edges t]. *)
+let find_by_dst t tup =
+  match Hashtbl.find_opt t.by_dst (tuple_id t tup) with
+  | Some es -> List.rev es
+  | None -> []
 
 let srcs_list t =
-  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.srcs [])
+  List.sort String.compare
+    (Hashtbl.fold (fun id () acc -> Intern.name t.it id :: acc) t.srcs [])
 
-let add_src_key t k = Hashtbl.replace t.srcs k ()
+(* A persisted key is a full rendered tuple key; its atom id is exactly
+   the id [tuple_id] assigns the live tuple, so replayed and recomputed
+   entries land in the same id space. *)
+let add_src_key t k = Hashtbl.replace t.srcs (Intern.atom t.it k) ()
 
-(* --- sexp (de)serialisation, for the persistent summary store --------- *)
+(* --- sexp (de)serialisation, for the persistent summary store ---------
+   The on-disk format is unchanged from the string-keyed representation
+   (edges in insertion order, sorted rendered src keys): interning is a
+   purely in-memory encoding, so sumstore-2 entries stay valid. *)
 
 let tuple_to_sexp tup =
   match tup.t_v with

@@ -34,11 +34,18 @@ val unknown_value : string
 
 val tuple_key : tuple -> string
 val tuple_equal : tuple -> tuple -> bool
+(** Component-wise comparison, equivalent to comparing rendered
+    {!tuple_key}s without paying for the rendering. *)
+
 val pp_tuple : Format.formatter -> tuple -> unit
 
 val tuple_of_instance : gstate:string -> ?depth_base:int -> Sm.instance -> tuple
 val global_tuple : string -> tuple
 val unknown_tuple : gstate:string -> Cast.expr -> tuple
+
+val unknown_tuple_of_instance : gstate:string -> Sm.instance -> tuple
+(** [unknown_tuple ~gstate i.target], but reusing the instance's cached
+    [target_key] instead of re-rendering the expression. *)
 
 val tuples_of_sm : Sm.sm_inst -> tuple list
 (** The extension state as a tuple set: one tuple per active instance, or
@@ -57,10 +64,15 @@ val is_global_only : edge -> bool
 
 val ends_in_stop : edge -> bool
 
-(** Mutable edge-set summaries with O(1) dedup. *)
+(** Mutable edge-set summaries with O(1) dedup, keyed internally by
+    interned tuple ids ({!Intern}) rather than rendered key strings. *)
 type t
 
-val create : unit -> t
+val create : ?intern:Intern.t -> unit -> t
+(** [?intern] shares one intern table across summaries (the engine passes
+    its per-root table, so per-instance id caches amortise across every
+    block of the root); omitted, the summary gets a private table. *)
+
 val add_edge : t -> edge -> bool
 (** [true] if the edge was new. *)
 
@@ -71,6 +83,17 @@ val adds : t -> edge list
 val mem_src : t -> tuple -> bool
 val add_src : t -> tuple -> unit
 (** Record a tuple as having reached this block (the cache of Section 5.2). *)
+
+val mem_src_instance : t -> gstate:string -> Sm.instance -> bool
+(** [mem_src t (tuple_of_instance ~gstate i)] without building the tuple:
+    the probe is an integer hash lookup, with the instance's key atom
+    cached on the instance itself. *)
+
+val mem_src_global : t -> string -> bool
+(** [mem_src t (global_tuple g)] without building the tuple. *)
+
+val add_src_sm : t -> Sm.sm_inst -> unit
+(** [List.iter (add_src t) (tuples_of_sm sm)] without building the tuples. *)
 
 val srcs_count : t -> int
 val size : t -> int

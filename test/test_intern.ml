@@ -1,0 +1,245 @@
+(* Interned state tuples: the Intern table itself, the id-indexed Summary
+   behaviour built on it, the engine counters it feeds (cache probes/hits on
+   loop and diamond CFGs), and the Supergraph duplicate-definition guard. *)
+
+let t = Alcotest.test_case
+
+let run ?(checkers = [ Free_checker.checker () ]) src =
+  Engine.check_source ~file:"t.c" src checkers
+
+(* ---------------------------------------------------------------- *)
+(* Intern                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let intern_tests =
+  [
+    t "atom ids are stable and dense" `Quick (fun () ->
+        let it = Intern.create () in
+        let a = Intern.atom it "alpha" in
+        let b = Intern.atom it "beta" in
+        Alcotest.(check bool) "distinct" true (a <> b);
+        Alcotest.(check int) "memoised" a (Intern.atom it "alpha");
+        Alcotest.(check string) "name round-trip" "beta" (Intern.name it b);
+        Alcotest.(check int) "two atoms" 2 (Intern.n_atoms it));
+    t "tuple ids memoise the rendered key" `Quick (fun () ->
+        let it = Intern.create () in
+        let id = Intern.tuple it ~g:(Intern.atom it "locked") ~vkey:Intern.no_var ~vval:Intern.no_var in
+        Alcotest.(check string) "renders like tuple_key" "(locked,<>)"
+          (Intern.name it id);
+        Alcotest.(check int) "same triple, same id" id
+          (Intern.tuple it ~g:(Intern.atom it "locked") ~vkey:Intern.no_var
+             ~vval:Intern.no_var);
+        (* and it lands in the same atom space as a pre-rendered key *)
+        Alcotest.(check int) "atom of rendered key" id
+          (Intern.atom it "(locked,<>)");
+        Alcotest.(check int) "one tuple triple" 1 (Intern.n_tuples it));
+    t "tables grow past the initial capacity" `Quick (fun () ->
+        let it = Intern.create () in
+        for i = 0 to 999 do
+          ignore (Intern.atom it (string_of_int i))
+        done;
+        Alcotest.(check int) "all kept" 1000 (Intern.n_atoms it);
+        Alcotest.(check string) "late name intact" "997"
+          (Intern.name it (Intern.atom it "997")));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Summary over interned ids                                         *)
+(* ---------------------------------------------------------------- *)
+
+let g a = Summary.global_tuple a
+let unk v = Summary.unknown_tuple ~gstate:"start" (Cast.ident v)
+
+let edge s d : Summary.edge =
+  { Summary.e_src = s; e_dst = d; e_kind = Summary.Transition }
+
+let summary_tests =
+  [
+    t "find_by_dst returns edges in insertion order" `Quick (fun () ->
+        let s = Summary.create () in
+        let e1 = edge (g "a") (g "z") in
+        let e2 = edge (g "b") (g "z") in
+        let e3 = edge (g "c") (g "y") in
+        List.iter (fun e -> ignore (Summary.add_edge s e)) [ e1; e2; e3 ];
+        let keys = List.map Summary.edge_key (Summary.find_by_dst s (g "z")) in
+        Alcotest.(check (list string))
+          "indexed lookup = ordered filter"
+          (List.map Summary.edge_key
+             (List.filter
+                (fun (e : Summary.edge) -> Summary.tuple_equal e.e_dst (g "z"))
+                (Summary.edges s)))
+          keys;
+        Alcotest.(check int) "both z-edges" 2 (List.length keys);
+        Alcotest.(check int) "no y confusion" 1
+          (List.length (Summary.find_by_dst s (g "y"))));
+    t "remove_edge also updates the dst index" `Quick (fun () ->
+        let s = Summary.create () in
+        let e1 = edge (g "a") (g "z") in
+        let e2 = edge (g "b") (g "z") in
+        ignore (Summary.add_edge s e1);
+        ignore (Summary.add_edge s e2);
+        Summary.remove_edge s e1;
+        Alcotest.(check (list string))
+          "only e2 left"
+          [ Summary.edge_key e2 ]
+          (List.map Summary.edge_key (Summary.find_by_dst s (g "z"))));
+    t "mem_src_global and add_src_key share the atom space" `Quick (fun () ->
+        let s = Summary.create () in
+        Summary.add_src_key s (Summary.tuple_key (g "locked"));
+        Alcotest.(check bool) "probe hits" true (Summary.mem_src_global s "locked");
+        Alcotest.(check bool) "other state misses" false
+          (Summary.mem_src_global s "unlocked");
+        Alcotest.(check (list string))
+          "srcs_list renders the key" [ "(locked,<>)" ] (Summary.srcs_list s));
+    t "interned summary round-trips through sexp unchanged" `Quick (fun () ->
+        let s = Summary.create () in
+        ignore (Summary.add_edge s (edge (unk "p") (g "stop")));
+        ignore (Summary.add_edge s (edge (g "a") (g "b")));
+        Summary.add_src s (g "a");
+        let sx = Summary.to_sexp s in
+        let s' = Summary.of_sexp sx in
+        Alcotest.(check string)
+          "sexp stable" (Sexp.to_string sx)
+          (Sexp.to_string (Summary.to_sexp s'));
+        Alcotest.(check (list string))
+          "edges preserved in order"
+          (List.map Summary.edge_key (Summary.edges s))
+          (List.map Summary.edge_key (Summary.edges s'));
+        Alcotest.(check (list string))
+          "srcs preserved" (Summary.srcs_list s) (Summary.srcs_list s'));
+    t "summaries can share one intern table" `Quick (fun () ->
+        let it = Intern.create () in
+        let s1 = Summary.create ~intern:it () in
+        let s2 = Summary.create ~intern:it () in
+        ignore (Summary.add_edge s1 (edge (g "a") (g "b")));
+        ignore (Summary.add_edge s2 (edge (g "a") (g "b")));
+        Alcotest.(check bool) "independent contents" true
+          (Summary.size s1 = 1 && Summary.size s2 = 1);
+        (* both summaries' tuples interned once in the shared table: atoms
+           "a", "(a,<>)", "b", "(b,<>)" and the two tuple triples *)
+        Alcotest.(check int) "shared atoms" 4 (Intern.n_atoms it);
+        Alcotest.(check int) "shared tuples" 2 (Intern.n_tuples it));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Engine counters on known CFG shapes                               *)
+(* ---------------------------------------------------------------- *)
+
+let counter_tests =
+  [
+    t "loop: third path caches out (2 hits over 3 paths)" `Quick (fun () ->
+        (* while-loop back edge: first iteration lays tuples down, the
+           re-entry with freed state and the re-entry with clean state each
+           terminate on the block cache *)
+        let r = run "int f(int *p) { while (*p) { kfree(p); } return 0; }" in
+        let st = r.Engine.stats in
+        Alcotest.(check int) "paths" 3 st.Engine.paths_explored;
+        Alcotest.(check int) "cache hits" 2 st.Engine.cache_hits;
+        Alcotest.(check int) "cache probes" 8 st.Engine.cache_probes;
+        Alcotest.(check bool) "atoms interned" true (st.Engine.intern_atoms > 0);
+        Alcotest.(check bool) "tuples interned" true
+          (st.Engine.intern_tuples > 0));
+    t "diamond: join block explored once, cached once" `Quick (fun () ->
+        let r =
+          run
+            "int f(int *p, int x) { if (x) { x = 1; } else { x = 2; } \
+             kfree(p); return 0; }"
+        in
+        let st = r.Engine.stats in
+        Alcotest.(check int) "paths" 2 st.Engine.paths_explored;
+        Alcotest.(check int) "cache hits" 1 st.Engine.cache_hits;
+        Alcotest.(check int) "cache probes" 6 st.Engine.cache_probes);
+    t "caching off: diamond explores both full paths, no hits" `Quick
+      (fun () ->
+        let options = { Engine.default_options with caching = false } in
+        let r =
+          Engine.check_source ~options ~file:"t.c"
+            "int f(int *p, int x) { if (x) { x = 1; } else { x = 2; } \
+             kfree(p); return 0; }"
+            [ Free_checker.checker () ]
+        in
+        let st = r.Engine.stats in
+        Alcotest.(check int) "no hits" 0 st.Engine.cache_hits;
+        Alcotest.(check int) "no probes" 0 st.Engine.cache_probes;
+        Alcotest.(check int) "both paths walked to exit" 2
+          st.Engine.paths_explored);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Supergraph duplicate definitions                                  *)
+(* ---------------------------------------------------------------- *)
+
+let dup_tests =
+  [
+    t "first definition wins deterministically" `Quick (fun () ->
+        let tus =
+          [
+            Cparse.parse_tunit ~file:"a.c"
+              "int f(int *p) { kfree(p); return *p; }";
+            Cparse.parse_tunit ~file:"b.c" "int f(int *p) { return 0; }";
+          ]
+        in
+        let sg = Supergraph.build tus in
+        (* the kept body is a.c's: analysing it reports the use-after-free *)
+        let r = Engine.run sg [ Free_checker.checker () ] in
+        Alcotest.(check int) "a.c body analysed" 1 (List.length r.Engine.reports);
+        Alcotest.(check (option string))
+          "cfg table agrees" (Some "a.c")
+          (Supergraph.file_of_function sg "f"));
+    t "duplicate definition logs a warning with both locations" `Quick
+      (fun () ->
+        let warnings = ref [] in
+        let reporter =
+          {
+            Logs.report =
+              (fun _src level ~over k msgf ->
+                msgf (fun ?header:_ ?tags:_ fmt ->
+                    Format.kasprintf
+                      (fun s ->
+                        if level = Logs.Warning then warnings := s :: !warnings;
+                        over ();
+                        k ())
+                      fmt));
+          }
+        in
+        let saved = Logs.reporter () in
+        let saved_level = Logs.level () in
+        Logs.set_reporter reporter;
+        Logs.set_level (Some Logs.Warning);
+        Fun.protect
+          ~finally:(fun () ->
+            Logs.set_reporter saved;
+            Logs.set_level saved_level)
+          (fun () ->
+            ignore
+              (Supergraph.build
+                 [
+                   Cparse.parse_tunit ~file:"a.c" "int f(void) { return 1; }";
+                   Cparse.parse_tunit ~file:"b.c" "int f(void) { return 2; }";
+                 ]);
+            match !warnings with
+            | [ w ] ->
+                let has needle =
+                  let nl = String.length needle and wl = String.length w in
+                  let rec at i =
+                    i + nl <= wl
+                    && (String.equal needle (String.sub w i nl) || at (i + 1))
+                  in
+                  at 0
+                in
+                Alcotest.(check bool) "names the function" true (has "f");
+                Alcotest.(check bool) "names the dropped site" true (has "b.c");
+                Alcotest.(check bool) "names the kept site" true (has "a.c")
+            | ws ->
+                Alcotest.failf "expected exactly one warning, got %d"
+                  (List.length ws)));
+    t "no warning without duplicates" `Quick (fun () ->
+        let sg =
+          Supergraph.build
+            [ Cparse.parse_tunit ~file:"a.c" "int f(void) { return 1; } int g(void) { return f(); }" ]
+        in
+        Alcotest.(check bool) "both functions present" true
+          (Supergraph.cfg_of sg "f" <> None && Supergraph.cfg_of sg "g" <> None));
+  ]
+
+let suite = intern_tests @ summary_tests @ counter_tests @ dup_tests

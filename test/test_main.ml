@@ -35,4 +35,5 @@ let () =
       ("triage", Test_triage.suite);
       ("parallel", Test_parallel.suite);
       ("cache", Test_cache.suite);
+      ("interning", Test_intern.suite);
     ]
