@@ -129,7 +129,8 @@ let open_store ~cache_dir ~persist ~options sources =
       Summary_store.create ~dir ~persist ~ext_keys ())
     cache_dir
 
-let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms =
+let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
+    ~no_dispatch =
   {
     Engine.default_options with
     Engine.caching = not no_cache;
@@ -137,6 +138,7 @@ let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms =
     interproc = not no_interproc;
     auto_kill = not no_kill;
     synonyms = not no_synonyms;
+    dispatch = not no_dispatch;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -152,8 +154,8 @@ let effective_jobs jobs =
   if jobs = 0 then Pool.recommended_jobs () else max 1 jobs
 
 let do_check files checkers metal_files rank_mode fmt history_db update_history
-    no_cache no_prune no_interproc no_kill no_synonyms stats verbose use_cpp defines
-    incdirs jobs cache_dir no_cache_persist =
+    no_cache no_prune no_interproc no_kill no_synonyms no_dispatch stats verbose
+    use_cpp defines incdirs jobs cache_dir no_cache_persist =
   setup_logs verbose;
   set_cpp ~use_cpp ~defines ~incdirs;
   set_ast_cache ~cache_dir ~persist:(not no_cache_persist);
@@ -163,7 +165,10 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
   end;
   let exts_src = resolve_checkers checkers metal_files in
   let exts = List.map fst exts_src in
-  let options = options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms in
+  let options =
+    options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
+      ~no_dispatch
+  in
   let store =
     open_store ~cache_dir ~persist:(not no_cache_persist) ~options
       (List.map snd exts_src)
@@ -243,6 +248,10 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
          *. float_of_int st.Engine.cache_hits
          /. float_of_int st.Engine.cache_probes)
       st.Engine.intern_atoms st.Engine.intern_tuples;
+    Format.printf
+      "dispatch: %d match attempts, %d index hits, %d blocks skipped%s@."
+      st.Engine.match_attempts st.Engine.index_hits st.Engine.blocks_skipped
+      (if no_dispatch then " (index disabled)" else "");
     let total =
       List.length (Ctyping.fundefs sg.Supergraph.typing)
     in
@@ -301,6 +310,12 @@ let check_cmd =
   let no_synonyms =
     Arg.(value & flag & info [ "no-synonyms" ] ~doc:"Disable synonym tracking.")
   in
+  let no_dispatch =
+    Arg.(value & flag & info [ "no-dispatch-index" ]
+           ~doc:"Disable the compiled transition-dispatch index (head-constructor \
+                 candidate lists and block skip sets) and scan every transition \
+                 at every node. Reports are identical; only speed changes.")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.") in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the analysis (debug logs).")
@@ -337,8 +352,9 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Run checkers over C files")
     Term.(
       const do_check $ files $ checkers $ metal_files $ rank $ fmt $ history $ update
-      $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ stats $ verbose
-      $ use_cpp $ defines $ incdirs $ jobs $ cache_dir $ no_cache_persist)
+      $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ no_dispatch
+      $ stats $ verbose $ use_cpp $ defines $ incdirs $ jobs $ cache_dir
+      $ no_cache_persist)
 
 (* ------------------------------------------------------------------ *)
 (* list-checkers / show-checker                                        *)

@@ -7,6 +7,7 @@ type t = {
   callgraph : Callgraph.t;
   typing : Ctyping.env;
   tunits : Cast.tunit list;
+  heads : (string, Block_heads.t array) Hashtbl.t;
 }
 
 let build tunits =
@@ -40,14 +41,20 @@ let build tunits =
   in
   let cfgs = Hashtbl.create 64 in
   List.iter (fun (f : Cast.fundef) -> Hashtbl.replace cfgs f.fname (Cfg.of_fundef f)) funcs;
+  (* Head summaries are computed eagerly so the supergraph stays immutable
+     once built — parallel engine workers share it across domains. *)
+  let heads = Hashtbl.create (Hashtbl.length cfgs) in
+  Hashtbl.iter (fun name cfg -> Hashtbl.replace heads name (Block_heads.of_cfg cfg)) cfgs;
   {
     cfgs;
     callgraph = Callgraph.build funcs;
     typing = Ctyping.of_program tunits;
     tunits;
+    heads;
   }
 
 let cfg_of t name = Hashtbl.find_opt t.cfgs name
+let heads_of t name = Hashtbl.find_opt t.heads name
 
 let fundef_of t name =
   match Hashtbl.find_opt t.cfgs name with

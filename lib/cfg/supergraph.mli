@@ -14,6 +14,10 @@ type t = {
   callgraph : Callgraph.t;
   typing : Ctyping.env;
   tunits : Cast.tunit list;
+  heads : (string, Block_heads.t array) Hashtbl.t;
+      (** per-function, per-block head-constructor summaries, computed
+          eagerly at build time (the supergraph is shared immutably across
+          engine worker domains) *)
 }
 
 val build : Cast.tunit list -> t
@@ -27,6 +31,10 @@ val build : Cast.tunit list -> t
     the CFG table while the callgraph still saw every body. *)
 
 val cfg_of : t -> string -> Cfg.t option
+
+val heads_of : t -> string -> Block_heads.t array option
+(** Block head summaries of a defined function, indexed by block id. *)
+
 val fundef_of : t -> string -> Cast.fundef option
 val roots : t -> string list
 

@@ -1,0 +1,359 @@
+(* Compiled transition dispatch.
+
+   [compile] runs once per extension per run context and precomputes
+   everything [Engine.apply_transitions] used to rediscover at every node:
+
+   - per-transition metadata ([ctr]): source kind, the pruned
+     callsite-model pattern, the mentioned holes, event-kind capabilities;
+   - a head-constructor discrimination index: the subject node's root
+     constructor (call to a known name, or one of ~15 shapes) selects the
+     subset of transitions whose pattern root could possibly match it;
+   - block-level skip sets: a block whose head summary
+     ({!Block_heads.of_block}) intersects no pattern-root requirement of
+     the extension cannot fire anything, so the engine skips
+     [apply_transitions] for all of its nodes.
+
+   Soundness of the index rests on how {!Pattern.match_expr} treats
+   roots: the subject's root constructor is compared literally against a
+   non-hole pattern root (casts are only stripped at hole positions), so
+   a pattern rooted in a specific constructor can only match subjects
+   with that same root. Hole-rooted patterns (other than [any_fn_call])
+   strip subject casts and can match anything, so they live in a wildcard
+   fallback list that is appended to every bucket; callout-only patterns
+   are unknowable statically and stay wildcards too. Candidate lists are
+   sorted by declaration index, so first-match-wins semantics are
+   bit-for-bit those of the naive scan over the full transition list. *)
+
+module Sset = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Callsite modelling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Callsite modelling (Section 6): "the analysis does not follow calls to
+   kfree because the extension matches these calls". Only call-shaped
+   patterns model a call. The value of an assignment or cast chain, of a
+   comma expression, and of either conditional arm can come from a call,
+   so the walk looks through all of them. *)
+let rec expr_shape_is_call (e : Cast.expr) =
+  match e.enode with
+  | Cast.Ecall _ -> true
+  | Cast.Eassign (_, _, r) -> expr_shape_is_call r
+  | Cast.Ecast (_, e1) -> expr_shape_is_call e1
+  | Cast.Ecomma (_, r) -> expr_shape_is_call r
+  | Cast.Econd (_, t, f) -> expr_shape_is_call t || expr_shape_is_call f
+  | _ -> false
+
+let rec pattern_models_call = function
+  | Pattern.Pexpr e -> expr_shape_is_call e
+  | Pattern.Pcallout _ -> true
+  | Pattern.Pand (a, b) | Pattern.Por (a, b) ->
+      pattern_models_call a || pattern_models_call b
+  | Pattern.Pend_of_path | Pattern.Pnever | Pattern.Palways -> false
+
+(* The sub-pattern the engine matches at call nodes to decide whether the
+   extension models the callsite. Keeping only call-shaped disjuncts (and
+   callouts, which are unknowable) means a bare hole that happens to sit
+   in a disjunction with a call pattern cannot suppress following a
+   pointer-valued call it incidentally matches — the same guarantee the
+   engine always gave bare-hole patterns standing alone. A conjunction is
+   kept whole: both conjuncts must hold anyway. *)
+let rec call_model (p : Pattern.t) : Pattern.t option =
+  match p with
+  | Pattern.Pexpr e -> if expr_shape_is_call e then Some p else None
+  | Pattern.Pcallout _ -> Some p
+  | Pattern.Pand (a, b) ->
+      if pattern_models_call a || pattern_models_call b then Some p else None
+  | Pattern.Por (a, b) -> (
+      match (call_model a, call_model b) with
+      | Some a', Some b' -> Some (Pattern.Por (a', b'))
+      | (Some _ as r), None | None, (Some _ as r) -> r
+      | None, None -> None)
+  | Pattern.Pend_of_path | Pattern.Pnever | Pattern.Palways -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pattern-root head sets                                              *)
+(* ------------------------------------------------------------------ *)
+
+type headset =
+  | Any
+  | Heads of { mask : int; calls : Sset.t; any_call : bool }
+
+let hs_empty = Heads { mask = 0; calls = Sset.empty; any_call = false }
+
+let hs_shape s =
+  Heads
+    { mask = 1 lsl Block_heads.shape_code s; calls = Sset.empty; any_call = false }
+
+let hs_union a b =
+  match (a, b) with
+  | Any, _ | _, Any -> Any
+  | Heads a, Heads b ->
+      Heads
+        {
+          mask = a.mask lor b.mask;
+          calls = Sset.union a.calls b.calls;
+          any_call = a.any_call || b.any_call;
+        }
+
+(* Set-theoretic intersection of the denoted node sets: a named call [f]
+   is covered by a side either via its [calls] or via [any_call]. *)
+let hs_inter a b =
+  match (a, b) with
+  | Any, x | x, Any -> x
+  | Heads a, Heads b ->
+      Heads
+        {
+          mask = a.mask land b.mask;
+          calls =
+            Sset.union
+              (Sset.inter a.calls b.calls)
+              (Sset.union
+                 (if a.any_call then b.calls else Sset.empty)
+                 (if b.any_call then a.calls else Sset.empty));
+          any_call = a.any_call && b.any_call;
+        }
+
+let expr_heads holes (e : Cast.expr) =
+  match e.enode with
+  | Cast.Eident h -> (
+      match List.assoc_opt h holes with
+      | Some Holes.Any_fn_call ->
+          (* matches only call subjects, any callee *)
+          Heads { mask = 0; calls = Sset.empty; any_call = true }
+      | Some Holes.Any_arguments ->
+          (* an argument-list hole in expression position never matches *)
+          hs_empty
+      | Some _ ->
+          (* bare hole: subject casts are stripped, so any root can match *)
+          Any
+      | None -> hs_shape Block_heads.Sident)
+  | Cast.Ecall (pf, _) -> (
+      match pf.enode with
+      | Cast.Eident f when not (List.mem_assoc f holes) ->
+          Heads { mask = 0; calls = Sset.singleton f; any_call = false }
+      | _ ->
+          (* hole or computed expression in callee position: any call *)
+          Heads { mask = 0; calls = Sset.empty; any_call = true })
+  | Cast.Eassign _ -> hs_shape Block_heads.Sassign
+  | Cast.Eunary (Cast.Deref, _) -> hs_shape Block_heads.Sderef
+  | Cast.Eunary _ -> hs_shape Block_heads.Sunary
+  | Cast.Ebinary _ -> hs_shape Block_heads.Sbinary
+  | Cast.Ecast _ -> hs_shape Block_heads.Scast
+  | Cast.Econd _ -> hs_shape Block_heads.Scond
+  | Cast.Ecomma _ -> hs_shape Block_heads.Scomma
+  | Cast.Efield _ -> hs_shape Block_heads.Sfield
+  | Cast.Earrow _ -> hs_shape Block_heads.Sarrow
+  | Cast.Eindex _ -> hs_shape Block_heads.Sindex
+  | Cast.Eint _ | Cast.Efloat _ | Cast.Echar _ | Cast.Estr _ ->
+      hs_shape Block_heads.Slit
+  | Cast.Esizeof_type _ | Cast.Esizeof_expr _ -> hs_shape Block_heads.Ssizeof
+  | Cast.Einit_list _ -> hs_shape Block_heads.Sinit
+
+let rec pattern_heads holes = function
+  | Pattern.Pexpr e -> expr_heads holes e
+  | Pattern.Pcallout _ | Pattern.Palways -> Any
+  | Pattern.Pnever | Pattern.Pend_of_path -> hs_empty
+  | Pattern.Por (a, b) -> hs_union (pattern_heads holes a) (pattern_heads holes b)
+  | Pattern.Pand (a, b) -> hs_inter (pattern_heads holes a) (pattern_heads holes b)
+
+type classified =
+  | Wildcard
+  | Rooted of {
+      shapes : Block_heads.shape list;
+      calls : string list;
+      any_call : bool;
+    }
+
+let classify ~holes p =
+  match pattern_heads holes p with
+  | Any -> Wildcard
+  | Heads { mask; calls; any_call } ->
+      Rooted
+        {
+          shapes =
+            List.filter
+              (fun s -> mask land (1 lsl Block_heads.shape_code s) <> 0)
+              Block_heads.all_shapes;
+          calls = Sset.elements calls;
+          any_call;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled form                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type ctr = {
+  c_tr : Sm.transition;
+  c_src_var : string option;  (** [Src_var v] source value *)
+  c_src_global : string option;  (** [Src_global g] source value *)
+  c_call_model : Pattern.t option;
+      (** pruned callsite-model pattern; [None] = does not model calls *)
+  c_holes : (string * Holes.t) list;  (** holes the pattern mentions *)
+  c_mentions_svar : bool;
+  c_matches_node : bool;
+  c_matches_eop : bool;
+}
+
+type t = {
+  ext : Sm.t;
+  sg : Supergraph.t;
+  indexed : bool;
+  trs : ctr array;
+  all_node : int array;
+  eop_var : int array;
+  eop_global : int array;
+  by_call : (string, int array) Hashtbl.t;
+  generic_call : int array;
+  by_shape : int array array;
+  ext_wild : bool;
+  ext_mask : int;
+  ext_any_call : bool;
+  ext_calls : (string, unit) Hashtbl.t;
+  live_cache : (string, bool array) Hashtbl.t;
+      (* per-function block liveness, memoised lazily; [t] is private to
+         one run context so this table is single-domain *)
+}
+
+let indexed t = t.indexed
+let transitions t = t.trs
+let all_node t = t.all_node
+let eop_var t = t.eop_var
+let eop_global t = t.eop_global
+
+let merge lists = Array.of_list (List.sort_uniq Int.compare (List.concat lists))
+
+let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
+  let trs =
+    Array.of_list
+      (List.map
+         (fun (tr : Sm.transition) ->
+           {
+             c_tr = tr;
+             c_src_var =
+               (match tr.tr_source with
+               | Sm.Src_var v -> Some v
+               | Sm.Src_global _ -> None);
+             c_src_global =
+               (match tr.tr_source with
+               | Sm.Src_global g -> Some g
+               | Sm.Src_var _ -> None);
+             c_call_model = call_model tr.tr_pattern;
+             c_holes = Pattern.holes_of tr.tr_pattern ext.Sm.holes;
+             c_mentions_svar =
+               (match ext.Sm.svar with
+               | Some sv -> Pattern.mentions_hole tr.tr_pattern sv
+               | None -> false);
+             c_matches_node = Pattern.can_match_node tr.tr_pattern;
+             c_matches_eop = Pattern.can_match_end_of_path tr.tr_pattern;
+           })
+         ext.Sm.transitions)
+  in
+  let idxs p =
+    Array.to_list trs
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter_map (fun (i, c) -> if p c then Some i else None)
+  in
+  let all_node_l = idxs (fun c -> c.c_matches_node) in
+  let eop_var = idxs (fun c -> c.c_matches_eop && c.c_src_var <> None) in
+  let eop_global = idxs (fun c -> c.c_matches_eop && c.c_src_global <> None) in
+  let fallback = ref [] in
+  let any_call = ref [] in
+  let named : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let shape_lists = Array.make Block_heads.n_shapes [] in
+  let ext_mask = ref 0 in
+  let ext_any_call = ref false in
+  let ext_wild = ref false in
+  let ext_calls = Hashtbl.create 8 in
+  if indexed then
+    Array.iteri
+      (fun i c ->
+        if c.c_matches_node then
+          match pattern_heads ext.Sm.holes c.c_tr.Sm.tr_pattern with
+          | Any ->
+              fallback := i :: !fallback;
+              ext_wild := true
+          | Heads { mask; calls; any_call = ac } ->
+              for s = 0 to Block_heads.n_shapes - 1 do
+                if mask land (1 lsl s) <> 0 then
+                  shape_lists.(s) <- i :: shape_lists.(s)
+              done;
+              ext_mask := !ext_mask lor mask;
+              if ac then begin
+                any_call := i :: !any_call;
+                ext_any_call := true
+              end;
+              Sset.iter
+                (fun f ->
+                  Hashtbl.replace ext_calls f ();
+                  let r =
+                    match Hashtbl.find_opt named f with
+                    | Some r -> r
+                    | None ->
+                        let r = ref [] in
+                        Hashtbl.add named f r;
+                        r
+                  in
+                  r := i :: !r)
+                calls)
+      trs;
+  let generic_call = merge [ !any_call; !fallback ] in
+  let by_call = Hashtbl.create (Hashtbl.length named) in
+  Hashtbl.iter
+    (fun f r -> Hashtbl.replace by_call f (merge [ !r; !any_call; !fallback ]))
+    named;
+  let by_shape =
+    Array.init Block_heads.n_shapes (fun s ->
+        if s = Block_heads.shape_code Block_heads.Scall_other then generic_call
+        else merge [ shape_lists.(s); !fallback ])
+  in
+  {
+    ext;
+    sg;
+    indexed;
+    trs;
+    all_node = Array.of_list all_node_l;
+    eop_var = Array.of_list eop_var;
+    eop_global = Array.of_list eop_global;
+    by_call;
+    generic_call;
+    by_shape;
+    ext_wild = !ext_wild;
+    ext_mask = !ext_mask;
+    ext_any_call = !ext_any_call;
+    ext_calls;
+    live_cache = Hashtbl.create 64;
+  }
+
+let candidates t (node : Cast.expr) =
+  if not t.indexed then t.all_node
+  else
+    match Block_heads.head_of node with
+    | Block_heads.Named_call f -> (
+        match Hashtbl.find_opt t.by_call f with
+        | Some a -> a
+        | None -> t.generic_call)
+    | Block_heads.Shape s -> t.by_shape.(Block_heads.shape_code s)
+
+let live_of t (h : Block_heads.t) =
+  t.ext_wild
+  || t.ext_mask land h.Block_heads.mask <> 0
+  || (t.ext_any_call && Block_heads.has_call h)
+  || List.exists (fun f -> Hashtbl.mem t.ext_calls f) h.Block_heads.calls
+
+let block_live t ~fname bid =
+  (not t.indexed)
+  ||
+  let arr =
+    match Hashtbl.find_opt t.live_cache fname with
+    | Some a -> a
+    | None ->
+        let a =
+          match Supergraph.heads_of t.sg fname with
+          | Some heads -> Array.map (live_of t) heads
+          | None -> [||]
+        in
+        Hashtbl.replace t.live_cache fname a;
+        a
+  in
+  if bid >= 0 && bid < Array.length arr then arr.(bid) else true

@@ -1,0 +1,99 @@
+(** Compiled transition dispatch (head-constructor indexing).
+
+    [compile] turns an extension's transition list into a form the engine
+    can probe in O(candidates) per node instead of O(transitions):
+    per-transition metadata precomputed once, a discrimination index from
+    the subject node's root constructor to the transitions whose pattern
+    root could possibly match it, and per-block skip sets derived from
+    {!Block_heads} summaries.
+
+    The index is sound because {!Pattern.match_expr} compares a non-hole
+    pattern root literally against the subject's root constructor (subject
+    casts are stripped only at hole positions): a call pattern [f(...)]
+    with a concrete callee matches only calls to [f], a deref pattern only
+    deref nodes, and so on. Hole-rooted and callout-only patterns can
+    match anything and live in a wildcard fallback list appended to every
+    bucket. Candidate lists preserve declaration order, so
+    first-match-wins semantics — and therefore reports — are identical to
+    the naive full scan. Compiling with [~indexed:false] keeps the
+    metadata but makes every candidate query return the full
+    node-matching list and every block live (the engine's
+    [--no-dispatch-index] A/B mode). *)
+
+type ctr = {
+  c_tr : Sm.transition;
+  c_src_var : string option;  (** [Src_var v] source value *)
+  c_src_global : string option;  (** [Src_global g] source value *)
+  c_call_model : Pattern.t option;
+      (** the sub-pattern matched at nodes for callsite modelling
+          (Section 6); [None] when the pattern cannot model a call *)
+  c_holes : (string * Holes.t) list;
+      (** the extension's hole environment restricted to holes the
+          pattern mentions *)
+  c_mentions_svar : bool;  (** pattern mentions the state variable *)
+  c_matches_node : bool;  (** {!Pattern.can_match_node} *)
+  c_matches_eop : bool;  (** {!Pattern.can_match_end_of_path} *)
+}
+
+type t
+
+val compile : ?indexed:bool -> sg:Supergraph.t -> Sm.t -> t
+(** Compile an extension against a supergraph. [indexed] (default true)
+    enables the head index and block skip sets; the metadata is computed
+    either way. Cheap enough to run per worker context. *)
+
+val indexed : t -> bool
+val transitions : t -> ctr array
+
+val all_node : t -> int array
+(** Indices (in declaration order) of transitions that can match node
+    events at all — the candidate list of the unindexed mode. *)
+
+val candidates : t -> Cast.expr -> int array
+(** Indices of transitions whose pattern root could match this node,
+    sorted in declaration order; a superset of the transitions that
+    actually match, a subset of [all_node]. Without the index this is
+    [all_node] itself. *)
+
+val eop_var : t -> int array
+(** Variable-source transitions that can match end-of-path events. *)
+
+val eop_global : t -> int array
+(** Global-source transitions that can match end-of-path events. *)
+
+val block_live : t -> fname:string -> int -> bool
+(** Could any transition of this extension match any node of block [bid]
+    of [fname]? [false] lets the engine skip [apply_transitions] for the
+    whole block; end-of-path and write handling are unaffected. Always
+    [true] without the index. *)
+
+(** {1 Callsite modelling} *)
+
+val expr_shape_is_call : Cast.expr -> bool
+(** Does the expression's value come from a call? Looks through
+    assignment and cast chains, comma right-hand sides and both
+    conditional arms. *)
+
+val pattern_models_call : Pattern.t -> bool
+
+val call_model : Pattern.t -> Pattern.t option
+(** The sub-pattern to match at nodes for callsite modelling: call-shaped
+    disjuncts and callouts survive, other disjuncts are dropped (a bare
+    hole must not suppress following a call it incidentally matches);
+    conjunctions are kept whole. [None] when nothing call-shaped
+    remains. *)
+
+(** {1 Classification (exposed for tests)} *)
+
+type classified =
+  | Wildcard
+      (** matches via the fallback list: hole-rooted or callout-only *)
+  | Rooted of {
+      shapes : Block_heads.shape list;
+      calls : string list;
+      any_call : bool;
+    }
+
+val classify : holes:(string * Holes.t) list -> Pattern.t -> classified
+(** How the index classifies a pattern's root. [Rooted] with all fields
+    empty means the pattern can never match a node event. *)

@@ -13,6 +13,7 @@ type options = {
   synonyms : bool;
   max_call_depth : int;
   max_instances : int;
+  dispatch : bool;
 }
 
 let default_options =
@@ -24,6 +25,7 @@ let default_options =
     synonyms = true;
     max_call_depth = 40;
     max_instances = 64;
+    dispatch = true;
   }
 
 type stats = {
@@ -45,6 +47,16 @@ type stats = {
   mutable intern_tuples : int;
       (* final intern-table sizes, summed over root contexts; not persisted
          in the summary store (replayed roots contribute 0) *)
+  mutable match_attempts : int;
+      (* Pattern.match_event calls made by the transition loops *)
+  mutable index_hits : int;
+      (* nodes whose head-index candidate list was narrower than the full
+         node-matching transition list *)
+  mutable blocks_skipped : int;
+      (* block visits where the skip set proved no transition could match
+         any node, so apply_transitions never ran.
+         Like the intern counters these three are process-local: not
+         persisted in the summary store, replayed roots contribute 0. *)
 }
 
 let new_stats () =
@@ -62,6 +74,9 @@ let new_stats () =
     cache_probes = 0;
     intern_atoms = 0;
     intern_tuples = 0;
+    match_attempts = 0;
+    index_hits = 0;
+    blocks_skipped = 0;
   }
 
 type result = {
@@ -98,6 +113,7 @@ type rctx = {
   traversed : (string, unit) Hashtbl.t;
   st : stats;
   mutable cur_ext : Sm.t;
+  mutable dsp : Dispatch.t;  (* compiled form of cur_ext, kept in lockstep *)
 }
 
 type fctx = {
@@ -393,142 +409,190 @@ let callout_ctx rctx fctx node =
      targeted-suppression idiom of Section 8 work: a suppression rule
      listed before the error rule absorbs the idiomatic match;
    - transitions are judged against the state as it was when the point was
-     reached (no same-node cascading). *)
+     reached (no same-node cascading).
+
+   The loops run over the compiled candidate list for the node's head
+   constructor (see {!Dispatch}), which preserves declaration order and is
+   a superset of the transitions that can actually match, so
+   first-match-wins picks the same winner as a scan of the full list.
+
+   Callsite modelling (Section 6): "the analysis does not follow calls to
+   kfree because the extension matches these calls". The prepass matches
+   each candidate's pruned call model ([Dispatch.call_model]) instead of
+   its full pattern, so only call-shaped disjuncts (and callouts) count —
+   a bare hole that happens to match a pointer-valued call expression must
+   not suppress following it, even when it sits in a disjunction with a
+   call pattern. *)
 let apply_transitions rctx fctx walk (node : Cast.expr) =
   let sm = walk.sm in
   let ext = sm.ext in
-  let cctx = callout_ctx rctx fctx (Some node) in
-  let matched = ref false in
-  let touched : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let dsp = rctx.dsp in
+  let trs = Dispatch.transitions dsp in
+  let cand = Dispatch.candidates dsp node in
+  if
+    Dispatch.indexed dsp
+    && Array.length cand < Array.length (Dispatch.all_node dsp)
+  then rctx.st.index_hits <- rctx.st.index_hits + 1;
+  (* Short-circuit prepass: decide from precompiled metadata alone whether
+     any loop below could do anything, before allocating the callout
+     context or the entry-state tables. *)
   let entry_gstate = sm.gstate in
-  let entry_values : (string, string) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun (i : Sm.instance) -> Hashtbl.replace entry_values i.target_key i.value)
-    sm.actives;
-  let value_at_entry (i : Sm.instance) =
-    Option.value (Hashtbl.find_opt entry_values i.target_key) ~default:i.value
-  in
-  let walk = ref walk in
-  let var_transitions =
-    List.filter
-      (fun (tr : Sm.transition) ->
-        match tr.tr_source with Sm.Src_var _ -> true | Sm.Src_global _ -> false)
-      ext.transitions
-  in
-  (* Callsite modelling (Section 6): "the analysis does not follow calls to
-     kfree because the extension matches these calls". Only call-shaped
-     patterns model a call — a bare hole that happens to match a
-     pointer-valued call expression must not suppress following it. *)
-  let rec expr_shape_is_call (e : Cast.expr) =
-    match e.enode with
-    | Cast.Ecall _ -> true
-    | Cast.Eassign (_, _, r) -> expr_shape_is_call r
-    | Cast.Ecast (_, e1) -> expr_shape_is_call e1
-    | _ -> false
-  in
-  let rec pattern_models_call = function
-    | Pattern.Pexpr e -> expr_shape_is_call e
-    | Pattern.Pcallout _ -> true
-    | Pattern.Pand (a, b) | Pattern.Por (a, b) ->
-        pattern_models_call a || pattern_models_call b
-    | Pattern.Pend_of_path | Pattern.Pnever | Pattern.Palways -> false
-  in
-  List.iter
-    (fun (tr : Sm.transition) ->
-      if (not !matched) && pattern_models_call tr.tr_pattern then
-        match
-          Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
-            (Pattern.At_node node)
-        with
-        | Some _ -> matched := true
-        | None -> ())
-    ext.transitions;
-  (* variable-specific instances first; first matching transition wins *)
-  List.iter
-    (fun (i : Sm.instance) ->
-      if i.created_at <> node.eid && not i.inactive then begin
-        let v0 = value_at_entry i in
-        if String.equal i.value v0 then begin
-          let fired = ref false in
-          List.iter
-            (fun (tr : Sm.transition) ->
-              if not !fired then
-                match tr.tr_source with
-                | Sm.Src_var v when String.equal v v0 -> (
-                    let init =
-                      match ext.svar with
-                      | Some sv -> [ (sv, Pattern.Bnode i.target) ]
-                      | None -> []
-                    in
-                    match
-                      Pattern.match_event ~init ~ctx:cctx ~holes:ext.holes
-                        tr.tr_pattern (Pattern.At_node node)
-                    with
-                    | None -> ()
-                    | Some bindings ->
-                        fired := true;
-                        matched := true;
-                        rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
-                        Hashtbl.replace touched i.target_key ();
-                        let walk', affected =
-                          apply_dest rctx fctx !walk ~node:(Some node) ~bindings
-                            ~inst:(Some i) tr.tr_dest
-                        in
-                        walk := walk';
-                        (match tr.tr_action with
-                        | Some act ->
-                            act
-                              (make_actx rctx fctx !walk ~node:(Some node) ~bindings
-                                 ~inst:affected)
-                        | None -> ()))
-                | Sm.Src_var _ | Sm.Src_global _ -> ())
-            var_transitions
-        end
-      end)
-    sm.actives;
-  (* then the global machine; first matching transition wins *)
-  let gfired = ref false in
-  List.iter
-    (fun (tr : Sm.transition) ->
-      match tr.tr_source with
-      | Sm.Src_var _ -> ()
-      | Sm.Src_global g ->
-          if
-            (not !gfired)
-            && String.equal entry_gstate g
-            && String.equal sm.gstate entry_gstate
-          then
-            match
-              Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
-                (Pattern.At_node node)
-            with
+  let have_actives = sm.actives <> [] in
+  let any_model = ref false in
+  let any_var = ref false in
+  let any_glob = ref false in
+  Array.iter
+    (fun ti ->
+      let c = trs.(ti) in
+      if c.Dispatch.c_call_model <> None then any_model := true;
+      (match c.Dispatch.c_src_var with
+      | Some _ -> if have_actives then any_var := true
+      | None -> ());
+      match c.Dispatch.c_src_global with
+      | Some g -> if String.equal g entry_gstate then any_glob := true
+      | None -> ())
+    cand;
+  if (not !any_model) && (not !any_var) && not !any_glob then (false, walk)
+  else begin
+    let cctx = callout_ctx rctx fctx (Some node) in
+    let matched = ref false in
+    let touched : (string, unit) Hashtbl.t option ref = ref None in
+    let touch key =
+      match !touched with
+      | Some t -> Hashtbl.replace t key ()
+      | None ->
+          let t = Hashtbl.create 4 in
+          Hashtbl.replace t key ();
+          touched := Some t
+    in
+    let touched_mem key =
+      match !touched with Some t -> Hashtbl.mem t key | None -> false
+    in
+    let walk = ref walk in
+    if !any_model then
+      Array.iter
+        (fun ti ->
+          let c = trs.(ti) in
+          if not !matched then
+            match c.Dispatch.c_call_model with
             | None -> ()
-            | Some bindings ->
-                matched := true;
-                (* suppress re-creation when the bound object was already
-                   transitioned at this very node (e.g. a double free) *)
-                let suppressed =
-                  match svar_binding ext bindings with
-                  | Some tree -> Hashtbl.mem touched (Cast.key_of_expr tree)
-                  | None -> false
-                in
-                if not suppressed then begin
-                  gfired := true;
-                  rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
-                  let walk', affected =
-                    apply_dest rctx fctx !walk ~node:(Some node) ~bindings ~inst:None
-                      tr.tr_dest
-                  in
-                  walk := walk';
-                  match tr.tr_action with
-                  | Some act ->
-                      act
-                        (make_actx rctx fctx !walk ~node:(Some node) ~bindings
-                           ~inst:affected)
-                  | None -> ()
-                end)
-    ext.transitions;
-  (!matched, !walk)
+            | Some model -> (
+                rctx.st.match_attempts <- rctx.st.match_attempts + 1;
+                match
+                  Pattern.match_event ~ctx:cctx ~holes:c.Dispatch.c_holes model
+                    (Pattern.At_node node)
+                with
+                | Some _ -> matched := true
+                | None -> ()))
+        cand;
+    (* variable-specific instances first; first matching transition wins *)
+    if !any_var then begin
+      let entry_values : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (i : Sm.instance) ->
+          Hashtbl.replace entry_values i.target_key i.value)
+        sm.actives;
+      let value_at_entry (i : Sm.instance) =
+        Option.value (Hashtbl.find_opt entry_values i.target_key) ~default:i.value
+      in
+      List.iter
+        (fun (i : Sm.instance) ->
+          if i.created_at <> node.eid && not i.inactive then begin
+            let v0 = value_at_entry i in
+            if String.equal i.value v0 then begin
+              let init =
+                match ext.svar with
+                | Some sv -> [ (sv, Pattern.Bnode i.target) ]
+                | None -> []
+              in
+              let fired = ref false in
+              Array.iter
+                (fun ti ->
+                  let c = trs.(ti) in
+                  if not !fired then
+                    match c.Dispatch.c_src_var with
+                    | Some v when String.equal v v0 -> (
+                        let tr = c.Dispatch.c_tr in
+                        rctx.st.match_attempts <- rctx.st.match_attempts + 1;
+                        match
+                          Pattern.match_event ~init ~ctx:cctx
+                            ~holes:c.Dispatch.c_holes tr.Sm.tr_pattern
+                            (Pattern.At_node node)
+                        with
+                        | None -> ()
+                        | Some bindings ->
+                            fired := true;
+                            matched := true;
+                            rctx.st.transitions_fired <-
+                              rctx.st.transitions_fired + 1;
+                            touch i.target_key;
+                            let walk', affected =
+                              apply_dest rctx fctx !walk ~node:(Some node)
+                                ~bindings ~inst:(Some i) tr.Sm.tr_dest
+                            in
+                            walk := walk';
+                            (match tr.Sm.tr_action with
+                            | Some act ->
+                                act
+                                  (make_actx rctx fctx !walk ~node:(Some node)
+                                     ~bindings ~inst:affected)
+                            | None -> ()))
+                    | Some _ | None -> ())
+                cand
+            end
+          end)
+        sm.actives
+    end;
+    (* then the global machine; first matching transition wins *)
+    if !any_glob then begin
+      let gfired = ref false in
+      Array.iter
+        (fun ti ->
+          let c = trs.(ti) in
+          match c.Dispatch.c_src_global with
+          | None -> ()
+          | Some g ->
+              if
+                (not !gfired)
+                && String.equal entry_gstate g
+                && String.equal sm.gstate entry_gstate
+              then begin
+                let tr = c.Dispatch.c_tr in
+                rctx.st.match_attempts <- rctx.st.match_attempts + 1;
+                match
+                  Pattern.match_event ~ctx:cctx ~holes:c.Dispatch.c_holes
+                    tr.Sm.tr_pattern (Pattern.At_node node)
+                with
+                | None -> ()
+                | Some bindings ->
+                    matched := true;
+                    (* suppress re-creation when the bound object was already
+                       transitioned at this very node (e.g. a double free) *)
+                    let suppressed =
+                      match svar_binding ext bindings with
+                      | Some tree -> touched_mem (Cast.key_of_expr tree)
+                      | None -> false
+                    in
+                    if not suppressed then begin
+                      gfired := true;
+                      rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
+                      let walk', affected =
+                        apply_dest rctx fctx !walk ~node:(Some node) ~bindings
+                          ~inst:None tr.Sm.tr_dest
+                      in
+                      walk := walk';
+                      match tr.Sm.tr_action with
+                      | Some act ->
+                          act
+                            (make_actx rctx fctx !walk ~node:(Some node)
+                               ~bindings ~inst:affected)
+                      | None -> ()
+                    end
+              end)
+        cand
+    end;
+    (!matched, !walk)
+  end
 
 (* End-of-path events: fire [$end_of_path$] transitions for the given
    instances (those permanently leaving scope) and, when [global] is set,
@@ -537,73 +601,92 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
 let fire_end_of_path rctx fctx walk ~(instances : Sm.instance list) ~global =
   let sm = walk.sm in
   let ext = sm.ext in
-  let cctx = callout_ctx rctx fctx None in
-  let walk = ref walk in
-  List.iter
-    (fun (i : Sm.instance) ->
-      let fired = ref false in
+  let dsp = rctx.dsp in
+  let trs = Dispatch.transitions dsp in
+  let eop_var = Dispatch.eop_var dsp in
+  let eop_global = Dispatch.eop_global dsp in
+  if
+    (instances = [] || Array.length eop_var = 0)
+    && ((not global) || Array.length eop_global = 0)
+  then walk
+  else begin
+    let cctx = callout_ctx rctx fctx None in
+    let walk = ref walk in
+    if Array.length eop_var > 0 then
       List.iter
-        (fun (tr : Sm.transition) ->
-          if (not !fired) && List.memq i sm.actives then
-            match tr.tr_source with
-            | Sm.Src_var v when String.equal i.value v && not i.inactive -> (
+        (fun (i : Sm.instance) ->
+          let fired = ref false in
+          Array.iter
+            (fun ti ->
+              let c = trs.(ti) in
+              if (not !fired) && List.memq i sm.actives then
+                match c.Dispatch.c_src_var with
+                | Some v when String.equal i.value v && not i.inactive -> (
+                    let tr = c.Dispatch.c_tr in
+                    rctx.st.match_attempts <- rctx.st.match_attempts + 1;
+                    match
+                      Pattern.match_event ~ctx:cctx ~holes:c.Dispatch.c_holes
+                        tr.Sm.tr_pattern Pattern.At_end_of_path
+                    with
+                    | None -> ()
+                    | Some bindings ->
+                        fired := true;
+                        rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
+                        let bindings =
+                          match ext.svar with
+                          | Some sv -> (sv, Pattern.Bnode i.target) :: bindings
+                          | None -> bindings
+                        in
+                        (* the action runs before the destination so it can
+                           still read the dying instance's state *)
+                        (match tr.Sm.tr_action with
+                        | Some act ->
+                            act
+                              (make_actx rctx fctx !walk ~node:None ~bindings
+                                 ~inst:(Some i))
+                        | None -> ());
+                        let walk', _ =
+                          apply_dest rctx fctx !walk ~node:None ~bindings
+                            ~inst:(Some i) tr.Sm.tr_dest
+                        in
+                        walk := walk')
+                | Some _ | None -> ())
+            eop_var)
+        instances;
+    if global && Array.length eop_global > 0 then begin
+      let gfired = ref false in
+      Array.iter
+        (fun ti ->
+          let c = trs.(ti) in
+          if not !gfired then
+            match c.Dispatch.c_src_global with
+            | Some g when String.equal sm.gstate g -> (
+                let tr = c.Dispatch.c_tr in
+                rctx.st.match_attempts <- rctx.st.match_attempts + 1;
                 match
-                  Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
-                    Pattern.At_end_of_path
+                  Pattern.match_event ~ctx:cctx ~holes:c.Dispatch.c_holes
+                    tr.Sm.tr_pattern Pattern.At_end_of_path
                 with
                 | None -> ()
                 | Some bindings ->
-                    fired := true;
+                    gfired := true;
                     rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
-                    let bindings =
-                      match ext.svar with
-                      | Some sv -> (sv, Pattern.Bnode i.target) :: bindings
-                      | None -> bindings
-                    in
-                    (* the action runs before the destination so it can
-                       still read the dying instance's state *)
-                    (match tr.tr_action with
+                    (match tr.Sm.tr_action with
                     | Some act ->
                         act
                           (make_actx rctx fctx !walk ~node:None ~bindings
-                             ~inst:(Some i))
+                             ~inst:None)
                     | None -> ());
                     let walk', _ =
-                      apply_dest rctx fctx !walk ~node:None ~bindings ~inst:(Some i)
-                        tr.tr_dest
+                      apply_dest rctx fctx !walk ~node:None ~bindings ~inst:None
+                        tr.Sm.tr_dest
                     in
                     walk := walk')
-            | Sm.Src_var _ | Sm.Src_global _ -> ())
-        ext.transitions)
-    instances;
-  if global then begin
-    let gfired = ref false in
-    List.iter
-      (fun (tr : Sm.transition) ->
-        if not !gfired then
-          match tr.tr_source with
-          | Sm.Src_global g when String.equal sm.gstate g -> (
-              match
-                Pattern.match_event ~ctx:cctx ~holes:ext.holes tr.tr_pattern
-                  Pattern.At_end_of_path
-              with
-              | None -> ()
-              | Some bindings ->
-                  gfired := true;
-                  rctx.st.transitions_fired <- rctx.st.transitions_fired + 1;
-                  (match tr.tr_action with
-                  | Some act ->
-                      act (make_actx rctx fctx !walk ~node:None ~bindings ~inst:None)
-                  | None -> ());
-                  let walk', _ =
-                    apply_dest rctx fctx !walk ~node:None ~bindings ~inst:None
-                      tr.tr_dest
-                  in
-                  walk := walk')
-          | Sm.Src_global _ | Sm.Src_var _ -> ())
-      ext.transitions
-  end;
-  !walk
+            | Some _ | None -> ())
+        eop_global
+    end;
+    !walk
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Transparent write handling: synonyms, kills, value tracking         *)
@@ -1150,7 +1233,7 @@ let restore_partition rctx fctx walk0 (setup : call_setup) (callee : Cast.fundef
       Sm.ext = pre.ext;
       gstate;
       actives = [];
-      pendings = List.map (fun (p : Sm.pending) -> { p with Sm.p_on_var = p.p_on_var }) pre.pendings;
+      pendings = Sm.clone_pendings pre.pendings;
       killed_path = false;
     }
   in
@@ -1304,8 +1387,14 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
         resolve_pendings rctx fctx walk ~cond:None ~taken:false
       else walk
     in
+    (* skip-set check: when no transition of the extension could match any
+       node of this block, apply_transitions is a provable no-op for every
+       node event and is skipped wholesale; scope ends, fresh-variable
+       kills and write handling still run *)
+    let live = Dispatch.block_live rctx.dsp ~fname:fctx.fname bid in
+    if not live then rctx.st.blocks_skipped <- rctx.st.blocks_skipped + 1;
     let evs = events_of_block rctx fctx block in
-    process_events rctx fctx evs walk (fun walk' ->
+    process_events rctx fctx ~live evs walk (fun walk' ->
         (* call-expression instances are ephemeral value-flow carriers:
            they must not leak into summaries or outlive their statement *)
         walk'.sm.actives <-
@@ -1322,7 +1411,7 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
         else handle_terminator rctx fctx walk' bt block)
   end
 
-and process_events rctx fctx evs walk (k : walk -> unit) : unit =
+and process_events rctx fctx ~live evs walk (k : walk -> unit) : unit =
   match evs with
   | [] -> k walk
   | _ when walk.sm.killed_path -> k walk
@@ -1338,12 +1427,12 @@ and process_events rctx fctx evs walk (k : walk -> unit) : unit =
         if leaving = [] then walk
         else fire_end_of_path rctx fctx walk ~instances:leaving ~global:false
       in
-      process_events rctx fctx rest walk k
+      process_events rctx fctx ~live rest walk k
   | Ev_fresh x :: rest ->
       if rctx.opts.auto_kill && walk.sm.ext.auto_kill then
         kill_mentions rctx walk ~at:(-1) x;
       let walk = { walk with store = Store.assign_unknown walk.store x } in
-      process_events rctx fctx rest walk k
+      process_events rctx fctx ~live rest walk k
   | Ev_node node :: rest ->
       rctx.st.nodes_visited <- rctx.st.nodes_visited + 1;
       if node_annotated rctx node kill_path_tag then begin
@@ -1351,15 +1440,17 @@ and process_events rctx fctx evs walk (k : walk -> unit) : unit =
         k walk
       end
       else begin
-        let matched, walk = apply_transitions rctx fctx walk node in
+        let matched, walk =
+          if live then apply_transitions rctx fctx walk node else (false, walk)
+        in
         let walk = handle_writes rctx fctx walk node in
         match call_target rctx node with
         | Some (f, args, callee_cfg)
           when rctx.opts.interproc && (not matched)
                && fctx.depth < rctx.opts.max_call_depth ->
             follow_call rctx fctx walk node f args callee_cfg (fun walk' ->
-                process_events rctx fctx rest walk' k)
-        | _ -> process_events rctx fctx rest walk k
+                process_events rctx fctx ~live rest walk' k)
+        | _ -> process_events rctx fctx ~live rest walk k
       end
 
 and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t)
@@ -1557,8 +1648,15 @@ let run_root rctx (ext : Sm.t) root =
       in
       traverse rctx fctx walk [] cfg.entry
 
-let run_extension rctx (ext : Sm.t) =
+(* Installing an extension in a context compiles its dispatch tables;
+   [cur_ext] and [dsp] must stay in lockstep, so this is the only way
+   either is assigned. *)
+let set_extension rctx (ext : Sm.t) =
   rctx.cur_ext <- ext;
+  rctx.dsp <- Dispatch.compile ~indexed:rctx.opts.dispatch ~sg:rctx.sg ext
+
+let run_extension rctx (ext : Sm.t) =
+  set_extension rctx ext;
   let roots = Supergraph.roots rctx.sg in
   Log.debug (fun m ->
       m "running extension %s over roots: %s" ext.Sm.sm_name
@@ -1566,6 +1664,7 @@ let run_extension rctx (ext : Sm.t) =
   List.iter (run_root rctx ext) roots
 
 let new_rctx ?(options = default_options) sg =
+  let none = Sm.make ~name:"<none>" [] in
   {
     sg;
     opts = options;
@@ -1578,8 +1677,8 @@ let new_rctx ?(options = default_options) sg =
     dedup = Hashtbl.create 64;
     traversed = Hashtbl.create 64;
     st = new_stats ();
-    cur_ext =
-      Sm.make ~name:"<none>" [];
+    cur_ext = none;
+    dsp = Dispatch.compile ~indexed:options.dispatch ~sg none;
   }
 
 let collect_result rctx =
@@ -1640,7 +1739,10 @@ let add_stats (acc : stats) (s : stats) =
   acc.instances_created <- acc.instances_created + s.instances_created;
   acc.cache_probes <- acc.cache_probes + s.cache_probes;
   acc.intern_atoms <- acc.intern_atoms + s.intern_atoms;
-  acc.intern_tuples <- acc.intern_tuples + s.intern_tuples
+  acc.intern_tuples <- acc.intern_tuples + s.intern_tuples;
+  acc.match_attempts <- acc.match_attempts + s.match_attempts;
+  acc.index_hits <- acc.index_hits + s.index_hits;
+  acc.blocks_skipped <- acc.blocks_skipped + s.blocks_skipped
 
 (* Stamp a worker context's intern-table sizes into its stats so the
    root-order merge can fold them like any other counter. *)
@@ -1649,7 +1751,7 @@ let seal_worker_stats (w : rctx) =
   w.st.intern_tuples <- Intern.n_tuples w.intern
 
 let run_extension_parallel ~jobs base (ext : Sm.t) =
-  base.cur_ext <- ext;
+  set_extension base ext;
   let roots = Array.of_list (Supergraph.roots base.sg) in
   let ranges = Pool.chunks ~jobs (Array.length roots) in
   Log.debug (fun m ->
@@ -1659,7 +1761,7 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
     Pool.run ~jobs (Array.length ranges) (fun c ->
         let start, len = ranges.(c) in
         let rctx = new_rctx ~options:base.opts base.sg in
-        rctx.cur_ext <- ext;
+        set_extension rctx ext;
         (* Roots within a chunk share the context's function summaries,
            exactly as the sequential engine shares them across all roots.
            Annotations are the exception: each root must start from the base
@@ -1923,7 +2025,7 @@ let merge_fsum_into (dst : fsum) (src : fsum) =
 
 let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
     (ext : Sm.t) =
-  base.cur_ext <- ext;
+  set_extension base ext;
   let cg = base.sg.Supergraph.callgraph in
   (* the invalidation ledger: which persisted function summaries survived
      this program state (criterion: a leaf edit flips exactly the leaf and
@@ -1958,7 +2060,7 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
   let workers =
     Pool.run ~jobs (Array.length invalid) (fun j ->
         let rctx = new_rctx ~options:base.opts base.sg in
-        rctx.cur_ext <- ext;
+        set_extension rctx ext;
         Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
         run_root rctx ext roots.(invalid.(j));
         seal_worker_stats rctx;
@@ -2161,7 +2263,7 @@ let run_with_summaries ?options sg exts =
 
 let run_function ?options sg (sm : Sm.sm_inst) ~fname =
   let rctx = new_rctx ?options sg in
-  rctx.cur_ext <- sm.Sm.ext;
+  set_extension rctx sm.Sm.ext;
   (match Supergraph.cfg_of sg fname with
   | None -> ()
   | Some cfg ->

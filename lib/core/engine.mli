@@ -25,6 +25,12 @@ type options = {
   synonyms : bool;  (** synonym tracking (Section 8) *)
   max_call_depth : int;
   max_instances : int;  (** cap on simultaneously tracked objects per SM *)
+  dispatch : bool;
+      (** head-constructor transition indexing and block skip sets
+          ({!Dispatch}). Purely an execution strategy: reports are
+          byte-identical either way, so the flag is deliberately {e not}
+          part of {!options_digest}. Default on; [--no-dispatch-index]
+          turns it off for A/B comparison. *)
 }
 
 val default_options : options
@@ -50,6 +56,17 @@ type stats = {
           The three counters above are process-local observability: they
           are not persisted in the summary store, so roots replayed from a
           warm cache contribute 0. *)
+  mutable match_attempts : int;
+      (** [Pattern.match_event] calls made by the transition loops — the
+          quantity the dispatch index exists to reduce *)
+  mutable index_hits : int;
+      (** node events whose head-index candidate list was strictly
+          narrower than the extension's full node-matching list *)
+  mutable blocks_skipped : int;
+      (** block visits proven dead by the skip set, so the transition
+          loops never ran for their nodes. Like the intern counters,
+          these three are process-local: not persisted in the summary
+          store, 0 for cache-replayed roots. *)
 }
 
 type result = {

@@ -43,6 +43,22 @@ let rec mentions_hole p name =
 
 let holes_of p env = List.filter (fun (n, _) -> mentions_hole p n) env
 
+(* Event-kind capabilities, used by the dispatch compiler to drop
+   transitions from the node / end-of-path candidate lists. Conservative
+   in the callout direction: a callout's truth value is unknowable
+   statically, so it can match either event kind. *)
+let rec can_match_node = function
+  | Pexpr _ | Pcallout _ | Palways -> true
+  | Pend_of_path | Pnever -> false
+  | Pand (a, b) -> can_match_node a && can_match_node b
+  | Por (a, b) -> can_match_node a || can_match_node b
+
+let rec can_match_end_of_path = function
+  | Pend_of_path | Pcallout _ | Palways -> true
+  | Pexpr _ | Pnever -> false
+  | Pand (a, b) -> can_match_end_of_path a && can_match_end_of_path b
+  | Por (a, b) -> can_match_end_of_path a || can_match_end_of_path b
+
 let expr_of_fragment ~holes:_ text = Cparse.expr_of_string ~file:"<pattern>" text
 
 (* ------------------------------------------------------------------ *)

@@ -46,6 +46,15 @@ val match_event :
 
 val mentions_hole : t -> string -> bool
 
+val can_match_node : t -> bool
+(** Could the pattern ever match an [At_node] event? [false] means
+    [match_event] is [None] for every node (e.g. [$end_of_path$], or a
+    conjunction containing it); used to compile node candidate lists. *)
+
+val can_match_end_of_path : t -> bool
+(** Could the pattern ever match [At_end_of_path]? Base expression
+    patterns cannot; callouts conservatively can. *)
+
 val expr_of_fragment : holes:(string * Holes.t) list -> string -> Cast.expr
 (** Parse the text of a base pattern fragment. Hole identifiers are ordinary
     identifiers in the fragment. Raises {!Cparse.Parse_error} on bad input. *)

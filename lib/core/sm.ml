@@ -118,12 +118,14 @@ let clone_instance i =
     inactive = i.inactive;
   }
 
+let clone_pendings ps = List.map (fun p -> { p with p_on_var = p.p_on_var }) ps
+
 let clone sm =
   {
     ext = sm.ext;
     gstate = sm.gstate;
     actives = List.map clone_instance sm.actives;
-    pendings = List.map (fun p -> { p with p_on_var = p.p_on_var }) sm.pendings;
+    pendings = clone_pendings sm.pendings;
     killed_path = sm.killed_path;
   }
 

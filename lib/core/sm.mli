@@ -135,6 +135,11 @@ val initial : t -> sm_inst
 
 val clone : sm_inst -> sm_inst
 val clone_instance : instance -> instance
+
+val clone_pendings : pending list -> pending list
+(** Copy a pending list so mutations on one path don't leak into another;
+    shared by [clone] and the engine's summary-replay partitioning. *)
+
 val fresh_syn_group : unit -> int
 (** Deep copy — "modifications ... are private to each path: mutations
     revert when the extension backtracks" is implemented by cloning at

@@ -95,6 +95,28 @@ let kill_workload ~n =
              i)
       done)
 
+let no_match_heavy ~n_funcs ~stmts =
+  buf_program (fun b ->
+      Buffer.add_string b "struct pt { int x; int y; };\n";
+      for i = 0 to n_funcs - 1 do
+        Buffer.add_string b
+          (Printf.sprintf "int crunch%d(struct pt *p, int *a, int n) {\n" i);
+        Buffer.add_string b "  int acc = n + 1;\n";
+        for s = 0 to stmts - 1 do
+          match s mod 4 with
+          | 0 ->
+              Buffer.add_string b
+                (Printf.sprintf "  acc = acc + a[%d] * (n - %d);\n" s s)
+          | 1 -> Buffer.add_string b (Printf.sprintf "  p->x = p->y + acc + %d;\n" s)
+          | 2 ->
+              Buffer.add_string b
+                (Printf.sprintf "  if (acc > %d) { acc = acc - %d; }\n" (s * 3)
+                   (s + 1))
+          | _ -> Buffer.add_string b (Printf.sprintf "  a[%d] = acc + p->x;\n" (s mod 7))
+        done;
+        Buffer.add_string b "  return acc;\n}\n"
+      done)
+
 let lock_workload ~n_funcs ~bug_every =
   buf_program (fun b ->
       Buffer.add_string b "struct lk { int held; };\n";

@@ -43,6 +43,14 @@ val kill_workload : n:int -> string
     technique for suppressing false positives", Section 8). Zero true
     errors; without the kill analysis every function reports one. *)
 
+val no_match_heavy : n_funcs:int -> stmts:int -> string
+(** [n_funcs] functions of [stmts] statements of pure arithmetic, field,
+    array and branch traffic — no calls, no pointers any checker tracks,
+    zero reports. Every node event is a non-match, so this corpus isolates
+    the per-node cost of transition dispatch: the head index and block
+    skip sets should make it near-free, while the naive scan pays a full
+    pattern walk per transition per node. *)
+
 val lock_workload : n_funcs:int -> bug_every:int -> string
 (** Functions acquiring and releasing a lock; every [bug_every]-th function
     forgets the release on an error path. *)

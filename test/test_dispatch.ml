@@ -1,0 +1,273 @@
+(* Compiled transition dispatch: head-constructor classification, the
+   pruned callsite model, and the A/B oracle — the indexed engine must
+   produce byte-identical output to the naive full scan on every corpus,
+   at any job count, and through a warm persistent cache. *)
+
+let t = Alcotest.test_case
+
+let e s = Cparse.expr_of_string ~file:"<t>" s
+let p s = Pattern.Pexpr (e s)
+
+let v_hole = [ ("v", Holes.Any_pointer) ]
+
+let temp_dir () =
+  let f = Filename.temp_file "xgcc_test_dispatch" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let sg_of src = Supergraph.build [ Cparse.parse_tunit ~file:"dispatch.c" src ]
+
+let all_checkers () = List.map (fun ex -> ex.Registry.e_make ()) (Registry.all ())
+
+let naive = { Engine.default_options with Engine.dispatch = false }
+
+(* emission-order lines: the contract is byte-identical output, not
+   merely same-set *)
+let output_lines (r : Engine.result) =
+  List.map Report.to_string r.Engine.reports
+  @ List.map
+      (fun (rule, ex, cx) -> Printf.sprintf "%s %d %d" rule ex cx)
+      r.Engine.counters
+
+let shapes_of = function
+  | Dispatch.Rooted { shapes; _ } -> List.map Block_heads.shape_name shapes
+  | Dispatch.Wildcard -> Alcotest.fail "expected Rooted, got Wildcard"
+
+let calls_of = function
+  | Dispatch.Rooted { calls; _ } -> calls
+  | Dispatch.Wildcard -> Alcotest.fail "expected Rooted, got Wildcard"
+
+let is_wild = function Dispatch.Wildcard -> true | Dispatch.Rooted _ -> false
+
+let classification_tests =
+  [
+    t "named call classifies by callee" `Quick (fun () ->
+        let c = Dispatch.classify ~holes:v_hole (p "kfree(v)") in
+        Alcotest.(check (list string)) "calls" [ "kfree" ] (calls_of c);
+        Alcotest.(check (list string)) "no shapes" [] (shapes_of c));
+    t "deref pattern classifies as deref shape" `Quick (fun () ->
+        let c = Dispatch.classify ~holes:v_hole (p "*v") in
+        Alcotest.(check (list string)) "shapes" [ "deref" ] (shapes_of c));
+    t "assignment-rooted pattern classifies as assign" `Quick (fun () ->
+        let holes = [ ("v", Holes.Any_pointer); ("w", Holes.Any_expr) ] in
+        let c = Dispatch.classify ~holes (p "v = w") in
+        Alcotest.(check (list string)) "shapes" [ "assign" ] (shapes_of c));
+    t "bare hole is a wildcard" `Quick (fun () ->
+        Alcotest.(check bool) "wild" true
+          (is_wild (Dispatch.classify ~holes:v_hole (p "v"))));
+    t "disjunction unions heads across shapes" `Quick (fun () ->
+        let c =
+          Dispatch.classify ~holes:v_hole
+            (Pattern.Por (p "*v", p "kfree(v)"))
+        in
+        Alcotest.(check (list string)) "shapes" [ "deref" ] (shapes_of c);
+        Alcotest.(check (list string)) "calls" [ "kfree" ] (calls_of c));
+    t "callout-only pattern is a wildcard" `Quick (fun () ->
+        Alcotest.(check bool) "wild" true
+          (is_wild
+             (Dispatch.classify ~holes:v_hole
+                (Pattern.Pcallout (e "mc_is_ident(v)")))));
+    t "conjunction with a callout narrows to the call" `Quick (fun () ->
+        let c =
+          Dispatch.classify ~holes:v_hole
+            (Pattern.Pand (Pattern.Pcallout (e "mc_is_ident(v)"), p "kfree(v)"))
+        in
+        Alcotest.(check (list string)) "calls" [ "kfree" ] (calls_of c));
+    t "any_fn_call hole matches any call but only calls" `Quick (fun () ->
+        let holes =
+          [ ("fn", Holes.Any_fn_call); ("args", Holes.Any_arguments) ]
+        in
+        match Dispatch.classify ~holes (p "fn(args)") with
+        | Dispatch.Rooted { shapes; calls; any_call } ->
+            Alcotest.(check (list string)) "no named calls" [] calls;
+            Alcotest.(check bool) "any_call" true any_call;
+            Alcotest.(check int) "no shapes" 0 (List.length shapes)
+        | Dispatch.Wildcard -> Alcotest.fail "expected Rooted");
+    t "never/end-of-path patterns can match no node" `Quick (fun () ->
+        match Dispatch.classify ~holes:[] Pattern.Pend_of_path with
+        | Dispatch.Rooted { shapes = []; calls = []; any_call = false } -> ()
+        | _ -> Alcotest.fail "expected the empty Rooted classification");
+  ]
+
+let shape_walk_tests =
+  [
+    t "comma expression's value can come from a call" `Quick (fun () ->
+        Alcotest.(check bool) "comma" true
+          (Dispatch.expr_shape_is_call (e "(x, f(y))"));
+        Alcotest.(check bool) "left call only" false
+          (Dispatch.expr_shape_is_call (e "(f(y), x)")));
+    t "conditional arms can come from a call" `Quick (fun () ->
+        Alcotest.(check bool) "both arms" true
+          (Dispatch.expr_shape_is_call (e "c ? f(x) : g(x)"));
+        Alcotest.(check bool) "one arm suffices" true
+          (Dispatch.expr_shape_is_call (e "c ? f(x) : y"));
+        Alcotest.(check bool) "no arm" false
+          (Dispatch.expr_shape_is_call (e "c ? x : y")));
+    t "assign and cast chains look through to the call" `Quick (fun () ->
+        Alcotest.(check bool) "assign of comma" true
+          (Dispatch.expr_shape_is_call (e "p = (x, f(y))"));
+        Alcotest.(check bool) "cast" true
+          (Dispatch.expr_shape_is_call (e "(int *) f(y)"));
+        Alcotest.(check bool) "binary is not a call" false
+          (Dispatch.expr_shape_is_call (e "f(x) + 1")));
+    t "call_model keeps call disjuncts, drops bare holes" `Quick (fun () ->
+        match Dispatch.call_model (Pattern.Por (p "kfree(v)", p "v")) with
+        | Some (Pattern.Pexpr ce) ->
+            Alcotest.(check bool) "kept the call side" true
+              (Dispatch.expr_shape_is_call ce)
+        | _ -> Alcotest.fail "expected the call disjunct alone");
+    t "call_model keeps conjunctions whole, drops non-calls" `Quick (fun () ->
+        (match
+           Dispatch.call_model
+             (Pattern.Pand (Pattern.Pcallout (e "mc_is_ident(v)"), p "kfree(v)"))
+         with
+        | Some (Pattern.Pand _) -> ()
+        | _ -> Alcotest.fail "expected the conjunction kept whole");
+        Alcotest.(check bool) "deref does not model a call" true
+          (Dispatch.call_model (p "*v") = None);
+        Alcotest.(check bool) "comma-call models" true
+          (Dispatch.pattern_models_call (p "(x, f(y))")))
+  ]
+
+(* The satellite-1 regression at the engine level: a bare hole sitting in
+   a disjunction with a call pattern must not suppress following a
+   defined callee. With zero tracked instances the [v.tracked] rule can
+   never fire, so its [{ release(v) } || { v }] pattern must not count as
+   modelling the call to [helper2] — the old prepass matched the full
+   pattern (the bare hole matched anything) and never followed. *)
+let bare_hole_checker =
+  {|
+sm baretest {
+  state decl any_pointer v;
+
+  start:
+    { mark(v) } ==> v.tracked
+  ;
+
+  v.tracked:
+    { release(v) } || { v } ==> v.stop
+  ;
+}
+|}
+
+let bare_hole_code =
+  "void helper2(int *p) { kfree(p); }\n\
+   int root(int *p) { helper2(p); return 0; }\n"
+
+let regression_tests =
+  [
+    t "bare-hole disjunct does not suppress call following" `Quick (fun () ->
+        let ext =
+          match Metal_compile.load ~file:"baretest.metal" bare_hole_checker with
+          | [ sm ] -> sm
+          | _ -> Alcotest.fail "expected one sm"
+        in
+        let run options =
+          (Engine.run ~options (sg_of bare_hole_code) [ ext ]).Engine.stats
+            .Engine.calls_followed
+        in
+        Alcotest.(check int) "indexed follows helper2" 1
+          (run Engine.default_options);
+        Alcotest.(check int) "naive scan agrees" 1 (run naive));
+    t "skip sets leave end-of-path transitions alone" `Quick (fun () ->
+        (* the leak checker's report fires at end of scope inside a block
+           with no matchable node; skipping apply_transitions for such
+           blocks must not lose it *)
+        let src =
+          "int leaky(int n) { int *p = kmalloc(n); if (n) { return 0; } \
+           kfree(p); return 1; }"
+        in
+        let with_idx =
+          Engine.run (sg_of src) [ Leak_checker.checker () ]
+        in
+        let without =
+          Engine.run ~options:naive (sg_of src) [ Leak_checker.checker () ]
+        in
+        Alcotest.(check (list string))
+          "same reports" (output_lines without) (output_lines with_idx);
+        Alcotest.(check bool) "leak found" true (with_idx.Engine.reports <> []));
+  ]
+
+(* A/B oracle: every corpus, indexed vs naive, -j 1 vs -j 2, and warm
+   cache replay — output must be byte-identical in every cell. *)
+let corpora () =
+  [
+    ("fixture driver", Fixture_driver.files);
+    ( "generated 30",
+      [ ("gen30.c", (Gen.generate ~seed:11 ~n_funcs:30 ~bug_rate:0.4).Gen.source) ]
+    );
+    ("diamond", [ ("diamond.c", Synth.diamond_chain ~n:8) ]);
+    ("call tree", [ ("tree.c", Synth.call_tree ~depth:3 ~fanout:3) ]);
+    ("correlated", [ ("corr.c", Synth.correlated_branches ~n:4) ]);
+    ("no-match heavy", [ ("nm.c", Synth.no_match_heavy ~n_funcs:10 ~stmts:16) ]);
+    ("locks", [ ("locks.c", Synth.lock_workload ~n_funcs:12 ~bug_every:3) ]);
+  ]
+
+let sg_of_files files =
+  Supergraph.build
+    (List.map (fun (file, src) -> Cparse.parse_tunit ~file src) files)
+
+let oracle_tests =
+  [
+    t "indexed equals naive on every corpus (all checkers)" `Quick (fun () ->
+        List.iter
+          (fun (name, files) ->
+            let sg = sg_of_files files in
+            let idx = Engine.run sg (all_checkers ()) in
+            let nv = Engine.run ~options:naive sg (all_checkers ()) in
+            Alcotest.(check (list string))
+              (name ^ ": byte-identical output")
+              (output_lines nv) (output_lines idx);
+            Alcotest.(check int)
+              (name ^ ": same transitions fired")
+              nv.Engine.stats.Engine.transitions_fired
+              idx.Engine.stats.Engine.transitions_fired)
+          (corpora ()));
+    t "indexed equals naive at -j 2" `Quick (fun () ->
+        let sg = sg_of_files Fixture_driver.files in
+        let idx = Engine.run ~jobs:2 sg (all_checkers ()) in
+        let nv = Engine.run ~options:naive ~jobs:2 sg (all_checkers ()) in
+        Alcotest.(check (list string))
+          "byte-identical output" (output_lines nv) (output_lines idx));
+    t "index reduces match attempts without losing fires" `Quick (fun () ->
+        let sg = sg_of_files (List.assoc "no-match heavy" (corpora ())) in
+        let idx = Engine.run sg (all_checkers ()) in
+        let nv = Engine.run ~options:naive sg (all_checkers ()) in
+        let ai = idx.Engine.stats.Engine.match_attempts in
+        let an = nv.Engine.stats.Engine.match_attempts in
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer attempts (%d < %d)" ai an)
+          true (ai < an);
+        Alcotest.(check bool) "blocks skipped" true
+          (idx.Engine.stats.Engine.blocks_skipped > 0);
+        Alcotest.(check bool) "naive skips nothing" true
+          (nv.Engine.stats.Engine.blocks_skipped = 0));
+    t "warm cache replay is identical with and without the index" `Quick
+      (fun () ->
+        let files = List.assoc "generated 30" (corpora ()) in
+        let dir = temp_dir () in
+        let store options =
+          Summary_store.create ~dir
+            ~ext_keys:
+              (Summary_store.ext_keys_of
+                 ~options_digest:(Engine.options_digest options)
+                 ~sources:[ "free" ])
+            ()
+        in
+        let run options =
+          output_lines
+            (Engine.run ~options ~cache:(store options) (sg_of_files files)
+               [ Free_checker.checker () ])
+        in
+        let cold = run Engine.default_options in
+        (* the dispatch flag is not part of the options digest, so the
+           naive warm run replays entries written by the indexed run *)
+        let warm_naive = run naive in
+        let warm_idx = run Engine.default_options in
+        Alcotest.(check (list string)) "warm naive = cold" cold warm_naive;
+        Alcotest.(check (list string)) "warm indexed = cold" cold warm_idx);
+  ]
+
+let suite =
+  classification_tests @ shape_walk_tests @ regression_tests @ oracle_tests

@@ -36,4 +36,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("cache", Test_cache.suite);
       ("interning", Test_intern.suite);
+      ("dispatch", Test_dispatch.suite);
     ]
