@@ -708,6 +708,91 @@ let table_dispatch ?(reps = 3) () =
      nodes near-free\n"
     (String.concat ", " (List.map fst srcs))
 
+(* ------------------------------------------------------------------ *)
+(* Fault containment: per-root budgets and degraded-root isolation      *)
+(* ------------------------------------------------------------------ *)
+
+let table_containment ?(reps = 3) () =
+  header "F  | Fault containment (per-root node budgets)";
+  (* a healthy bug-bearing corpus, plus one synthetic state-explosion
+     root appended at the end (so healthy locations are unchanged): the
+     budget must abandon exactly that root, keep every healthy root's
+     reports byte-identical, and cost ~nothing on the healthy corpus *)
+  let healthy_src = (Gen.generate ~seed:17 ~n_funcs:40 ~bug_rate:0.3).Gen.source in
+  (* block caching keeps diamonds linear in tracked instances (the
+     Section 5.2 result benched above), so "pathological" here is sheer
+     size: ~2000 diamonds is ~22k nodes for one root, past the budget *)
+  let explode_fn =
+    let n = 2000 in
+    let b = Buffer.create (n * 64) in
+    Buffer.add_string b "int explode(";
+    for i = 0 to 7 do
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "int c%d" i)
+    done;
+    Buffer.add_string b ") {\n";
+    for i = 0 to n - 1 do
+      Buffer.add_string b (Printf.sprintf "  int *p%d;\n" i);
+      Buffer.add_string b (Printf.sprintf "  if (c%d) { kfree(p%d); }\n" (i mod 8) i)
+    done;
+    Buffer.add_string b "  return ";
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_string b " + ";
+      Buffer.add_string b (Printf.sprintf "*p%d" i)
+    done;
+    Buffer.add_string b ";\n}\n";
+    Buffer.contents b
+  in
+  let sg_healthy = sg_of healthy_src in
+  let budgeted = { Engine.default_options with Engine.max_nodes_per_root = 20_000 } in
+  let run options sg = Engine.run ~options sg [ Free_checker.checker () ] in
+  let reports r = List.map Report.to_string r.Engine.reports in
+  let r_healthy = run Engine.default_options sg_healthy in
+  let contained, n_degraded =
+    (* scoped so the big faulty supergraph is dead before timing starts *)
+    let r_faulty = run budgeted (sg_of (healthy_src ^ explode_fn)) in
+    ( List.equal String.equal (reports r_healthy) (reports r_faulty)
+      && List.length r_faulty.Engine.degraded = 1
+      && (List.hd r_faulty.Engine.degraded).Engine.d_root = "explode",
+      List.length r_faulty.Engine.degraded )
+  in
+  (* budget-charging overhead on the healthy corpus: defaults (fuel
+     armed at max_int) vs an explicit generous budget. Interleaved with
+     a compact per round so GC pacing from earlier rounds cannot bias
+     one configuration. *)
+  ignore (run Engine.default_options sg_healthy) (* warm-up *);
+  ignore (run budgeted sg_healthy);
+  let time options =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    ignore (run options sg_healthy);
+    Unix.gettimeofday () -. t0
+  in
+  let t_default = ref infinity and t_budgeted = ref infinity in
+  for _ = 1 to reps do
+    t_default := Float.min !t_default (time Engine.default_options);
+    t_budgeted := Float.min !t_budgeted (time budgeted)
+  done;
+  let ns_default = !t_default *. 1e9 and ns_budgeted = !t_budgeted *. 1e9 in
+  let overhead = ns_budgeted /. ns_default in
+  Printf.printf "%-26s %16s\n" "MODE (healthy corpus)" "ns/run";
+  Printf.printf "%-26s %16.0f\n" "no budget" ns_default;
+  Printf.printf "%-26s %16.0f\n" "20k-node budget" ns_budgeted;
+  Printf.printf
+    "budget overhead: %.2fx; exploding root degraded: %b; healthy reports \
+     byte-identical: %b\n"
+    overhead (n_degraded = 1) contained;
+  bench_out
+    (Printf.sprintf
+       "{\"experiment\": \"fault_containment\", \"reps\": %d, \"ns_unbudgeted\": \
+        %.0f, \"ns_budgeted\": %.0f, \"budget_overhead\": %.3f, \
+        \"degraded_roots\": %d, \"contained\": %b}"
+       reps ns_default ns_budgeted overhead n_degraded contained);
+  Printf.printf
+    "paper note: xgcc ran whole-OS corpora where single pathological \
+     functions\ncould starve the run; per-root fuel turns them into one \
+     degraded note\n"
+
 let run_benchmarks () =
   header "Bechamel micro-benchmarks (ns per run, OLS estimate)";
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
@@ -741,6 +826,7 @@ let () =
   if smoke then begin
     table_interning ~reps:2 ();
     table_dispatch ~reps:2 ();
+    table_containment ~reps:2 ();
     table_parallel ();
     table_cache ()
   end
@@ -759,6 +845,7 @@ let () =
     table_scale ();
     table_interning ();
     table_dispatch ();
+    table_containment ();
     table_parallel ();
     table_cache ();
     run_benchmarks ()

@@ -81,6 +81,22 @@ let load_tunit f =
             tu)
   end
 
+(* Fault-contained loading for 'check': a file that cannot be loaded at
+   all — corrupt .mcast, lexical error, structural cpp error, I/O error —
+   is skipped with a diagnostic instead of aborting the whole run.
+   Definition-level parse errors never reach here: the parser recovers
+   in-place and records Gskipped stubs (warned about by Supergraph.build). *)
+let load_tunit_result f =
+  if Filename.check_suffix f ".mcast" then Cast_io.read_file_result f
+  else
+    match load_tunit f with
+    | tu -> Ok tu
+    | exception Clex.Lex_error (loc, msg) ->
+        Error (Printf.sprintf "%s: lexical error: %s" (Srcloc.to_string loc) msg)
+    | exception Cpp.Cpp_error (loc, msg) ->
+        Error (Printf.sprintf "%s: preprocessor error: %s" (Srcloc.to_string loc) msg)
+    | exception Sys_error msg -> Error msg
+
 let load_program files = Supergraph.build (List.map load_tunit files)
 
 (* Each extension comes with its defining source text, which the
@@ -130,7 +146,7 @@ let open_store ~cache_dir ~persist ~options sources =
     cache_dir
 
 let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
-    ~no_dispatch =
+    ~no_dispatch ~max_nodes ~timeout =
   {
     Engine.default_options with
     Engine.caching = not no_cache;
@@ -139,6 +155,8 @@ let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
     auto_kill = not no_kill;
     synonyms = not no_synonyms;
     dispatch = not no_dispatch;
+    max_nodes_per_root = max max_nodes 0;
+    timeout_per_root = Float.max timeout 0.;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -155,7 +173,8 @@ let effective_jobs jobs =
 
 let do_check files checkers metal_files rank_mode fmt history_db update_history
     no_cache no_prune no_interproc no_kill no_synonyms no_dispatch stats verbose
-    use_cpp defines incdirs jobs cache_dir no_cache_persist =
+    use_cpp defines incdirs jobs cache_dir no_cache_persist max_nodes timeout
+    keep_going =
   setup_logs verbose;
   set_cpp ~use_cpp ~defines ~incdirs;
   set_ast_cache ~cache_dir ~persist:(not no_cache_persist);
@@ -167,19 +186,42 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
   let exts = List.map fst exts_src in
   let options =
     options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
-      ~no_dispatch
+      ~no_dispatch ~max_nodes ~timeout
   in
   let store =
     open_store ~cache_dir ~persist:(not no_cache_persist) ~options
       (List.map snd exts_src)
   in
   let t0 = Unix.gettimeofday () in
-  let tus = List.map load_tunit files in
+  let tus, skipped_files =
+    List.fold_left
+      (fun (tus, skips) f ->
+        match load_tunit_result f with
+        | Ok tu -> (tu :: tus, skips)
+        | Error msg ->
+            Diag.warnf "%s: skipping entire file: %s" f msg;
+            (tus, skips + 1))
+      ([], 0) files
+  in
+  let tus = List.rev tus in
   let t1 = Unix.gettimeofday () in
   let sg = Supergraph.build tus in
   let t2 = Unix.gettimeofday () in
   let result = Engine.run ~options ~jobs:(effective_jobs jobs) ?cache:store sg exts in
   let t3 = Unix.gettimeofday () in
+  List.iter
+    (fun (d : Engine.degraded) ->
+      Diag.warnf "analysis of root %s degraded: %s" d.Engine.d_root
+        d.Engine.d_reason)
+    result.Engine.degraded;
+  let skipped_defs =
+    List.fold_left
+      (fun n tu ->
+        List.fold_left
+          (fun n g -> match g with Cast.Gskipped _ -> n + 1 | _ -> n)
+          n tu.Cast.tu_globals)
+      0 sg.Supergraph.tunits
+  in
   let reports = result.Engine.reports in
   let reports, suppressed =
     match history_db with
@@ -234,6 +276,11 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
   end;
   if stats then begin
     let st = result.Engine.stats in
+    if skipped_files + skipped_defs + List.length result.Engine.degraded > 0 then
+      Format.printf
+        "@.fault containment: %d file(s) skipped, %d definition(s) skipped, %d root(s) degraded@."
+        skipped_files skipped_defs
+        (List.length result.Engine.degraded);
     Format.printf
       "@.stats: %d blocks, %d nodes, %d paths, %d cache hits, %d calls followed, %d summary hits, %d pruned branches@."
       st.Engine.blocks_visited st.Engine.nodes_visited st.Engine.paths_explored
@@ -269,7 +316,16 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
     | None -> ()
   end;
   if ranked = [] && not (String.equal fmt "json") then
-    Format.printf "no errors found@."
+    Format.printf "no errors found@.";
+  (* Exit protocol: 2 = usage error (handled above / by cmdliner);
+     3 = the run was incomplete — files or definitions skipped, or roots
+     degraded — unless --keep-going downgrades that; 1 = complete run
+     that produced reports; 0 = complete and clean. *)
+  let faults =
+    skipped_files + skipped_defs + List.length result.Engine.degraded
+  in
+  if faults > 0 && not keep_going then exit 3;
+  if ranked <> [] then exit 1
 
 let check_cmd =
   let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
@@ -348,13 +404,34 @@ let check_cmd =
     Arg.(value & flag & info [ "no-cache-persist" ]
            ~doc:"Read from --cache-dir but do not write new entries back.")
   in
+  let max_nodes =
+    Arg.(value & opt int 0 & info [ "max-nodes-per-root" ] ~docv:"N"
+           ~doc:"Analysis budget per callgraph root: abandon a root after \
+                 $(docv) nodes visited plus state instances created, keep it \
+                 out of every cache, and continue with the remaining roots \
+                 (0 = unlimited). Reports from unaffected roots are \
+                 byte-identical to an unbudgeted run.")
+  in
+  let timeout =
+    Arg.(value & opt float 0. & info [ "timeout-per-root" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock deadline per callgraph root; a root past the \
+                 deadline is abandoned like a --max-nodes-per-root blow-up. \
+                 Inherently timing-dependent — prefer the node budget when \
+                 reproducibility matters (0 = none).")
+  in
+  let keep_going =
+    Arg.(value & flag & info [ "k"; "keep-going" ]
+           ~doc:"Do not signal skipped or degraded units in the exit code: \
+                 exit 1/0 on reports/clean even when parts of the input were \
+                 abandoned (they are still warned about on stderr).")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Run checkers over C files")
     Term.(
       const do_check $ files $ checkers $ metal_files $ rank $ fmt $ history $ update
       $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ no_dispatch
       $ stats $ verbose $ use_cpp $ defines $ incdirs $ jobs $ cache_dir
-      $ no_cache_persist)
+      $ no_cache_persist $ max_nodes $ timeout $ keep_going)
 
 (* ------------------------------------------------------------------ *)
 (* list-checkers / show-checker                                        *)

@@ -1,7 +1,3 @@
-let log_src = Logs.Src.create "mc.supergraph" ~doc:"xgcc supergraph construction"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
 type t = {
   cfgs : (string, Cfg.t) Hashtbl.t;
   callgraph : Callgraph.t;
@@ -11,6 +7,25 @@ type t = {
 }
 
 let build tunits =
+  (* Parser error recovery leaves [Gskipped] stubs where top-level
+     definitions failed to parse. They have no body, so they contribute
+     nothing to the CFG table or the callgraph — a call to a skipped name
+     is an unknown call, the conservative model — but each one is
+     surfaced here, where every driver path (CLI, check_files, tests)
+     funnels through. *)
+  List.iter
+    (fun (tu : Cast.tunit) ->
+      List.iter
+        (function
+          | Cast.Gskipped sk ->
+              Diag.warnf "%s: skipped unparseable definition%s (through %s): %s"
+                (Srcloc.to_string sk.Cast.sk_from)
+                (match sk.Cast.sk_name with Some n -> " '" ^ n ^ "'" | None -> "")
+                (Srcloc.to_string sk.Cast.sk_to)
+                sk.Cast.sk_msg
+          | _ -> ())
+        tu.tu_globals)
+    tunits;
   let funcs =
     List.concat_map
       (fun (tu : Cast.tunit) ->
@@ -33,9 +48,12 @@ let build tunits =
             Hashtbl.add seen f.fname f;
             true
         | Some first ->
-            Log.warn (fun m ->
-                m "duplicate definition of %s at %a ignored (keeping %a)"
-                  f.fname Srcloc.pp f.floc Srcloc.pp first.floc);
+            (* through the uniform stderr diagnostics channel, not the Logs
+               reporter: reports on stdout must stay machine-parseable and
+               this warning must survive even when no reporter is set *)
+            Diag.warnf "duplicate definition of %s at %s ignored (keeping %s)"
+              f.fname (Srcloc.to_string f.floc)
+              (Srcloc.to_string first.floc);
             false)
       funcs
   in

@@ -26,9 +26,15 @@ val build : Cast.tunit list -> t
 
     If the same function name is defined more than once across the input
     units, the first definition (in input order) wins everywhere — CFG
-    table and callgraph alike — and a warning naming both locations is
-    logged; previously later definitions silently replaced earlier ones in
-    the CFG table while the callgraph still saw every body. *)
+    table and callgraph alike — and a warning naming both locations goes
+    to the uniform stderr diagnostics channel ({!Diag.warnf});
+    previously later definitions silently replaced earlier ones in the
+    CFG table while the callgraph still saw every body.
+
+    {!Cast.Gskipped} stubs left by parser error recovery contribute no
+    CFG and no callgraph node — calls to a skipped name are unknown
+    calls, the conservative model — and each stub is reported through
+    {!Diag.warnf} here, the chokepoint every driver path shares. *)
 
 val cfg_of : t -> string -> Cfg.t option
 

@@ -83,6 +83,13 @@ type fundef = {
   fstatic : bool;
 }
 
+type skipped = {
+  sk_name : string option;
+  sk_from : Srcloc.t;
+  sk_to : Srcloc.t;
+  sk_msg : string;
+}
+
 type global =
   | Gfun of fundef
   | Gvar of { gdecl : decl; gloc : Srcloc.t; gfile : string; gstatic : bool }
@@ -94,6 +101,7 @@ type global =
     }
   | Genum of { ename : string; eitems : (string * int64) list }
   | Gproto of { pname : string; ptyp : Ctyp.t }
+  | Gskipped of skipped
 
 type tunit = { tu_file : string; tu_globals : global list }
 

@@ -95,6 +95,18 @@ type fundef = {
   fstatic : bool;
 }
 
+type skipped = {
+  sk_name : string option;  (** best-effort name of the dropped definition *)
+  sk_from : Srcloc.t;  (** start of the skipped source range *)
+  sk_to : Srcloc.t;  (** last token the recovery scan consumed *)
+  sk_msg : string;  (** the parse error, including its own location *)
+}
+(** A top-level definition the parser could not parse. Error recovery
+    ({!Cparse.parse_tunit}) replaces the broken definition with this stub
+    so the rest of the translation unit still analyzes; downstream layers
+    treat the name (if any) as an undefined function — the conservative
+    call model. *)
+
 type global =
   | Gfun of fundef
   | Gvar of { gdecl : decl; gloc : Srcloc.t; gfile : string; gstatic : bool }
@@ -102,6 +114,7 @@ type global =
   | Gcomposite of { ckind : [ `Struct | `Union ]; cname : string; cfields : (string * Ctyp.t) list }
   | Genum of { ename : string; eitems : (string * int64) list }
   | Gproto of { pname : string; ptyp : Ctyp.t }
+  | Gskipped of skipped
 
 type tunit = { tu_file : string; tu_globals : global list }
 

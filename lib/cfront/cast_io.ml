@@ -351,6 +351,15 @@ let global_to_sexp = function
         (s "enumdef" :: s ename
         :: List.map (fun (n, v) -> l [ s n; s (Int64.to_string v) ]) eitems)
   | Cast.Gproto { pname; ptyp } -> l [ s "proto"; s pname; ctyp_to_sexp ptyp ]
+  | Cast.Gskipped { sk_name; sk_from; sk_to; sk_msg } ->
+      l
+        [
+          s "skipped";
+          (match sk_name with Some n -> l [ s n ] | None -> l []);
+          loc_to_sexp sk_from;
+          loc_to_sexp sk_to;
+          s sk_msg;
+        ]
 
 let named_typ_of_sexp = function
   | Sexp.List [ Sexp.Atom n; t ] -> (n, ctyp_of_sexp t)
@@ -400,6 +409,15 @@ let global_of_sexp = function
         }
   | Sexp.List [ Sexp.Atom "proto"; Sexp.Atom pname; t ] ->
       Cast.Gproto { pname; ptyp = ctyp_of_sexp t }
+  | Sexp.List [ Sexp.Atom "skipped"; name; from_x; to_x; Sexp.Atom sk_msg ] ->
+      let sk_name =
+        match name with
+        | Sexp.List [ Sexp.Atom n ] -> Some n
+        | Sexp.List [] -> None
+        | _ -> raise (Sexp.Decode_error "bad skipped name")
+      in
+      Cast.Gskipped
+        { sk_name; sk_from = loc_of_sexp from_x; sk_to = loc_of_sexp to_x; sk_msg }
   | other -> raise (Sexp.Decode_error ("bad global " ^ Sexp.to_string other))
 
 let tunit_to_sexp (tu : Cast.tunit) =
@@ -426,13 +444,26 @@ let read_file path =
   close_in ic;
   read_string src
 
+(* Fault-contained variant for pass-2 reassembly: a truncated or corrupt
+   [.mcast] becomes a diagnosable [Error], mirroring the cache policy of
+   [read_cached] below (same exception set — literal atoms decode with
+   int_of_string/Int64.of_string/Char.chr, which raise
+   Failure/Invalid_argument on tampered input). *)
+let read_file_result path =
+  match read_file path with
+  | tu -> Ok tu
+  | exception
+      (( Sexp.Parse_error _ | Sexp.Decode_error _ | Failure _
+       | Invalid_argument _ | Sys_error _ | End_of_file ) as e) ->
+      Error (Printexc.to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Content-addressed AST object cache                                   *)
 (* ------------------------------------------------------------------ *)
 
 (* Bump whenever the sexp encoding above (or the parser semantics that
    feed it) change: every cached object becomes unreachable at once. *)
-let format_version = "mcast-1"
+let format_version = "mcast-2"
 
 let ast_fingerprint ~file ~source =
   (* The file name is part of the key: source locations ([ffile], locs)

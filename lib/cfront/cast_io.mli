@@ -28,6 +28,12 @@ val read_file : string -> Cast.tunit
 (** Pass 2: read it back. Raises {!Sexp.Parse_error} / {!Sexp.Decode_error}
     on malformed input. *)
 
+val read_file_result : string -> (Cast.tunit, string) result
+(** Fault-contained {!read_file}: a truncated or corrupt [.mcast] file
+    yields [Error description] instead of raising, so a driver can skip
+    just that unit with a diagnostic. I/O errors ([Sys_error]) are
+    folded in too. *)
+
 val emit_string : Cast.tunit -> string
 val read_string : string -> Cast.tunit
 

@@ -890,12 +890,81 @@ let parse_global st : Cast.global list =
           !globals
   end
 
+(* --- Error recovery (fault containment) ---------------------------- *)
+
+(* After a parse error, resynchronize at the next plausible top-level
+   boundary: scanning from the *start* of the failed definition, consume
+   tokens until a ';' at brace depth 0 or the '}' that closes the
+   outermost brace. Restarting from the definition's first token (rather
+   than the error point) makes the depth count meaningful — an error
+   inside a function body still skips exactly to that body's closing
+   brace. Every branch below advances, so the scan terminates. *)
+let synchronize st =
+  let depth = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match cur_tok st with
+    | Tok.EOF -> stop := true
+    | Tok.LBRACE ->
+        incr depth;
+        advance st
+    | Tok.RBRACE ->
+        decr depth;
+        advance st;
+        if !depth <= 0 then begin
+          (* "struct s { ... };" — fold a trailing ';' into the skip *)
+          ignore (accept st Tok.SEMI);
+          stop := true
+        end
+    | Tok.SEMI ->
+        advance st;
+        if !depth <= 0 then stop := true
+    | _ -> advance st
+  done
+
+(* Best-effort name for the skip diagnostic: the first identifier that
+   looks like a declarator head (directly followed by '('), else the
+   first identifier at all. *)
+let guess_skipped_name st ~lo ~hi =
+  let name = ref None and fn = ref None in
+  for i = lo to hi - 1 do
+    match st.toks.(i).Clex.tok with
+    | Tok.IDENT s ->
+        if !name = None then name := Some s;
+        if !fn = None && i + 1 < hi && st.toks.(i + 1).Clex.tok = Tok.LPAREN then
+          fn := Some s
+    | _ -> ()
+  done;
+  match !fn with Some _ as v -> v | None -> !name
+
 let parse_tunit ~file src =
   let toks = Clex.tokenize ~file src in
   let st = make_state ~file toks in
   let globals = ref [] in
   while cur_tok st <> Tok.EOF do
-    globals := !globals @ parse_global st
+    let start_idx = st.idx in
+    let from_loc = cur_loc st in
+    match parse_global st with
+    | gs -> globals := !globals @ gs
+    | exception Parse_error (eloc, msg) ->
+        (* Drop the broken definition, keep the rest of the unit: record
+           a stub carrying the skipped range and the error so pass 2 can
+           report per-function skip diagnostics instead of dying. *)
+        st.idx <- start_idx;
+        synchronize st;
+        let last = max start_idx (st.idx - 1) in
+        let sk =
+          {
+            Cast.sk_name = guess_skipped_name st ~lo:start_idx ~hi:st.idx;
+            sk_from = from_loc;
+            sk_to = st.toks.(last).Clex.loc;
+            sk_msg = Printf.sprintf "%s: %s" (Srcloc.to_string eloc) msg;
+          }
+        in
+        globals := !globals @ [ Cast.Gskipped sk ];
+        (* guarantee progress even when the error is on the very token
+           the scan would stop at *)
+        if st.idx = start_idx then advance st
   done;
   { Cast.tu_file = file; tu_globals = !globals }
 

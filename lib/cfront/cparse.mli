@@ -9,10 +9,22 @@
 exception Parse_error of Srcloc.t * string
 
 val parse_tunit : file:string -> string -> Cast.tunit
-(** Parse a whole translation unit from source text. *)
+(** Parse a whole translation unit from source text, with error recovery:
+    a parse error inside one top-level definition does not abort the unit.
+    The parser resynchronizes at the next top-level boundary (a [;] or the
+    closing [}] at brace depth 0, scanning from the failed definition's
+    first token) and records a {!Cast.Gskipped} stub carrying the skipped
+    source range and the error message, then keeps parsing. Only lexer
+    errors ({!Clex.Lex_error}) still abort the whole unit — there is no
+    token stream to resynchronize on.
+
+    The single-fragment entry points below ({!expr_of_string},
+    {!stmts_of_string}, {!expr_of_tokens}) deliberately stay strict and
+    raise {!Parse_error}: metal pattern compilation must reject bad
+    patterns, not silently skip them. *)
 
 val parse_tunit_file : string -> Cast.tunit
-(** Read a file from disk and parse it. *)
+(** Read a file from disk and parse it (same error recovery). *)
 
 val expr_of_string : ?typedefs:(string * Ctyp.t) list -> file:string -> string -> Cast.expr
 (** Parse a single expression (comma allowed). Used by tests and by the metal

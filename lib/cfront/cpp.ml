@@ -513,12 +513,22 @@ let eval_cond_tokens ~err (toks : cond_tok array) =
 
 let eval_condition env ~file ~line s =
   let err msg = Cpp_error (Srcloc.make ~file ~line ~col:1, msg) in
-  let s = resolve_defined env s in
-  let s = expand_line env s in
-  (* expansion may reintroduce [defined] from a macro body *)
-  let s = resolve_defined env s in
-  if String.equal (String.trim s) "" then raise (err "empty #if expression")
-  else not (Int64.equal (eval_cond_tokens ~err (tokenize_cond ~err s)) 0L)
+  try
+    let s = resolve_defined env s in
+    let s = expand_line env s in
+    (* expansion may reintroduce [defined] from a macro body *)
+    let s = resolve_defined env s in
+    if String.equal (String.trim s) "" then raise (err "empty #if expression")
+    else not (Int64.equal (eval_cond_tokens ~err (tokenize_cond ~err s)) 0L)
+  with Cpp_error (loc, msg) ->
+    (* A malformed constant expression — division/modulo by zero, an
+       operator we don't implement, stray tokens — must not kill the whole
+       translation unit (real trees are full of exotic #ifs). Degrade to
+       "condition false" with a warning; structural errors (#else without
+       #if, include nesting) elsewhere in the driver stay fatal. *)
+    Diag.warnf "%s: #if condition treated as false: %s" (Srcloc.to_string loc)
+      msg;
+    false
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)

@@ -15,7 +15,11 @@
       [* / % + - << >> < <= > >= == != & ^ | && ||], and parentheses.
       Macros in the expression are expanded first; identifiers that
       survive expansion evaluate to 0, as in C. Expressions inside
-      inactive regions are not evaluated;
+      inactive regions are not evaluated. A condition that cannot be
+      evaluated — division or modulo by zero, an unhandled operator,
+      stray tokens — degrades to false with a {!Diag.warnf} warning
+      instead of raising, so one bad [#if] cannot kill the translation
+      unit;
     - [#include "file"] through a caller-supplied resolver;
     - line continuations, and comment/string protection (no expansion
       inside string or character literals, or comments).

@@ -203,6 +203,10 @@ let pp_global ppf = function
       List.iter (fun (n, v) -> Format.fprintf ppf "@ %s = %Ld," n v) eitems;
       Format.fprintf ppf "@]@ };"
   | Gproto { pname; ptyp } -> Format.fprintf ppf "@[%a;@]" pp_decl_like (ptyp, pname)
+  | Gskipped { sk_name; sk_msg; _ } ->
+      Format.fprintf ppf "/* skipped%s: %s */"
+        (match sk_name with Some n -> " " ^ n | None -> "")
+        sk_msg
 
 let pp_tunit ppf tu =
   Format.fprintf ppf "@[<v>%a@]@."

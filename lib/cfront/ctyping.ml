@@ -57,6 +57,9 @@ let add_global env (g : Cast.global) =
       match ptyp with
       | Ctyp.Func _ -> { env with funcs = Smap.add pname ptyp env.funcs }
       | t -> { env with vars = Smap.add pname t env.vars })
+  (* a skipped definition contributes nothing: calls to its name stay
+     undefined, i.e. the conservative call model *)
+  | Cast.Gskipped _ -> env
 
 let add_tunit env (tu : Cast.tunit) = List.fold_left add_global env tu.tu_globals
 let of_program tus = List.fold_left add_tunit empty tus

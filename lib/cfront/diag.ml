@@ -1,0 +1,12 @@
+let sink : (string -> unit) ref = ref prerr_endline
+let count = Atomic.make 0
+
+let warnf fmt =
+  Printf.ksprintf
+    (fun s ->
+      Atomic.incr count;
+      !sink ("xgcc: warning: " ^ s))
+    fmt
+
+let warnings_emitted () = Atomic.get count
+let reset_count () = Atomic.set count 0

@@ -1,0 +1,22 @@
+(** User-facing warning channel for fault-containment diagnostics.
+
+    Reports on stdout must stay machine-parseable, so every degradation
+    notice — skipped definitions, unparseable files, exhausted analysis
+    budgets, duplicate definitions — goes through this one function, which
+    writes a single [xgcc: warning: ...] line to stderr. Libraries call it
+    directly instead of each inventing a logging convention. *)
+
+val warnf : ('a, unit, string, unit) format4 -> 'a
+(** [warnf fmt ...] emits one warning line, prefixed with
+    [xgcc: warning: ], through the current {!sink}. *)
+
+val sink : (string -> unit) ref
+(** Where finished warning lines go. Defaults to stderr
+    ([prerr_endline]); tests swap it to capture diagnostics, the CLI
+    leaves it alone. The line passed in already carries the prefix. *)
+
+val warnings_emitted : unit -> int
+(** Warnings emitted through {!warnf} since the last {!reset_count} —
+    process-local observability for [--stats]. *)
+
+val reset_count : unit -> unit

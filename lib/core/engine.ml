@@ -14,6 +14,8 @@ type options = {
   max_call_depth : int;
   max_instances : int;
   dispatch : bool;
+  max_nodes_per_root : int;
+  timeout_per_root : float;
 }
 
 let default_options =
@@ -26,6 +28,8 @@ let default_options =
     max_call_depth = 40;
     max_instances = 64;
     dispatch = true;
+    max_nodes_per_root = 0;
+    timeout_per_root = 0.;
   }
 
 type stats = {
@@ -79,10 +83,13 @@ let new_stats () =
     blocks_skipped = 0;
   }
 
+type degraded = { d_root : string; d_reason : string }
+
 type result = {
   reports : Report.t list;
   counters : (string * int * int) list;
   stats : stats;
+  degraded : degraded list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -114,6 +121,14 @@ type rctx = {
   st : stats;
   mutable cur_ext : Sm.t;
   mutable dsp : Dispatch.t;  (* compiled form of cur_ext, kept in lockstep *)
+  (* per-root analysis budget (fault containment): [fuel] counts down over
+     nodes visited + instances created, [deadline] is an absolute wall
+     clock polled every [budget_poll] charges; both are re-armed by
+     [reset_budget] at each root *)
+  mutable fuel : int;
+  mutable deadline : float;
+  mutable poll : int;
+  mutable degraded_roots : degraded list;  (* reverse order of abandonment *)
 }
 
 type fctx = {
@@ -127,6 +142,49 @@ type fctx = {
 }
 
 type walk = { sm : Sm.sm_inst; store : Store.t; created : Sset.t }
+
+(* ------------------------------------------------------------------ *)
+(* Per-root analysis budgets (fault containment)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Raised from the traversal's charge points when the current root's
+   budget runs out; [run_root_contained] converts it into a [degraded]
+   note and abandons exactly that root. Never escapes the engine. *)
+exception Budget_exceeded of string
+
+let budget_poll = 256
+
+let reset_budget rctx =
+  rctx.fuel <-
+    (if rctx.opts.max_nodes_per_root > 0 then rctx.opts.max_nodes_per_root
+     else max_int);
+  rctx.deadline <-
+    (if rctx.opts.timeout_per_root > 0. then
+       Unix.gettimeofday () +. rctx.opts.timeout_per_root
+     else 0.);
+  rctx.poll <- budget_poll
+
+(* One unit of work: a node visit or an instance creation. The fuel test
+   is a decrement and compare; the clock is only read every [budget_poll]
+   charges so the deadline costs nothing measurable on the hot path. *)
+let charge_budget rctx =
+  rctx.fuel <- rctx.fuel - 1;
+  if rctx.fuel <= 0 then
+    raise
+      (Budget_exceeded
+         (Printf.sprintf "node budget of %d exhausted"
+            rctx.opts.max_nodes_per_root));
+  if rctx.deadline > 0. then begin
+    rctx.poll <- rctx.poll - 1;
+    if rctx.poll <= 0 then begin
+      rctx.poll <- budget_poll;
+      if Unix.gettimeofday () > rctx.deadline then
+        raise
+          (Budget_exceeded
+             (Printf.sprintf "deadline of %gs exceeded"
+                rctx.opts.timeout_per_root))
+    end
+  end
 
 let get_fsum rctx (cfg : Cfg.t) =
   match Hashtbl.find_opt rctx.fsums cfg.fname with
@@ -319,6 +377,7 @@ let create_tracked rctx fctx walk ?(syn_chain = 0) ?(data = []) ~target ~value
     in
     Sm.add_instance walk.sm inst;
     rctx.st.instances_created <- rctx.st.instances_created + 1;
+    charge_budget rctx;
     { walk with created = Sset.add inst.target_key walk.created }
   end
 
@@ -1435,6 +1494,7 @@ and process_events rctx fctx ~live evs walk (k : walk -> unit) : unit =
       process_events rctx fctx ~live rest walk k
   | Ev_node node :: rest ->
       rctx.st.nodes_visited <- rctx.st.nodes_visited + 1;
+      charge_budget rctx;
       if node_annotated rctx node kill_path_tag then begin
         walk.sm.killed_path <- true;
         k walk
@@ -1648,6 +1708,106 @@ let run_root rctx (ext : Sm.t) root =
       in
       traverse rctx fctx walk [] cfg.entry
 
+(* ------------------------------------------------------------------ *)
+(* Root-boundary fault containment                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A root that blows its budget (or crashes outright) must abandon ONLY
+   itself: every other root's reports stay byte-identical to a run that
+   never had the bad root, at any [-j]. The mutable state a partial
+   traversal can leak into is snapshotted before each root and restored
+   on failure:
+
+   - reports/dedup: partial reports would survive the merge (and their
+     dedup keys would suppress identical reports from healthy roots);
+   - counters, annots, traversed: partial contributions change later
+     roots' view (annotations) or the result's accounting;
+   - stats: restored wholesale so accounting matches a run without the
+     degraded root.
+
+   Function summaries and the events cache are different: a snapshot
+   would have to deep-copy every Summary, so instead they are RESET on
+   failure. A truncated summary records source tuples whose paths never
+   ran to completion — a later root trusting it as complete would take a
+   cache hit that suppresses exactly the re-traversal that reports, so a
+   degraded root's summaries are unusable by construction. Resetting also
+   discards summaries healthy earlier roots computed, but summaries are
+   pure caches ("trade repeated work for nothing observable"), so the
+   cost is re-traversal, never output. The events cache is reset with the
+   annotations it lays down ([mc_branch]/[mc_return]) so both stay in
+   lockstep. *)
+
+type root_snapshot = {
+  sn_reports : int;
+  sn_counters : (string, int * int) Hashtbl.t;
+  sn_dedup : (string, unit) Hashtbl.t;
+  sn_annots : (int, string list) Hashtbl.t;
+  sn_traversed : (string, unit) Hashtbl.t;
+  sn_stats : stats;
+}
+
+let copy_stats (s : stats) = { s with blocks_visited = s.blocks_visited }
+
+let assign_stats (dst : stats) (src : stats) =
+  dst.blocks_visited <- src.blocks_visited;
+  dst.nodes_visited <- src.nodes_visited;
+  dst.cache_hits <- src.cache_hits;
+  dst.paths_explored <- src.paths_explored;
+  dst.calls_followed <- src.calls_followed;
+  dst.summary_hits <- src.summary_hits;
+  dst.pruned_branches <- src.pruned_branches;
+  dst.transitions_fired <- src.transitions_fired;
+  dst.instances_created <- src.instances_created;
+  dst.functions_traversed <- src.functions_traversed;
+  dst.cache_probes <- src.cache_probes;
+  dst.intern_atoms <- src.intern_atoms;
+  dst.intern_tuples <- src.intern_tuples;
+  dst.match_attempts <- src.match_attempts;
+  dst.index_hits <- src.index_hits;
+  dst.blocks_skipped <- src.blocks_skipped
+
+let snapshot_root rctx =
+  {
+    sn_reports = Report.count rctx.collector;
+    sn_counters = Hashtbl.copy rctx.counters;
+    sn_dedup = Hashtbl.copy rctx.dedup;
+    sn_annots = Hashtbl.copy rctx.annots;
+    sn_traversed = Hashtbl.copy rctx.traversed;
+    sn_stats = copy_stats rctx.st;
+  }
+
+let restore_tbl dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+let rollback_root rctx sn =
+  Report.truncate rctx.collector sn.sn_reports;
+  restore_tbl rctx.counters sn.sn_counters;
+  restore_tbl rctx.dedup sn.sn_dedup;
+  restore_tbl rctx.annots sn.sn_annots;
+  restore_tbl rctx.traversed sn.sn_traversed;
+  assign_stats rctx.st sn.sn_stats;
+  Hashtbl.reset rctx.fsums;
+  Hashtbl.reset rctx.events_cache
+
+(* The root boundary: run one root under its budget, catching budget
+   exhaustion and arbitrary crashes (a checker action raising, a stack
+   overflow on a pathological CFG) alike. On failure the root is rolled
+   back and recorded as [degraded]; the caller moves on to the next
+   root. *)
+let run_root_contained rctx (ext : Sm.t) root =
+  let sn = snapshot_root rctx in
+  reset_budget rctx;
+  try run_root rctx ext root
+  with e ->
+    let reason =
+      match e with
+      | Budget_exceeded r -> r
+      | e -> "uncaught exception: " ^ Printexc.to_string e
+    in
+    rollback_root rctx sn;
+    rctx.degraded_roots <- { d_root = root; d_reason = reason } :: rctx.degraded_roots
+
 (* Installing an extension in a context compiles its dispatch tables;
    [cur_ext] and [dsp] must stay in lockstep, so this is the only way
    either is assigned. *)
@@ -1661,7 +1821,7 @@ let run_extension rctx (ext : Sm.t) =
   Log.debug (fun m ->
       m "running extension %s over roots: %s" ext.Sm.sm_name
         (String.concat ", " roots));
-  List.iter (run_root rctx ext) roots
+  List.iter (run_root_contained rctx ext) roots
 
 let new_rctx ?(options = default_options) sg =
   let none = Sm.make ~name:"<none>" [] in
@@ -1679,6 +1839,10 @@ let new_rctx ?(options = default_options) sg =
     st = new_stats ();
     cur_ext = none;
     dsp = Dispatch.compile ~indexed:options.dispatch ~sg none;
+    fuel = max_int;
+    deadline = 0.;
+    poll = budget_poll;
+    degraded_roots = [];
   }
 
 let collect_result rctx =
@@ -1694,6 +1858,7 @@ let collect_result rctx =
         (fun (a, _, _) (b, _, _) -> String.compare a b)
         (Hashtbl.fold (fun rule (e, c) acc -> (rule, e, c) :: acc) rctx.counters []);
     stats = rctx.st;
+    degraded = List.rev rctx.degraded_roots;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1758,7 +1923,7 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
       m "running extension %s over %d roots in %d chunks on %d domains"
         ext.Sm.sm_name (Array.length roots) (Array.length ranges) jobs);
   let tasks =
-    Pool.run ~jobs (Array.length ranges) (fun c ->
+    Pool.run_results ~jobs (Array.length ranges) (fun c ->
         let start, len = ranges.(c) in
         let rctx = new_rctx ~options:base.opts base.sg in
         set_extension rctx ext;
@@ -1778,7 +1943,7 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
           Hashtbl.reset rctx.annots;
           Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
           Hashtbl.reset rctx.events_cache;
-          run_root rctx ext roots.(i);
+          run_root_contained rctx ext roots.(i);
           merge_annots acc rctx.annots
         done;
         Hashtbl.reset rctx.annots;
@@ -1792,26 +1957,40 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
      checker name, so the observable result is the same and no mutable
      state leaks between extension runs. *)
   let dedup : (string, unit) Hashtbl.t = Hashtbl.create 64 in
-  Array.iter
-    (fun (w : rctx) ->
-      List.iter
-        (fun r ->
-          let key = report_key r in
-          if not (Hashtbl.mem dedup key) then begin
-            Hashtbl.replace dedup key ();
-            Report.emit base.collector r
-          end)
-        (Report.reports w.collector);
-      Hashtbl.iter
-        (fun rule (e, c) ->
-          let e0, c0 =
-            Option.value (Hashtbl.find_opt base.counters rule) ~default:(0, 0)
-          in
-          Hashtbl.replace base.counters rule (e0 + e, c0 + c))
-        w.counters;
-      merge_annots base.annots w.annots;
-      Hashtbl.iter (fun f () -> Hashtbl.replace base.traversed f ()) w.traversed;
-      add_stats base.st w.st)
+  Array.iteri
+    (fun c task ->
+      match task with
+      | Ok (w : rctx) ->
+          List.iter
+            (fun r ->
+              let key = report_key r in
+              if not (Hashtbl.mem dedup key) then begin
+                Hashtbl.replace dedup key ();
+                Report.emit base.collector r
+              end)
+            (Report.reports w.collector);
+          Hashtbl.iter
+            (fun rule (e, c) ->
+              let e0, c0 =
+                Option.value (Hashtbl.find_opt base.counters rule) ~default:(0, 0)
+              in
+              Hashtbl.replace base.counters rule (e0 + e, c0 + c))
+            w.counters;
+          merge_annots base.annots w.annots;
+          Hashtbl.iter (fun f () -> Hashtbl.replace base.traversed f ()) w.traversed;
+          add_stats base.st w.st;
+          List.iter
+            (fun d -> base.degraded_roots <- d :: base.degraded_roots)
+            (List.rev w.degraded_roots)
+      | Error e ->
+          (* the chunk failed outside any root boundary (worker setup,
+             chunk merge) — degrade every root it owned, keep the rest *)
+          let start, len = ranges.(c) in
+          let reason = "worker failed: " ^ Printexc.to_string e in
+          for i = start to start + len - 1 do
+            base.degraded_roots <-
+              { d_root = roots.(i); d_reason = reason } :: base.degraded_roots
+          done)
     tasks
 
 (* ------------------------------------------------------------------ *)
@@ -1834,12 +2013,15 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
    persistent cache key, so a stamp change orphans results computed by
    older builds instead of silently replaying them — the store's format
    version only guards the entry encoding, not what the engine computed. *)
-let analysis_version = "xgcc-analysis-2"
+let analysis_version = "xgcc-analysis-3"
 
 let options_digest (o : options) =
-  Printf.sprintf "%s c%b p%b i%b k%b s%b d%d m%d" analysis_version o.caching
-    o.pruning o.interproc o.auto_kill o.synonyms o.max_call_depth
-    o.max_instances
+  (* budgets are part of the digest: a budget-limited run can legitimately
+     produce fewer reports, so its cache entries must not be replayed by
+     an unlimited run (or vice versa) *)
+  Printf.sprintf "%s c%b p%b i%b k%b s%b d%d m%d n%d t%g" analysis_version
+    o.caching o.pruning o.interproc o.auto_kill o.synonyms o.max_call_depth
+    o.max_instances o.max_nodes_per_root o.timeout_per_root
 
 let stats_to_list (s : stats) =
   [
@@ -2058,11 +2240,11 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
         (Array.length roots));
   let base_snapshot = Hashtbl.copy base.annots in
   let workers =
-    Pool.run ~jobs (Array.length invalid) (fun j ->
+    Pool.run_results ~jobs (Array.length invalid) (fun j ->
         let rctx = new_rctx ~options:base.opts base.sg in
         set_extension rctx ext;
         Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
-        run_root rctx ext roots.(invalid.(j));
+        run_root_contained rctx ext roots.(invalid.(j));
         seal_worker_stats rctx;
         rctx)
   in
@@ -2090,31 +2272,54 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
           inject_annots base ~ix e.r_annots;
           List.iter (fun f -> Hashtbl.replace base.traversed f ()) e.r_traversed;
           add_stats_list base.st e.r_stats
-      | `Compute ->
-          let w = workers.(Hashtbl.find worker_of idx) in
-          List.iter emit_merged (Report.reports w.collector);
-          Hashtbl.iter (fun rule (e, c) -> add_counter rule e c) w.counters;
-          merge_annots base.annots w.annots;
-          Hashtbl.iter (fun f () -> Hashtbl.replace base.traversed f ()) w.traversed;
-          add_stats base.st w.st;
-          if Summary_store.persist store then
-            Summary_store.store_root store ~ext:ext_key
-              {
-                Summary_store.r_root = root;
-                r_closure = closure_of root;
-                r_reports = Report.reports w.collector;
-                r_counters =
-                  List.sort
-                    (fun (a, _, _) (b, _, _) -> String.compare a b)
-                    (Hashtbl.fold
-                       (fun rule (e, c) acc -> (rule, e, c) :: acc)
-                       w.counters []);
-                r_annots = annot_delta ~base:base_snapshot ~ix w.annots;
-                r_traversed =
-                  List.sort String.compare
-                    (Hashtbl.fold (fun f () acc -> f :: acc) w.traversed []);
-                r_stats = stats_to_list w.st;
-              })
+      | `Compute -> (
+          match workers.(Hashtbl.find worker_of idx) with
+          | Error e ->
+              (* worker crashed outside the root boundary: degrade this
+                 root, persist nothing for it *)
+              base.degraded_roots <-
+                {
+                  d_root = root;
+                  d_reason = "worker failed: " ^ Printexc.to_string e;
+                }
+                :: base.degraded_roots
+          | Ok w when w.degraded_roots <> [] ->
+              (* the root blew its budget (or crashed) and was rolled
+                 back: record the degraded note and — critically — do NOT
+                 store a root entry. An empty entry would replay as "this
+                 root is clean" on the next warm run. Its fsums were reset
+                 by the rollback, so the function-summary write-back below
+                 gets nothing from it either. *)
+              List.iter
+                (fun d -> base.degraded_roots <- d :: base.degraded_roots)
+                (List.rev w.degraded_roots);
+              add_stats base.st w.st
+          | Ok w ->
+              List.iter emit_merged (Report.reports w.collector);
+              Hashtbl.iter (fun rule (e, c) -> add_counter rule e c) w.counters;
+              merge_annots base.annots w.annots;
+              Hashtbl.iter
+                (fun f () -> Hashtbl.replace base.traversed f ())
+                w.traversed;
+              add_stats base.st w.st;
+              if Summary_store.persist store then
+                Summary_store.store_root store ~ext:ext_key
+                  {
+                    Summary_store.r_root = root;
+                    r_closure = closure_of root;
+                    r_reports = Report.reports w.collector;
+                    r_counters =
+                      List.sort
+                        (fun (a, _, _) (b, _, _) -> String.compare a b)
+                        (Hashtbl.fold
+                           (fun rule (e, c) acc -> (rule, e, c) :: acc)
+                           w.counters []);
+                    r_annots = annot_delta ~base:base_snapshot ~ix w.annots;
+                    r_traversed =
+                      List.sort String.compare
+                        (Hashtbl.fold (fun f () acc -> f :: acc) w.traversed []);
+                    r_stats = stats_to_list w.st;
+                  }))
     roots;
   (* write back function summaries for entries the ledger no longer covers,
      merging worker tables in root order (deterministic: workers are
@@ -2127,7 +2332,13 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
     let mit = Intern.create () in
     Array.iter
       (fun idx ->
-        let w = workers.(Hashtbl.find worker_of idx) in
+        match workers.(Hashtbl.find worker_of idx) with
+        | Error _ -> () (* crashed worker: nothing to write back *)
+        | Ok w when w.degraded_roots <> [] ->
+            (* degraded root: its fsums were reset by the rollback, but be
+               explicit — a truncated summary must never be persisted *)
+            ()
+        | Ok w ->
         let fnames =
           List.sort String.compare
             (Hashtbl.fold (fun f _ acc -> f :: acc) w.fsums [])

@@ -31,6 +31,16 @@ type options = {
           byte-identical either way, so the flag is deliberately {e not}
           part of {!options_digest}. Default on; [--no-dispatch-index]
           turns it off for A/B comparison. *)
+  max_nodes_per_root : int;
+      (** per-root fuel: nodes visited plus instances created before the
+          root is abandoned as {!degraded}. [0] (the default) means
+          unlimited. Part of {!options_digest} — a budget changes what
+          the analysis can report. *)
+  timeout_per_root : float;
+      (** per-root wall-clock deadline in seconds; [0.] (the default)
+          means none. Inherently nondeterministic — meant as a production
+          backstop, while [max_nodes_per_root] gives reproducible
+          containment. Part of {!options_digest}. *)
 }
 
 val default_options : options
@@ -69,11 +79,24 @@ type stats = {
           store, 0 for cache-replayed roots. *)
 }
 
+type degraded = { d_root : string; d_reason : string }
+(** A callgraph root the engine abandoned: it exhausted its analysis
+    budget ({!options.max_nodes_per_root} / {!options.timeout_per_root})
+    or its traversal raised. Containment is per root: a degraded root
+    contributes {e nothing} — no reports, counters, annotations, cached
+    entries or function summaries (a truncated summary would be trusted
+    as complete, suppressing the re-traversals that report) — and every
+    other root's output is byte-identical to a run without it, at any
+    [jobs]. *)
+
 type result = {
   reports : Report.t list;
   counters : (string * int * int) list;
       (** rule -> (examples, counterexamples), from [a_count] actions *)
   stats : stats;
+  degraded : degraded list;
+      (** roots abandoned by fault containment, in root order; empty on a
+          healthy run *)
 }
 
 val analysis_version : string

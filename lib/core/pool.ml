@@ -14,6 +14,34 @@ let chunks ~jobs n =
         (start, len))
   end
 
+(* Fault-isolating variant: every task runs to completion and reports
+   [Ok] or [Error] individually — one domain's crash never aborts the
+   queue or poisons other tasks' results. [run] below keeps the original
+   fail-fast contract for callers where any failure is fatal anyway. *)
+let run_results ~jobs n f =
+  let guarded i = match f i with v -> Ok v | exception e -> Error e in
+  if n <= 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.init n guarded
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (guarded i);
+        worker ()
+      end
+    in
+    let spawned = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> Error (Invalid_argument "Pool.run_results: task skipped"))
+      results
+  end
+
 let run ~jobs n f =
   if n <= 0 then [||]
   else if jobs <= 1 || n = 1 then Array.init n f

@@ -19,6 +19,14 @@ val chunks : jobs:int -> int -> (int * int) array
     dominated one-task-per-item scheduling; contiguity keeps a chunk-order
     merge identical to an item-order merge. *)
 
+val run_results : jobs:int -> int -> (int -> 'a) -> ('a, exn) result array
+(** Fault-isolating [run]: each task's outcome is recorded individually
+    as [Ok] or [Error] and every task runs — one crashing task never
+    aborts the queue or discards another task's result. This is the
+    worker-isolation primitive: the engine converts an [Error] chunk into
+    [Degraded] roots and keeps going. Same inline guarantee for
+    [jobs <= 1] / [n <= 1] as {!run}. *)
+
 val run : jobs:int -> int -> (int -> 'a) -> 'a array
 (** [run ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] domains
     (the calling domain included) and returns the results in index order.

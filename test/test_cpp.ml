@@ -253,13 +253,30 @@ let suite =
         Alcotest.(check int) "no HARDEN: bug" 1 (count []);
         Alcotest.(check int) "HARDEN=1: still a bug" 1 (count [ ("HARDEN", "1") ]);
         Alcotest.(check int) "HARDEN=2: killed" 0 (count [ ("HARDEN", "2") ]));
-    t "bad #if expressions raise Cpp_error with location" `Quick (fun () ->
+    t "bad #if expressions degrade to false with a warning" `Quick (fun () ->
+        (* fault containment: a malformed condition must not kill the
+           translation unit — it evaluates to false and warns on the
+           diagnostics channel with the condition's location *)
         let bad s =
-          match pp s with
-          | _ -> Alcotest.fail "expected Cpp_error"
-          | exception Cpp.Cpp_error (loc, _) -> loc.Srcloc.line
+          let warns = ref [] in
+          let old = !Diag.sink in
+          Diag.sink := (fun w -> warns := w :: !warns);
+          let out =
+            Fun.protect ~finally:(fun () -> Diag.sink := old) (fun () -> pp s)
+          in
+          Alcotest.(check bool) "guarded code dropped" false (contains out "int x;");
+          match !warns with
+          | [ w ] -> w
+          | ws -> Alcotest.failf "expected exactly one warning, got %d" (List.length ws)
         in
-        Alcotest.(check int) "unbalanced paren" 1 (bad "#if (1\nint x;\n#endif");
-        Alcotest.(check int) "empty expr" 2 (bad "int y;\n#if\nint x;\n#endif");
-        Alcotest.(check int) "division by zero" 1 (bad "#if 1 / 0\nint x;\n#endif"));
+        let w = bad "#if 1 / 0\nint x;\n#endif" in
+        Alcotest.(check bool) "prefix" true (contains w "xgcc: warning:");
+        Alcotest.(check bool) "reason" true (contains w "division by zero");
+        Alcotest.(check bool) "location" true (contains w "t.c:1");
+        Alcotest.(check bool) "modulo by zero" true
+          (contains (bad "#if 1 % 0\nint x;\n#endif") "modulo by zero");
+        Alcotest.(check bool) "unbalanced paren" true
+          (contains (bad "#if (1\nint x;\n#endif") "t.c:1");
+        Alcotest.(check bool) "empty expr on line 2" true
+          (contains (bad "int y;\n#if\nint x;\n#endif") "t.c:2"));
   ]

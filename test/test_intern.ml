@@ -188,28 +188,14 @@ let dup_tests =
           (Supergraph.file_of_function sg "f"));
     t "duplicate definition logs a warning with both locations" `Quick
       (fun () ->
+        (* the warning goes through the uniform stderr diagnostics channel
+           (Diag), not the Logs reporter: it must survive with no reporter
+           installed and keep stdout machine-parseable *)
         let warnings = ref [] in
-        let reporter =
-          {
-            Logs.report =
-              (fun _src level ~over k msgf ->
-                msgf (fun ?header:_ ?tags:_ fmt ->
-                    Format.kasprintf
-                      (fun s ->
-                        if level = Logs.Warning then warnings := s :: !warnings;
-                        over ();
-                        k ())
-                      fmt));
-          }
-        in
-        let saved = Logs.reporter () in
-        let saved_level = Logs.level () in
-        Logs.set_reporter reporter;
-        Logs.set_level (Some Logs.Warning);
+        let saved = !Diag.sink in
+        Diag.sink := (fun s -> warnings := s :: !warnings);
         Fun.protect
-          ~finally:(fun () ->
-            Logs.set_reporter saved;
-            Logs.set_level saved_level)
+          ~finally:(fun () -> Diag.sink := saved)
           (fun () ->
             ignore
               (Supergraph.build

@@ -37,4 +37,5 @@ let () =
       ("cache", Test_cache.suite);
       ("interning", Test_intern.suite);
       ("dispatch", Test_dispatch.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -98,13 +98,23 @@ let suite =
           Metal_compile.load ~file:"<m>"
             {|sm s { start: { f() } ==> { frobnicate_xyz("a"); }; }|}
         in
-        (* the error surfaces when the action runs *)
+        (* the error surfaces when the action runs; fault containment
+           turns it into a degraded root instead of a crashed run *)
         let result =
-          try
-            Some (Engine.check_source ~file:"t.c" "int g(void) { f(); return 0; }" sms)
-          with Metal_compile.Compile_error _ -> None
+          Engine.check_source ~file:"t.c" "int g(void) { f(); return 0; }" sms
         in
-        Alcotest.(check bool) "error at run" true (Option.is_none result));
+        match result.Engine.degraded with
+        | [ d ] ->
+            Alcotest.(check string) "root" "g" d.Engine.d_root;
+            Alcotest.(check bool) "names the exception" true
+              (let w = d.Engine.d_reason in
+               let nl = String.length "Compile_error" and wl = String.length w in
+               let rec at i =
+                 i + nl <= wl
+                 && (String.equal "Compile_error" (String.sub w i nl) || at (i + 1))
+               in
+               at 0)
+        | ds -> Alcotest.failf "expected one degraded root, got %d" (List.length ds));
     t "parse error has location" `Quick (fun () ->
         match Metal_parse.parse ~file:"<m>" "sm s { start: ==> x; }" with
         | exception Metal_parse.Metal_error (loc, _) ->

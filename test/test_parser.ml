@@ -204,13 +204,22 @@ let suite =
         | [ Cast.Gvar { gdecl = { dinit = Some { enode = Cast.Einit_list l; _ }; _ }; _ } ] ->
             Alcotest.(check int) "items" 3 (List.length l)
         | _ -> Alcotest.fail "expected init list");
-    t "parse error raises with location" `Quick (fun () ->
-        match tu "int f(void) { return ; }" with
+    t "parse error recovers with a skipped stub" `Quick (fun () ->
+        (match tu "int f(void) { return ; }" with
         | exception Cparse.Parse_error _ -> Alcotest.fail "return; is legal"
-        | _ -> (
-            match tu "int f(void) { +++; }" with
-            | exception Cparse.Parse_error _ -> ()
-            | _ -> Alcotest.fail "expected parse error"));
+        | _ -> ());
+        (* error recovery: the broken definition becomes a Gskipped stub
+           carrying the error (with its location baked into the message)
+           instead of aborting the unit *)
+        match (tu "int f(void) { +++; }").Cast.tu_globals with
+        | [ Cast.Gskipped sk ] ->
+            Alcotest.(check bool) "names f" true (sk.Cast.sk_name = Some "f");
+            Alcotest.(check bool) "message nonempty" true
+              (String.length sk.Cast.sk_msg > 0);
+            Alcotest.(check bool) "range starts at line 1" true
+              (sk.Cast.sk_from.Srcloc.line = 1)
+        | gs -> Alcotest.failf "expected one skipped stub, got %d globals"
+                  (List.length gs));
     t "systems-C construct sweep" `Quick (fun () ->
         List.iter
           (fun src ->

@@ -105,14 +105,24 @@ let suite =
             "sm s { decl ; start: { f() } ==> a; }"; (* bad decl *)
             "sm s { start: { f( } ==> a; }";         (* unbalanced fragment *)
           ]);
-    t "malformed C sources raise located errors" `Quick (fun () ->
+    t "malformed C sources recover with located skip stubs" `Quick (fun () ->
         List.iter
           (fun src ->
             match Cparse.parse_tunit ~file:"<t>" src with
-            | exception Cparse.Parse_error (loc, _) ->
-                Alcotest.(check bool) "has line" true (loc.Srcloc.line >= 1)
             | exception Clex.Lex_error (_, _) -> ()
-            | _ -> Alcotest.fail ("should not parse: " ^ src))
+            | tu ->
+                let stubs =
+                  List.filter_map
+                    (function Cast.Gskipped sk -> Some sk | _ -> None)
+                    tu.Cast.tu_globals
+                in
+                (match stubs with
+                | [] -> Alcotest.fail ("should not parse cleanly: " ^ src)
+                | sk :: _ ->
+                    Alcotest.(check bool) "has line" true
+                      (sk.Cast.sk_from.Srcloc.line >= 1);
+                    Alcotest.(check bool) "carries a message" true
+                      (String.length sk.Cast.sk_msg > 0)))
           [
             "int f(void) { return }";
             "int f(void { return 0; }";
