@@ -299,6 +299,12 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
       "dispatch: %d match attempts, %d index hits, %d blocks skipped%s@."
       st.Engine.match_attempts st.Engine.index_hits st.Engine.blocks_skipped
       (if no_dispatch then " (index disabled)" else "");
+    if effective_jobs jobs > 1 then
+      Format.printf
+        "scheduler: %d summary units published, %d replayed, %d recomputed, %d steals, %d waits@."
+        st.Engine.shared_published st.Engine.shared_replayed
+        st.Engine.shared_recomputed st.Engine.sched_steals
+        st.Engine.sched_waits;
     let total =
       List.length (Ctyping.fundefs sg.Supergraph.typing)
     in

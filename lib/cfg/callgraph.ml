@@ -146,6 +146,33 @@ let is_defined t f = Smap.mem f t.callees_
 let functions t = List.map fst (Smap.bindings t.callees_)
 let in_cycle t f = Sset.mem f t.cyclic
 
+(* Longest chain of calls below each function, or [None] when the
+   function's transitive callee closure touches a recursive cycle (no
+   finite height exists). Memoised over the whole graph; safe to recurse
+   without an on-stack marker because a function outside [cyclic] cannot
+   reach itself, so the DFS never re-enters a frame it has open. *)
+let acyclic_heights t =
+  let memo : (string, int option) Hashtbl.t = Hashtbl.create 64 in
+  let rec go f =
+    match Hashtbl.find_opt memo f with
+    | Some r -> r
+    | None ->
+        let r =
+          if Sset.mem f t.cyclic then None
+          else
+            List.fold_left
+              (fun acc c ->
+                match (acc, go c) with
+                | Some a, Some hc -> Some (max a (hc + 1))
+                | _ -> None)
+              (Some 0) (callees t f)
+        in
+        Hashtbl.replace memo f r;
+        r
+  in
+  Smap.iter (fun f _ -> ignore (go f)) t.callees_;
+  fun f -> Option.join (Hashtbl.find_opt memo f)
+
 let closure_hashes t ~body_hash =
   let tbl = Hashtbl.create 64 in
   Smap.iter

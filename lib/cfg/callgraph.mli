@@ -22,6 +22,18 @@ val functions : t -> string list
 val in_cycle : t -> string -> bool
 (** Whether the function participates in a recursive call chain. *)
 
+val acyclic_heights : t -> string -> int option
+(** [acyclic_heights t] precomputes, for every defined function, the
+    longest chain of calls below it: [Some 0] for a function that calls
+    no defined function, [Some (1 + max over callees)] otherwise, and
+    [None] when the function's transitive callee closure touches a
+    recursive cycle (no finite height exists). Heights order the
+    callgraph bottom-up — a scheduler that runs low heights first
+    computes every shared callee's summary before tall callers demand
+    it — and bound how deep a traversal entered at the function can
+    recurse, which is what lets the engine decide depth-cap safety for
+    a context-free shared summary. Returns [None] for undefined names. *)
+
 val closure_hashes : t -> body_hash:(string -> Fingerprint.t) -> string -> Fingerprint.t
 (** [closure_hashes t ~body_hash] precomputes, for every defined function,
     a fingerprint over its transitive callee closure (itself included):

@@ -223,6 +223,12 @@ let eop_global t = t.eop_global
 
 let merge lists = Array.of_list (List.sort_uniq Int.compare (List.concat lists))
 
+let live_of t (h : Block_heads.t) =
+  t.ext_wild
+  || t.ext_mask land h.Block_heads.mask <> 0
+  || (t.ext_any_call && Block_heads.has_call h)
+  || List.exists (fun f -> Hashtbl.mem t.ext_calls f) h.Block_heads.calls
+
 let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
   let trs =
     Array.of_list
@@ -307,6 +313,7 @@ let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
         if s = Block_heads.shape_code Block_heads.Scall_other then generic_call
         else merge [ shape_lists.(s); !fallback ])
   in
+  let t =
   {
     ext;
     sg;
@@ -324,6 +331,17 @@ let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
     ext_calls;
     live_cache = Hashtbl.create 64;
   }
+  in
+  (* Fill the per-function block-liveness arrays eagerly: [block_live]
+     then never writes, so the compiled form is immutable after [compile]
+     returns and can be shared read-only across engine worker domains
+     (one compile per extension instead of one per worker context). *)
+  if indexed then
+    Hashtbl.iter
+      (fun fname heads ->
+        Hashtbl.replace t.live_cache fname (Array.map (live_of t) heads))
+      sg.Supergraph.heads;
+  t
 
 let candidates t (node : Cast.expr) =
   if not t.indexed then t.all_node
@@ -335,25 +353,19 @@ let candidates t (node : Cast.expr) =
         | None -> t.generic_call)
     | Block_heads.Shape s -> t.by_shape.(Block_heads.shape_code s)
 
-let live_of t (h : Block_heads.t) =
-  t.ext_wild
-  || t.ext_mask land h.Block_heads.mask <> 0
-  || (t.ext_any_call && Block_heads.has_call h)
-  || List.exists (fun f -> Hashtbl.mem t.ext_calls f) h.Block_heads.calls
-
+(* The cache was filled for every supergraph function at compile time; a
+   miss (a function the supergraph does not know) is answered on the fly
+   WITHOUT writing, keeping the compiled form immutable — worker domains
+   share one [t], and an unsynchronised Hashtbl write here would race. *)
 let block_live t ~fname bid =
   (not t.indexed)
   ||
   let arr =
     match Hashtbl.find_opt t.live_cache fname with
     | Some a -> a
-    | None ->
-        let a =
-          match Supergraph.heads_of t.sg fname with
-          | Some heads -> Array.map (live_of t) heads
-          | None -> [||]
-        in
-        Hashtbl.replace t.live_cache fname a;
-        a
+    | None -> (
+        match Supergraph.heads_of t.sg fname with
+        | Some heads -> Array.map (live_of t) heads
+        | None -> [||])
   in
   if bid >= 0 && bid < Array.length arr then arr.(bid) else true

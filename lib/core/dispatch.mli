@@ -40,7 +40,10 @@ type t
 val compile : ?indexed:bool -> sg:Supergraph.t -> Sm.t -> t
 (** Compile an extension against a supergraph. [indexed] (default true)
     enables the head index and block skip sets; the metadata is computed
-    either way. Cheap enough to run per worker context. *)
+    either way. The per-function block-liveness sets are computed eagerly
+    here, so the returned value is immutable and safe to share read-only
+    across engine worker domains — the parallel scheduler compiles each
+    extension once and hands every worker the same [t]. *)
 
 val indexed : t -> bool
 val transitions : t -> ctr array

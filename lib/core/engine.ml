@@ -61,6 +61,20 @@ type stats = {
          any node, so apply_transitions never ran.
          Like the intern counters these three are process-local: not
          persisted in the summary store, replayed roots contribute 0. *)
+  mutable shared_published : int;
+      (* parallel scheduler: summary units computed once in a scratch
+         context and published to the shared store *)
+  mutable shared_replayed : int;
+      (* publications replayed into a demanding root's context *)
+  mutable shared_recomputed : int;
+      (* duplicate publications dropped first-writer-wins — the "a shared
+         unit was computed twice" tripwire, structurally 0 *)
+  mutable sched_steals : int;  (* tasks taken from another worker's deque *)
+  mutable sched_waits : int;
+      (* acquires that blocked on a unit another worker was computing.
+         These five exist only at [jobs > 1]; steals and waits are
+         scheduling noise (timing-dependent), the other three are
+         deterministic for a given program and extension. *)
 }
 
 let new_stats () =
@@ -81,6 +95,11 @@ let new_stats () =
     match_attempts = 0;
     index_hits = 0;
     blocks_skipped = 0;
+    shared_published = 0;
+    shared_replayed = 0;
+    shared_recomputed = 0;
+    sched_steals = 0;
+    sched_waits = 0;
   }
 
 type degraded = { d_root : string; d_reason : string }
@@ -105,6 +124,37 @@ type fsum = {
          the call expression so assignments pick it up as a synonym *)
 }
 
+(* A publication: everything one shared summary unit — a pure-entry callee
+   analysed from a scratch context — produced. Immutable once built (the
+   scratch context is discarded), so worker domains read it without
+   synchronization beyond the store's publish/acquire handshake. *)
+type pub = {
+  p_fsums : (string * fsum) list;
+      (* the unit's summary tables, sorted by function name; replay
+         re-adds their content through the demander's interner *)
+  p_reports : Report.t list;  (* emission order *)
+  p_counters : (string * int * int) list;  (* sorted by rule *)
+  p_annots : (int * string list) list;
+      (* per node id, the tags the unit added beyond the extension-base
+         table, oldest first; node ids are stable in-process *)
+  p_traversed : string list;
+  p_deps : string list;
+      (* keys of shared units this unit itself demanded (transitively):
+         a root that replays this publication has, observably, also
+         traversed those *)
+  p_stats : stats;
+}
+
+(* Shared by every worker context of one extension run. *)
+type shared_ctx = {
+  sh_tbl : pub Shared_sums.t;
+  sh_heights : string -> int option;  (* Callgraph.acyclic_heights *)
+  sh_base_annots : (int, string list) Hashtbl.t;
+      (* the annotation table as of the start of this extension (earlier
+         extensions' tags): read-only while the pool runs; scratch
+         contexts seed from it and publications record deltas against it *)
+}
+
 type ev = Ev_node of Cast.expr | Ev_fresh of string | Ev_scope_end of string list
 
 type rctx = {
@@ -118,6 +168,12 @@ type rctx = {
   events_cache : (string, ev list) Hashtbl.t;
   dedup : (string, unit) Hashtbl.t;
   traversed : (string, unit) Hashtbl.t;
+  demanded : (string, unit) Hashtbl.t;
+      (* keys of shared units this context replayed (transitively via
+         [p_deps]); the merge folds a publication's counters and stats in
+         exactly once iff some surviving root demanded it, which is the
+         set of units a sequential run would have paid for *)
+  mutable shared : shared_ctx option;  (* None outside the parallel scheduler *)
   st : stats;
   mutable cur_ext : Sm.t;
   mutable dsp : Dispatch.t;  (* compiled form of cur_ext, kept in lockstep *)
@@ -200,6 +256,26 @@ let get_fsum rctx (cfg : Cfg.t) =
       in
       Hashtbl.replace rctx.fsums cfg.fname s;
       s
+
+(* Content-level union of one function's summary tables: edges and src
+   keys are re-added through [dst]'s interner, so tables from different
+   contexts (worker write-back merge, shared-unit replay) combine no
+   matter whose interner produced them. *)
+let merge_fsum_into (dst : fsum) (src : fsum) =
+  let union (d : Summary.t array) (s : Summary.t array) =
+    Array.iteri
+      (fun i sum ->
+        List.iter (fun e -> ignore (Summary.add_edge d.(i) e)) (Summary.edges sum);
+        List.iter (Summary.add_src_key d.(i)) (Summary.srcs_list sum))
+      s
+  in
+  union dst.bs src.bs;
+  union dst.sfx src.sfx;
+  Hashtbl.iter (fun k () -> Hashtbl.replace dst.rets k ()) src.rets
+
+(* The same key [emit_report] guards the per-rctx dedup table with. *)
+let report_key (r : Report.t) =
+  Printf.sprintf "%s@%s" (Report.identity_key r) (Srcloc.to_string r.Report.loc)
 
 let make_fctx rctx ~depth ~stack (cfg : Cfg.t) =
   let f = cfg.func in
@@ -1545,7 +1621,7 @@ and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t
     end
   in
   if all_cached then rctx.st.summary_hits <- rctx.st.summary_hits + 1
-  else begin
+  else if not (shared_call rctx fctx setup fname callee_cfg) then begin
     (* analyse the callee in this (refined) state, populating its summary *)
     let callee_fctx =
       make_fctx rctx ~depth:(fctx.depth + 1) ~stack:(fname :: fctx.stack) callee_cfg
@@ -1595,6 +1671,150 @@ and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t
       in
       k { walk' with store })
     partitions
+
+(* --- shared summary units (parallel scheduler) ---------------------
+   A callee entered with no active instances is characterized by its name
+   and the inbound global state alone, so its traversal — summaries,
+   reports, counter bumps, annotations — is the same no matter which root
+   demands it. When a shared store is installed, such a unit is computed
+   exactly once fleet-wide: the first demander claims it, analyses the
+   callee in a fresh *scratch* context (so the publication cannot depend
+   on the demander's history), publishes, and every demander (claimer
+   included) replays the publication into its own context, which leaves
+   that context exactly as if it had traversed the callee itself. *)
+
+and shared_call rctx fctx (setup : call_setup) fname (callee_cfg : Cfg.t) : bool =
+  match rctx.shared with
+  | None -> false
+  | Some sh -> (
+      if setup.cs_refined.Sm.actives <> [] then false
+      else
+        (* The height gate makes the unit context-free AND deadlock-free:
+           [depth + 1 + h <= max_call_depth] means no call in the callee's
+           subtree would be depth-truncated for THIS demander, and the
+           scratch (entered at depth 0) explores the identical untruncated
+           tree. Cyclic-closure callees (height None) are never shared, so
+           a worker waiting on a claimed unit only ever waits on strictly
+           smaller heights — a wait cycle would be a call cycle. *)
+        match sh.sh_heights fname with
+        | Some h when fctx.depth + 1 + h <= rctx.opts.max_call_depth ->
+            let gstate = setup.cs_refined.Sm.gstate in
+            let key = fname ^ "\x00" ^ gstate in
+            let p =
+              match Shared_sums.acquire sh.sh_tbl key with
+              | Shared_sums.Ready p ->
+                  (* some root already paid the traversal: the sequential
+                     engine would have taken a summary hit here *)
+                  rctx.st.summary_hits <- rctx.st.summary_hits + 1;
+                  p
+              | Shared_sums.Claimed -> (
+                  match compute_pub sh rctx fname callee_cfg gstate with
+                  | p ->
+                      Shared_sums.publish sh.sh_tbl key p;
+                      p
+                  | exception e ->
+                      (* never publish a truncated unit: retract the claim
+                         (waiters re-acquire and re-claim) and let the
+                         demanding root's boundary degrade it, exactly as a
+                         sequential traversal crash would *)
+                      Shared_sums.abort sh.sh_tbl key;
+                      raise e)
+            in
+            Hashtbl.replace rctx.demanded key ();
+            replay_pub rctx p;
+            true
+        | _ -> false)
+
+and compute_pub sh rctx fname (callee_cfg : Cfg.t) gstate : pub =
+  let scratch =
+    {
+      sg = rctx.sg;
+      opts = rctx.opts;
+      intern = Intern.create ();
+      collector = Report.new_collector ();
+      counters = Hashtbl.create 16;
+      annots = Hashtbl.copy sh.sh_base_annots;
+      fsums = Hashtbl.create 16;
+      events_cache = Hashtbl.create 64;
+      dedup = Hashtbl.create 16;
+      traversed = Hashtbl.create 16;
+      demanded = Hashtbl.create 8;
+      shared = Some sh;  (* nested pure callees share recursively *)
+      st = new_stats ();
+      cur_ext = rctx.cur_ext;
+      dsp = rctx.dsp;  (* compiled dispatch is immutable, shared read-only *)
+      fuel = max_int;
+      deadline = 0.;
+      poll = budget_poll;
+      degraded_roots = [];
+    }
+  in
+  reset_budget scratch;
+  let callee_fctx = make_fctx scratch ~depth:0 ~stack:[ fname ] callee_cfg in
+  let sm = Sm.initial scratch.cur_ext in
+  sm.Sm.gstate <- gstate;
+  traverse scratch callee_fctx
+    { sm; store = Store.empty; created = Sset.empty }
+    [] callee_cfg.entry;
+  scratch.st.intern_atoms <- Intern.n_atoms scratch.intern;
+  scratch.st.intern_tuples <- Intern.n_tuples scratch.intern;
+  let sorted_fold tbl render =
+    List.sort compare (Hashtbl.fold (fun k v acc -> render k v :: acc) tbl [])
+  in
+  {
+    p_fsums = sorted_fold scratch.fsums (fun f s -> (f, s));
+    p_reports = Report.reports scratch.collector;
+    p_counters = sorted_fold scratch.counters (fun rule (e, c) -> (rule, e, c));
+    p_annots =
+      (* the tags the unit added beyond the extension base, oldest first
+         (annotate_node prepends, so fresh tags are the list's prefix) *)
+      List.sort compare
+        (Hashtbl.fold
+           (fun eid tags acc ->
+             let fresh_n =
+               List.length tags
+               - List.length
+                   (Option.value
+                      (Hashtbl.find_opt sh.sh_base_annots eid)
+                      ~default:[])
+             in
+             if fresh_n <= 0 then acc
+             else
+               (eid, List.rev (List.filteri (fun i _ -> i < fresh_n) tags))
+               :: acc)
+           scratch.annots []);
+    p_traversed = sorted_fold scratch.traversed (fun f () -> f);
+    p_deps = sorted_fold scratch.demanded (fun k () -> k);
+    p_stats = scratch.st;
+  }
+
+and replay_pub rctx (p : pub) : unit =
+  rctx.st.shared_replayed <- rctx.st.shared_replayed + 1;
+  List.iter
+    (fun (f, src) ->
+      match Supergraph.cfg_of rctx.sg f with
+      | None -> ()
+      | Some cfg -> merge_fsum_into (get_fsum rctx cfg) src)
+    p.p_fsums;
+  List.iter
+    (fun r ->
+      let key = report_key r in
+      if not (Hashtbl.mem rctx.dedup key) then begin
+        Hashtbl.replace rctx.dedup key ();
+        Report.emit rctx.collector r
+      end)
+    p.p_reports;
+  List.iter
+    (fun (eid, tags) ->
+      let cur = ref (Option.value (Hashtbl.find_opt rctx.annots eid) ~default:[]) in
+      List.iter (fun t -> if not (List.mem t !cur) then cur := t :: !cur) tags;
+      Hashtbl.replace rctx.annots eid !cur)
+    p.p_annots;
+  List.iter (fun f -> Hashtbl.replace rctx.traversed f ()) p.p_traversed;
+  (* counters and stats are NOT injected: the merge folds each demanded
+     publication's accounting in exactly once ([p_deps] marks nested
+     units as demanded too) *)
+  List.iter (fun k -> Hashtbl.replace rctx.demanded k ()) p.p_deps
 
 and handle_terminator rctx fctx walk (bt : int list) (block : Block.t) : unit =
   match block.term with
@@ -1743,6 +1963,7 @@ type root_snapshot = {
   sn_dedup : (string, unit) Hashtbl.t;
   sn_annots : (int, string list) Hashtbl.t;
   sn_traversed : (string, unit) Hashtbl.t;
+  sn_demanded : (string, unit) Hashtbl.t;
   sn_stats : stats;
 }
 
@@ -1764,7 +1985,12 @@ let assign_stats (dst : stats) (src : stats) =
   dst.intern_tuples <- src.intern_tuples;
   dst.match_attempts <- src.match_attempts;
   dst.index_hits <- src.index_hits;
-  dst.blocks_skipped <- src.blocks_skipped
+  dst.blocks_skipped <- src.blocks_skipped;
+  dst.shared_published <- src.shared_published;
+  dst.shared_replayed <- src.shared_replayed;
+  dst.shared_recomputed <- src.shared_recomputed;
+  dst.sched_steals <- src.sched_steals;
+  dst.sched_waits <- src.sched_waits
 
 let snapshot_root rctx =
   {
@@ -1773,6 +1999,7 @@ let snapshot_root rctx =
     sn_dedup = Hashtbl.copy rctx.dedup;
     sn_annots = Hashtbl.copy rctx.annots;
     sn_traversed = Hashtbl.copy rctx.traversed;
+    sn_demanded = Hashtbl.copy rctx.demanded;
     sn_stats = copy_stats rctx.st;
   }
 
@@ -1786,6 +2013,7 @@ let rollback_root rctx sn =
   restore_tbl rctx.dedup sn.sn_dedup;
   restore_tbl rctx.annots sn.sn_annots;
   restore_tbl rctx.traversed sn.sn_traversed;
+  restore_tbl rctx.demanded sn.sn_demanded;
   assign_stats rctx.st sn.sn_stats;
   Hashtbl.reset rctx.fsums;
   Hashtbl.reset rctx.events_cache
@@ -1823,8 +2051,10 @@ let run_extension rctx (ext : Sm.t) =
         (String.concat ", " roots));
   List.iter (run_root_contained rctx ext) roots
 
-let new_rctx ?(options = default_options) sg =
-  let none = Sm.make ~name:"<none>" [] in
+(* Worker contexts start on an already-compiled extension: eager dispatch
+   compilation is per-extension work, and the compiled form is immutable,
+   so one compile (in the base context) serves every per-root context. *)
+let new_rctx_in ?(options = default_options) ~ext ~dsp sg =
   {
     sg;
     opts = options;
@@ -1836,14 +2066,22 @@ let new_rctx ?(options = default_options) sg =
     events_cache = Hashtbl.create 256;
     dedup = Hashtbl.create 64;
     traversed = Hashtbl.create 64;
+    demanded = Hashtbl.create 16;
+    shared = None;
     st = new_stats ();
-    cur_ext = none;
-    dsp = Dispatch.compile ~indexed:options.dispatch ~sg none;
+    cur_ext = ext;
+    dsp;
     fuel = max_int;
     deadline = 0.;
     poll = budget_poll;
     degraded_roots = [];
   }
+
+let new_rctx ?(options = default_options) sg =
+  let none = Sm.make ~name:"<none>" [] in
+  new_rctx_in ~options ~ext:none
+    ~dsp:(Dispatch.compile ~indexed:options.dispatch ~sg none)
+    sg
 
 let collect_result rctx =
   rctx.st.functions_traversed <- Hashtbl.length rctx.traversed;
@@ -1874,10 +2112,6 @@ let collect_result rctx =
    in root order, which makes the output independent of how the pool
    schedules roots onto domains. *)
 
-(* The same key [emit_report] guards the per-rctx dedup table with. *)
-let report_key (r : Report.t) =
-  Printf.sprintf "%s@%s" (Report.identity_key r) (Srcloc.to_string r.Report.loc)
-
 (* Fold a worker's annotation table into [base], preserving each node's
    tag insertion order (annotate_node prepends). *)
 let merge_annots base worker =
@@ -1907,7 +2141,12 @@ let add_stats (acc : stats) (s : stats) =
   acc.intern_tuples <- acc.intern_tuples + s.intern_tuples;
   acc.match_attempts <- acc.match_attempts + s.match_attempts;
   acc.index_hits <- acc.index_hits + s.index_hits;
-  acc.blocks_skipped <- acc.blocks_skipped + s.blocks_skipped
+  acc.blocks_skipped <- acc.blocks_skipped + s.blocks_skipped;
+  acc.shared_published <- acc.shared_published + s.shared_published;
+  acc.shared_replayed <- acc.shared_replayed + s.shared_replayed;
+  acc.shared_recomputed <- acc.shared_recomputed + s.shared_recomputed;
+  acc.sched_steals <- acc.sched_steals + s.sched_steals;
+  acc.sched_waits <- acc.sched_waits + s.sched_waits
 
 (* Stamp a worker context's intern-table sizes into its stats so the
    root-order merge can fold them like any other counter. *)
@@ -1915,39 +2154,61 @@ let seal_worker_stats (w : rctx) =
   w.st.intern_atoms <- Intern.n_atoms w.intern;
   w.st.intern_tuples <- Intern.n_tuples w.intern
 
+(* Parallel execution is a work-stealing schedule over individual roots.
+   Each root runs in a private context (fresh collector, counters, stats,
+   summaries, events cache, dedup) seeded from the base annotation table,
+   so its output is independent of which domain ran it and of every other
+   root — the merge below, in root order, is therefore byte-identical at
+   any [-j]. What the old static chunking could NOT avoid — a hot callee
+   re-analysed once per chunk that demands it — is handled by a shared
+   publish-once store: pure-entry callee units are computed exactly once
+   fleet-wide in scratch contexts and replayed into each demanding root
+   (see [shared_call]). Sharing needs [caching] on and per-root budgets
+   off: a budget is accounting against a single root's fuel, and a shared
+   computation has no single payer, so budget-limited runs simply fall
+   back to private per-root traversals. *)
 let run_extension_parallel ~jobs base (ext : Sm.t) =
   set_extension base ext;
   let roots = Array.of_list (Supergraph.roots base.sg) in
-  let ranges = Pool.chunks ~jobs (Array.length roots) in
+  let n = Array.length roots in
+  let heights = Callgraph.acyclic_heights base.sg.Supergraph.callgraph in
+  (* bottom-up schedule: shallow roots first, so short shared callees are
+     published before the tall callers that would otherwise all compute
+     them; ties (and cyclic-closure roots, scheduled last) in root order *)
+  let height_of i =
+    match heights roots.(i) with Some h -> h | None -> max_int
+  in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare (height_of a, a) (height_of b, b)) order;
+  let sharing =
+    base.opts.caching
+    && base.opts.max_nodes_per_root = 0
+    && base.opts.timeout_per_root = 0.
+  in
+  let sh =
+    if sharing then
+      Some
+        {
+          sh_tbl = Shared_sums.create ();
+          sh_heights = heights;
+          sh_base_annots = base.annots;
+        }
+    else None
+  in
   Log.debug (fun m ->
-      m "running extension %s over %d roots in %d chunks on %d domains"
-        ext.Sm.sm_name (Array.length roots) (Array.length ranges) jobs);
-  let tasks =
-    Pool.run_results ~jobs (Array.length ranges) (fun c ->
-        let start, len = ranges.(c) in
-        let rctx = new_rctx ~options:base.opts base.sg in
-        set_extension rctx ext;
-        (* Roots within a chunk share the context's function summaries,
-           exactly as the sequential engine shares them across all roots.
-           Annotations are the exception: each root must start from the base
-           table (annotations left by previously-run extensions, the
-           composition idiom of Section 9) and NOT see what earlier roots in
-           its chunk added, or the output would depend on which roots share
-           a chunk, i.e. on [jobs]. The events cache resets with it, since
-           building events is what lays down the engine's own [mc_branch] /
-           [mc_return] tags. Per-root deltas are folded into [acc] in root
-           order, matching the cross-chunk merge below. [base] is read-only
-           while the pool runs. *)
-        let acc = Hashtbl.create 64 in
-        for i = start to start + len - 1 do
-          Hashtbl.reset rctx.annots;
-          Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
-          Hashtbl.reset rctx.events_cache;
-          run_root_contained rctx ext roots.(i);
-          merge_annots acc rctx.annots
-        done;
-        Hashtbl.reset rctx.annots;
-        Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) acc;
+      m "running extension %s over %d roots on %d domains (sharing %b)"
+        ext.Sm.sm_name n jobs sharing);
+  (* [base] is read-only while the pool runs. *)
+  let tasks, sched =
+    Pool.run_sched ~jobs ~order n (fun ~worker:_ i ->
+        let rctx = new_rctx_in ~options:base.opts ~ext ~dsp:base.dsp base.sg in
+        rctx.shared <- sh;
+        Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
+        run_root_contained rctx ext roots.(i);
+        (* summaries and block events are per-root scratch state; the
+           merge reads only deltas, so release them with the task *)
+        Hashtbl.reset rctx.fsums;
+        Hashtbl.reset rctx.events_cache;
         seal_worker_stats rctx;
         rctx)
   in
@@ -1957,8 +2218,9 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
      checker name, so the observable result is the same and no mutable
      state leaks between extension runs. *)
   let dedup : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let demanded : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
-    (fun c task ->
+    (fun i task ->
       match task with
       | Ok (w : rctx) ->
           List.iter
@@ -1978,20 +2240,49 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
             w.counters;
           merge_annots base.annots w.annots;
           Hashtbl.iter (fun f () -> Hashtbl.replace base.traversed f ()) w.traversed;
+          Hashtbl.iter (fun k () -> Hashtbl.replace demanded k ()) w.demanded;
           add_stats base.st w.st;
           List.iter
             (fun d -> base.degraded_roots <- d :: base.degraded_roots)
             (List.rev w.degraded_roots)
       | Error e ->
-          (* the chunk failed outside any root boundary (worker setup,
-             chunk merge) — degrade every root it owned, keep the rest *)
-          let start, len = ranges.(c) in
-          let reason = "worker failed: " ^ Printexc.to_string e in
-          for i = start to start + len - 1 do
-            base.degraded_roots <-
-              { d_root = roots.(i); d_reason = reason } :: base.degraded_roots
-          done)
-    tasks
+          (* the task failed outside the root boundary (worker setup) —
+             degrade this root, keep the rest *)
+          base.degraded_roots <-
+            {
+              d_root = roots.(i);
+              d_reason = "worker failed: " ^ Printexc.to_string e;
+            }
+            :: base.degraded_roots)
+    tasks;
+  (* Fold each shared unit's accounting in exactly once, in sorted key
+     order — but only units some surviving root demanded. A publication
+     whose every demander was rolled back contributes nothing, exactly as
+     its traversal would have been rolled back sequentially. *)
+  (match sh with
+  | None -> ()
+  | Some sh ->
+      Shared_sums.fold_published sh.sh_tbl
+        (fun key (p : pub) () ->
+          if Hashtbl.mem demanded key then begin
+            List.iter
+              (fun (rule, e, c) ->
+                let e0, c0 =
+                  Option.value
+                    (Hashtbl.find_opt base.counters rule)
+                    ~default:(0, 0)
+                in
+                Hashtbl.replace base.counters rule (e0 + e, c0 + c))
+              p.p_counters;
+            add_stats base.st p.p_stats
+          end)
+        ();
+      let ss = Shared_sums.stats sh.sh_tbl in
+      base.st.shared_published <- base.st.shared_published + ss.Shared_sums.published;
+      base.st.shared_recomputed <-
+        base.st.shared_recomputed + ss.Shared_sums.recomputed;
+      base.st.sched_waits <- base.st.sched_waits + ss.Shared_sums.waits);
+  base.st.sched_steals <- base.st.sched_steals + sched.Pool.stolen
 
 (* ------------------------------------------------------------------ *)
 (* Persistent-cache execution                                          *)
@@ -2193,18 +2484,6 @@ let inject_annots base ~ix annots =
           Hashtbl.replace base.annots eid !cur)
     annots
 
-let merge_fsum_into (dst : fsum) (src : fsum) =
-  let union (d : Summary.t array) (s : Summary.t array) =
-    Array.iteri
-      (fun i sum ->
-        List.iter (fun e -> ignore (Summary.add_edge d.(i) e)) (Summary.edges sum);
-        List.iter (Summary.add_src_key d.(i)) (Summary.srcs_list sum))
-      s
-  in
-  union dst.bs src.bs;
-  union dst.sfx src.sfx;
-  Hashtbl.iter (fun k () -> Hashtbl.replace dst.rets k ()) src.rets
-
 let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
     (ext : Sm.t) =
   set_extension base ext;
@@ -2241,8 +2520,7 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
   let base_snapshot = Hashtbl.copy base.annots in
   let workers =
     Pool.run_results ~jobs (Array.length invalid) (fun j ->
-        let rctx = new_rctx ~options:base.opts base.sg in
-        set_extension rctx ext;
+        let rctx = new_rctx_in ~options:base.opts ~ext ~dsp:base.dsp base.sg in
         Hashtbl.iter (fun k v -> Hashtbl.replace rctx.annots k v) base.annots;
         run_root_contained rctx ext roots.(invalid.(j));
         seal_worker_stats rctx;

@@ -77,6 +77,25 @@ type stats = {
           loops never ran for their nodes. Like the intern counters,
           these three are process-local: not persisted in the summary
           store, 0 for cache-replayed roots. *)
+  mutable shared_published : int;
+      (** parallel scheduler only ([jobs > 1]): shared summary units —
+          pure-entry callees — computed once in a scratch context and
+          published to the fleet-wide store *)
+  mutable shared_replayed : int;
+      (** publications replayed into demanding roots' contexts (each
+          replay stands in for a traversal the old chunked mode would
+          have re-run) *)
+  mutable shared_recomputed : int;
+      (** duplicate publications dropped first-writer-wins — the "a
+          shared unit was computed more than once" tripwire. Structurally
+          0: the store's claim protocol prevents double computation. *)
+  mutable sched_steals : int;
+      (** root tasks a worker stole from another worker's deque *)
+  mutable sched_waits : int;
+      (** unit acquisitions that blocked on a claim another worker held.
+          Steals and waits are timing noise and may differ between runs;
+          [shared_published]/[shared_replayed]/[shared_recomputed] are
+          deterministic for a given program, extension and option set. *)
 }
 
 type degraded = { d_root : string; d_reason : string }
@@ -124,16 +143,24 @@ val run :
 
     [jobs] (default 1) is the number of worker domains. With [jobs = 1]
     the engine runs exactly as before — one root context shared by every
-    root, function summaries reused across roots. With [jobs > 1] the
-    callgraph roots are batched into contiguous chunks (about four per
-    worker, {!Pool.chunks}) and each chunk is analysed on a domain pool
-    ({!Pool}) in a private root context over the shared supergraph — roots
-    within a chunk share function summaries the way the sequential engine
-    does, while AST annotations stay per-root so the output cannot depend
-    on the chunk layout. Results are merged deterministically in chunk
-    (hence root) order (reports re-deduplicated by their identity key,
-    counters and stats summed), so the reports are identical to the
-    sequential run and independent of scheduling.
+    root, function summaries reused across roots. With [jobs > 1] each
+    callgraph root is an individual task on a work-stealing scheduler
+    ({!Pool.run_sched}), dispatched bottom-up by acyclic callgraph height
+    and analysed in a private root context over the shared supergraph.
+    Callees entered with no active instances (characterized by name and
+    inbound global state alone) are {e shared summary units}: computed
+    exactly once fleet-wide in a scratch context, published to a
+    publish-once store, and replayed into every demanding root — the hot
+    shared callee that static chunking re-analysed once per chunk is paid
+    for once, at any [-j] ([stats.shared_recomputed] asserts this).
+    Results are merged deterministically in root order (reports
+    re-deduplicated by their identity key, counters and stats summed,
+    each shared unit's accounting folded in exactly once), so the reports
+    are byte-identical to the sequential run and independent of
+    scheduling. Unit sharing requires [caching] on and per-root budgets
+    off ([max_nodes_per_root = 0], [timeout_per_root = 0.]) — a budget is
+    one root's fuel and a shared computation has no single payer —
+    otherwise roots fall back to private traversals.
     Annotations still compose across extensions (merged between extension
     runs); annotations made during one root's traversal are not visible to
     {e other roots of the same extension} in parallel mode.

@@ -1,0 +1,111 @@
+(* A sharded publish-once table shared by the parallel scheduler's worker
+   domains. Generic in the published value so the engine can store its own
+   publication record (which mentions engine types) without a dependency
+   cycle. See shared_sums.mli for the protocol. *)
+
+type 'a entry = Computing | Published of 'a
+
+type 'a shard = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  mask : int;
+  waits : int Atomic.t;
+  published : int Atomic.t;
+  recomputed : int Atomic.t;
+}
+
+type stats = { published : int; waits : int; recomputed : int }
+
+let create ?(shards = 64) () =
+  (* power-of-two shard count so [hash land mask] picks a shard *)
+  let n = max 1 shards in
+  let rec pow2 k = if k >= n then k else pow2 (k * 2) in
+  let n = pow2 1 in
+  {
+    shards =
+      Array.init n (fun _ ->
+          {
+            lock = Mutex.create ();
+            cond = Condition.create ();
+            tbl = Hashtbl.create 64;
+          });
+    mask = n - 1;
+    waits = Atomic.make 0;
+    published = Atomic.make 0;
+    recomputed = Atomic.make 0;
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+
+type 'a claim = Claimed | Ready of 'a
+
+let acquire t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let waited = ref false in
+  let rec loop () =
+    match Hashtbl.find_opt s.tbl key with
+    | None ->
+        Hashtbl.replace s.tbl key Computing;
+        Claimed
+    | Some (Published v) -> Ready v
+    | Some Computing ->
+        if not !waited then begin
+          waited := true;
+          Atomic.incr t.waits
+        end;
+        Condition.wait s.cond s.lock;
+        loop ()
+  in
+  let r = loop () in
+  Mutex.unlock s.lock;
+  r
+
+let publish t key v =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  (match Hashtbl.find_opt s.tbl key with
+  | Some (Published _) ->
+      (* first writer wins; a second publish means the unit was computed
+         twice, which the scheduler exists to prevent — count it *)
+      Atomic.incr t.recomputed
+  | Some Computing | None ->
+      Hashtbl.replace s.tbl key (Published v);
+      Atomic.incr t.published);
+  Condition.broadcast s.cond;
+  Mutex.unlock s.lock
+
+let abort t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  (match Hashtbl.find_opt s.tbl key with
+  | Some Computing -> Hashtbl.remove s.tbl key
+  | Some (Published _) | None -> ());
+  Condition.broadcast s.cond;
+  Mutex.unlock s.lock
+
+let stats (t : 'a t) : stats =
+  {
+    published = Atomic.get t.published;
+    waits = Atomic.get t.waits;
+    recomputed = Atomic.get t.recomputed;
+  }
+
+let fold_published t f init =
+  (* deterministic order: gather every published pair, sort by key *)
+  let pairs = ref [] in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.iter
+        (fun k e -> match e with Published v -> pairs := (k, v) :: !pairs | Computing -> ())
+        s.tbl;
+      Mutex.unlock s.lock)
+    t.shards;
+  let pairs = List.sort (fun (a, _) (b, _) -> String.compare a b) !pairs in
+  List.fold_left (fun acc (k, v) -> f k v acc) init pairs

@@ -1,0 +1,61 @@
+(** Publish-once table of shared summary units, safe across worker
+    domains.
+
+    The parallel scheduler runs one callgraph root per task; callee
+    summaries whose entry context is pure (characterized by the callee
+    name and inbound machine state alone) are the same in every root that
+    demands them, so recomputing one per worker — what static chunking
+    did — is pure waste. This table makes each such unit compute exactly
+    once fleet-wide:
+
+    - {!acquire} either hands the caller the published record ([Ready]),
+      or makes the caller the unit's computer ([Claimed]), or blocks
+      until the worker that claimed it publishes or aborts.
+    - {!publish} installs an immutable record, first-writer-wins, and
+      wakes all waiters. The record must be self-contained (no mutable
+      state reachable from it may be written afterwards) — readers in
+      other domains see it without further synchronization.
+    - {!abort} retracts a claim without publishing (the computation blew
+      its budget or crashed); waiters wake and re-acquire, and the next
+      demander re-claims. An aborted unit's re-computation is not counted
+      as a recompute — the first attempt produced nothing.
+
+    Deadlock freedom is the caller's obligation: a claimed unit must
+    never (transitively) acquire a unit that can be waiting on it. The
+    engine guarantees this by only sharing units with a finite acyclic
+    callee height — a wait cycle would imply a call cycle, and cyclic
+    functions are never shared.
+
+    The table is sharded (hash of the key picks a mutex + condition +
+    hashtable), so unrelated units never contend. *)
+
+type 'a t
+
+val create : ?shards:int -> unit -> 'a t
+(** [shards] (default 64) is rounded up to a power of two. *)
+
+type 'a claim = Claimed | Ready of 'a
+
+val acquire : 'a t -> string -> 'a claim
+(** Blocks while another worker has the key claimed. *)
+
+val publish : 'a t -> string -> 'a -> unit
+(** First-writer-wins: publishing over an existing record drops the new
+    one and increments the recompute counter — the scheduler's "this
+    should never happen" tripwire. *)
+
+val abort : 'a t -> string -> unit
+(** Retract a claim without publishing; no-op on published/absent keys. *)
+
+val fold_published : 'a t -> (string -> 'a -> 'acc -> 'acc) -> 'acc -> 'acc
+(** Fold over all published records in sorted key order — deterministic
+    regardless of publication order, which is what lets the engine fold
+    per-unit counters into the final stats exactly once, identically at
+    any [-j]. Call after workers join (it locks each shard, but a
+    concurrent publish could otherwise be missed). *)
+
+type stats = { published : int; waits : int; recomputed : int }
+
+val stats : 'a t -> stats
+(** [waits] counts acquires that blocked on a claimed key (each acquire
+    at most once); [recomputed] counts dropped duplicate publishes. *)

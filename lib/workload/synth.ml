@@ -69,6 +69,38 @@ let call_tree ~depth ~fanout =
       done;
       Buffer.add_string b "  return *p;\n}\n")
 
+let sched_corpus ~n_roots ~light ~heavy =
+  buf_program (fun b ->
+      (* one hot leaf shared by every root, reached through a per-root
+         diamond (root -> mid_a/mid_b -> hub) *)
+      Buffer.add_string b "void hub(int *p) { kfree(p); }\n";
+      for r = 0 to n_roots - 1 do
+        Buffer.add_string b (Printf.sprintf "void mid_a_%d(int *p) { hub(p); }\n" r);
+        Buffer.add_string b (Printf.sprintf "void mid_b_%d(int *p) { hub(p); }\n" r)
+      done;
+      for r = 0 to n_roots - 1 do
+        (* uneven private cost: the mid-list root is [heavy] diamonds, the
+           rest [light] — a static contiguous partition puts the whole
+           imbalance on one worker *)
+        let w = if r = n_roots / 2 then heavy else light in
+        Buffer.add_string b
+          (Printf.sprintf "int root%d(int *p, int c) {\n  int acc = 0;\n" r);
+        for i = 0 to w - 1 do
+          Buffer.add_string b
+            (Printf.sprintf
+               "  if (c + %d) { acc = acc + %d; } else { acc = acc - %d; }\n" i
+               (i + 1) (i + 1))
+        done;
+        (* branch, don't sequence: either arm frees [p] exactly once, so
+           every path ends in one use-after-free at this root's return *)
+        Buffer.add_string b
+          (Printf.sprintf
+             "  if (acc) { mid_a_%d(p); } else { mid_b_%d(p); }\n\
+             \  return *p + acc;\n\
+              }\n"
+             r r)
+      done)
+
 let correlated_branches ~n =
   buf_program (fun b ->
       Buffer.add_string b "int correlated(int x) {\n";

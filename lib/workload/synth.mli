@@ -32,6 +32,16 @@ val call_tree : depth:int -> fanout:int -> string
 (** A complete call tree; every leaf calls one shared helper that frees its
     argument. Summary reuse makes this linear in the number of functions. *)
 
+val sched_corpus : n_roots:int -> light:int -> heavy:int -> string
+(** The parallel scheduler's stress shape: [n_roots] independent roots,
+    each reaching one hot shared leaf ([hub], which frees its argument)
+    through a private two-arm diamond, so every root ends in one
+    use-after-free report. Private cost is uneven — the mid-list root
+    carries [heavy] if/else diamonds, the others [light] — which defeats
+    static contiguous chunking (one chunk inherits the whole imbalance)
+    while the shared [hub]/mid units must still be analysed exactly once
+    fleet-wide. *)
+
 val correlated_branches : n:int -> string
 (** [n] Figure-2-style pairs [if (x) { kfree(p_i); } ... if (!x) *p_i]
     — all uses are on infeasible paths (zero true errors; a path-insensitive

@@ -38,4 +38,5 @@ let () =
       ("interning", Test_intern.suite);
       ("dispatch", Test_dispatch.suite);
       ("faults", Test_faults.suite);
+      ("scheduler", Test_sched.suite);
     ]
