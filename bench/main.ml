@@ -728,6 +728,93 @@ let table_dispatch ?(reps = 3) () =
     (String.concat ", " (List.map fst srcs))
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path memory flattening: flat event tables vs boxed rebuilding    *)
+(* ------------------------------------------------------------------ *)
+
+let table_memory_flattening ?(reps = 3) () =
+  header "M  | Hot-path memory flattening (flat event tables vs boxed lists)";
+  let boxed = { Engine.default_options with Engine.flatten = false } in
+  let flat = Engine.default_options in
+  (* the state_interning corpus: the allocation target the flattening is
+     judged against rides on exactly these workloads *)
+  let srcs =
+    [
+      ("diamond14", Synth.diamond_chain ~n:14);
+      ("tracked32", Synth.many_tracked ~n:32);
+      ("calltree3^4", Synth.call_tree ~depth:4 ~fanout:3);
+      ("correlated6", Synth.correlated_branches ~n:6);
+      ("workload120", (Gen.generate ~seed:99 ~n_funcs:120 ~bug_rate:0.3).Gen.source);
+    ]
+  in
+  let sgs = List.map (fun (name, src) -> (name, sg_of src)) srcs in
+  let checkers = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+  let sweep options =
+    List.concat_map
+      (fun (_, sg) ->
+        let r = Engine.run ~options sg checkers in
+        List.map Report.to_string r.Engine.reports)
+      sgs
+  in
+  let reps_boxed = sweep boxed in
+  let reps_flat = sweep flat in
+  let identical = List.equal String.equal reps_boxed reps_flat in
+  (* parallel byte-identity across the flattening boundary, both modes *)
+  let identical_j2 =
+    List.equal String.equal
+      (List.concat_map
+         (fun (_, sg) ->
+           List.map Report.to_string
+             (Engine.run ~options:boxed ~jobs:2 sg checkers).Engine.reports)
+         sgs)
+      (List.concat_map
+         (fun (_, sg) ->
+           List.map Report.to_string
+             (Engine.run ~options:flat ~jobs:2 sg checkers).Engine.reports)
+         sgs)
+  in
+  let measure options =
+    ignore (sweep options) (* warm-up *);
+    Gc.minor ();
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (sweep options)
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    let da = (Gc.allocated_bytes () -. a0) /. float_of_int reps in
+    (dt *. 1e9, da)
+  in
+  let ns_boxed, alloc_boxed = measure boxed in
+  let ns_flat, alloc_flat = measure flat in
+  let flat_bytes =
+    List.fold_left
+      (fun n (_, sg) -> n + Flat.table_bytes sg.Supergraph.flat)
+      0 sgs
+  in
+  Printf.printf "%-10s %16s %20s\n" "MODE" "ns/cold-run" "bytes alloc/run";
+  Printf.printf "%-10s %16.0f %20.0f\n" "boxed" ns_boxed alloc_boxed;
+  Printf.printf "%-10s %16.0f %20.0f\n" "flat" ns_flat alloc_flat;
+  Printf.printf
+    "alloc reduction: %.2fx; speedup: %.2fx; flat tables: %.1f KiB; identical \
+     reports: %b (with -j2: %b)\n"
+    (alloc_boxed /. Float.max 1. alloc_flat)
+    (ns_boxed /. ns_flat)
+    (float_of_int flat_bytes /. 1024.)
+    identical identical_j2;
+  bench_out
+    (Printf.sprintf
+       "{\"experiment\": \"memory_flattening\", \"impl\": \"%s\", \"reps\": %d, \
+        \"ns_boxed\": %.0f, \"ns_flat\": %.0f, \"speedup\": %.3f, \
+        \"alloc_boxed\": %.0f, \"alloc_flat\": %.0f, \"alloc_ratio\": %.3f, \
+        \"flat_table_bytes\": %d, \"identical_reports\": %b, \
+        \"identical_reports_j2\": %b}"
+       bench_impl reps ns_boxed ns_flat (ns_boxed /. ns_flat) alloc_boxed
+       alloc_flat
+       (alloc_boxed /. Float.max 1. alloc_flat)
+       flat_bytes identical identical_j2);
+  Printf.printf "workloads: %s\n" (String.concat ", " (List.map fst srcs))
+
+(* ------------------------------------------------------------------ *)
 (* Fault containment: per-root budgets and degraded-root isolation      *)
 (* ------------------------------------------------------------------ *)
 
@@ -845,6 +932,7 @@ let () =
   if smoke then begin
     table_interning ~reps:2 ();
     table_dispatch ~reps:2 ();
+    table_memory_flattening ~reps:2 ();
     table_containment ~reps:2 ();
     table_parallel ();
     table_cache ()
@@ -864,6 +952,7 @@ let () =
     table_scale ();
     table_interning ();
     table_dispatch ();
+    table_memory_flattening ();
     table_containment ();
     table_parallel ();
     table_cache ();

@@ -146,7 +146,7 @@ let open_store ~cache_dir ~persist ~options sources =
     cache_dir
 
 let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
-    ~no_dispatch ~max_nodes ~timeout =
+    ~no_dispatch ~no_flat ~max_nodes ~timeout =
   {
     Engine.default_options with
     Engine.caching = not no_cache;
@@ -155,6 +155,7 @@ let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
     auto_kill = not no_kill;
     synonyms = not no_synonyms;
     dispatch = not no_dispatch;
+    flatten = not no_flat;
     max_nodes_per_root = max max_nodes 0;
     timeout_per_root = Float.max timeout 0.;
   }
@@ -172,9 +173,9 @@ let effective_jobs jobs =
   if jobs = 0 then Pool.recommended_jobs () else max 1 jobs
 
 let do_check files checkers metal_files rank_mode fmt history_db update_history
-    no_cache no_prune no_interproc no_kill no_synonyms no_dispatch stats verbose
-    use_cpp defines incdirs jobs cache_dir no_cache_persist max_nodes timeout
-    keep_going =
+    no_cache no_prune no_interproc no_kill no_synonyms no_dispatch no_flat stats
+    verbose use_cpp defines incdirs jobs cache_dir no_cache_persist max_nodes
+    timeout keep_going =
   setup_logs verbose;
   set_cpp ~use_cpp ~defines ~incdirs;
   set_ast_cache ~cache_dir ~persist:(not no_cache_persist);
@@ -186,7 +187,7 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
   let exts = List.map fst exts_src in
   let options =
     options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
-      ~no_dispatch ~max_nodes ~timeout
+      ~no_dispatch ~no_flat ~max_nodes ~timeout
   in
   let store =
     open_store ~cache_dir ~persist:(not no_cache_persist) ~options
@@ -207,7 +208,9 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
   let t1 = Unix.gettimeofday () in
   let sg = Supergraph.build tus in
   let t2 = Unix.gettimeofday () in
+  let alloc0 = Gc.allocated_bytes () in
   let result = Engine.run ~options ~jobs:(effective_jobs jobs) ?cache:store sg exts in
+  let alloc1 = Gc.allocated_bytes () in
   let t3 = Unix.gettimeofday () in
   List.iter
     (fun (d : Engine.degraded) ->
@@ -305,6 +308,16 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
         st.Engine.shared_published st.Engine.shared_replayed
         st.Engine.shared_recomputed st.Engine.sched_steals
         st.Engine.sched_waits;
+    let flat = sg.Supergraph.flat in
+    Format.printf
+      "memory: flat tables %.1f KiB (%d blocks, %d functions)%s, analysis \
+       allocated %.1f MiB%s@."
+      (float_of_int (Flat.table_bytes flat) /. 1024.)
+      flat.Flat.n_blocks
+      (Flat.n_functions flat)
+      (if no_flat then " (flattening disabled)" else "")
+      ((alloc1 -. alloc0) /. (1024. *. 1024.))
+      (if effective_jobs jobs > 1 then " (main domain only)" else "");
     let total =
       List.length (Ctyping.fundefs sg.Supergraph.typing)
     in
@@ -378,6 +391,13 @@ let check_cmd =
                  candidate lists and block skip sets) and scan every transition \
                  at every node. Reports are identical; only speed changes.")
   in
+  let no_flat =
+    Arg.(value & flag & info [ "no-flat" ]
+           ~doc:"Serve block events from per-run boxed lists instead of the \
+                 supergraph's flat tables (the A/B baseline for the flattened \
+                 hot path). Reports are identical; only speed and allocation \
+                 change.")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.") in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the analysis (debug logs).")
@@ -436,7 +456,7 @@ let check_cmd =
     Term.(
       const do_check $ files $ checkers $ metal_files $ rank $ fmt $ history $ update
       $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ no_dispatch
-      $ stats $ verbose $ use_cpp $ defines $ incdirs $ jobs $ cache_dir
+      $ no_flat $ stats $ verbose $ use_cpp $ defines $ incdirs $ jobs $ cache_dir
       $ no_cache_persist $ max_nodes $ timeout $ keep_going)
 
 (* ------------------------------------------------------------------ *)

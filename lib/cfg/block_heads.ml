@@ -94,6 +94,28 @@ let head_of (e : Cast.expr) =
   | Cast.Esizeof_type _ | Cast.Esizeof_expr _ -> Shape Ssizeof
   | Cast.Einit_list _ -> Shape Sinit
 
+(* Allocation-free variant of [head_of] for the per-node dispatch hot
+   path: returns the shape code directly. Any call — named or computed —
+   maps to [Scall_other]; callers that care about the callee name match
+   [Ecall (Eident f, _)] themselves before falling back here. *)
+let shape_code_of (e : Cast.expr) =
+  match e.enode with
+  | Cast.Ecall _ -> 14 (* Scall_other *)
+  | Cast.Eassign _ -> 0
+  | Cast.Eunary (Cast.Deref, _) -> 1
+  | Cast.Eunary _ -> 2
+  | Cast.Ebinary _ -> 3
+  | Cast.Ecast _ -> 4
+  | Cast.Econd _ -> 5
+  | Cast.Ecomma _ -> 6
+  | Cast.Efield _ -> 7
+  | Cast.Earrow _ -> 8
+  | Cast.Eindex _ -> 9
+  | Cast.Eident _ -> 10
+  | Cast.Eint _ | Cast.Efloat _ | Cast.Echar _ | Cast.Estr _ -> 11
+  | Cast.Esizeof_type _ | Cast.Esizeof_expr _ -> 12
+  | Cast.Einit_list _ -> 13
+
 type t = { mask : int; calls : string list }
 
 let empty = { mask = 0; calls = [] }

@@ -49,6 +49,12 @@ type head = Named_call of string | Shape of shape
 
 val head_of : Cast.expr -> head
 
+val shape_code_of : Cast.expr -> int
+(** Allocation-free [head_of] for per-node hot paths: the shape code
+    directly, with every call (named or computed) mapping to
+    [Scall_other]. Callers that key on callee names match
+    [Ecall (Eident f, _)] themselves first. *)
+
 type t = {
   mask : int;  (** bit [shape_code s] set iff some node has shape [s] *)
   calls : string list;  (** sorted, distinct callee names of named calls *)

@@ -4,6 +4,7 @@ type t = {
   typing : Ctyping.env;
   tunits : Cast.tunit list;
   heads : (string, Block_heads.t array) Hashtbl.t;
+  flat : Flat.t;
 }
 
 let build tunits =
@@ -57,18 +58,34 @@ let build tunits =
             false)
       funcs
   in
+  (* One CFG per surviving definition, lowered once and shared by the
+     name-keyed table, the flat tables and the head summaries below. *)
+  let cfg_list = List.map Cfg.of_fundef funcs in
   let cfgs = Hashtbl.create 64 in
-  List.iter (fun (f : Cast.fundef) -> Hashtbl.replace cfgs f.fname (Cfg.of_fundef f)) funcs;
-  (* Head summaries are computed eagerly so the supergraph stays immutable
-     once built — parallel engine workers share it across domains. *)
+  List.iter (fun (cfg : Cfg.t) -> Hashtbl.replace cfgs cfg.Cfg.fname cfg) cfg_list;
+  (* The flat tables and head summaries are computed eagerly so the
+     supergraph stays immutable once built — parallel engine workers
+     share it across domains. Heads are views over the flat tables (one
+     expression walk covers both). *)
+  let flat = Flat.build cfg_list in
   let heads = Hashtbl.create (Hashtbl.length cfgs) in
-  Hashtbl.iter (fun name cfg -> Hashtbl.replace heads name (Block_heads.of_cfg cfg)) cfgs;
+  List.iter
+    (fun (cfg : Cfg.t) ->
+      let base = Flat.fbase flat cfg.Cfg.fname in
+      Hashtbl.replace heads cfg.Cfg.fname
+        (Array.init (Cfg.n_blocks cfg) (fun bid ->
+             {
+               Block_heads.mask = flat.Flat.head_mask.(base + bid);
+               calls = Flat.calls flat (base + bid);
+             })))
+    cfg_list;
   {
     cfgs;
     callgraph = Callgraph.build funcs;
     typing = Ctyping.of_program tunits;
     tunits;
     heads;
+    flat;
   }
 
 let cfg_of t name = Hashtbl.find_opt t.cfgs name

@@ -18,6 +18,10 @@ type t = {
       (** per-function, per-block head-constructor summaries, computed
           eagerly at build time (the supergraph is shared immutably across
           engine worker domains) *)
+  flat : Flat.t;
+      (** flat int-indexed tables over every block of every function —
+          dense flat block ids, CSR successors, head masks and
+          precomputed per-block event sequences; see {!Flat} *)
 }
 
 val build : Cast.tunit list -> t

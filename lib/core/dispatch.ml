@@ -195,39 +195,63 @@ type ctr = {
   c_matches_eop : bool;
 }
 
+(* One candidate list plus the prescan facts [Engine.apply_transitions]
+   needs before touching any transition: whether anything in the list can
+   model a callsite, whether anything has a variable source, and the
+   distinct global source states. Precomputing these turns the engine's
+   per-node no-match prescan into three field reads and (at most) a short
+   string-array scan — no closure, no refs, no per-transition loop. *)
+type bucket = {
+  b_trs : int array;
+  b_any_model : bool;  (* some candidate has a callsite model *)
+  b_has_var : bool;  (* some candidate has a Src_var source *)
+  b_globals : string array;  (* distinct Src_global source states *)
+}
+
 type t = {
   ext : Sm.t;
   sg : Supergraph.t;
   indexed : bool;
   trs : ctr array;
-  all_node : int array;
+  all_node : bucket;
   eop_var : int array;
   eop_global : int array;
-  by_call : (string, int array) Hashtbl.t;
-  generic_call : int array;
-  by_shape : int array array;
-  ext_wild : bool;
-  ext_mask : int;
-  ext_any_call : bool;
-  ext_calls : (string, unit) Hashtbl.t;
-  live_cache : (string, bool array) Hashtbl.t;
-      (* per-function block liveness, memoised lazily; [t] is private to
-         one run context so this table is single-domain *)
+  by_call : (string, bucket) Hashtbl.t;
+  generic_call : bucket;
+  by_shape : bucket array;
+  live : Bytes.t;
+      (* per-block skip set over flat block ids ([Supergraph.flat]):
+         live.(fb) = '\001' iff some transition could match some node of
+         that block. Filled at compile so the whole value is immutable
+         and shared read-only across worker domains. *)
 }
 
 let indexed t = t.indexed
 let transitions t = t.trs
-let all_node t = t.all_node
+let all_node t = t.all_node.b_trs
 let eop_var t = t.eop_var
 let eop_global t = t.eop_global
 
 let merge lists = Array.of_list (List.sort_uniq Int.compare (List.concat lists))
 
-let live_of t (h : Block_heads.t) =
-  t.ext_wild
-  || t.ext_mask land h.Block_heads.mask <> 0
-  || (t.ext_any_call && Block_heads.has_call h)
-  || List.exists (fun f -> Hashtbl.mem t.ext_calls f) h.Block_heads.calls
+let mk_bucket (trs : ctr array) (b_trs : int array) =
+  let any_model = ref false and has_var = ref false in
+  let globs = ref [] in
+  Array.iter
+    (fun i ->
+      let c = trs.(i) in
+      if c.c_call_model <> None then any_model := true;
+      if c.c_src_var <> None then has_var := true;
+      match c.c_src_global with
+      | Some g -> if not (List.mem g !globs) then globs := g :: !globs
+      | None -> ())
+    b_trs;
+  {
+    b_trs;
+    b_any_model = !any_model;
+    b_has_var = !has_var;
+    b_globals = Array.of_list (List.rev !globs);
+  }
 
 let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
   let trs =
@@ -303,69 +327,75 @@ let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
                   r := i :: !r)
                 calls)
       trs;
-  let generic_call = merge [ !any_call; !fallback ] in
+  let generic_call = mk_bucket trs (merge [ !any_call; !fallback ]) in
   let by_call = Hashtbl.create (Hashtbl.length named) in
   Hashtbl.iter
-    (fun f r -> Hashtbl.replace by_call f (merge [ !r; !any_call; !fallback ]))
+    (fun f r ->
+      Hashtbl.replace by_call f (mk_bucket trs (merge [ !r; !any_call; !fallback ])))
     named;
   let by_shape =
     Array.init Block_heads.n_shapes (fun s ->
         if s = Block_heads.shape_code Block_heads.Scall_other then generic_call
-        else merge [ shape_lists.(s); !fallback ])
+        else mk_bucket trs (merge [ shape_lists.(s); !fallback ]))
   in
-  let t =
+  (* Per-block skip set over flat ids, filled once here so the compiled
+     form never writes afterwards and can be shared read-only across
+     engine worker domains (one compile per extension instead of one per
+     worker context). Unindexed dispatch marks everything live. *)
+  let flat = sg.Supergraph.flat in
+  let nb = flat.Flat.n_blocks in
+  let live = Bytes.make nb (if indexed then '\000' else '\001') in
+  if indexed then begin
+    let ext_wild = !ext_wild
+    and ext_mask = !ext_mask
+    and ext_any_call = !ext_any_call in
+    let call_bit = 1 lsl Block_heads.shape_code Block_heads.Scall_other in
+    let co = flat.Flat.call_off in
+    for fb = 0 to nb - 1 do
+      let m = flat.Flat.head_mask.(fb) in
+      let lv =
+        ext_wild
+        || ext_mask land m <> 0
+        || (ext_any_call && (co.(fb + 1) > co.(fb) || m land call_bit <> 0))
+        ||
+        let rec scan i =
+          i < co.(fb + 1)
+          && (Hashtbl.mem ext_calls flat.Flat.call_names.(i) || scan (i + 1))
+        in
+        scan co.(fb)
+      in
+      if lv then Bytes.set live fb '\001'
+    done
+  end;
   {
     ext;
     sg;
     indexed;
     trs;
-    all_node = Array.of_list all_node_l;
+    all_node = mk_bucket trs (Array.of_list all_node_l);
     eop_var = Array.of_list eop_var;
     eop_global = Array.of_list eop_global;
     by_call;
     generic_call;
     by_shape;
-    ext_wild = !ext_wild;
-    ext_mask = !ext_mask;
-    ext_any_call = !ext_any_call;
-    ext_calls;
-    live_cache = Hashtbl.create 64;
+    live;
   }
-  in
-  (* Fill the per-function block-liveness arrays eagerly: [block_live]
-     then never writes, so the compiled form is immutable after [compile]
-     returns and can be shared read-only across engine worker domains
-     (one compile per extension instead of one per worker context). *)
-  if indexed then
-    Hashtbl.iter
-      (fun fname heads ->
-        Hashtbl.replace t.live_cache fname (Array.map (live_of t) heads))
-      sg.Supergraph.heads;
-  t
 
+(* Per-node, so allocation-free: no [head] constructor, no [find_opt]
+   option — named calls probe [by_call] with [Not_found] as the miss
+   path, everything else indexes [by_shape] by code. *)
 let candidates t (node : Cast.expr) =
   if not t.indexed then t.all_node
   else
-    match Block_heads.head_of node with
-    | Block_heads.Named_call f -> (
-        match Hashtbl.find_opt t.by_call f with
-        | Some a -> a
-        | None -> t.generic_call)
-    | Block_heads.Shape s -> t.by_shape.(Block_heads.shape_code s)
+    match node.Cast.enode with
+    | Cast.Ecall ({ enode = Cast.Eident f; _ }, _) -> (
+        match Hashtbl.find t.by_call f with
+        | b -> b
+        | exception Not_found -> t.generic_call)
+    | _ -> t.by_shape.(Block_heads.shape_code_of node)
 
-(* The cache was filled for every supergraph function at compile time; a
-   miss (a function the supergraph does not know) is answered on the fly
-   WITHOUT writing, keeping the compiled form immutable — worker domains
-   share one [t], and an unsynchronised Hashtbl write here would race. *)
-let block_live t ~fname bid =
-  (not t.indexed)
-  ||
-  let arr =
-    match Hashtbl.find_opt t.live_cache fname with
-    | Some a -> a
-    | None -> (
-        match Supergraph.heads_of t.sg fname with
-        | Some heads -> Array.map (live_of t) heads
-        | None -> [||])
-  in
-  if bid >= 0 && bid < Array.length arr then arr.(bid) else true
+(* Out-of-range flat ids (a function the supergraph does not know has
+   fbase -1, making every fb negative) answer [true] — conservative, the
+   engine then consults the per-node candidate buckets as before. *)
+let block_live_flat t fb =
+  fb < 0 || fb >= Bytes.length t.live || Bytes.unsafe_get t.live fb = '\001'

@@ -35,15 +35,28 @@ type ctr = {
   c_matches_eop : bool;  (** {!Pattern.can_match_end_of_path} *)
 }
 
+type bucket = {
+  b_trs : int array;
+      (** candidate transition indices, declaration order *)
+  b_any_model : bool;  (** some candidate has a callsite model *)
+  b_has_var : bool;  (** some candidate has a [Src_var] source *)
+  b_globals : string array;
+      (** distinct [Src_global] source states of the candidates *)
+}
+(** A candidate list plus the prescan facts the engine needs before
+    touching any transition, precomputed so the per-node no-match check
+    is field reads instead of a per-transition loop. *)
+
 type t
 
 val compile : ?indexed:bool -> sg:Supergraph.t -> Sm.t -> t
 (** Compile an extension against a supergraph. [indexed] (default true)
     enables the head index and block skip sets; the metadata is computed
-    either way. The per-function block-liveness sets are computed eagerly
-    here, so the returned value is immutable and safe to share read-only
-    across engine worker domains — the parallel scheduler compiles each
-    extension once and hands every worker the same [t]. *)
+    either way. The block skip set is computed eagerly over the
+    supergraph's flat block table, so the returned value is immutable and
+    safe to share read-only across engine worker domains — the parallel
+    scheduler compiles each extension once and hands every worker the
+    same [t]. *)
 
 val indexed : t -> bool
 val transitions : t -> ctr array
@@ -52,11 +65,11 @@ val all_node : t -> int array
 (** Indices (in declaration order) of transitions that can match node
     events at all — the candidate list of the unindexed mode. *)
 
-val candidates : t -> Cast.expr -> int array
-(** Indices of transitions whose pattern root could match this node,
-    sorted in declaration order; a superset of the transitions that
-    actually match, a subset of [all_node]. Without the index this is
-    [all_node] itself. *)
+val candidates : t -> Cast.expr -> bucket
+(** The bucket whose [b_trs] holds indices of transitions whose pattern
+    root could match this node, sorted in declaration order; a superset
+    of the transitions that actually match, a subset of [all_node].
+    Without the index this is the [all_node] bucket itself. *)
 
 val eop_var : t -> int array
 (** Variable-source transitions that can match end-of-path events. *)
@@ -64,11 +77,12 @@ val eop_var : t -> int array
 val eop_global : t -> int array
 (** Global-source transitions that can match end-of-path events. *)
 
-val block_live : t -> fname:string -> int -> bool
-(** Could any transition of this extension match any node of block [bid]
-    of [fname]? [false] lets the engine skip [apply_transitions] for the
-    whole block; end-of-path and write handling are unaffected. Always
-    [true] without the index. *)
+val block_live_flat : t -> int -> bool
+(** Could any transition of this extension match any node of the block
+    with this flat id ({!Supergraph}[.flat])? [false] lets the engine
+    skip [apply_transitions] for the whole block; end-of-path and write
+    handling are unaffected. Always [true] without the index and for
+    out-of-range ids (unknown functions). *)
 
 (** {1 Callsite modelling} *)
 

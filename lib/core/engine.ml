@@ -14,6 +14,7 @@ type options = {
   max_call_depth : int;
   max_instances : int;
   dispatch : bool;
+  flatten : bool;
   max_nodes_per_root : int;
   timeout_per_root : float;
 }
@@ -28,6 +29,7 @@ let default_options =
     max_call_depth = 40;
     max_instances = 64;
     dispatch = true;
+    flatten = true;
     max_nodes_per_root = 0;
     timeout_per_root = 0.;
   }
@@ -116,13 +118,37 @@ type result = {
 (* ------------------------------------------------------------------ *)
 
 type fsum = {
-  bs : Summary.t array;
-  sfx : Summary.t array;
+  f_it : Intern.t;  (* interner the lazily created tables below share *)
+  bs : Summary.t option array;
+  sfx : Summary.t option array;
+      (* per-block summary / suffix-summary tables, created on first use:
+         a given extension touches only the blocks its traversal reaches,
+         so eagerly building three hash tables for every block of every
+         function it ever calls into dominated cold-run allocation *)
   rets : (string, unit) Hashtbl.t;
       (* values with which a tracked, *returned* object left the function —
          the "follow simple value flow" hook: callers re-attach the state to
          the call expression so assignments pick it up as a synonym *)
 }
+
+let block_sum (f : fsum) (arr : Summary.t option array) i =
+  match Array.unsafe_get arr i with
+  | Some s -> s
+  | None ->
+      let s = Summary.create ~intern:f.f_it () in
+      Array.unsafe_set arr i (Some s);
+      s
+
+let bsum f i = block_sum f f.bs i
+let sfxsum f i = block_sum f f.sfx i
+
+(* Materialise the dense shape the introspection API and the summary
+   store expect; untouched blocks yield (empty) summaries exactly as the
+   eager representation produced. *)
+let densify it (arr : Summary.t option array) =
+  Array.map
+    (function Some s -> s | None -> Summary.create ~intern:it ())
+    arr
 
 (* A publication: everything one shared summary unit — a pure-entry callee
    analysed from a scratch context — produced. Immutable once built (the
@@ -155,7 +181,28 @@ type shared_ctx = {
          contexts seed from it and publications record deltas against it *)
 }
 
-type ev = Ev_node of Cast.expr | Ev_fresh of string | Ev_scope_end of string list
+(* Alias of the flat table's event type, so [events_of_block] can return
+   the prebuilt global arrays directly in flat mode. *)
+type ev = Flat.ev =
+  | Ev_node of Cast.expr
+  | Ev_fresh of string
+  | Ev_scope_end of string list
+
+(* One reversible table mutation inside a contained root. [rollback_root]
+   replays the journal newest-first, so the oldest entry for a key is
+   applied last — restoring exactly the pre-root value even when a key
+   was mutated several times. Journaling is armed only between
+   [snapshot_root] and the end of [run_root_contained]; scratch contexts
+   and cross-context merges never journal, so their table writes are
+   permanent as before. *)
+type undo =
+  | U_annot of int * string list option
+      (* eid, pre-root tags ([None] = eid was absent) *)
+  | U_mark of (string, unit) Hashtbl.t * string
+      (* insertion of a fresh key into a unit table
+         (dedup / traversed / demanded) *)
+  | U_counter of string * (int * int) option  (* rule, pre-root counts *)
+  | U_adone of int  (* flat block id whose [annots_done] bit was set *)
 
 type rctx = {
   sg : Supergraph.t;
@@ -164,8 +211,12 @@ type rctx = {
   collector : Report.collector;
   counters : (string, int * int) Hashtbl.t;
   annots : (int, string list) Hashtbl.t;
+  annots_done : Bytes.t;
+      (* per flat block id: terminator annotations ([mc_branch]/[mc_return])
+         already laid down in this context — the flat events path applies
+         them on first visit instead of at event-list build time *)
   fsums : (string, fsum) Hashtbl.t;
-  events_cache : (string, ev list) Hashtbl.t;
+  events_cache : (string, ev array) Hashtbl.t;
   dedup : (string, unit) Hashtbl.t;
   traversed : (string, unit) Hashtbl.t;
   demanded : (string, unit) Hashtbl.t;
@@ -185,6 +236,17 @@ type rctx = {
   mutable deadline : float;
   mutable poll : int;
   mutable degraded_roots : degraded list;  (* reverse order of abandonment *)
+  mutable node_matched : bool;
+      (* out-parameter of [apply_transitions]: whether the last node event
+         matched (consulted by the caller to decide call following).
+         Returning it alongside the walk would box a 3-word tuple on
+         every node visited — the single hottest allocation site. *)
+  mutable journal : undo list;
+      (* reverse-chronological undo log of table mutations since the last
+         [snapshot_root]; rollback replays it instead of restoring deep
+         copies of every table (copying five hashtables plus a bitset per
+         root per extension dominated the engine's allocation profile) *)
+  mutable journaling : bool;  (* true only inside [run_root_contained] *)
 }
 
 type fctx = {
@@ -192,6 +254,14 @@ type fctx = {
   typing : Ctyping.env;
   fname : string;
   ffile : string;
+  fbase : int;
+      (* flat id of this function's block 0 ([Flat.fbase]); -1 for
+         functions the supergraph's flat table does not know *)
+  fsum : fsum;
+      (* this function's summary tables, resolved once per frame instead
+         of per block visit (fsums entries are never replaced while a
+         frame is live: resets happen only at extension boundaries and
+         root rollback) *)
   depth : int;
   stack : string list;
   locals : string list;  (* declared locals, not params: filtered from suffix summaries *)
@@ -242,6 +312,23 @@ let charge_budget rctx =
     end
   end
 
+(* Charge a replayed shared unit to the demanding root's node budget: the
+   same units a private traversal of the callee would have charged one by
+   one ([p_stats] counts the scratch context's own visits, excluding
+   nested shared units — those are charged separately via [p_deps]). The
+   exhaustion message matches [charge_budget]'s exactly so a degraded
+   root reads the same whether the work was private or shared. *)
+let charge_pub rctx (p : pub) =
+  if rctx.opts.max_nodes_per_root > 0 then begin
+    rctx.fuel <-
+      rctx.fuel - (p.p_stats.nodes_visited + p.p_stats.instances_created);
+    if rctx.fuel <= 0 then
+      raise
+        (Budget_exceeded
+           (Printf.sprintf "node budget of %d exhausted"
+              rctx.opts.max_nodes_per_root))
+  end
+
 let get_fsum rctx (cfg : Cfg.t) =
   match Hashtbl.find_opt rctx.fsums cfg.fname with
   | Some s -> s
@@ -249,8 +336,9 @@ let get_fsum rctx (cfg : Cfg.t) =
       let n = Cfg.n_blocks cfg in
       let s =
         {
-          bs = Array.init n (fun _ -> Summary.create ~intern:rctx.intern ());
-          sfx = Array.init n (fun _ -> Summary.create ~intern:rctx.intern ());
+          f_it = rctx.intern;
+          bs = Array.make n None;
+          sfx = Array.make n None;
           rets = Hashtbl.create 4;
         }
       in
@@ -262,11 +350,15 @@ let get_fsum rctx (cfg : Cfg.t) =
    contexts (worker write-back merge, shared-unit replay) combine no
    matter whose interner produced them. *)
 let merge_fsum_into (dst : fsum) (src : fsum) =
-  let union (d : Summary.t array) (s : Summary.t array) =
+  let union (d : Summary.t option array) (s : Summary.t option array) =
     Array.iteri
       (fun i sum ->
-        List.iter (fun e -> ignore (Summary.add_edge d.(i) e)) (Summary.edges sum);
-        List.iter (Summary.add_src_key d.(i)) (Summary.srcs_list sum))
+        match sum with
+        | None -> ()
+        | Some sum ->
+            let di = block_sum dst d i in
+            Summary.iter_edges (fun e -> ignore (Summary.add_edge di e)) sum;
+            List.iter (Summary.add_src_key di) (Summary.srcs_list sum))
       s
   in
   union dst.bs src.bs;
@@ -277,14 +369,21 @@ let merge_fsum_into (dst : fsum) (src : fsum) =
 let report_key (r : Report.t) =
   Printf.sprintf "%s@%s" (Report.identity_key r) (Srcloc.to_string r.Report.loc)
 
+let j_push rctx u = if rctx.journaling then rctx.journal <- u :: rctx.journal
+
 let make_fctx rctx ~depth ~stack (cfg : Cfg.t) =
   let f = cfg.func in
-  Hashtbl.replace rctx.traversed f.fname ();
+  if not (Hashtbl.mem rctx.traversed f.fname) then begin
+    j_push rctx (U_mark (rctx.traversed, f.fname));
+    Hashtbl.replace rctx.traversed f.fname ()
+  end;
   {
     cfg;
     typing = Ctyping.enter_function rctx.sg.Supergraph.typing f;
     fname = f.fname;
     ffile = f.ffile;
+    fbase = Flat.fbase rctx.sg.Supergraph.flat f.fname;
+    fsum = get_fsum rctx cfg;
     depth;
     stack;
     locals = List.map fst (Cfg.locals_of f);
@@ -295,52 +394,79 @@ let make_fctx rctx ~depth ~stack (cfg : Cfg.t) =
 (* ------------------------------------------------------------------ *)
 
 let annotate_node rctx (e : Cast.expr) tag =
-  let tags = Option.value (Hashtbl.find_opt rctx.annots e.eid) ~default:[] in
-  if not (List.mem tag tags) then Hashtbl.replace rctx.annots e.eid (tag :: tags)
+  let prev = Hashtbl.find_opt rctx.annots e.eid in
+  let tags = Option.value prev ~default:[] in
+  if not (List.mem tag tags) then begin
+    j_push rctx (U_annot (e.eid, prev));
+    Hashtbl.replace rctx.annots e.eid (tag :: tags)
+  end
 
+(* Flat mode returns the supergraph's prebuilt global event arrays (no
+   per-context list building at all) and lays the terminator annotations
+   down on the block's first visit in this context, tracked by the
+   [annots_done] bitset (idempotent anyway — [annotate_node] dedups — but
+   the bitset keeps repeat visits allocation- and probe-free). Boxed mode
+   rebuilds per-context event arrays exactly as before, annotating at
+   build time; it exists as the A/B baseline ([--no-flat]) and its
+   synthesised decl-initialiser trees get per-context node ids. *)
 let events_of_block rctx fctx (block : Block.t) =
-  let key = Printf.sprintf "%s#%d" fctx.fname block.bid in
-  match Hashtbl.find_opt rctx.events_cache key with
-  | Some evs -> evs
-  | None ->
-      let of_elem = function
-        | Block.Tree e -> List.map (fun n -> Ev_node n) (Cast.exec_order e)
-        | Block.Decl d -> (
-            match d.Cast.dinit with
-            | Some init ->
-                let synth =
-                  Cast.mk_expr ~loc:init.eloc
-                    (Cast.Eassign (None, Cast.ident ~loc:init.eloc d.Cast.dname, init))
-                in
-                Ev_fresh d.Cast.dname
-                :: List.map (fun n -> Ev_node n) (Cast.exec_order synth)
-            | None -> [ Ev_fresh d.Cast.dname ])
-        | Block.End_of_scope vars -> [ Ev_scope_end vars ]
-      in
-      let term_evs =
-        match block.term with
-        | Block.Branch (c, _, _) ->
-            annotate_node rctx c "mc_branch";
-            List.map (fun n -> Ev_node n) (Cast.exec_order c)
-        | Block.Switch (e, _) ->
-            annotate_node rctx e "mc_branch";
-            List.map (fun n -> Ev_node n) (Cast.exec_order e)
-        | Block.Return (Some e) ->
-            annotate_node rctx e "mc_return";
-            List.map (fun n -> Ev_node n) (Cast.exec_order e)
-        | Block.Jump _ | Block.Return None | Block.Exit -> []
-      in
-      let evs = List.concat_map of_elem block.elems @ term_evs in
-      Hashtbl.replace rctx.events_cache key evs;
-      evs
+  let flat = rctx.sg.Supergraph.flat in
+  let fb = fctx.fbase + block.bid in
+  if rctx.opts.flatten && fctx.fbase >= 0 then begin
+    if Bytes.get rctx.annots_done fb = '\000' then begin
+      j_push rctx (U_adone fb);
+      Bytes.set rctx.annots_done fb '\001';
+      Array.iter
+        (fun (e, tag) -> annotate_node rctx e tag)
+        (Flat.annots flat fb)
+    end;
+    Flat.events flat fb
+  end
+  else
+    let key = Printf.sprintf "%s#%d" fctx.fname block.bid in
+    match Hashtbl.find_opt rctx.events_cache key with
+    | Some evs -> evs
+    | None ->
+        let of_elem = function
+          | Block.Tree e -> List.map (fun n -> Ev_node n) (Cast.exec_order e)
+          | Block.Decl d -> (
+              match d.Cast.dinit with
+              | Some init ->
+                  let synth =
+                    Cast.mk_expr ~loc:init.eloc
+                      (Cast.Eassign (None, Cast.ident ~loc:init.eloc d.Cast.dname, init))
+                  in
+                  Ev_fresh d.Cast.dname
+                  :: List.map (fun n -> Ev_node n) (Cast.exec_order synth)
+              | None -> [ Ev_fresh d.Cast.dname ])
+          | Block.End_of_scope vars -> [ Ev_scope_end vars ]
+        in
+        let term_evs =
+          match block.term with
+          | Block.Branch (c, _, _) ->
+              annotate_node rctx c "mc_branch";
+              List.map (fun n -> Ev_node n) (Cast.exec_order c)
+          | Block.Switch (e, _) ->
+              annotate_node rctx e "mc_branch";
+              List.map (fun n -> Ev_node n) (Cast.exec_order e)
+          | Block.Return (Some e) ->
+              annotate_node rctx e "mc_return";
+              List.map (fun n -> Ev_node n) (Cast.exec_order e)
+          | Block.Jump _ | Block.Return None | Block.Exit -> []
+        in
+        let evs = Array.of_list (List.concat_map of_elem block.elems @ term_evs) in
+        Hashtbl.replace rctx.events_cache key evs;
+        evs
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let bump_counter rctx which rule =
-  let e, c = Option.value (Hashtbl.find_opt rctx.counters rule) ~default:(0, 0) in
+  let prev = Hashtbl.find_opt rctx.counters rule in
+  let e, c = Option.value prev ~default:(0, 0) in
   let e, c = match which with `Example -> (e + 1, c) | `Counterexample -> (e, c + 1) in
+  j_push rctx (U_counter (rule, prev));
   Hashtbl.replace rctx.counters rule (e, c)
 
 let node_annotated rctx (e : Cast.expr) tag =
@@ -396,6 +522,7 @@ let emit_report rctx fctx ~node ~inst ?(annotations = []) ?rule ?var msg =
   in
   let key = Printf.sprintf "%s@%s" (Report.identity_key r) (Srcloc.to_string loc) in
   if not (Hashtbl.mem rctx.dedup key) then begin
+    j_push rctx (U_mark (rctx.dedup, key));
     Hashtbl.replace rctx.dedup key ();
     Log.info (fun m -> m "report: %a" Report.pp r);
     Report.emit rctx.collector r
@@ -563,31 +690,30 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
   let ext = sm.ext in
   let dsp = rctx.dsp in
   let trs = Dispatch.transitions dsp in
-  let cand = Dispatch.candidates dsp node in
+  let bucket = Dispatch.candidates dsp node in
+  let cand = bucket.Dispatch.b_trs in
   if
     Dispatch.indexed dsp
     && Array.length cand < Array.length (Dispatch.all_node dsp)
   then rctx.st.index_hits <- rctx.st.index_hits + 1;
-  (* Short-circuit prepass: decide from precompiled metadata alone whether
-     any loop below could do anything, before allocating the callout
-     context or the entry-state tables. *)
+  (* Short-circuit prepass: decide from the bucket's precompiled facts
+     alone whether any loop below could do anything, before allocating
+     the callout context or the entry-state tables. No per-transition
+     scan, no closure: three field reads plus (rarely) a short
+     string-array walk for the global source states. *)
   let entry_gstate = sm.gstate in
-  let have_actives = sm.actives <> [] in
-  let any_model = ref false in
-  let any_var = ref false in
-  let any_glob = ref false in
-  Array.iter
-    (fun ti ->
-      let c = trs.(ti) in
-      if c.Dispatch.c_call_model <> None then any_model := true;
-      (match c.Dispatch.c_src_var with
-      | Some _ -> if have_actives then any_var := true
-      | None -> ());
-      match c.Dispatch.c_src_global with
-      | Some g -> if String.equal g entry_gstate then any_glob := true
-      | None -> ())
-    cand;
-  if (not !any_model) && (not !any_var) && not !any_glob then (false, walk)
+  let any_model = bucket.Dispatch.b_any_model in
+  let any_var = bucket.Dispatch.b_has_var && sm.actives <> [] in
+  let any_glob =
+    let gs = bucket.Dispatch.b_globals in
+    let n = Array.length gs in
+    let rec scan i = i < n && (String.equal gs.(i) entry_gstate || scan (i + 1)) in
+    n > 0 && scan 0
+  in
+  if (not any_model) && (not any_var) && not any_glob then begin
+    rctx.node_matched <- false;
+    walk
+  end
   else begin
     let cctx = callout_ctx rctx fctx (Some node) in
     let matched = ref false in
@@ -604,7 +730,7 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
       match !touched with Some t -> Hashtbl.mem t key | None -> false
     in
     let walk = ref walk in
-    if !any_model then
+    if any_model then
       Array.iter
         (fun ti ->
           let c = trs.(ti) in
@@ -621,7 +747,7 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
                 | None -> ()))
         cand;
     (* variable-specific instances first; first matching transition wins *)
-    if !any_var then begin
+    if any_var then begin
       let entry_values : (string, string) Hashtbl.t = Hashtbl.create 8 in
       List.iter
         (fun (i : Sm.instance) ->
@@ -679,7 +805,7 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
         sm.actives
     end;
     (* then the global machine; first matching transition wins *)
-    if !any_glob then begin
+    if any_glob then begin
       let gfired = ref false in
       Array.iter
         (fun ti ->
@@ -726,7 +852,8 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
               end)
         cand
     end;
-    (!matched, !walk)
+    rctx.node_matched <- !matched;
+    !walk
   end
 
 (* End-of-path events: fire [$end_of_path$] transitions for the given
@@ -987,8 +1114,23 @@ let handle_writes rctx fctx walk (node : Cast.expr) =
 (* Block edge recording                                                *)
 (* ------------------------------------------------------------------ *)
 
-let record_block_edges (bs : Summary.t) ~depth_base ~entry_g
-    ~(snapshot : Summary.tuple Smap.t) walk =
+(* The block-entry snapshot is an array of (instance key atom, rendered
+   target key, entry tuple), deduplicated so each atom appears once (last
+   active wins — exactly what the [Smap.add] fold this replaces did).
+   Probes are a linear scan by int atom over a handful of entries; the
+   dominant no-instance case is a zero-length array and costs nothing. *)
+let snapshot_find (snapshot : (int * string * Summary.tuple) array) atom =
+  let n = Array.length snapshot in
+  let rec go i =
+    if i >= n then None
+    else
+      let a, _, tup = Array.unsafe_get snapshot i in
+      if a = atom then Some tup else go (i + 1)
+  in
+  go 0
+
+let record_block_edges ~intern (bs : Summary.t) ~depth_base ~entry_g
+    ~(snapshot : (int * string * Summary.tuple) array) walk =
   let sm = walk.sm in
   let exit_g = sm.gstate in
   ignore
@@ -1002,7 +1144,8 @@ let record_block_edges (bs : Summary.t) ~depth_base ~entry_g
   List.iter
     (fun (i : Sm.instance) ->
       if not i.inactive then begin
-        Hashtbl.replace live i.target_key ();
+        let atom = Summary.instance_key_atom intern i in
+        Hashtbl.replace live atom ();
         let cur = Summary.tuple_of_instance ~gstate:exit_g ~depth_base i in
         if Sset.mem i.target_key walk.created then
           ignore
@@ -1013,7 +1156,7 @@ let record_block_edges (bs : Summary.t) ~depth_base ~entry_g
                  e_kind = Summary.Add;
                })
         else
-          match Smap.find_opt i.target_key snapshot with
+          match snapshot_find snapshot atom with
           | Some entry_tup ->
               ignore
                 (Summary.add_edge bs
@@ -1028,25 +1171,33 @@ let record_block_edges (bs : Summary.t) ~depth_base ~entry_g
                    })
       end)
     sm.actives;
-  (* entry tuples whose instance died: transition to stop *)
-  Smap.iter
-    (fun key (entry_tup : Summary.tuple) ->
-      if not (Hashtbl.mem live key) then
-        match entry_tup.t_v with
-        | Some v ->
-            ignore
-              (Summary.add_edge bs
-                 {
-                   Summary.e_src = entry_tup;
-                   e_dst =
-                     {
-                       Summary.t_g = exit_g;
-                       t_v = Some { v with Summary.v_value = Sm.stop_value };
-                     };
-                   e_kind = Summary.Transition;
-                 })
-        | None -> ())
-    snapshot
+  (* Entry tuples whose instance died: transition to stop. Edge insertion
+     order is observable (it flows through [Summary.order] into relax and
+     summary application), so iterate in the lexicographic target-key
+     order the [Smap.iter] this replaces used — the sort runs only on the
+     rare blocks entered with live instances. *)
+  if Array.length snapshot > 0 then begin
+    let by_key = Array.copy snapshot in
+    Array.sort (fun (_, ka, _) (_, kb, _) -> String.compare ka kb) by_key;
+    Array.iter
+      (fun (atom, _, (entry_tup : Summary.tuple)) ->
+        if not (Hashtbl.mem live atom) then
+          match entry_tup.t_v with
+          | Some v ->
+              ignore
+                (Summary.add_edge bs
+                   {
+                     Summary.e_src = entry_tup;
+                     e_dst =
+                       {
+                         Summary.t_g = exit_g;
+                         t_v = Some { v with Summary.v_value = Sm.stop_value };
+                       };
+                     e_kind = Summary.Transition;
+                   })
+          | None -> ())
+      by_key
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Relax: suffix-summary computation (Figure 6)                        *)
@@ -1069,21 +1220,20 @@ let suffix_eligible fctx (e : Summary.edge) =
 
 let propagate fctx (prev_bs : Summary.t) (prev_sfx : Summary.t) (cur_sfx : Summary.t) =
   let changed = ref false in
-  List.iter
+  Summary.iter_edges
     (fun (e : Summary.edge) ->
       if suffix_eligible fctx e then
         match e.e_kind with
         | Summary.Transition ->
-            List.iter
+            Summary.iter_by_dst prev_bs e.e_src
               (fun (pe : Summary.edge) ->
                 let newe =
                   { Summary.e_src = pe.e_src; e_dst = e.e_dst; e_kind = pe.e_kind }
                 in
                 if suffix_eligible fctx newe && Summary.add_edge prev_sfx newe then
                   changed := true)
-              (Summary.find_by_dst prev_bs e.e_src)
         | Summary.Add ->
-            List.iter
+            Summary.iter_edges
               (fun (pe : Summary.edge) ->
                 if
                   Summary.is_global_only pe
@@ -1094,28 +1244,31 @@ let propagate fctx (prev_bs : Summary.t) (prev_sfx : Summary.t) (cur_sfx : Summa
                   in
                   if Summary.add_edge prev_sfx newe then changed := true
                 end)
-              (Summary.edges prev_bs))
-    (Summary.edges cur_sfx);
+              prev_bs)
+    cur_sfx;
   !changed
 
 (* [backtrace] lists the blocks of the current intraprocedural path, most
    recent first. The head is the terminal block: the function exit on a
    completed path, or the block where a cache hit aborted the path. *)
-let relax rctx fctx (backtrace : int list) =
-  let sums = get_fsum rctx fctx.cfg in
+let relax _rctx fctx (backtrace : int list) =
+  let sums = fctx.fsum in
   match backtrace with
   | [] -> ()
   | terminal :: rest ->
       if terminal = fctx.cfg.exit_ then
         (* ep's suffix summary equals its block summary *)
-        List.iter
-          (fun e ->
-            if suffix_eligible fctx e then ignore (Summary.add_edge sums.sfx.(terminal) e))
-          (Summary.edges sums.bs.(terminal));
+        (let tsfx = sfxsum sums terminal in
+         Summary.iter_edges
+           (fun e ->
+             if suffix_eligible fctx e then ignore (Summary.add_edge tsfx e))
+           (bsum sums terminal));
       let rec walk cur = function
         | [] -> ()
         | prev :: rest ->
-            let changed = propagate fctx sums.bs.(prev) sums.sfx.(prev) sums.sfx.(cur) in
+            let changed =
+              propagate fctx (bsum sums prev) (sfxsum sums prev) (sfxsum sums cur)
+            in
             if changed then walk prev rest
       in
       walk terminal rest
@@ -1252,7 +1405,7 @@ type outcome = {
    continuation cost stays linear. *)
 let apply_function_summary (sums : fsum) (cfg : Cfg.t) (refined : Sm.sm_inst) :
     (string * outcome list) list =
-  let sfx = sums.sfx.(cfg.entry) in
+  let sfx = sfxsum sums cfg.entry in
   let all = Summary.edges sfx in
   if all = [] then
     (* the callee has never completed a path (e.g. recursion bottom):
@@ -1464,8 +1617,7 @@ let call_target rctx (node : Cast.expr) =
 let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
   rctx.st.blocks_visited <- rctx.st.blocks_visited + 1;
   let block = Cfg.block fctx.cfg bid in
-  let sums = get_fsum rctx fctx.cfg in
-  let bs = sums.bs.(bid) in
+  let bs = bsum fctx.fsum bid in
   let sm = walk.sm in
   let store =
     if block.havoc = [] then walk.store else Store.havoc walk.store block.havoc
@@ -1504,15 +1656,38 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
   else begin
     Summary.add_src_sm bs sm;
     let entry_g = sm.gstate in
+    (* block-entry snapshot: (key atom, target key, entry tuple) per live
+       instance, later duplicates of an atom replacing earlier ones (the
+       [Smap.add] overwrite this array replaces); [||] when no instance
+       is live, which is the common case and allocates nothing *)
     let snapshot =
-      List.fold_left
-        (fun m (i : Sm.instance) ->
-          if i.inactive then m
-          else
-            Smap.add i.target_key
-              (Summary.tuple_of_instance ~gstate:entry_g ~depth_base:fctx.depth i)
-              m)
-        Smap.empty sm.actives
+      if List.for_all (fun (i : Sm.instance) -> i.inactive) sm.actives then [||]
+      else begin
+        let entries =
+          List.filter_map
+            (fun (i : Sm.instance) ->
+              if i.inactive then None
+              else
+                Some
+                  ( Summary.instance_key_atom rctx.intern i,
+                    i.target_key,
+                    Summary.tuple_of_instance ~gstate:entry_g
+                      ~depth_base:fctx.depth i ))
+            sm.actives
+        in
+        let seen = Hashtbl.create 8 in
+        let keep =
+          List.filter
+            (fun (a, _, _) ->
+              if Hashtbl.mem seen a then false
+              else begin
+                Hashtbl.replace seen a ();
+                true
+              end)
+            (List.rev entries)
+        in
+        Array.of_list (List.rev keep)
+      end
     in
     let walk = { walk with store; created = Sset.empty } in
     (* at the function exit node, unresolved path-specific transitions take
@@ -1526,10 +1701,12 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
        node of this block, apply_transitions is a provable no-op for every
        node event and is skipped wholesale; scope ends, fresh-variable
        kills and write handling still run *)
-    let live = Dispatch.block_live rctx.dsp ~fname:fctx.fname bid in
+    let live =
+      fctx.fbase < 0 || Dispatch.block_live_flat rctx.dsp (fctx.fbase + bid)
+    in
     if not live then rctx.st.blocks_skipped <- rctx.st.blocks_skipped + 1;
     let evs = events_of_block rctx fctx block in
-    process_events rctx fctx ~live evs walk (fun walk' ->
+    process_events rctx fctx ~live evs 0 walk (fun walk' ->
         (* call-expression instances are ephemeral value-flow carriers:
            they must not leak into summaries or outlive their statement *)
         walk'.sm.actives <-
@@ -1537,7 +1714,8 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
             (fun (i : Sm.instance) ->
               not (contains_call i.target))
             walk'.sm.actives;
-        record_block_edges bs ~depth_base:fctx.depth ~entry_g ~snapshot walk';
+        record_block_edges ~intern:rctx.intern bs ~depth_base:fctx.depth
+          ~entry_g ~snapshot walk';
         let bt = bid :: backtrace in
         if walk'.sm.killed_path then begin
           rctx.st.paths_explored <- rctx.st.paths_explored + 1;
@@ -1546,48 +1724,57 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
         else handle_terminator rctx fctx walk' bt block)
   end
 
-and process_events rctx fctx ~live evs walk (k : walk -> unit) : unit =
-  match evs with
-  | [] -> k walk
-  | _ when walk.sm.killed_path -> k walk
-  | Ev_scope_end vars :: rest ->
-      let leaving =
-        List.filter
-          (fun (i : Sm.instance) ->
-            (not i.inactive)
-            && List.exists (fun x -> List.mem x vars) (Cast.idents_of_expr i.target))
-          walk.sm.actives
-      in
-      let walk =
-        if leaving = [] then walk
-        else fire_end_of_path rctx fctx walk ~instances:leaving ~global:false
-      in
-      process_events rctx fctx ~live rest walk k
-  | Ev_fresh x :: rest ->
-      if rctx.opts.auto_kill && walk.sm.ext.auto_kill then
-        kill_mentions rctx walk ~at:(-1) x;
-      let walk = { walk with store = Store.assign_unknown walk.store x } in
-      process_events rctx fctx ~live rest walk k
-  | Ev_node node :: rest ->
-      rctx.st.nodes_visited <- rctx.st.nodes_visited + 1;
-      charge_budget rctx;
-      if node_annotated rctx node kill_path_tag then begin
-        walk.sm.killed_path <- true;
-        k walk
-      end
-      else begin
-        let matched, walk =
-          if live then apply_transitions rctx fctx walk node else (false, walk)
+and process_events rctx fctx ~live (evs : ev array) (i : int) walk
+    (k : walk -> unit) : unit =
+  if i >= Array.length evs then k walk
+  else if walk.sm.killed_path then k walk
+  else
+    match Array.unsafe_get evs i with
+    | Ev_scope_end vars ->
+        let leaving =
+          List.filter
+            (fun (inst : Sm.instance) ->
+              (not inst.inactive)
+              && List.exists
+                   (fun x -> List.mem x vars)
+                   (Cast.idents_of_expr inst.target))
+            walk.sm.actives
         in
-        let walk = handle_writes rctx fctx walk node in
-        match call_target rctx node with
-        | Some (f, args, callee_cfg)
-          when rctx.opts.interproc && (not matched)
-               && fctx.depth < rctx.opts.max_call_depth ->
-            follow_call rctx fctx walk node f args callee_cfg (fun walk' ->
-                process_events rctx fctx ~live rest walk' k)
-        | _ -> process_events rctx fctx ~live rest walk k
-      end
+        let walk =
+          if leaving = [] then walk
+          else fire_end_of_path rctx fctx walk ~instances:leaving ~global:false
+        in
+        process_events rctx fctx ~live evs (i + 1) walk k
+    | Ev_fresh x ->
+        if rctx.opts.auto_kill && walk.sm.ext.auto_kill then
+          kill_mentions rctx walk ~at:(-1) x;
+        let walk = { walk with store = Store.assign_unknown walk.store x } in
+        process_events rctx fctx ~live evs (i + 1) walk k
+    | Ev_node node ->
+        rctx.st.nodes_visited <- rctx.st.nodes_visited + 1;
+        charge_budget rctx;
+        if node_annotated rctx node kill_path_tag then begin
+          walk.sm.killed_path <- true;
+          k walk
+        end
+        else begin
+          let walk =
+            if live then apply_transitions rctx fctx walk node
+            else begin
+              rctx.node_matched <- false;
+              walk
+            end
+          in
+          let matched = rctx.node_matched in
+          let walk = handle_writes rctx fctx walk node in
+          match call_target rctx node with
+          | Some (f, args, callee_cfg)
+            when rctx.opts.interproc && (not matched)
+                 && fctx.depth < rctx.opts.max_call_depth ->
+              follow_call rctx fctx walk node f args callee_cfg (fun walk' ->
+                  process_events rctx fctx ~live evs (i + 1) walk' k)
+          | _ -> process_events rctx fctx ~live evs (i + 1) walk k
+        end
 
 and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t)
     (k : walk -> unit) : unit =
@@ -1598,7 +1785,7 @@ and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t
   let callee = callee_cfg.func in
   let setup = refine_call rctx fctx walk callee args in
   let sums = get_fsum rctx callee_cfg in
-  let entry_bs = sums.bs.(callee_cfg.entry) in
+  let entry_bs = bsum sums callee_cfg.entry in
   (* has the callee's entry block already seen every tuple of the refined
      state? (the probes mirror [Summary.tuples_of_sm]) *)
   let all_cached =
@@ -1720,7 +1907,28 @@ and shared_call rctx fctx (setup : call_setup) fname (callee_cfg : Cfg.t) : bool
                       Shared_sums.abort sh.sh_tbl key;
                       raise e)
             in
-            Hashtbl.replace rctx.demanded key ();
+            (* Budget accounting (first demand of this unit only — replays
+               of an already-demanded unit are free, as the sequential
+               engine's summary cache would have made them): charge the
+               unit's own work, then each not-yet-demanded transitive dep's.
+               A charge can raise [Budget_exceeded], degrading this root
+               with the same reason a private traversal would have. *)
+            let first = not (Hashtbl.mem rctx.demanded key) in
+            if first then begin
+              j_push rctx (U_mark (rctx.demanded, key));
+              Hashtbl.replace rctx.demanded key ();
+              charge_pub rctx p;
+              List.iter
+                (fun dk ->
+                  if not (Hashtbl.mem rctx.demanded dk) then begin
+                    j_push rctx (U_mark (rctx.demanded, dk));
+                    Hashtbl.replace rctx.demanded dk ();
+                    match Shared_sums.find_published sh.sh_tbl dk with
+                    | Some dp -> charge_pub rctx dp
+                    | None -> ()
+                  end)
+                p.p_deps
+            end;
             replay_pub rctx p;
             true
         | _ -> false)
@@ -1734,6 +1942,7 @@ and compute_pub sh rctx fname (callee_cfg : Cfg.t) gstate : pub =
       collector = Report.new_collector ();
       counters = Hashtbl.create 16;
       annots = Hashtbl.copy sh.sh_base_annots;
+      annots_done = Bytes.make rctx.sg.Supergraph.flat.Flat.n_blocks '\000';
       fsums = Hashtbl.create 16;
       events_cache = Hashtbl.create 64;
       dedup = Hashtbl.create 16;
@@ -1747,6 +1956,9 @@ and compute_pub sh rctx fname (callee_cfg : Cfg.t) gstate : pub =
       deadline = 0.;
       poll = budget_poll;
       degraded_roots = [];
+      node_matched = false;
+      journal = [];
+      journaling = false;
     }
   in
   reset_budget scratch;
@@ -1800,21 +2012,39 @@ and replay_pub rctx (p : pub) : unit =
     (fun r ->
       let key = report_key r in
       if not (Hashtbl.mem rctx.dedup key) then begin
+        j_push rctx (U_mark (rctx.dedup, key));
         Hashtbl.replace rctx.dedup key ();
         Report.emit rctx.collector r
       end)
     p.p_reports;
   List.iter
     (fun (eid, tags) ->
-      let cur = ref (Option.value (Hashtbl.find_opt rctx.annots eid) ~default:[]) in
-      List.iter (fun t -> if not (List.mem t !cur) then cur := t :: !cur) tags;
-      Hashtbl.replace rctx.annots eid !cur)
+      let prev = Hashtbl.find_opt rctx.annots eid in
+      let cur = ref (Option.value prev ~default:[]) in
+      let changed = ref false in
+      List.iter
+        (fun t ->
+          if not (List.mem t !cur) then begin
+            cur := t :: !cur;
+            changed := true
+          end)
+        tags;
+      if !changed then begin
+        j_push rctx (U_annot (eid, prev));
+        Hashtbl.replace rctx.annots eid !cur
+      end)
     p.p_annots;
-  List.iter (fun f -> Hashtbl.replace rctx.traversed f ()) p.p_traversed;
-  (* counters and stats are NOT injected: the merge folds each demanded
-     publication's accounting in exactly once ([p_deps] marks nested
-     units as demanded too) *)
-  List.iter (fun k -> Hashtbl.replace rctx.demanded k ()) p.p_deps
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem rctx.traversed f) then begin
+        j_push rctx (U_mark (rctx.traversed, f));
+        Hashtbl.replace rctx.traversed f ()
+      end)
+    p.p_traversed
+(* counters and stats are NOT injected: the merge folds each demanded
+   publication's accounting in exactly once. [shared_call] marks the
+   publication's [p_deps] as demanded (and budget-charges them) before
+   calling here. *)
 
 and handle_terminator rctx fctx walk (bt : int list) (block : Block.t) : unit =
   match block.term with
@@ -1823,7 +2053,7 @@ and handle_terminator rctx fctx walk (bt : int list) (block : Block.t) : unit =
       (match ret with
       | Some e ->
           let key = Cast.key_of_expr (strip_casts e) in
-          let sums = get_fsum rctx fctx.cfg in
+          let sums = fctx.fsum in
           List.iter
             (fun (i : Sm.instance) ->
               if (not i.inactive) && String.equal i.target_key key then
@@ -1935,15 +2165,23 @@ let run_root rctx (ext : Sm.t) root =
 (* A root that blows its budget (or crashes outright) must abandon ONLY
    itself: every other root's reports stay byte-identical to a run that
    never had the bad root, at any [-j]. The mutable state a partial
-   traversal can leak into is snapshotted before each root and restored
-   on failure:
+   traversal can leak into is rolled back on failure via the undo
+   journal armed by [snapshot_root] (each table write inside a root
+   records its pre-root value; the tables are add/replace-only, so
+   replaying the journal newest-first restores them exactly). Journaling
+   replaces the earlier deep-copy snapshots, which cloned five
+   hashtables plus a bitset per root per extension and dominated the
+   engine's allocation profile — healthy roots (the common case) now pay
+   one journal cell per table write instead of a full copy up front.
 
    - reports/dedup: partial reports would survive the merge (and their
      dedup keys would suppress identical reports from healthy roots);
-   - counters, annots, traversed: partial contributions change later
-     roots' view (annotations) or the result's accounting;
-   - stats: restored wholesale so accounting matches a run without the
-     degraded root.
+     reports themselves are truncated back to a count taken at the root
+     boundary;
+   - counters, annots, traversed, demanded: partial contributions change
+     later roots' view (annotations) or the result's accounting;
+   - stats: restored wholesale (one small record copy) so accounting
+     matches a run without the degraded root.
 
    Function summaries and the events cache are different: a snapshot
    would have to deep-copy every Summary, so instead they are RESET on
@@ -1957,15 +2195,7 @@ let run_root rctx (ext : Sm.t) root =
    annotations it lays down ([mc_branch]/[mc_return]) so both stay in
    lockstep. *)
 
-type root_snapshot = {
-  sn_reports : int;
-  sn_counters : (string, int * int) Hashtbl.t;
-  sn_dedup : (string, unit) Hashtbl.t;
-  sn_annots : (int, string list) Hashtbl.t;
-  sn_traversed : (string, unit) Hashtbl.t;
-  sn_demanded : (string, unit) Hashtbl.t;
-  sn_stats : stats;
-}
+type root_snapshot = { sn_reports : int; sn_stats : stats }
 
 let copy_stats (s : stats) = { s with blocks_visited = s.blocks_visited }
 
@@ -1993,27 +2223,21 @@ let assign_stats (dst : stats) (src : stats) =
   dst.sched_waits <- src.sched_waits
 
 let snapshot_root rctx =
-  {
-    sn_reports = Report.count rctx.collector;
-    sn_counters = Hashtbl.copy rctx.counters;
-    sn_dedup = Hashtbl.copy rctx.dedup;
-    sn_annots = Hashtbl.copy rctx.annots;
-    sn_traversed = Hashtbl.copy rctx.traversed;
-    sn_demanded = Hashtbl.copy rctx.demanded;
-    sn_stats = copy_stats rctx.st;
-  }
+  rctx.journal <- [];
+  rctx.journaling <- true;
+  { sn_reports = Report.count rctx.collector; sn_stats = copy_stats rctx.st }
 
-let restore_tbl dst src =
-  Hashtbl.reset dst;
-  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+let apply_undo rctx = function
+  | U_annot (eid, Some tags) -> Hashtbl.replace rctx.annots eid tags
+  | U_annot (eid, None) -> Hashtbl.remove rctx.annots eid
+  | U_mark (tbl, key) -> Hashtbl.remove tbl key
+  | U_counter (rule, Some v) -> Hashtbl.replace rctx.counters rule v
+  | U_counter (rule, None) -> Hashtbl.remove rctx.counters rule
+  | U_adone fb -> Bytes.set rctx.annots_done fb '\000'
 
 let rollback_root rctx sn =
   Report.truncate rctx.collector sn.sn_reports;
-  restore_tbl rctx.counters sn.sn_counters;
-  restore_tbl rctx.dedup sn.sn_dedup;
-  restore_tbl rctx.annots sn.sn_annots;
-  restore_tbl rctx.traversed sn.sn_traversed;
-  restore_tbl rctx.demanded sn.sn_demanded;
+  List.iter (apply_undo rctx) rctx.journal;
   assign_stats rctx.st sn.sn_stats;
   Hashtbl.reset rctx.fsums;
   Hashtbl.reset rctx.events_cache
@@ -2022,19 +2246,24 @@ let rollback_root rctx sn =
    exhaustion and arbitrary crashes (a checker action raising, a stack
    overflow on a pathological CFG) alike. On failure the root is rolled
    back and recorded as [degraded]; the caller moves on to the next
-   root. *)
+   root. Either way the journal is released: a healthy root's writes
+   become permanent, and cross-root work (worker merges, shared-summary
+   publication) runs unjournaled. *)
 let run_root_contained rctx (ext : Sm.t) root =
   let sn = snapshot_root rctx in
   reset_budget rctx;
-  try run_root rctx ext root
-  with e ->
-    let reason =
-      match e with
-      | Budget_exceeded r -> r
-      | e -> "uncaught exception: " ^ Printexc.to_string e
-    in
-    rollback_root rctx sn;
-    rctx.degraded_roots <- { d_root = root; d_reason = reason } :: rctx.degraded_roots
+  (try run_root rctx ext root
+   with e ->
+     let reason =
+       match e with
+       | Budget_exceeded r -> r
+       | e -> "uncaught exception: " ^ Printexc.to_string e
+     in
+     rollback_root rctx sn;
+     rctx.degraded_roots <-
+       { d_root = root; d_reason = reason } :: rctx.degraded_roots);
+  rctx.journaling <- false;
+  rctx.journal <- []
 
 (* Installing an extension in a context compiles its dispatch tables;
    [cur_ext] and [dsp] must stay in lockstep, so this is the only way
@@ -2062,6 +2291,7 @@ let new_rctx_in ?(options = default_options) ~ext ~dsp sg =
     collector = Report.new_collector ();
     counters = Hashtbl.create 16;
     annots = Hashtbl.create 64;
+    annots_done = Bytes.make (max 1 sg.Supergraph.flat.Flat.n_blocks) '\000';
     fsums = Hashtbl.create 64;
     events_cache = Hashtbl.create 256;
     dedup = Hashtbl.create 64;
@@ -2075,6 +2305,9 @@ let new_rctx_in ?(options = default_options) ~ext ~dsp sg =
     deadline = 0.;
     poll = budget_poll;
     degraded_roots = [];
+    node_matched = false;
+    journal = [];
+    journaling = false;
   }
 
 let new_rctx ?(options = default_options) sg =
@@ -2163,10 +2396,14 @@ let seal_worker_stats (w : rctx) =
    re-analysed once per chunk that demands it — is handled by a shared
    publish-once store: pure-entry callee units are computed exactly once
    fleet-wide in scratch contexts and replayed into each demanding root
-   (see [shared_call]). Sharing needs [caching] on and per-root budgets
-   off: a budget is accounting against a single root's fuel, and a shared
-   computation has no single payer, so budget-limited runs simply fall
-   back to private per-root traversals. *)
+   (see [shared_call]). Sharing needs [caching] on and per-root timeouts
+   off (a wall-clock deadline is timing-dependent, so which unit blows it
+   is not reproducible). Node budgets are compatible: a replayed unit is
+   charged to the demanding root's fuel — its own work plus its
+   not-yet-demanded transitive deps — exactly the units a private
+   traversal would have charged, and a unit whose own traversal blows the
+   scratch budget aborts its claim and degrades the demanding root with
+   the same reason (see [shared_call]/[charge_pub]). *)
 let run_extension_parallel ~jobs base (ext : Sm.t) =
   set_extension base ext;
   let roots = Array.of_list (Supergraph.roots base.sg) in
@@ -2180,11 +2417,7 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
   in
   let order = Array.init n Fun.id in
   Array.sort (fun a b -> compare (height_of a, a) (height_of b, b)) order;
-  let sharing =
-    base.opts.caching
-    && base.opts.max_nodes_per_root = 0
-    && base.opts.timeout_per_root = 0.
-  in
+  let sharing = base.opts.caching && base.opts.timeout_per_root = 0. in
   let sh =
     if sharing then
       Some
@@ -2631,8 +2864,9 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
                   let n = Array.length src.bs in
                   let d =
                     {
-                      bs = Array.init n (fun _ -> Summary.create ~intern:mit ());
-                      sfx = Array.init n (fun _ -> Summary.create ~intern:mit ());
+                      f_it = mit;
+                      bs = Array.make n None;
+                      sfx = Array.make n None;
                       rets = Hashtbl.create 4;
                     }
                   in
@@ -2652,7 +2886,8 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
         | _ ->
             let s = Hashtbl.find merged fname in
             Summary_store.store_fn store ~ext:ext_key ~fname
-              ~closure:(closure_of fname) ~bs:s.bs ~sfx:s.sfx
+              ~closure:(closure_of fname) ~bs:(densify mit s.bs)
+              ~sfx:(densify mit s.sfx)
               ~rets:
                 (List.sort String.compare
                    (Hashtbl.fold (fun k () acc -> k :: acc) s.rets [])))
@@ -2743,7 +2978,9 @@ let run_with_summaries ?options sg exts =
         run_extension rctx ext;
         let summaries = Hashtbl.create 16 in
         Hashtbl.iter
-          (fun fname (s : fsum) -> Hashtbl.replace summaries fname (s.bs, s.sfx))
+          (fun fname (s : fsum) ->
+            Hashtbl.replace summaries fname
+              (densify s.f_it s.bs, densify s.f_it s.sfx))
           rctx.fsums;
         (ext.Sm.sm_name, summaries))
       exts

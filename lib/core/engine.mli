@@ -31,6 +31,13 @@ type options = {
           byte-identical either way, so the flag is deliberately {e not}
           part of {!options_digest}. Default on; [--no-dispatch-index]
           turns it off for A/B comparison. *)
+  flatten : bool;
+      (** serve block events from the supergraph's prebuilt flat tables
+          ({!Flat}) instead of rebuilding per-context event lists. Like
+          [dispatch], purely an execution strategy — reports are
+          byte-identical either way and the flag is {e not} part of
+          {!options_digest}, so warm caches replay across modes. Default
+          on; [--no-flat] turns it off for A/B comparison. *)
   max_nodes_per_root : int;
       (** per-root fuel: nodes visited plus instances created before the
           root is abandoned as {!degraded}. [0] (the default) means
@@ -157,10 +164,13 @@ val run :
     re-deduplicated by their identity key, counters and stats summed,
     each shared unit's accounting folded in exactly once), so the reports
     are byte-identical to the sequential run and independent of
-    scheduling. Unit sharing requires [caching] on and per-root budgets
-    off ([max_nodes_per_root = 0], [timeout_per_root = 0.]) — a budget is
-    one root's fuel and a shared computation has no single payer —
-    otherwise roots fall back to private traversals.
+    scheduling. Unit sharing requires [caching] on and per-root timeouts
+    off ([timeout_per_root = 0.], wall-clock deadlines being inherently
+    timing-dependent); node budgets compose with sharing — a replayed
+    unit (plus its not-yet-demanded transitive deps) is charged to the
+    demanding root's fuel exactly as a private traversal of the callee
+    would have been, so [max_nodes_per_root] no longer disables the
+    shared store and [shared_recomputed] stays 0 under budgets.
     Annotations still compose across extensions (merged between extension
     runs); annotations made during one root's traversal are not visible to
     {e other roots of the same extension} in parallel mode.

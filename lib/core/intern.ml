@@ -8,8 +8,11 @@
      int; [name] is an array read back to the string.
    - tuples: the triple (gstate atom, target-key atom, value atom) mapped
      to the atom id of its rendered tuple key. The rendering happens at
-     most once per distinct triple; every later probe is an int-triple
-     hash lookup that allocates nothing but the key triple.
+     most once per distinct triple; every later probe packs the three
+     component ids into one immediate int (20 bits each) and hashes that,
+     allocating nothing at all. Components too large to pack — about a
+     million distinct strings in one root — fall back to a boxed-triple
+     spill table with identical semantics.
 
    Because a tuple id IS the atom id of its rendered key, two tuples get
    the same id exactly when their rendered keys are equal — the identity
@@ -25,7 +28,12 @@ type t = {
   mutable names : string array; (* atom id -> string *)
   mutable n : int;
   ids : (string, int) Hashtbl.t; (* string -> atom id *)
-  triples : (int * int * int, int) Hashtbl.t; (* (g, vkey, vval) -> tuple id *)
+  packed : (int, int) Hashtbl.t;
+      (* the triple packed into one int (20 bits per component) -> tuple
+         id; the no-allocation fast path of [tuple] *)
+  triples : (int * int * int, int) Hashtbl.t;
+      (* spill table for components >= 2^20 - 1 (one root would need
+         about a million distinct strings to reach it) *)
   stamp : int;
 }
 
@@ -37,13 +45,14 @@ let create () =
     names = Array.make 64 "";
     n = 0;
     ids = Hashtbl.create 256;
-    triples = Hashtbl.create 256;
+    packed = Hashtbl.create 256;
+    triples = Hashtbl.create 8;
     stamp = 1 + Atomic.fetch_and_add stamp_counter 1;
   }
 
 let stamp t = t.stamp
 let n_atoms t = t.n
-let n_tuples t = Hashtbl.length t.triples
+let n_tuples t = Hashtbl.length t.packed + Hashtbl.length t.triples
 
 let atom t s =
   match Hashtbl.find_opt t.ids s with
@@ -64,14 +73,31 @@ let name t id = t.names.(id)
 
 let no_var = -1
 
+let render t ~g ~vkey ~vval =
+  if vkey = no_var then Printf.sprintf "(%s,<>)" (name t g)
+  else Printf.sprintf "(%s,%s->%s)" (name t g) (name t vkey) (name t vval)
+
+(* Components at or above this never pack (they would collide under the
+   20-bit fields); [no_var] maps to field value 0 via the +1 bias. *)
+let spill_lim = (1 lsl 20) - 1
+
 let tuple t ~g ~vkey ~vval =
-  match Hashtbl.find_opt t.triples (g, vkey, vval) with
-  | Some id -> id
-  | None ->
-      let rendered =
-        if vkey = no_var then Printf.sprintf "(%s,<>)" (name t g)
-        else Printf.sprintf "(%s,%s->%s)" (name t g) (name t vkey) (name t vval)
-      in
-      let id = atom t rendered in
-      Hashtbl.replace t.triples (g, vkey, vval) id;
-      id
+  if g < spill_lim && vkey < spill_lim && vval < spill_lim then begin
+    (* 3 x 20 bits + the bias fit in 61 bits: always a positive OCaml
+       int, and building the key allocates nothing (unlike the boxed
+       triple the spill path hashes) *)
+    let key = (((g lsl 20) lor (vkey + 1)) lsl 20) lor (vval + 1) in
+    match Hashtbl.find t.packed key with
+    | id -> id
+    | exception Not_found ->
+        let id = atom t (render t ~g ~vkey ~vval) in
+        Hashtbl.replace t.packed key id;
+        id
+  end
+  else
+    match Hashtbl.find t.triples (g, vkey, vval) with
+    | id -> id
+    | exception Not_found ->
+        let id = atom t (render t ~g ~vkey ~vval) in
+        Hashtbl.replace t.triples (g, vkey, vval) id;
+        id

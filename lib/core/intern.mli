@@ -38,7 +38,9 @@ val no_var : int
 val tuple : t -> g:int -> vkey:int -> vval:int -> int
 (** Id of the state tuple [(g, vkey->vval)] — or [(g, <>)] when [vkey] is
     {!no_var}. Renders the tuple key (exactly as [Summary.tuple_key] does)
-    on first sight only. *)
+    on first sight only; later probes pack the component ids into one
+    immediate int and allocate nothing (components beyond 2^20-1 spill to
+    a boxed-triple table with identical semantics). *)
 
 val n_atoms : t -> int
 val n_tuples : t -> int

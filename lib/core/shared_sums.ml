@@ -80,6 +80,17 @@ let publish t key v =
   Condition.broadcast s.cond;
   Mutex.unlock s.lock
 
+let find_published t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r =
+    match Hashtbl.find_opt s.tbl key with
+    | Some (Published v) -> Some v
+    | Some Computing | None -> None
+  in
+  Mutex.unlock s.lock;
+  r
+
 let abort t key =
   let s = shard_of t key in
   Mutex.lock s.lock;

@@ -47,6 +47,13 @@ val publish : 'a t -> string -> 'a -> unit
 val abort : 'a t -> string -> unit
 (** Retract a claim without publishing; no-op on published/absent keys. *)
 
+val find_published : 'a t -> string -> 'a option
+(** The published record under [key], without claiming or waiting:
+    [None] while the key is absent or still being computed. The engine
+    uses this to charge a replayed unit's transitive dependencies to a
+    budgeted root's fuel — every dependency of a published unit is
+    itself published before the unit is. *)
+
 val fold_published : 'a t -> (string -> 'a -> 'acc -> 'acc) -> 'acc -> 'acc
 (** Fold over all published records in sorted key order — deterministic
     regardless of publication order, which is what lets the engine fold

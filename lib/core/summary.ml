@@ -101,7 +101,11 @@ type t = {
   tbl : (int, edge) Hashtbl.t;
   srcs : (int, unit) Hashtbl.t;
   by_dst : (int, edge list) Hashtbl.t;  (* dst tuple id -> edges, newest first *)
-  mutable order : edge list;  (* insertion order, newest first *)
+  (* insertion order as a growable array: the relax pass re-reads each
+     block's edges on every path, so order must iterate oldest-first
+     without building a fresh list each time *)
+  mutable earr : edge array;
+  mutable elen : int;
 }
 
 let create ?intern () =
@@ -111,8 +115,19 @@ let create ?intern () =
     tbl = Hashtbl.create 8;
     srcs = Hashtbl.create 8;
     by_dst = Hashtbl.create 8;
-    order = [];
+    earr = [||];
+    elen = 0;
   }
+
+let push_edge t e =
+  let cap = Array.length t.earr in
+  if t.elen = cap then begin
+    let arr = Array.make (if cap = 0 then 4 else 2 * cap) e in
+    Array.blit t.earr 0 arr 0 t.elen;
+    t.earr <- arr
+  end;
+  Array.unsafe_set t.earr t.elen e;
+  t.elen <- t.elen + 1
 
 let tuple_id t tup =
   let g = Intern.atom t.it tup.t_g in
@@ -158,7 +173,7 @@ let add_edge t e =
   if Hashtbl.mem t.tbl k then false
   else begin
     Hashtbl.replace t.tbl k e;
-    t.order <- e :: t.order;
+    push_edge t e;
     Hashtbl.replace t.by_dst d
       (e :: Option.value (Hashtbl.find_opt t.by_dst d) ~default:[]);
     true
@@ -169,13 +184,27 @@ let remove_edge t e =
   if Hashtbl.mem t.tbl k then begin
     Hashtbl.remove t.tbl k;
     let not_e e' = (let _, _, k' = edge_ids t e' in k') <> k in
-    t.order <- List.filter not_e t.order;
+    let kept = List.filter not_e (Array.to_list (Array.sub t.earr 0 t.elen)) in
+    t.earr <- Array.of_list kept;
+    t.elen <- List.length kept;
     match Hashtbl.find_opt t.by_dst d with
     | Some es -> Hashtbl.replace t.by_dst d (List.filter not_e es)
     | None -> ()
   end
 
-let edges t = List.rev t.order
+let edges t = Array.to_list (Array.sub t.earr 0 t.elen)
+
+(* Oldest-first iteration/fold with no per-call list copy — what the hot
+   relax/propagate loops use. The snapshot semantics of the list-based
+   [edges] are preserved: the length is read once, so edges added during
+   iteration (possible when a self-loop makes prev = cur) are not seen. *)
+let iter_edges f t =
+  let arr = t.earr and n = t.elen in
+  for i = 0 to n - 1 do
+    f (Array.unsafe_get arr i)
+  done
+
+let no_edges t = t.elen = 0
 let transitions t = List.filter (fun e -> e.e_kind = Transition) (edges t)
 let adds t = List.filter (fun e -> e.e_kind = Add) (edges t)
 let mem_src t tup = Hashtbl.mem t.srcs (tuple_id t tup)
@@ -201,13 +230,29 @@ let clear t =
   Hashtbl.reset t.tbl;
   Hashtbl.reset t.srcs;
   Hashtbl.reset t.by_dst;
-  t.order <- []
+  t.earr <- [||];
+  t.elen <- 0
 
 (* Oldest-first, matching the pre-index behavior of filtering [edges t]. *)
 let find_by_dst t tup =
   match Hashtbl.find_opt t.by_dst (tuple_id t tup) with
   | Some es -> List.rev es
   | None -> []
+
+(* Oldest-first iteration over one destination's edges without the
+   [List.rev] copy; the recursion depth is the per-dst fan-in, a handful
+   of edges in practice. *)
+let iter_by_dst t tup f =
+  match Hashtbl.find t.by_dst (tuple_id t tup) with
+  | es ->
+      let rec go = function
+        | [] -> ()
+        | e :: tl ->
+            go tl;
+            f e
+      in
+      go es
+  | exception Not_found -> ()
 
 let srcs_list t =
   List.sort String.compare

@@ -78,6 +78,16 @@ val add_edge : t -> edge -> bool
 
 val remove_edge : t -> edge -> unit
 val edges : t -> edge list
+
+val iter_edges : (edge -> unit) -> t -> unit
+(** Oldest-first (insertion-order) iteration without the list copy
+    [edges] builds — for the per-path relax/propagate loops. The edge
+    count is read once, so edges added during iteration are not seen
+    (the same snapshot semantics as iterating [edges t]). *)
+
+val no_edges : t -> bool
+(** [edges t = []] without building the list. *)
+
 val transitions : t -> edge list
 val adds : t -> edge list
 val mem_src : t -> tuple -> bool
@@ -92,6 +102,12 @@ val mem_src_instance : t -> gstate:string -> Sm.instance -> bool
 val mem_src_global : t -> string -> bool
 (** [mem_src t (global_tuple g)] without building the tuple. *)
 
+val instance_key_atom : Intern.t -> Sm.instance -> int
+(** The interned id of the instance's target key under [it], cached on
+    the instance and revalidated against the interner's stamp — the
+    packed int key the engine's block-entry snapshots use in place of
+    the rendered key string. *)
+
 val add_src_sm : t -> Sm.sm_inst -> unit
 (** [List.iter (add_src t) (tuples_of_sm sm)] without building the tuples. *)
 
@@ -101,6 +117,9 @@ val clear : t -> unit
 
 val find_by_dst : t -> tuple -> edge list
 (** Edges whose destination equals the tuple (for {!Engine}'s relax). *)
+
+val iter_by_dst : t -> tuple -> (edge -> unit) -> unit
+(** Oldest-first iteration over [find_by_dst t tup] without the copy. *)
 
 val srcs_list : t -> string list
 (** Recorded source-tuple keys, sorted (deterministic, for persistence). *)

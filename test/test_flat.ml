@@ -1,0 +1,224 @@
+(* The flat supergraph tables ([Flat]) and the engine's flat events mode:
+   flat block ids must round-trip to (function, block) pairs and replicate
+   the boxed CFG views exactly, and flat mode is a pure execution
+   strategy — reports are byte-identical to boxed mode at any job count,
+   warm caches replay across the mode boundary (the flag is excluded from
+   the options digest), and per-root fault containment rolls back flat
+   state (first-visit annotation bits) exactly like boxed state. *)
+
+let t = Alcotest.test_case
+
+let temp_dir () =
+  let f = Filename.temp_file "xgcc_test_flat" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let free () = [ Free_checker.checker () ]
+let report_lines (r : Engine.result) = List.map Report.to_string r.Engine.reports
+
+let boxed_options = { Engine.default_options with flatten = false }
+
+let sg_of src = Supergraph.build [ Cparse.parse_tunit ~file:"flat.c" src ]
+
+let gen_sg ~seed =
+  Supergraph.build
+    (Gen.generate_files ~seed ~n_files:3 ~funcs_per_file:8 ~bug_rate:0.5
+    |> List.map (fun (file, g) -> Cparse.parse_tunit ~file g.Gen.source))
+
+(* A small program exercising every block shape the flat tables encode:
+   branches (dedup'd equal arms come from the generator tests), a switch,
+   returns, calls through names and pointers, decl initialisers. *)
+let shapes_src =
+  "int helper(int *p) { kfree(p); return 0; }\n\
+   int f(int a, int *p) {\n\
+  \  int x = a + 1;\n\
+  \  if (a) { helper(p); } else { x = 2; }\n\
+  \  switch (x) { case 1: a = 3; break; case 2: a = 4; break; default: a = 5; }\n\
+  \  while (a) { a = a - 1; }\n\
+  \  return *p + x;\n\
+   }\n\
+   int g(void (*fp)(int)) { fp(1); return 0; }\n"
+
+let table_tests =
+  [
+    t "flat ids round-trip through unflatten" `Quick (fun () ->
+        let sg = sg_of shapes_src in
+        let flat = sg.Supergraph.flat in
+        Hashtbl.iter
+          (fun fname (cfg : Cfg.t) ->
+            let base = Flat.fbase flat fname in
+            Alcotest.(check bool)
+              (fname ^ " known to flat table") true (base >= 0);
+            Array.iteri
+              (fun bid _ ->
+                Alcotest.(check (pair string int))
+                  (Printf.sprintf "unflatten %s#%d" fname bid)
+                  (fname, bid)
+                  (Flat.unflatten flat (base + bid)))
+              cfg.Cfg.blocks)
+          sg.Supergraph.cfgs;
+        Alcotest.(check int) "unknown function has no base" (-1)
+          (Flat.fbase flat "no_such_function"));
+    t "flat successors replicate Cfg.successors" `Quick (fun () ->
+        let sg = gen_sg ~seed:7 in
+        let flat = sg.Supergraph.flat in
+        Hashtbl.iter
+          (fun fname (cfg : Cfg.t) ->
+            let base = Flat.fbase flat fname in
+            Array.iteri
+              (fun bid _ ->
+                let boxed =
+                  List.map (fun s -> base + s) (Cfg.successors cfg bid)
+                in
+                Alcotest.(check (list int))
+                  (Printf.sprintf "successors %s#%d" fname bid)
+                  boxed
+                  (Flat.successors flat (base + bid)))
+              cfg.Cfg.blocks)
+          sg.Supergraph.cfgs);
+    t "flat head masks and calls replicate Block_heads" `Quick (fun () ->
+        let sg = sg_of shapes_src in
+        let flat = sg.Supergraph.flat in
+        Hashtbl.iter
+          (fun fname (cfg : Cfg.t) ->
+            let base = Flat.fbase flat fname in
+            let heads = Block_heads.of_cfg cfg in
+            Array.iteri
+              (fun bid (h : Block_heads.t) ->
+                Alcotest.(check int)
+                  (Printf.sprintf "mask %s#%d" fname bid)
+                  h.Block_heads.mask
+                  flat.Flat.head_mask.(base + bid);
+                Alcotest.(check (list string))
+                  (Printf.sprintf "calls %s#%d" fname bid)
+                  h.Block_heads.calls
+                  (Flat.calls flat (base + bid)))
+              heads)
+          sg.Supergraph.cfgs);
+    t "entry/exit ids and table size are sane" `Quick (fun () ->
+        let sg = sg_of shapes_src in
+        let flat = sg.Supergraph.flat in
+        (match (Supergraph.cfg_of sg "f", Flat.fidx flat "f") with
+        | Some cfg, Some fi ->
+            let base = Flat.fbase flat "f" in
+            Alcotest.(check int) "entry" (base + cfg.Cfg.entry)
+              flat.Flat.entry.(fi);
+            Alcotest.(check int) "exit" (base + cfg.Cfg.exit_)
+              flat.Flat.exit_.(fi)
+        | _ -> Alcotest.fail "f missing from supergraph or flat table");
+        Alcotest.(check bool) "table_bytes positive" true
+          (Flat.table_bytes flat > 0));
+  ]
+
+let identity_tests =
+  [
+    t "flat and boxed reports byte-identical at -j1/-j2" `Quick (fun () ->
+        let sg = gen_sg ~seed:11 in
+        let flat_r = Engine.run sg (free ()) in
+        List.iter
+          (fun jobs ->
+            let boxed_r =
+              Engine.run ~options:boxed_options ~jobs sg (free ())
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "reports (boxed j=%d)" jobs)
+              (report_lines flat_r) (report_lines boxed_r);
+            Alcotest.(check (list (triple string int int)))
+              (Printf.sprintf "counters (boxed j=%d)" jobs)
+              flat_r.Engine.counters boxed_r.Engine.counters)
+          [ 1; 2 ];
+        let flat_j2 = Engine.run ~jobs:2 sg (free ()) in
+        Alcotest.(check (list string))
+          "flat -j2 = flat -j1" (report_lines flat_r) (report_lines flat_j2));
+    t "warm cache replays across the flatten boundary" `Quick (fun () ->
+        (* [flatten] is an execution strategy, not an analysis option: it
+           is excluded from the options digest, so summaries written by a
+           flat run must be replayed verbatim by a boxed run (and vice
+           versa) instead of being orphaned. *)
+        Alcotest.(check string)
+          "digest ignores flatten"
+          (Engine.options_digest Engine.default_options)
+          (Engine.options_digest boxed_options);
+        let sg = gen_sg ~seed:13 in
+        let store_over dir =
+          Summary_store.create ~dir
+            ~ext_keys:
+              (Summary_store.ext_keys_of
+                 ~options_digest:(Engine.options_digest Engine.default_options)
+                 ~sources:[ "free" ])
+            ()
+        in
+        let dir = temp_dir () in
+        let uncached = Engine.run sg (free ()) in
+        let cold = Engine.run ~cache:(store_over dir) sg (free ()) in
+        let warm_store = store_over dir in
+        let warm =
+          Engine.run ~options:boxed_options ~cache:warm_store sg (free ())
+        in
+        Alcotest.(check (list string))
+          "cold flat = uncached" (report_lines uncached) (report_lines cold);
+        Alcotest.(check (list string))
+          "warm boxed = uncached" (report_lines uncached) (report_lines warm);
+        let st = Summary_store.stats warm_store in
+        Alcotest.(check int)
+          "boxed warm run recomputes nothing" 0
+          st.Summary_store.roots_recomputed;
+        Alcotest.(check bool)
+          "boxed warm run replays flat-written roots" true
+          (st.Summary_store.roots_replayed > 0));
+  ]
+
+(* A root whose path count explodes, placed last so dropping it does not
+   shift the healthy roots' output. *)
+let explosion_src =
+  "int f(int *p) { kfree(p); return *p; }\n\
+   int h(int *r) { kfree(r); return *r; }\n"
+
+let explode_fn =
+  "int explode(int a, int b, int c, int d) {\n\
+  \  int *p1; int *p2; int *p3; int *p4;\n\
+  \  if (a) { kfree(p1); } if (b) { kfree(p2); }\n\
+  \  if (c) { kfree(p3); } if (d) { kfree(p4); }\n\
+  \  if (a) { b = 1; } if (b) { c = 1; } if (c) { d = 1; } if (d) { a = 1; }\n\
+  \  return *p1 + *p2 + *p3 + *p4;\n\
+   }\n"
+
+let rollback_tests =
+  [
+    t "degraded root rolls back flat-mode state at -j1/-j2" `Quick (fun () ->
+        (* flat mode tracks first-visit terminator annotations in a
+           per-context bitset; rollback must clear the degraded root's
+           bits (and annotations) so healthy roots' output is identical
+           to a run that never had the bad root, in both modes *)
+        let budgeted =
+          { Engine.default_options with max_nodes_per_root = 40 }
+        in
+        let healthy = Engine.run (sg_of explosion_src) (free ()) in
+        Alcotest.(check int) "baseline sanity" 0
+          (List.length healthy.Engine.degraded);
+        let faulty_sg = sg_of (explosion_src ^ explode_fn) in
+        List.iter
+          (fun (options, mode) ->
+            List.iter
+              (fun jobs ->
+                let r = Engine.run ~options ~jobs faulty_sg (free ()) in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "degraded root only (%s j=%d)" mode jobs)
+                  [ "explode" ]
+                  (List.map
+                     (fun (d : Engine.degraded) -> d.Engine.d_root)
+                     r.Engine.degraded);
+                Alcotest.(check (list string))
+                  (Printf.sprintf "healthy roots identical (%s j=%d)" mode
+                     jobs)
+                  (report_lines healthy) (report_lines r))
+              [ 1; 2 ])
+          [
+            ({ budgeted with flatten = true }, "flat");
+            ({ budgeted with flatten = false }, "boxed");
+          ]);
+  ]
+
+let suite =
+  table_tests @ identity_tests @ rollback_tests

@@ -39,4 +39,5 @@ let () =
       ("dispatch", Test_dispatch.suite);
       ("faults", Test_faults.suite);
       ("scheduler", Test_sched.suite);
+      ("flat", Test_flat.suite);
     ]

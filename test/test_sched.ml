@@ -237,9 +237,11 @@ let suite =
     t "sched corpus: budget-degraded heavy root stays byte-identical" `Quick
       (fun () ->
         (* root6 carries 400 diamonds against a 600-node budget; every
-           light root (3 diamonds) fits comfortably. Budgets disable
-           unit sharing — a shared computation has no single payer — so
-           this also pins the private-traversal fallback. *)
+           light root (3 diamonds) fits comfortably. Unit sharing stays
+           ON under node budgets: a replayed unit is charged to the
+           demanding root's fuel exactly as a private traversal would
+           have been, so reports, degradations and the recompute
+           tripwire all hold with the shared store active. *)
         let sg = sched_sg ~heavy:400 () in
         let options =
           { Engine.default_options with Engine.max_nodes_per_root = 600 }
@@ -259,8 +261,49 @@ let suite =
             Alcotest.(check (list (pair string string)))
               (Printf.sprintf "degraded, -j%d" jobs)
               (degraded_pairs seq) (degraded_pairs par);
+            Alcotest.(check bool)
+              (Printf.sprintf "sharing stays on under budgets, -j%d" jobs)
+              true
+              (par.Engine.stats.Engine.shared_published > 0);
             Alcotest.(check int)
-              (Printf.sprintf "sharing disabled under budgets, -j%d" jobs)
-              0 par.Engine.stats.Engine.shared_published)
+              (Printf.sprintf "no shared unit recomputed under budgets, -j%d"
+                 jobs)
+              0 par.Engine.stats.Engine.shared_recomputed)
           [ 2; 4 ]);
+    t "sched corpus: budgets at -j2 and -j4 agree with the shared store"
+      `Quick (fun () ->
+        (* scheduling-independence of the budget accounting itself: the
+           charged fuel of every root is a deterministic function of the
+           program, so two different worker counts agree byte-for-byte
+           on reports, degradations and the deterministic stats subset *)
+        let sg = sched_sg ~heavy:400 () in
+        let options =
+          { Engine.default_options with Engine.max_nodes_per_root = 600 }
+        in
+        let a = Engine.run ~options ~jobs:2 sg (checkers ()) in
+        let b = Engine.run ~options ~jobs:4 sg (checkers ()) in
+        Alcotest.(check (list string)) "raw report lines" (raw_lines a)
+          (raw_lines b);
+        Alcotest.(check (list (pair string string)))
+          "degraded" (degraded_pairs a) (degraded_pairs b);
+        List.iter2
+          (fun (na, va) (nb, vb) ->
+            Alcotest.(check string) "field order" na nb;
+            Alcotest.(check int) na va vb)
+          (stats_fields ~timing:false a.Engine.stats)
+          (stats_fields ~timing:false b.Engine.stats);
+        (* a generous budget must not change anything at all vs no budget *)
+        let generous =
+          Engine.run
+            ~options:
+              { Engine.default_options with Engine.max_nodes_per_root = 1_000_000 }
+            ~jobs:4 sg (checkers ())
+        in
+        let free = Engine.run ~jobs:4 sg (checkers ()) in
+        Alcotest.(check (list string))
+          "generous budget = unbudgeted, raw lines" (raw_lines free)
+          (raw_lines generous);
+        Alcotest.(check (list (pair string string)))
+          "generous budget = unbudgeted, degraded" (degraded_pairs free)
+          (degraded_pairs generous));
   ]
