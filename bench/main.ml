@@ -815,6 +815,96 @@ let table_memory_flattening ?(reps = 3) () =
   Printf.printf "workloads: %s\n" (String.concat ", " (List.map fst srcs))
 
 (* ------------------------------------------------------------------ *)
+(* Hash-consed state identity: int-coded tuple state vs rendered keys   *)
+(* ------------------------------------------------------------------ *)
+
+let table_state_ids ?(reps = 3) () =
+  header "S  | Hash-consed state identity (int ids vs rendered key strings)";
+  let strings = { Engine.default_options with Engine.state_ids = false } in
+  let ids = Engine.default_options in
+  (* same corpus the flattening target is judged against *)
+  let srcs =
+    [
+      ("diamond14", Synth.diamond_chain ~n:14);
+      ("tracked32", Synth.many_tracked ~n:32);
+      ("calltree3^4", Synth.call_tree ~depth:4 ~fanout:3);
+      ("correlated6", Synth.correlated_branches ~n:6);
+      ("workload120", (Gen.generate ~seed:99 ~n_funcs:120 ~bug_rate:0.3).Gen.source);
+    ]
+  in
+  let sgs = List.map (fun (name, src) -> (name, sg_of src)) srcs in
+  let checkers = List.map (fun e -> e.Registry.e_make ()) (Registry.all ()) in
+  let sweep options =
+    List.concat_map
+      (fun (_, sg) ->
+        let r = Engine.run ~options sg checkers in
+        List.map Report.to_string r.Engine.reports)
+      sgs
+  in
+  let reps_strings = sweep strings in
+  let reps_ids = sweep ids in
+  let identical = List.equal String.equal reps_strings reps_ids in
+  (* parallel byte-identity across the representation boundary, both modes *)
+  let identical_j2 =
+    List.equal String.equal
+      (List.concat_map
+         (fun (_, sg) ->
+           List.map Report.to_string
+             (Engine.run ~options:strings ~jobs:2 sg checkers).Engine.reports)
+         sgs)
+      (List.concat_map
+         (fun (_, sg) ->
+           List.map Report.to_string
+             (Engine.run ~options:ids ~jobs:2 sg checkers).Engine.reports)
+         sgs)
+  in
+  let measure options =
+    ignore (sweep options) (* warm-up *);
+    Gc.minor ();
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (sweep options)
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    let da = (Gc.allocated_bytes () -. a0) /. float_of_int reps in
+    (dt *. 1e9, da)
+  in
+  let ns_strings, alloc_strings = measure strings in
+  let ns_ids, alloc_ids = measure ids in
+  let id_bytes =
+    List.fold_left
+      (fun n (_, sg) -> n + Exprid.table_bytes sg.Supergraph.ids)
+      0 sgs
+  in
+  let id_count =
+    List.fold_left (fun n (_, sg) -> n + Exprid.n sg.Supergraph.ids) 0 sgs
+  in
+  Printf.printf "%-10s %16s %20s\n" "MODE" "ns/cold-run" "bytes alloc/run";
+  Printf.printf "%-10s %16.0f %20.0f\n" "strings" ns_strings alloc_strings;
+  Printf.printf "%-10s %16.0f %20.0f\n" "ids" ns_ids alloc_ids;
+  Printf.printf
+    "alloc reduction: %.2fx; speedup: %.2fx; id table: %d ids, %.1f KiB; \
+     identical reports: %b (with -j2: %b)\n"
+    (alloc_strings /. Float.max 1. alloc_ids)
+    (ns_strings /. ns_ids)
+    id_count
+    (float_of_int id_bytes /. 1024.)
+    identical identical_j2;
+  bench_out
+    (Printf.sprintf
+       "{\"experiment\": \"state_ids\", \"impl\": \"%s\", \"reps\": %d, \
+        \"ns_strings\": %.0f, \"ns_ids\": %.0f, \"speedup\": %.3f, \
+        \"alloc_strings\": %.0f, \"alloc_ids\": %.0f, \"alloc_ratio\": %.3f, \
+        \"id_table_bytes\": %d, \"id_count\": %d, \"identical_reports\": %b, \
+        \"identical_reports_j2\": %b}"
+       bench_impl reps ns_strings ns_ids (ns_strings /. ns_ids) alloc_strings
+       alloc_ids
+       (alloc_strings /. Float.max 1. alloc_ids)
+       id_bytes id_count identical identical_j2);
+  Printf.printf "workloads: %s\n" (String.concat ", " (List.map fst srcs))
+
+(* ------------------------------------------------------------------ *)
 (* Fault containment: per-root budgets and degraded-root isolation      *)
 (* ------------------------------------------------------------------ *)
 
@@ -933,6 +1023,7 @@ let () =
     table_interning ~reps:2 ();
     table_dispatch ~reps:2 ();
     table_memory_flattening ~reps:2 ();
+    table_state_ids ~reps:2 ();
     table_containment ~reps:2 ();
     table_parallel ();
     table_cache ()
@@ -953,6 +1044,7 @@ let () =
     table_interning ();
     table_dispatch ();
     table_memory_flattening ();
+    table_state_ids ();
     table_containment ();
     table_parallel ();
     table_cache ();

@@ -146,7 +146,7 @@ let open_store ~cache_dir ~persist ~options sources =
     cache_dir
 
 let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
-    ~no_dispatch ~no_flat ~max_nodes ~timeout =
+    ~no_dispatch ~no_flat ~no_state_ids ~max_nodes ~timeout =
   {
     Engine.default_options with
     Engine.caching = not no_cache;
@@ -156,6 +156,7 @@ let options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
     synonyms = not no_synonyms;
     dispatch = not no_dispatch;
     flatten = not no_flat;
+    state_ids = not no_state_ids;
     max_nodes_per_root = max max_nodes 0;
     timeout_per_root = Float.max timeout 0.;
   }
@@ -173,7 +174,8 @@ let effective_jobs jobs =
   if jobs = 0 then Pool.recommended_jobs () else max 1 jobs
 
 let do_check files checkers metal_files rank_mode fmt history_db update_history
-    no_cache no_prune no_interproc no_kill no_synonyms no_dispatch no_flat stats
+    no_cache no_prune no_interproc no_kill no_synonyms no_dispatch no_flat
+    no_state_ids stats
     verbose use_cpp defines incdirs jobs cache_dir no_cache_persist max_nodes
     timeout keep_going =
   setup_logs verbose;
@@ -187,7 +189,7 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
   let exts = List.map fst exts_src in
   let options =
     options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
-      ~no_dispatch ~no_flat ~max_nodes ~timeout
+      ~no_dispatch ~no_flat ~no_state_ids ~max_nodes ~timeout
   in
   let store =
     open_store ~cache_dir ~persist:(not no_cache_persist) ~options
@@ -290,14 +292,17 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
       st.Engine.cache_hits st.Engine.calls_followed st.Engine.summary_hits
       st.Engine.pruned_branches;
     Format.printf
-      "interning: %d cache probes (%.1f%% hit), %d atoms, %d tuples interned@."
+      "interning: %d cache probes (%.1f%% hit), %d atoms, %d tuples interned, \
+       %d expression ids%s@."
       st.Engine.cache_probes
       (if st.Engine.cache_probes = 0 then 0.
        else
          100.
          *. float_of_int st.Engine.cache_hits
          /. float_of_int st.Engine.cache_probes)
-      st.Engine.intern_atoms st.Engine.intern_tuples;
+      st.Engine.intern_atoms st.Engine.intern_tuples
+      (Exprid.n sg.Supergraph.ids)
+      (if no_state_ids then " (state ids disabled)" else "");
     Format.printf
       "dispatch: %d match attempts, %d index hits, %d blocks skipped%s@."
       st.Engine.match_attempts st.Engine.index_hits st.Engine.blocks_skipped
@@ -310,12 +315,13 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
         st.Engine.sched_waits;
     let flat = sg.Supergraph.flat in
     Format.printf
-      "memory: flat tables %.1f KiB (%d blocks, %d functions)%s, analysis \
-       allocated %.1f MiB%s@."
+      "memory: flat tables %.1f KiB (%d blocks, %d functions)%s, id table \
+       %.1f KiB, analysis allocated %.1f MiB%s@."
       (float_of_int (Flat.table_bytes flat) /. 1024.)
       flat.Flat.n_blocks
       (Flat.n_functions flat)
       (if no_flat then " (flattening disabled)" else "")
+      (float_of_int (Exprid.table_bytes sg.Supergraph.ids) /. 1024.)
       ((alloc1 -. alloc0) /. (1024. *. 1024.))
       (if effective_jobs jobs > 1 then " (main domain only)" else "");
     let total =
@@ -398,6 +404,13 @@ let check_cmd =
                  hot path). Reports are identical; only speed and allocation \
                  change.")
   in
+  let no_state_ids =
+    Arg.(value & flag & info [ "no-state-ids" ]
+           ~doc:"Resolve tracked-object identity by rendering key strings on \
+                 every probe instead of through the supergraph's hash-cons \
+                 id table (the A/B baseline for integer-coded state). \
+                 Reports are identical; only speed and allocation change.")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.") in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the analysis (debug logs).")
@@ -456,7 +469,7 @@ let check_cmd =
     Term.(
       const do_check $ files $ checkers $ metal_files $ rank $ fmt $ history $ update
       $ no_cache $ no_prune $ no_interproc $ no_kill $ no_synonyms $ no_dispatch
-      $ no_flat $ stats $ verbose $ use_cpp $ defines $ incdirs $ jobs $ cache_dir
+      $ no_flat $ no_state_ids $ stats $ verbose $ use_cpp $ defines $ incdirs $ jobs $ cache_dir
       $ no_cache_persist $ max_nodes $ timeout $ keep_going)
 
 (* ------------------------------------------------------------------ *)

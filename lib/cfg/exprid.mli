@@ -1,0 +1,56 @@
+(** Hash-consed expression identity.
+
+    Every distinct expression key ({!Cast.key_of_expr}) gets a dense
+    integer id. The base table is built once in {!Supergraph.build} over
+    every subexpression of every CFG event plus an identifier node per
+    declared name, then shared read-only across engine worker domains
+    (like {!Flat.t}). Per-traversal {!ctx} views layer a private overflow
+    table on top for synthesized trees (refine/restore substitutions).
+
+    Identity is key identity: [id ctx a = id ctx b] iff
+    [Cast.key_of_expr a = Cast.key_of_expr b], in both modes. Ids are
+    equality tokens only — never compare them for order (overflow minting
+    order is scheduling-dependent); order observable output by rendered
+    {!key} instead. *)
+
+type t
+(** The frozen base table (safe to share across domains). *)
+
+type ctx
+(** A single-traversal view: base + private overflow. Not thread-safe;
+    overflow ids are private to the minting context (an id minted by one
+    context is unknown to {!key} in another, though never equal to any id
+    that other context mints). *)
+
+val build : tunits:Cast.tunit list -> cfgs:Cfg.t list -> t
+val empty : unit -> t
+
+val n : t -> int
+(** Number of base ids; base ids are dense in [\[0, n)]. *)
+
+val key_of_base : t -> int -> string
+(** Rendered key of a base id (callers with a {!ctx} use {!key}). *)
+
+val table_bytes : t -> int
+(** Approximate live size of the base table, for the --stats memory line. *)
+
+val make_ctx : ?strings:bool -> t -> ctx
+(** [strings:true] is the [--no-state-ids] A/B baseline: every lookup
+    renders the key and resolves through the string tables (the
+    pre-hash-cons cost model) over the same id space, so analysis
+    behaviour is identical across modes by construction. *)
+
+val base : ctx -> t
+val strings_mode : ctx -> bool
+
+val id : ctx -> Cast.expr -> int
+(** The id of an expression. Id mode: one integer hash lookup for program
+    nodes (eid memo), at most one key rendering per distinct synthesized
+    tree. String mode: renders on every call. *)
+
+val key : ctx -> int -> string
+(** Rendered key of an id known to this context (base or own overflow).
+    The returned string is shared, not rebuilt, per distinct id.
+    @raise Not_found on another context's overflow id. *)
+
+val find_key : ctx -> int -> string option

@@ -5,6 +5,7 @@ type t = {
   tunits : Cast.tunit list;
   heads : (string, Block_heads.t array) Hashtbl.t;
   flat : Flat.t;
+  ids : Exprid.t;
 }
 
 let build tunits =
@@ -86,6 +87,9 @@ let build tunits =
     tunits;
     heads;
     flat;
+    (* like [flat]: computed eagerly, frozen, shared across domains — the
+       hash-cons table every traversal resolves instance targets against *)
+    ids = Exprid.build ~tunits ~cfgs:cfg_list;
   }
 
 let cfg_of t name = Hashtbl.find_opt t.cfgs name

@@ -22,6 +22,10 @@ type t = {
       (** flat int-indexed tables over every block of every function —
           dense flat block ids, CSR successors, head masks and
           precomputed per-block event sequences; see {!Flat} *)
+  ids : Exprid.t;
+      (** hash-consed expression identity: a dense integer id per
+          distinct expression key of the program, built eagerly and
+          shared read-only across domains; see {!Exprid} *)
 }
 
 val build : Cast.tunit list -> t

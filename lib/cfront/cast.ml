@@ -194,11 +194,15 @@ let add_key_of_expr buf e =
         add "f";
         add (Float.to_string f)
     | Echar c ->
+        (* rendered as the character code: raw delimiter characters (',',
+           ')', '"') inside a key would make the prefix form ambiguous *)
         add "c";
-        Buffer.add_char buf c
+        add (string_of_int (Char.code c))
     | Estr s ->
+        (* escaped: embedding the contents raw let distinct literals render
+           identical keys, e.g. f("x\",s\"y") vs f("x","y") *)
         add "s\"";
-        add s;
+        add (String.escaped s);
         add "\""
     | Eident x ->
         add "v(";
@@ -296,7 +300,69 @@ let key_of_expr e =
   add_key_of_expr buf e;
   Buffer.contents buf
 
-let compare_expr a b = String.compare (key_of_expr a) (key_of_expr b)
+(* Total order consistent with [equal_expr], directly over the structure:
+   the old implementation rendered both keys and compared the strings,
+   allocating two buffers per comparison. *)
+let enode_rank = function
+  | Eint _ -> 0
+  | Efloat _ -> 1
+  | Echar _ -> 2
+  | Estr _ -> 3
+  | Eident _ -> 4
+  | Eunary _ -> 5
+  | Ebinary _ -> 6
+  | Eassign _ -> 7
+  | Ecall _ -> 8
+  | Efield _ -> 9
+  | Earrow _ -> 10
+  | Eindex _ -> 11
+  | Ecast _ -> 12
+  | Econd _ -> 13
+  | Ecomma _ -> 14
+  | Esizeof_type _ -> 15
+  | Esizeof_expr _ -> 16
+  | Einit_list _ -> 17
+
+let rec compare_expr a b =
+  let ( <?> ) c rest = if c <> 0 then c else rest () in
+  match (a.enode, b.enode) with
+  | Eint x, Eint y -> Int64.compare x y
+  | Efloat x, Efloat y -> Float.compare x y
+  | Echar x, Echar y -> Char.compare x y
+  | Estr x, Estr y | Eident x, Eident y -> String.compare x y
+  | Eunary (ua, ea), Eunary (ub, eb) ->
+      Stdlib.compare ua ub <?> fun () -> compare_expr ea eb
+  | Ebinary (oa, la, ra), Ebinary (ob, lb, rb) ->
+      Stdlib.compare oa ob <?> fun () ->
+      compare_expr la lb <?> fun () -> compare_expr ra rb
+  | Eassign (oa, la, ra), Eassign (ob, lb, rb) ->
+      Stdlib.compare oa ob <?> fun () ->
+      compare_expr la lb <?> fun () -> compare_expr ra rb
+  | Ecall (fa, aa), Ecall (fb, ab) ->
+      compare_expr fa fb <?> fun () -> compare_expr_list aa ab
+  | Efield (ea, fa), Efield (eb, fb) | Earrow (ea, fa), Earrow (eb, fb) ->
+      String.compare fa fb <?> fun () -> compare_expr ea eb
+  | Eindex (aa, ia), Eindex (ab, ib) ->
+      compare_expr aa ab <?> fun () -> compare_expr ia ib
+  | Ecast (ta, ea), Ecast (tb, eb) ->
+      Stdlib.compare ta tb <?> fun () -> compare_expr ea eb
+  | Econd (ca, ta, ea), Econd (cb, tb, eb) ->
+      compare_expr ca cb <?> fun () ->
+      compare_expr ta tb <?> fun () -> compare_expr ea eb
+  | Ecomma (la, ra), Ecomma (lb, rb) ->
+      compare_expr la lb <?> fun () -> compare_expr ra rb
+  | Esizeof_type ta, Esizeof_type tb -> Stdlib.compare ta tb
+  | Esizeof_expr ea, Esizeof_expr eb -> compare_expr ea eb
+  | Einit_list la, Einit_list lb -> compare_expr_list la lb
+  | x, y -> Int.compare (enode_rank x) (enode_rank y)
+
+and compare_expr_list la lb =
+  match (la, lb) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: la, b :: lb -> (
+      match compare_expr a b with 0 -> compare_expr_list la lb | c -> c)
 
 let children e =
   match e.enode with

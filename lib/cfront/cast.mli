@@ -137,6 +137,10 @@ val equal_expr : expr -> expr -> bool
     object identity. *)
 
 val compare_expr : expr -> expr -> int
+(** Total order consistent with {!equal_expr} (ids and locations ignored),
+    compared directly over the structure — no key rendering, no
+    allocation. The order is structural, not the lexicographic order of
+    rendered {!key_of_expr} strings. *)
 
 val equal_stmt : stmt -> stmt -> bool
 (** Structural equality over statements (ids/locations ignored), used by the
@@ -144,11 +148,16 @@ val equal_stmt : stmt -> stmt -> bool
 
 val key_of_expr : expr -> string
 (** Canonical string key for hashing tracked program objects; two expressions
-    have equal keys iff they are [equal_expr]. *)
+    have equal keys iff they are [equal_expr]. String and character literal
+    contents are escaped ([String.escaped] / character codes) so literal
+    contents cannot forge the key's delimiter structure. *)
 
 val add_key_of_expr : Buffer.t -> expr -> unit
 (** [key_of_expr] rendered into an existing buffer — the allocation-light
     path for callers that intern or concatenate keys. *)
+
+val children : expr -> expr list
+(** Immediate subexpressions, left to right. *)
 
 val contains_expr : needle:expr -> expr -> bool
 (** [contains_expr ~needle e] holds when [needle] occurs in [e] as a subtree

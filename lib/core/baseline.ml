@@ -64,6 +64,9 @@ let topdown_entry_states (sg : Supergraph.t) (ext : Sm.t) =
 
 let run_exhaustive (sg : Supergraph.t) (ext : Sm.t) =
   let options = { Engine.default_options with Engine.interproc = false } in
+  (* param idents are in the supergraph's hash-cons base table, so seeded
+     instances carry the same ids the engine's own contexts resolve *)
+  let ids = Exprid.make_ctx sg.Supergraph.ids in
   let gvals = global_values ext in
   let svals = state_values ext in
   let runs = ref 0 in
@@ -93,7 +96,7 @@ let run_exhaustive (sg : Supergraph.t) (ext : Sm.t) =
                 List.iter
                   (fun (pname, v) ->
                     Sm.add_instance sm
-                      (Sm.new_instance ~target:(Cast.ident pname) ~value:v
+                      (Sm.new_instance ~ids ~target:(Cast.ident pname) ~value:v
                          ~created_at:(-1) ~created_loc:f.floc ~created_depth:0 ()))
                   assignment;
                 sm

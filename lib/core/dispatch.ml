@@ -187,6 +187,7 @@ type ctr = {
   c_tr : Sm.transition;
   c_src_var : string option;  (** [Src_var v] source value *)
   c_src_global : string option;  (** [Src_global g] source value *)
+  c_src_global_code : int;  (** interned code of [c_src_global]; -1 = none *)
   c_call_model : Pattern.t option;
       (** pruned callsite-model pattern; [None] = does not model calls *)
   c_holes : (string * Holes.t) list;  (** holes the pattern mentions *)
@@ -206,12 +207,20 @@ type bucket = {
   b_any_model : bool;  (* some candidate has a callsite model *)
   b_has_var : bool;  (* some candidate has a Src_var source *)
   b_globals : string array;  (* distinct Src_global source states *)
+  b_global_codes : int array;  (* the same states as interned codes *)
 }
 
 type t = {
   ext : Sm.t;
   sg : Supergraph.t;
   indexed : bool;
+  states : string array;
+      (* the extension's statically known state values in declaration
+         order: code 0 is [Sm.stop_value], then the start state, then
+         source and destination values. Runtime [set_global] can write
+         strings outside this set, so gstates remain strings at runtime
+         and [state_code] resolves them by content (possibly to -1). *)
+  state_codes : (string, int) Hashtbl.t;
   trs : ctr array;
   all_node : bucket;
   eop_var : int array;
@@ -228,6 +237,10 @@ type t = {
 
 let indexed t = t.indexed
 let transitions t = t.trs
+let states t = t.states
+
+let state_code t s =
+  match Hashtbl.find_opt t.state_codes s with Some c -> c | None -> -1
 let all_node t = t.all_node.b_trs
 let eop_var t = t.eop_var
 let eop_global t = t.eop_global
@@ -243,17 +256,51 @@ let mk_bucket (trs : ctr array) (b_trs : int array) =
       if c.c_call_model <> None then any_model := true;
       if c.c_src_var <> None then has_var := true;
       match c.c_src_global with
-      | Some g -> if not (List.mem g !globs) then globs := g :: !globs
+      | Some g ->
+          if not (List.mem_assoc g !globs) then
+            globs := (g, c.c_src_global_code) :: !globs
       | None -> ())
     b_trs;
   {
     b_trs;
     b_any_model = !any_model;
     b_has_var = !has_var;
-    b_globals = Array.of_list (List.rev !globs);
+    b_globals = Array.of_list (List.rev_map fst !globs);
+    b_global_codes = Array.of_list (List.rev_map snd !globs);
   }
 
+(* The extension's statically known state values, coded densely with
+   [Sm.stop_value] reserved at 0. Sources, destinations and the start
+   state are all here; only [set_global] actions can write states outside
+   this set at runtime, which is why gstates stay strings in [Sm.sm_inst]
+   and codes are resolved by content at the comparison boundary. *)
+let collect_states (ext : Sm.t) =
+  let codes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let add s =
+    if not (Hashtbl.mem codes s) then begin
+      Hashtbl.add codes s (Hashtbl.length codes);
+      order := s :: !order
+    end
+  in
+  add Sm.stop_value;
+  add ext.Sm.start_state;
+  let rec dest = function
+    | Sm.To_var v | Sm.To_global v -> add v
+    | Sm.On_branch (a, b) ->
+        dest a;
+        dest b
+    | Sm.To_stop | Sm.Same -> ()
+  in
+  List.iter
+    (fun (tr : Sm.transition) ->
+      (match tr.tr_source with Sm.Src_var v -> add v | Sm.Src_global g -> add g);
+      dest tr.tr_dest)
+    ext.Sm.transitions;
+  (Array.of_list (List.rev !order), codes)
+
 let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
+  let states, state_codes = collect_states ext in
   let trs =
     Array.of_list
       (List.map
@@ -268,6 +315,10 @@ let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
                (match tr.tr_source with
                | Sm.Src_global g -> Some g
                | Sm.Src_var _ -> None);
+             c_src_global_code =
+               (match tr.tr_source with
+               | Sm.Src_global g -> Hashtbl.find state_codes g
+               | Sm.Src_var _ -> -1);
              c_call_model = call_model tr.tr_pattern;
              c_holes = Pattern.holes_of tr.tr_pattern ext.Sm.holes;
              c_mentions_svar =
@@ -371,6 +422,8 @@ let compile ?(indexed = true) ~sg (ext : Sm.t) : t =
     ext;
     sg;
     indexed;
+    states;
+    state_codes;
     trs;
     all_node = mk_bucket trs (Array.of_list all_node_l);
     eop_var = Array.of_list eop_var;

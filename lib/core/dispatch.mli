@@ -24,6 +24,9 @@ type ctr = {
   c_tr : Sm.transition;
   c_src_var : string option;  (** [Src_var v] source value *)
   c_src_global : string option;  (** [Src_global g] source value *)
+  c_src_global_code : int;
+      (** interned {!state_code} of [c_src_global]; -1 when the source is
+          not global *)
   c_call_model : Pattern.t option;
       (** the sub-pattern matched at nodes for callsite modelling
           (Section 6); [None] when the pattern cannot model a call *)
@@ -42,6 +45,9 @@ type bucket = {
   b_has_var : bool;  (** some candidate has a [Src_var] source *)
   b_globals : string array;
       (** distinct [Src_global] source states of the candidates *)
+  b_global_codes : int array;
+      (** the same states as interned {!state_code}s, index-aligned with
+          [b_globals] — the engine's prescan compares ints *)
 }
 (** A candidate list plus the prescan facts the engine needs before
     touching any transition, precomputed so the per-node no-match check
@@ -60,6 +66,20 @@ val compile : ?indexed:bool -> sg:Supergraph.t -> Sm.t -> t
 
 val indexed : t -> bool
 val transitions : t -> ctr array
+
+val states : t -> string array
+(** The extension's statically known state values, coded densely in
+    declaration order: code 0 is reserved for {!Sm.stop_value}, then the
+    start state, then every source and destination value of the
+    transition list. Runtime [set_global] actions can write strings
+    outside this set, so [Sm.sm_inst] keeps gstates as strings and codes
+    are resolved by content at comparison boundaries. *)
+
+val state_code : t -> string -> int
+(** The dense code of a state value, or -1 when the string is outside the
+    static state table (a runtime-synthesised gstate that matches no
+    static source). Two states compare equal iff their codes do and
+    neither is -1. *)
 
 val all_node : t -> int array
 (** Indices (in declaration order) of transitions that can match node

@@ -1,4 +1,5 @@
 module Sset = Set.Make (String)
+module Iset = Set.Make (Int)
 module Smap = Map.Make (String)
 
 let log_src = Logs.Src.create "mc.engine" ~doc:"xgcc analysis engine"
@@ -15,6 +16,11 @@ type options = {
   max_instances : int;
   dispatch : bool;
   flatten : bool;
+  state_ids : bool;
+      (* resolve instance identity through the supergraph's hash-cons table
+         ([Exprid]); off ([--no-state-ids]), every lookup renders the key
+         string and resolves it through the same id space — the A/B
+         allocation baseline, observably identical by construction *)
   max_nodes_per_root : int;
   timeout_per_root : float;
 }
@@ -30,6 +36,7 @@ let default_options =
     max_instances = 64;
     dispatch = true;
     flatten = true;
+    state_ids = true;
     max_nodes_per_root = 0;
     timeout_per_root = 0.;
   }
@@ -200,14 +207,25 @@ type undo =
       (* eid, pre-root tags ([None] = eid was absent) *)
   | U_mark of (string, unit) Hashtbl.t * string
       (* insertion of a fresh key into a unit table
-         (dedup / traversed / demanded) *)
+         (traversed / demanded) *)
+  | U_imark of (int, unit) Hashtbl.t * int
+      (* insertion of a fresh interned key into an int-keyed unit table
+         (report dedup) *)
   | U_counter of string * (int * int) option  (* rule, pre-root counts *)
   | U_adone of int  (* flat block id whose [annots_done] bit was set *)
 
 type rctx = {
   sg : Supergraph.t;
   opts : options;
+  ids : Exprid.ctx;
+      (* expression-identity resolver over the supergraph's shared
+         hash-cons table; per context (the overflow side tables are
+         unsynchronised), never shared across domains *)
   intern : Intern.t;  (* shared by every summary this context creates *)
+  store0 : Store.t;
+      (* empty store seeding this context's {!Store} family: derived
+         stores share one variable-interning table, so it must stay
+         within this context's domain (like [ids]) *)
   collector : Report.collector;
   counters : (string, int * int) Hashtbl.t;
   annots : (int, string list) Hashtbl.t;
@@ -217,7 +235,10 @@ type rctx = {
          them on first visit instead of at event-list build time *)
   fsums : (string, fsum) Hashtbl.t;
   events_cache : (string, ev array) Hashtbl.t;
-  dedup : (string, unit) Hashtbl.t;
+  dedup : (int, unit) Hashtbl.t;
+      (* emitted-report identity keys, interned through [intern] — probes
+         and journal cells are int-sized; the merge-time dedup tables stay
+         string-keyed because atoms are context-local *)
   traversed : (string, unit) Hashtbl.t;
   demanded : (string, unit) Hashtbl.t;
       (* keys of shared units this context replayed (transitively via
@@ -267,7 +288,9 @@ type fctx = {
   locals : string list;  (* declared locals, not params: filtered from suffix summaries *)
 }
 
-type walk = { sm : Sm.sm_inst; store : Store.t; created : Sset.t }
+type walk = { sm : Sm.sm_inst; store : Store.t; created : Iset.t }
+(* [created]: target ids of the instances created since block entry — the
+   add-edge discriminator of [record_block_edges] *)
 
 (* ------------------------------------------------------------------ *)
 (* Per-root analysis budgets (fault containment)                       *)
@@ -521,9 +544,10 @@ let emit_report rctx fctx ~node ~inst ?(annotations = []) ?rule ?var msg =
       ~call_depth:cdepth ~annotations ()
   in
   let key = Printf.sprintf "%s@%s" (Report.identity_key r) (Srcloc.to_string loc) in
-  if not (Hashtbl.mem rctx.dedup key) then begin
-    j_push rctx (U_mark (rctx.dedup, key));
-    Hashtbl.replace rctx.dedup key ();
+  let atom = Intern.atom rctx.intern key in
+  if not (Hashtbl.mem rctx.dedup atom) then begin
+    j_push rctx (U_imark (rctx.dedup, atom));
+    Hashtbl.replace rctx.dedup atom ();
     Log.info (fun m -> m "report: %a" Report.pp r);
     Report.emit rctx.collector r
   end
@@ -575,13 +599,13 @@ let create_tracked rctx fctx walk ?(syn_chain = 0) ?(data = []) ~target ~value
   if List.length walk.sm.actives >= rctx.opts.max_instances then walk
   else begin
     let inst =
-      Sm.new_instance ~data ~syn_chain ~target ~value ~created_at:node.eid
-        ~created_loc:node.eloc ~created_depth:fctx.depth ()
+      Sm.new_instance ~data ~syn_chain ~ids:rctx.ids ~target ~value
+        ~created_at:node.eid ~created_loc:node.eloc ~created_depth:fctx.depth ()
     in
     Sm.add_instance walk.sm inst;
     rctx.st.instances_created <- rctx.st.instances_created + 1;
     charge_budget rctx;
-    { walk with created = Sset.add inst.target_key walk.created }
+    { walk with created = Iset.add inst.target_id walk.created }
   end
 
 let svar_binding (ext : Sm.t) (bindings : Pattern.bindings) =
@@ -615,7 +639,7 @@ let apply_dest rctx fctx walk ~(node : Cast.expr option) ~bindings
           (* global-source stop: stop the instance on the bound object *)
           match svar_binding sm.ext bindings with
           | Some tree -> (
-              match Sm.find_instance sm ~key:(Cast.key_of_expr tree) with
+              match Sm.find_instance sm ~id:(Exprid.id rctx.ids tree) with
               | Some i ->
                   stop_instance sm i;
                   (walk, Some i)
@@ -634,7 +658,7 @@ let apply_dest rctx fctx walk ~(node : Cast.expr option) ~bindings
                   let walk =
                     create_tracked rctx fctx walk ~target:tree ~value:v ~node:n ()
                   in
-                  (walk, Sm.find_instance walk.sm ~key:(Cast.key_of_expr tree))
+                  (walk, Sm.find_instance walk.sm ~id:(Exprid.id rctx.ids tree))
               | None -> (walk, None))
           | None -> (walk, None)))
   | Sm.On_branch (t, f) ->
@@ -646,7 +670,7 @@ let apply_dest rctx fctx walk ~(node : Cast.expr option) ~bindings
               p_on_var = None;
               p_true = t;
               p_false = f;
-              p_inst_key = Option.map (fun (i : Sm.instance) -> i.target_key) inst;
+              p_inst_id = Option.map (fun (i : Sm.instance) -> i.target_id) inst;
               p_bindings = bindings;
               p_action = None;
             }
@@ -702,12 +726,15 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
      scan, no closure: three field reads plus (rarely) a short
      string-array walk for the global source states. *)
   let entry_gstate = sm.gstate in
+  (* resolved by content: a runtime [set_global] string codes to the same
+     int as the equal static state, or to -1 when outside the state table *)
+  let entry_gc = Dispatch.state_code dsp entry_gstate in
   let any_model = bucket.Dispatch.b_any_model in
   let any_var = bucket.Dispatch.b_has_var && sm.actives <> [] in
   let any_glob =
-    let gs = bucket.Dispatch.b_globals in
+    let gs = bucket.Dispatch.b_global_codes in
     let n = Array.length gs in
-    let rec scan i = i < n && (String.equal gs.(i) entry_gstate || scan (i + 1)) in
+    let rec scan i = i < n && (gs.(i) = entry_gc || scan (i + 1)) in
     n > 0 && scan 0
   in
   if (not any_model) && (not any_var) && not any_glob then begin
@@ -717,17 +744,17 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
   else begin
     let cctx = callout_ctx rctx fctx (Some node) in
     let matched = ref false in
-    let touched : (string, unit) Hashtbl.t option ref = ref None in
-    let touch key =
+    let touched : (int, unit) Hashtbl.t option ref = ref None in
+    let touch id =
       match !touched with
-      | Some t -> Hashtbl.replace t key ()
+      | Some t -> Hashtbl.replace t id ()
       | None ->
           let t = Hashtbl.create 4 in
-          Hashtbl.replace t key ();
+          Hashtbl.replace t id ();
           touched := Some t
     in
-    let touched_mem key =
-      match !touched with Some t -> Hashtbl.mem t key | None -> false
+    let touched_mem id =
+      match !touched with Some t -> Hashtbl.mem t id | None -> false
     in
     let walk = ref walk in
     if any_model then
@@ -748,13 +775,13 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
         cand;
     (* variable-specific instances first; first matching transition wins *)
     if any_var then begin
-      let entry_values : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let entry_values : (int, string) Hashtbl.t = Hashtbl.create 8 in
       List.iter
         (fun (i : Sm.instance) ->
-          Hashtbl.replace entry_values i.target_key i.value)
+          Hashtbl.replace entry_values i.target_id i.value)
         sm.actives;
       let value_at_entry (i : Sm.instance) =
-        Option.value (Hashtbl.find_opt entry_values i.target_key) ~default:i.value
+        Option.value (Hashtbl.find_opt entry_values i.target_id) ~default:i.value
       in
       List.iter
         (fun (i : Sm.instance) ->
@@ -786,7 +813,7 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
                             matched := true;
                             rctx.st.transitions_fired <-
                               rctx.st.transitions_fired + 1;
-                            touch i.target_key;
+                            touch i.target_id;
                             let walk', affected =
                               apply_dest rctx fctx !walk ~node:(Some node)
                                 ~bindings ~inst:(Some i) tr.Sm.tr_dest
@@ -812,10 +839,10 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
           let c = trs.(ti) in
           match c.Dispatch.c_src_global with
           | None -> ()
-          | Some g ->
+          | Some _ ->
               if
                 (not !gfired)
-                && String.equal entry_gstate g
+                && c.Dispatch.c_src_global_code = entry_gc
                 && String.equal sm.gstate entry_gstate
               then begin
                 let tr = c.Dispatch.c_tr in
@@ -831,7 +858,7 @@ let apply_transitions rctx fctx walk (node : Cast.expr) =
                        transitioned at this very node (e.g. a double free) *)
                     let suppressed =
                       match svar_binding ext bindings with
-                      | Some tree -> touched_mem (Cast.key_of_expr tree)
+                      | Some tree -> touched_mem (Exprid.id rctx.ids tree)
                       | None -> false
                     in
                     if not suppressed then begin
@@ -917,12 +944,13 @@ let fire_end_of_path rctx fctx walk ~(instances : Sm.instance list) ~global =
         instances;
     if global && Array.length eop_global > 0 then begin
       let gfired = ref false in
+      let gc = Dispatch.state_code dsp sm.gstate in
       Array.iter
         (fun ti ->
           let c = trs.(ti) in
           if not !gfired then
             match c.Dispatch.c_src_global with
-            | Some g when String.equal sm.gstate g -> (
+            | Some _ when c.Dispatch.c_src_global_code = gc -> (
                 let tr = c.Dispatch.c_tr in
                 rctx.st.match_attempts <- rctx.st.match_attempts + 1;
                 match
@@ -1034,7 +1062,7 @@ let handle_writes rctx fctx walk (node : Cast.expr) =
             | _ -> strip_casts e
           in
           let rsrc = value_source r in
-          match Sm.find_instance sm ~key:(Cast.key_of_expr rsrc) with
+          match Sm.find_instance sm ~id:(Exprid.id rctx.ids rsrc) with
           | Some src
             when src.created_at <> node.eid
                  && Option.is_some (Cast.base_lvalue l)
@@ -1051,7 +1079,7 @@ let handle_writes rctx fctx walk (node : Cast.expr) =
                 create_tracked rctx fctx walk ~syn_chain:(src.syn_chain + 1)
                   ~data:src.data ~target:l ~value:src.value ~node ()
               in
-              (match Sm.find_instance walk.sm ~key:(Cast.key_of_expr l) with
+              (match Sm.find_instance walk.sm ~id:(Exprid.id rctx.ids l) with
               | Some i when i.created_at = node.eid -> i.syn_group <- group
               | _ -> ());
               walk
@@ -1115,60 +1143,103 @@ let handle_writes rctx fctx walk (node : Cast.expr) =
 (* ------------------------------------------------------------------ *)
 
 (* The block-entry snapshot is an array of (instance key atom, rendered
-   target key, entry tuple), deduplicated so each atom appears once (last
-   active wins — exactly what the [Smap.add] fold this replaces did).
-   Probes are a linear scan by int atom over a handful of entries; the
-   dominant no-instance case is a zero-length array and costs nothing. *)
-let snapshot_find (snapshot : (int * string * Summary.tuple) array) atom =
+   target key, entry tuple id, entry tuple), deduplicated so each atom
+   appears once (last active wins — exactly what the [Smap.add] fold this
+   replaces did). Probes are a linear scan by int atom over a handful of
+   entries; the dominant no-instance case is a zero-length array and
+   costs nothing. The entry tuple (and its id) must be captured at block
+   entry: [instance.value] is mutated in place as transitions fire, so it
+   cannot be reconstructed from the instance afterwards. *)
+type snapshot_entry = {
+  se_atom : int;  (* instance key atom = the vkey atom of its tuples *)
+  se_key : string;
+  se_id : int;  (* entry tuple id, for probe-first edge recording *)
+  se_tup : Summary.tuple;
+}
+
+let snapshot_find (snapshot : snapshot_entry array) atom =
   let n = Array.length snapshot in
   let rec go i =
     if i >= n then None
     else
-      let a, _, tup = Array.unsafe_get snapshot i in
-      if a = atom then Some tup else go (i + 1)
+      let se = Array.unsafe_get snapshot i in
+      if se.se_atom = atom then Some se else go (i + 1)
   in
   go 0
 
-let record_block_edges ~intern (bs : Summary.t) ~depth_base ~entry_g
-    ~(snapshot : (int * string * Summary.tuple) array) walk =
+(* Probe-first: src/dst tuple ids are computed from component atoms and
+   checked against the edge table before any tuple or edge record is
+   built — on the hit path (the overwhelming majority of block visits
+   re-walk already-recorded state) this allocates nothing in ids mode.
+   The probes are exactly the ids [Summary.add_edge] dedups by, so the
+   recorded edge set and its insertion order are unchanged. *)
+let record_block_edges ~ids ~intern (bs : Summary.t) ~depth_base ~entry_g
+    ~(snapshot : snapshot_entry array) walk =
   let sm = walk.sm in
   let exit_g = sm.gstate in
-  ignore
-    (Summary.add_edge bs
-       {
-         Summary.e_src = Summary.global_tuple entry_g;
-         e_dst = Summary.global_tuple exit_g;
-         e_kind = Summary.Transition;
-       });
+  let entry_ga = Summary.key_atom bs entry_g in
+  let exit_ga = Summary.key_atom bs exit_g in
+  let gsrc =
+    Summary.tuple_id_atoms bs ~g:entry_ga ~vkey:Intern.no_var ~vval:Intern.no_var
+  in
+  let gdst =
+    Summary.tuple_id_atoms bs ~g:exit_ga ~vkey:Intern.no_var ~vval:Intern.no_var
+  in
+  if not (Summary.mem_edge_ids bs ~src:gsrc ~dst:gdst Summary.Transition) then
+    ignore
+      (Summary.add_edge bs
+         {
+           Summary.e_src = Summary.global_tuple entry_g;
+           e_dst = Summary.global_tuple exit_g;
+           e_kind = Summary.Transition;
+         });
+  let unknown_a = Summary.key_atom bs Summary.unknown_value in
   let live = Hashtbl.create 8 in
   List.iter
     (fun (i : Sm.instance) ->
       if not i.inactive then begin
-        let atom = Summary.instance_key_atom intern i in
+        let atom = Summary.instance_key_atom ids intern i in
         Hashtbl.replace live atom ();
-        let cur = Summary.tuple_of_instance ~gstate:exit_g ~depth_base i in
-        if Sset.mem i.target_key walk.created then
-          ignore
-            (Summary.add_edge bs
-               {
-                 Summary.e_src = Summary.unknown_tuple_of_instance ~gstate:entry_g i;
-                 e_dst = cur;
-                 e_kind = Summary.Add;
-               })
+        let cur_id =
+          Summary.tuple_id_atoms bs ~g:exit_ga ~vkey:atom
+            ~vval:(Summary.key_atom bs i.value)
+        in
+        let add_unknown () =
+          if
+            not
+              (Summary.mem_edge_ids bs
+                 ~src:
+                   (Summary.tuple_id_atoms bs ~g:entry_ga ~vkey:atom
+                      ~vval:unknown_a)
+                 ~dst:cur_id Summary.Add)
+          then
+            ignore
+              (Summary.add_edge bs
+                 {
+                   Summary.e_src =
+                     Summary.unknown_tuple_of_instance ~ids ~gstate:entry_g i;
+                   e_dst = Summary.tuple_of_instance ~ids ~gstate:exit_g ~depth_base i;
+                   e_kind = Summary.Add;
+                 })
+        in
+        if Iset.mem i.target_id walk.created then add_unknown ()
         else
           match snapshot_find snapshot atom with
-          | Some entry_tup ->
-              ignore
-                (Summary.add_edge bs
-                   { Summary.e_src = entry_tup; e_dst = cur; e_kind = Summary.Transition })
-          | None ->
-              ignore
-                (Summary.add_edge bs
-                   {
-                     Summary.e_src = Summary.unknown_tuple_of_instance ~gstate:entry_g i;
-                     e_dst = cur;
-                     e_kind = Summary.Add;
-                   })
+          | Some se ->
+              if
+                not
+                  (Summary.mem_edge_ids bs ~src:se.se_id ~dst:cur_id
+                     Summary.Transition)
+              then
+                ignore
+                  (Summary.add_edge bs
+                     {
+                       Summary.e_src = se.se_tup;
+                       e_dst =
+                         Summary.tuple_of_instance ~ids ~gstate:exit_g ~depth_base i;
+                       e_kind = Summary.Transition;
+                     })
+          | None -> add_unknown ()
       end)
     sm.actives;
   (* Entry tuples whose instance died: transition to stop. Edge insertion
@@ -1177,24 +1248,33 @@ let record_block_edges ~intern (bs : Summary.t) ~depth_base ~entry_g
      order the [Smap.iter] this replaces used — the sort runs only on the
      rare blocks entered with live instances. *)
   if Array.length snapshot > 0 then begin
+    let stop_a = Summary.key_atom bs Sm.stop_value in
     let by_key = Array.copy snapshot in
-    Array.sort (fun (_, ka, _) (_, kb, _) -> String.compare ka kb) by_key;
+    Array.sort (fun a b -> String.compare a.se_key b.se_key) by_key;
     Array.iter
-      (fun (atom, _, (entry_tup : Summary.tuple)) ->
-        if not (Hashtbl.mem live atom) then
-          match entry_tup.t_v with
+      (fun se ->
+        if not (Hashtbl.mem live se.se_atom) then
+          match se.se_tup.Summary.t_v with
           | Some v ->
-              ignore
-                (Summary.add_edge bs
-                   {
-                     Summary.e_src = entry_tup;
-                     e_dst =
-                       {
-                         Summary.t_g = exit_g;
-                         t_v = Some { v with Summary.v_value = Sm.stop_value };
-                       };
-                     e_kind = Summary.Transition;
-                   })
+              let dst_id =
+                Summary.tuple_id_atoms bs ~g:exit_ga ~vkey:se.se_atom ~vval:stop_a
+              in
+              if
+                not
+                  (Summary.mem_edge_ids bs ~src:se.se_id ~dst:dst_id
+                     Summary.Transition)
+              then
+                ignore
+                  (Summary.add_edge bs
+                     {
+                       Summary.e_src = se.se_tup;
+                       e_dst =
+                         {
+                           Summary.t_g = exit_g;
+                           t_v = Some { v with Summary.v_value = Sm.stop_value };
+                         };
+                       e_kind = Summary.Transition;
+                     })
           | None -> ())
       by_key
   end
@@ -1332,8 +1412,8 @@ let resolve_pendings rctx fctx walk ~(cond : Cast.expr option) ~taken =
           let effective = if inverted then not taken else taken in
           let dest = if effective then p.p_true else p.p_false in
           let inst =
-            match p.p_inst_key with
-            | Some key -> Sm.find_instance sm ~key
+            match p.p_inst_id with
+            | Some id -> Sm.find_instance sm ~id
             | None -> None
           in
           let walk', _ =
@@ -1353,7 +1433,7 @@ type call_setup = {
   cs_mapping : Refine.mapping;
   cs_refined : Sm.sm_inst;
   cs_saved : Sm.instance list;  (* caller-local and sleeping file-scope state *)
-  cs_meta : (string, Sm.instance) Hashtbl.t;  (* refined key -> caller instance *)
+  cs_meta : (int, Sm.instance) Hashtbl.t;  (* refined target id -> caller instance *)
 }
 
 let refine_call rctx fctx walk (callee : Cast.fundef) (args : Cast.expr list) =
@@ -1374,9 +1454,9 @@ let refine_call rctx fctx walk (callee : Cast.fundef) (args : Cast.expr list) =
             i.target
         with
         | Refine.Mapped tree ->
-            let i' = Sm.retargeted i ~target:tree in
+            let i' = Sm.retargeted i ~ids:rctx.ids ~target:tree in
             Sm.add_instance refined i';
-            Hashtbl.replace meta i'.Sm.target_key i;
+            Hashtbl.replace meta i'.Sm.target_id i;
             (* by-value (Table 2 row 1): the callee sees the state, but the
                caller's own instance is untouched at return *)
             if sm.ext.byval_restore && Refine.is_byval_root mapping tree then
@@ -1384,7 +1464,7 @@ let refine_call rctx fctx walk (callee : Cast.fundef) (args : Cast.expr list) =
         | Refine.Global_pass ->
             let i' = Sm.clone_instance i in
             Sm.add_instance refined i';
-            Hashtbl.replace meta i'.Sm.target_key i
+            Hashtbl.replace meta i'.Sm.target_id i
         | Refine.Inactivate | Refine.Save -> saved := i :: !saved)
     sm.actives;
   { cs_mapping = mapping; cs_refined = refined; cs_saved = List.rev !saved; cs_meta = meta }
@@ -1394,7 +1474,9 @@ let refine_call rctx fctx walk (callee : Cast.fundef) (args : Cast.expr list) =
 type outcome = {
   o_tree : Cast.expr;  (* callee-scope tree *)
   o_value : string;
-  o_from : string option;  (* refined key it transitioned from, None = created *)
+  o_from : int option;
+      (* target id of the refined instance it transitioned from,
+         None = created in the callee *)
   o_depth : int;  (* creation depth relative to the caller (ranking) *)
 }
 
@@ -1403,7 +1485,7 @@ type outcome = {
    correlation; we build [max per-object multiplicity] exit states, object
    [j] contributing outcome [min (i, n_j - 1)] to state [i], so the
    continuation cost stays linear. *)
-let apply_function_summary (sums : fsum) (cfg : Cfg.t) (refined : Sm.sm_inst) :
+let apply_function_summary ~ids (sums : fsum) (cfg : Cfg.t) (refined : Sm.sm_inst) :
     (string * outcome list) list =
   let sfx = sfxsum sums cfg.entry in
   let all = Summary.edges sfx in
@@ -1420,16 +1502,18 @@ let apply_function_summary (sums : fsum) (cfg : Cfg.t) (refined : Sm.sm_inst) :
                 {
                   o_tree = i.target;
                   o_value = i.value;
-                  o_from = Some i.target_key;
+                  o_from = Some i.target_id;
                   o_depth = 0;
                 })
           refined.actives );
     ]
   else begin
     let g = refined.gstate in
+    (* rendered keys: summary tuples are string-keyed (they persist) *)
     let instance_keys =
       List.filter_map
-        (fun (i : Sm.instance) -> if i.inactive then None else Some i.target_key)
+        (fun (i : Sm.instance) ->
+          if i.inactive then None else Some (Sm.instance_key ids i))
         refined.actives
     in
     (* global outcomes *)
@@ -1451,7 +1535,7 @@ let apply_function_summary (sums : fsum) (cfg : Cfg.t) (refined : Sm.sm_inst) :
         (fun (i : Sm.instance) ->
           if i.inactive then None
           else begin
-            let tup = Summary.tuple_of_instance ~gstate:g i in
+            let tup = Summary.tuple_of_instance ~ids ~gstate:g i in
             let outs =
               List.filter_map
                 (fun (e : Summary.edge) ->
@@ -1463,7 +1547,7 @@ let apply_function_summary (sums : fsum) (cfg : Cfg.t) (refined : Sm.sm_inst) :
                           {
                             o_tree = v.v_tree;
                             o_value = v.v_value;
-                            o_from = Some i.target_key;
+                            o_from = Some i.target_id;
                             o_depth = v.v_depth + 1;
                           }
                     | None -> None
@@ -1539,8 +1623,8 @@ let restore_partition rctx fctx walk0 (setup : call_setup) (callee : Cast.fundef
             match back with Refine.Back t -> t | _ -> out.o_tree
           in
           match out.o_from with
-          | Some refined_key -> (
-              match Hashtbl.find_opt setup.cs_meta refined_key with
+          | Some refined_id -> (
+              match Hashtbl.find_opt setup.cs_meta refined_id with
               | Some orig ->
                   let value =
                     if
@@ -1549,23 +1633,24 @@ let restore_partition rctx fctx walk0 (setup : call_setup) (callee : Cast.fundef
                     then orig.value (* Table 2 row 1, by-value restore *)
                     else out.o_value
                   in
-                  let i' = Sm.retargeted orig ~target:tree ~value in
+                  let i' = Sm.retargeted orig ~ids:rctx.ids ~target:tree ~value in
                   Sm.add_instance sm' i'
               | None ->
                   let i =
-                    Sm.new_instance ~target:tree ~value:out.o_value
+                    Sm.new_instance ~ids:rctx.ids ~target:tree ~value:out.o_value
                       ~created_at:callsite.eid ~created_loc:callsite.eloc
                       ~created_depth:(fctx.depth + out.o_depth) ()
                   in
                   Sm.add_instance sm' i;
-                  created := Sset.add i.Sm.target_key !created)
+                  created := Iset.add i.Sm.target_id !created)
           | None ->
               let i =
-                Sm.new_instance ~target:tree ~value:out.o_value ~created_at:callsite.eid
-                  ~created_loc:callsite.eloc ~created_depth:(fctx.depth + out.o_depth) ()
+                Sm.new_instance ~ids:rctx.ids ~target:tree ~value:out.o_value
+                  ~created_at:callsite.eid ~created_loc:callsite.eloc
+                  ~created_depth:(fctx.depth + out.o_depth) ()
               in
               Sm.add_instance sm' i;
-              created := Sset.add i.Sm.target_key !created))
+              created := Iset.add i.Sm.target_id !created))
     outs;
   (* saved caller-local state reappears; sleeping file-scope state wakes up
      if we are back in its file *)
@@ -1633,7 +1718,7 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
             (not i.inactive)
             &&
             (rctx.st.cache_probes <- rctx.st.cache_probes + 1;
-             Summary.mem_src_instance bs ~gstate:sm.gstate i))
+             Summary.mem_src_instance bs ~ids:rctx.ids ~gstate:sm.gstate i))
           sm.actives
       in
       let seen = List.filter (fun (i : Sm.instance) -> not i.inactive) seen in
@@ -1654,7 +1739,7 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
     relax rctx fctx (bid :: backtrace)
   end
   else begin
-    Summary.add_src_sm bs sm;
+    Summary.add_src_sm bs ~ids:rctx.ids sm;
     let entry_g = sm.gstate in
     (* block-entry snapshot: (key atom, target key, entry tuple) per live
        instance, later duplicates of an atom replacing earlier ones (the
@@ -1663,25 +1748,33 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
     let snapshot =
       if List.for_all (fun (i : Sm.instance) -> i.inactive) sm.actives then [||]
       else begin
+        let entry_ga = Summary.key_atom bs entry_g in
         let entries =
           List.filter_map
             (fun (i : Sm.instance) ->
               if i.inactive then None
               else
+                let atom = Summary.instance_key_atom rctx.ids rctx.intern i in
                 Some
-                  ( Summary.instance_key_atom rctx.intern i,
-                    i.target_key,
-                    Summary.tuple_of_instance ~gstate:entry_g
-                      ~depth_base:fctx.depth i ))
+                  {
+                    se_atom = atom;
+                    se_key = Sm.instance_key rctx.ids i;
+                    se_id =
+                      Summary.tuple_id_atoms bs ~g:entry_ga ~vkey:atom
+                        ~vval:(Summary.key_atom bs i.value);
+                    se_tup =
+                      Summary.tuple_of_instance ~ids:rctx.ids ~gstate:entry_g
+                        ~depth_base:fctx.depth i;
+                  })
             sm.actives
         in
         let seen = Hashtbl.create 8 in
         let keep =
           List.filter
-            (fun (a, _, _) ->
-              if Hashtbl.mem seen a then false
+            (fun se ->
+              if Hashtbl.mem seen se.se_atom then false
               else begin
-                Hashtbl.replace seen a ();
+                Hashtbl.replace seen se.se_atom ();
                 true
               end)
             (List.rev entries)
@@ -1689,7 +1782,7 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
         Array.of_list (List.rev keep)
       end
     in
-    let walk = { walk with store; created = Sset.empty } in
+    let walk = { walk with store; created = Iset.empty } in
     (* at the function exit node, unresolved path-specific transitions take
        their false destination before scope-end events fire *)
     let walk =
@@ -1714,8 +1807,8 @@ let rec traverse rctx fctx walk (backtrace : int list) (bid : int) : unit =
             (fun (i : Sm.instance) ->
               not (contains_call i.target))
             walk'.sm.actives;
-        record_block_edges ~intern:rctx.intern bs ~depth_base:fctx.depth
-          ~entry_g ~snapshot walk';
+        record_block_edges ~ids:rctx.ids ~intern:rctx.intern bs
+          ~depth_base:fctx.depth ~entry_g ~snapshot walk';
         let bt = bid :: backtrace in
         if walk'.sm.killed_path then begin
           rctx.st.paths_explored <- rctx.st.paths_explored + 1;
@@ -1797,8 +1890,11 @@ and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t
         if not i.Sm.inactive then begin
           any := true;
           rctx.st.cache_probes <- rctx.st.cache_probes + 1;
-          if not (Summary.mem_src_instance entry_bs ~gstate:refined.Sm.gstate i) then
-            missing := true
+          if
+            not
+              (Summary.mem_src_instance entry_bs ~ids:rctx.ids
+                 ~gstate:refined.Sm.gstate i)
+          then missing := true
         end)
       refined.Sm.actives;
     if !any then not !missing
@@ -1822,10 +1918,12 @@ and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t
        the published system, whose pruning was intraprocedural
        (Section 8, footnote). *)
     traverse rctx callee_fctx
-      { sm = callee_sm; store = Store.empty; created = Sset.empty }
+      { sm = callee_sm; store = rctx.store0; created = Iset.empty }
       [] callee_cfg.entry
   end;
-  let partitions = apply_function_summary sums callee_cfg setup.cs_refined in
+  let partitions =
+    apply_function_summary ~ids:rctx.ids sums callee_cfg setup.cs_refined
+  in
   let ret_value =
     (* simple value flow: if the callee returned a tracked object, its state
        rides on the call expression so that [l = f(...)] re-attaches it to
@@ -1839,11 +1937,12 @@ and follow_call rctx fctx walk (node : Cast.expr) fname args (callee_cfg : Cfg.t
         match ret_value with
         | Some v when not (String.equal v Sm.stop_value) ->
             let i =
-              Sm.new_instance ~target:node ~value:v ~created_at:node.eid
-                ~created_loc:node.eloc ~created_depth:(fctx.depth + 1) ()
+              Sm.new_instance ~ids:rctx.ids ~target:node ~value:v
+                ~created_at:node.eid ~created_loc:node.eloc
+                ~created_depth:(fctx.depth + 1) ()
             in
             Sm.add_instance walk'.sm i;
-            { walk' with created = Sset.add i.Sm.target_key walk'.created }
+            { walk' with created = Iset.add i.Sm.target_id walk'.created }
         | _ -> walk'
       in
       (* the callee may have written through pointer arguments *)
@@ -1938,7 +2037,14 @@ and compute_pub sh rctx fname (callee_cfg : Cfg.t) gstate : pub =
     {
       sg = rctx.sg;
       opts = rctx.opts;
-      intern = Intern.create ();
+      (* same domain, synchronous: sharing the demander's id resolver keeps
+         one overflow id per distinct synthesized key per worker *)
+      ids = rctx.ids;
+      intern =
+        Intern.create
+          ~strings:(not rctx.opts.state_ids)
+          ~n_exprs:(Exprid.n rctx.sg.Supergraph.ids) ();
+      store0 = rctx.store0;
       collector = Report.new_collector ();
       counters = Hashtbl.create 16;
       annots = Hashtbl.copy sh.sh_base_annots;
@@ -1966,7 +2072,7 @@ and compute_pub sh rctx fname (callee_cfg : Cfg.t) gstate : pub =
   let sm = Sm.initial scratch.cur_ext in
   sm.Sm.gstate <- gstate;
   traverse scratch callee_fctx
-    { sm; store = Store.empty; created = Sset.empty }
+    { sm; store = scratch.store0; created = Iset.empty }
     [] callee_cfg.entry;
   scratch.st.intern_atoms <- Intern.n_atoms scratch.intern;
   scratch.st.intern_tuples <- Intern.n_tuples scratch.intern;
@@ -2010,10 +2116,10 @@ and replay_pub rctx (p : pub) : unit =
     p.p_fsums;
   List.iter
     (fun r ->
-      let key = report_key r in
-      if not (Hashtbl.mem rctx.dedup key) then begin
-        j_push rctx (U_mark (rctx.dedup, key));
-        Hashtbl.replace rctx.dedup key ();
+      let atom = Intern.atom rctx.intern (report_key r) in
+      if not (Hashtbl.mem rctx.dedup atom) then begin
+        j_push rctx (U_imark (rctx.dedup, atom));
+        Hashtbl.replace rctx.dedup atom ();
         Report.emit rctx.collector r
       end)
     p.p_reports;
@@ -2052,11 +2158,11 @@ and handle_terminator rctx fctx walk (bt : int list) (block : Block.t) : unit =
   | Block.Return ret ->
       (match ret with
       | Some e ->
-          let key = Cast.key_of_expr (strip_casts e) in
+          let rid = Exprid.id rctx.ids (strip_casts e) in
           let sums = fctx.fsum in
           List.iter
             (fun (i : Sm.instance) ->
-              if (not i.inactive) && String.equal i.target_key key then
+              if (not i.inactive) && i.target_id = rid then
                 Hashtbl.replace sums.rets i.value ())
             walk.sm.actives
       | None -> ());
@@ -2154,7 +2260,7 @@ let run_root rctx (ext : Sm.t) root =
   | Some cfg ->
       let fctx = make_fctx rctx ~depth:0 ~stack:[ root ] cfg in
       let walk =
-        { sm = Sm.initial ext; store = Store.empty; created = Sset.empty }
+        { sm = Sm.initial ext; store = rctx.store0; created = Iset.empty }
       in
       traverse rctx fctx walk [] cfg.entry
 
@@ -2231,6 +2337,7 @@ let apply_undo rctx = function
   | U_annot (eid, Some tags) -> Hashtbl.replace rctx.annots eid tags
   | U_annot (eid, None) -> Hashtbl.remove rctx.annots eid
   | U_mark (tbl, key) -> Hashtbl.remove tbl key
+  | U_imark (tbl, key) -> Hashtbl.remove tbl key
   | U_counter (rule, Some v) -> Hashtbl.replace rctx.counters rule v
   | U_counter (rule, None) -> Hashtbl.remove rctx.counters rule
   | U_adone fb -> Bytes.set rctx.annots_done fb '\000'
@@ -2287,7 +2394,12 @@ let new_rctx_in ?(options = default_options) ~ext ~dsp sg =
   {
     sg;
     opts = options;
-    intern = Intern.create ();
+    ids = Exprid.make_ctx ~strings:(not options.state_ids) sg.Supergraph.ids;
+    intern =
+      Intern.create
+        ~strings:(not options.state_ids)
+        ~n_exprs:(Exprid.n sg.Supergraph.ids) ();
+    store0 = Store.create ();
     collector = Report.new_collector ();
     counters = Hashtbl.create 16;
     annots = Hashtbl.create 64;
@@ -2537,12 +2649,14 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
    persistent cache key, so a stamp change orphans results computed by
    older builds instead of silently replaying them — the store's format
    version only guards the entry encoding, not what the engine computed. *)
-let analysis_version = "xgcc-analysis-3"
+let analysis_version = "xgcc-analysis-4"
 
 let options_digest (o : options) =
   (* budgets are part of the digest: a budget-limited run can legitimately
      produce fewer reports, so its cache entries must not be replayed by
-     an unlimited run (or vice versa) *)
+     an unlimited run (or vice versa). Representation switches ([flatten],
+     [dispatch], [state_ids]) are deliberately absent: they cannot change
+     output, so warm caches replay across those modes *)
   Printf.sprintf "%s c%b p%b i%b k%b s%b d%d m%d n%d t%g" analysis_version
     o.caching o.pruning o.interproc o.auto_kill o.synonyms o.max_call_depth
     o.max_instances o.max_nodes_per_root o.timeout_per_root
@@ -2995,7 +3109,7 @@ let run_function ?options sg (sm : Sm.sm_inst) ~fname =
   | Some cfg ->
       let fctx = make_fctx rctx ~depth:0 ~stack:[ fname ] cfg in
       traverse rctx fctx
-        { sm = Sm.clone sm; store = Store.empty; created = Sset.empty }
+        { sm = Sm.clone sm; store = rctx.store0; created = Iset.empty }
         [] cfg.entry);
   collect_result rctx
 

@@ -38,6 +38,16 @@ type options = {
           byte-identical either way and the flag is {e not} part of
           {!options_digest}, so warm caches replay across modes. Default
           on; [--no-flat] turns it off for A/B comparison. *)
+  state_ids : bool;
+      (** resolve tracked-object identity through the supergraph's
+          hash-cons table ({!Exprid}): instance lookups, seen-tuple probes
+          and summary keys compare dense int ids and keys render at most
+          once per distinct expression per root. Off, every probe renders
+          the key string and resolves it through the same id space — the
+          A/B allocation baseline. Like [flatten]/[dispatch], purely a
+          representation switch: reports are byte-identical either way and
+          the flag is {e not} part of {!options_digest}, so warm caches
+          replay across modes. Default on; [--no-state-ids] turns it off. *)
   max_nodes_per_root : int;
       (** per-root fuel: nodes visited plus instances created before the
           root is abandoned as {!degraded}. [0] (the default) means

@@ -20,9 +20,11 @@
    (re-recorded verbatim through [Summary.add_src_key]) intern into the
    same space, so replayed and recomputed state cannot disagree.
 
-   Tables are per root context and never shared across domains; [stamp]
-   distinguishes interners so ids cached inside long-lived values
-   ([Sm.instance]) can be validated before reuse. *)
+   Tables are per root context and never shared across domains. Each is
+   paired 1:1 with the root's Exprid context: [eatom] caches the
+   expression-id -> atom mapping on the interner itself (instances carry
+   only the int id; the old scheme cached the atom on the instance and
+   validated it against [stamp]). *)
 
 type t = {
   mutable names : string array; (* atom id -> string *)
@@ -34,22 +36,37 @@ type t = {
   triples : (int * int * int, int) Hashtbl.t;
       (* spill table for components >= 2^20 - 1 (one root would need
          about a million distinct strings to reach it) *)
+  mutable eatoms : int array;
+      (* expression id (Exprid, base space) -> atom id, -1 = unmapped: the
+         per-interner cache behind [eatom], replacing the stamp-validated
+         per-instance cache (each interner is paired 1:1 with one Exprid
+         context by the engine, so the mapping never goes stale) *)
+  eatoms_over : (int, int) Hashtbl.t;
+      (* same cache for sparse overflow expression ids *)
+  strings : bool;
+      (* [--no-state-ids]: resolve tuple identity by rendering the tuple
+         key and hashing the string on every call — the string-keyed
+         baseline the packed-triple cache replaces *)
   stamp : int;
 }
 
 (* Atomic: stamps must stay unique across engine worker domains. *)
 let stamp_counter = Atomic.make 0
 
-let create () =
+let create ?(strings = false) ?(n_exprs = 0) () =
   {
     names = Array.make 64 "";
     n = 0;
     ids = Hashtbl.create 256;
     packed = Hashtbl.create 256;
     triples = Hashtbl.create 8;
+    eatoms = Array.make (max 1 n_exprs) (-1);
+    eatoms_over = Hashtbl.create 16;
+    strings;
     stamp = 1 + Atomic.fetch_and_add stamp_counter 1;
   }
 
+let strings_mode t = t.strings
 let stamp t = t.stamp
 let n_atoms t = t.n
 let n_tuples t = Hashtbl.length t.packed + Hashtbl.length t.triples
@@ -71,6 +88,24 @@ let atom t s =
 
 let name t id = t.names.(id)
 
+let eatom t id render =
+  if id >= 0 && id < Array.length t.eatoms then begin
+    let a = t.eatoms.(id) in
+    if a >= 0 then a
+    else begin
+      let a = atom t (render ()) in
+      t.eatoms.(id) <- a;
+      a
+    end
+  end
+  else
+    match Hashtbl.find_opt t.eatoms_over id with
+    | Some a -> a
+    | None ->
+        let a = atom t (render ()) in
+        Hashtbl.replace t.eatoms_over id a;
+        a
+
 let no_var = -1
 
 let render t ~g ~vkey ~vval =
@@ -82,7 +117,11 @@ let render t ~g ~vkey ~vval =
 let spill_lim = (1 lsl 20) - 1
 
 let tuple t ~g ~vkey ~vval =
-  if g < spill_lim && vkey < spill_lim && vval < spill_lim then begin
+  if t.strings then
+    (* string-keyed baseline: pay the render and the string hash on every
+       probe, exactly as the rendered-key caches did *)
+    atom t (render t ~g ~vkey ~vval)
+  else if g < spill_lim && vkey < spill_lim && vval < spill_lim then begin
     (* 3 x 20 bits + the bias fit in 61 bits: always a positive OCaml
        int, and building the key allocates nothing (unlike the boxed
        triple the spill path hashes) *)

@@ -18,12 +18,20 @@
 
 type t
 
-val create : unit -> t
+val create : ?strings:bool -> ?n_exprs:int -> unit -> t
+(** [n_exprs] sizes the dense expression-id cache behind {!eatom} (pass
+    the supergraph's [Exprid.n]; overflow ids hash into a side table).
+    [strings] (default [false]) puts the interner in string-keyed
+    baseline mode ([--no-state-ids]): {!tuple} renders the tuple key and
+    hashes the string on every call instead of probing the packed-triple
+    cache. Ids are identical in both modes — only their cost differs. *)
+
+val strings_mode : t -> bool
+(** Whether this interner was created with [~strings:true]. *)
 
 val stamp : t -> int
-(** Unique (process-wide) identity of this interner. Ids cached inside
-    long-lived mutable values record the stamp they were minted under and
-    are re-interned when it no longer matches. *)
+(** Unique (process-wide) identity of this interner, for diagnostics and
+    tests. *)
 
 val atom : t -> string -> int
 (** Intern a string, returning its dense id (stable for the life of the
@@ -31,6 +39,13 @@ val atom : t -> string -> int
 
 val name : t -> int -> string
 (** The string behind an atom id (array read). *)
+
+val eatom : t -> int -> (unit -> string) -> int
+(** [eatom t id render] is the atom of the expression with hash-consed id
+    [id], calling [render] (the key rendering) only on the first probe of
+    that id under this interner. This replaced the per-instance
+    stamp-validated cache: the mapping lives with the interner, so
+    instances carry only their int id. *)
 
 val no_var : int
 (** Pseudo-atom for the [<>] placeholder component of a tuple. *)

@@ -4,12 +4,10 @@ let stop_value = "stop"
 
 type instance = {
   target : Cast.expr;
-  target_key : string;
-  mutable ikey : int;
-  mutable ikey_stamp : int;
-      (* interned id of [target_key], valid only while [ikey_stamp] matches
-         the owning interner's stamp (0 = never interned); managed by
-         [Summary], reset whenever [target_key] changes *)
+  target_id : int;
+      (* hash-consed id of [target] (Exprid): the identity the engine's
+         instance lookups, seen-tuple probes and summary keys compare —
+         id equality is exactly rendered-key equality *)
   mutable value : value;
   mutable data : (string * string) list;
   mutable int_data : (string * int) list;
@@ -36,7 +34,7 @@ type pending = {
   mutable p_on_var : string option;
   p_true : dest;
   p_false : dest;
-  p_inst_key : string option;
+  p_inst_id : int option;
   p_bindings : Pattern.bindings;
   p_action : (actx -> unit) option;
 }
@@ -103,9 +101,7 @@ let initial ext = { ext; gstate = ext.start_state; actives = []; pendings = []; 
 let clone_instance i =
   {
     target = i.target;
-    target_key = i.target_key;
-    ikey = i.ikey;
-    ikey_stamp = i.ikey_stamp;
+    target_id = i.target_id;
     value = i.value;
     data = i.data;
     int_data = i.int_data;
@@ -129,13 +125,11 @@ let clone sm =
     killed_path = sm.killed_path;
   }
 
-let new_instance ?(data = []) ?(syn_chain = 0) ~target ~value ~created_at ~created_loc
-    ~created_depth () =
+let new_instance ?(data = []) ?(syn_chain = 0) ~ids ~target ~value ~created_at
+    ~created_loc ~created_depth () =
   {
     target;
-    target_key = Cast.key_of_expr target;
-    ikey = -1;
-    ikey_stamp = 0;
+    target_id = Exprid.id ids target;
     value;
     data;
     int_data = [];
@@ -148,25 +142,31 @@ let new_instance ?(data = []) ?(syn_chain = 0) ~target ~value ~created_at ~creat
     inactive = false;
   }
 
-let retargeted ?value i ~target =
+let retargeted ?value ~ids i ~target =
   {
     (clone_instance i) with
     target;
-    target_key = Cast.key_of_expr target;
-    ikey = -1;
-    ikey_stamp = 0;
+    target_id = Exprid.id ids target;
     value = Option.value value ~default:i.value;
   }
 
-let find_instance sm ~key =
-  List.find_opt
-    (fun i -> (not i.inactive) && String.equal i.target_key key)
-    sm.actives
+let instance_key ids i =
+  (* strings mode ([--no-state-ids]) renders the key on every call — the
+     honest A/B baseline for what the engine paid before hash-consing *)
+  if Exprid.strings_mode ids then Cast.key_of_expr i.target
+  else
+    (* an instance seeded from another context may carry an overflow id this
+       context cannot resolve; render its target directly in that case *)
+    match Exprid.find_key ids i.target_id with
+    | Some k -> k
+    | None -> Cast.key_of_expr i.target
+
+let find_instance sm ~id =
+  List.find_opt (fun i -> (not i.inactive) && i.target_id = id) sm.actives
 
 let add_instance sm inst =
   sm.actives <-
-    inst
-    :: List.filter (fun i -> not (String.equal i.target_key inst.target_key)) sm.actives
+    inst :: List.filter (fun i -> i.target_id <> inst.target_id) sm.actives
 
 let remove_instance sm inst = sm.actives <- List.filter (fun i -> i != inst) sm.actives
 

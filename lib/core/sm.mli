@@ -19,11 +19,10 @@ val stop_value : value
 
 type instance = {
   target : Cast.expr;  (** the program object carrying the state *)
-  target_key : string;  (** canonical key of [target] *)
-  mutable ikey : int;
-  mutable ikey_stamp : int;
-      (** cached interned id of [target_key] and the stamp of the interner
-          it was minted under (0 = never interned); managed by [Summary] *)
+  target_id : int;
+      (** hash-consed id of [target] ({!Exprid}): the integer identity
+          every instance lookup, seen-tuple probe and summary key
+          compares; id equality is exactly rendered-key equality *)
   mutable value : value;
   mutable data : (string * string) list;
       (** extension-defined data value (Section 3.1): arbitrary fields the
@@ -61,7 +60,8 @@ type pending = {
       (** if the matched call's result was assigned, the variable to watch *)
   p_true : dest;
   p_false : dest;
-  p_inst_key : string option;  (** triggering instance, if var-sourced *)
+  p_inst_id : int option;
+      (** triggering instance's [target_id], if var-sourced *)
   p_bindings : Pattern.bindings;
   p_action : (actx -> unit) option;
 }
@@ -148,6 +148,7 @@ val fresh_syn_group : unit -> int
 val new_instance :
   ?data:(string * string) list ->
   ?syn_chain:int ->
+  ids:Exprid.ctx ->
   target:Cast.expr ->
   value:value ->
   created_at:int ->
@@ -156,14 +157,20 @@ val new_instance :
   unit ->
   instance
 
-val retargeted : ?value:value -> instance -> target:Cast.expr -> instance
-(** A copy of the instance re-attached to [target] (fresh [target_key],
-    interned-key cache invalidated), optionally with a new value. The only
-    safe way to change an instance's target: a record [with] update would
-    carry the stale [ikey] cache over to the new key. *)
+val retargeted : ?value:value -> ids:Exprid.ctx -> instance -> target:Cast.expr -> instance
+(** A copy of the instance re-attached to [target] (fresh [target_id]
+    resolved under [ids]), optionally with a new value. The only safe way
+    to change an instance's target: a record [with] update would carry
+    the old target's id over to the new tree. *)
 
-val find_instance : sm_inst -> key:string -> instance option
-(** Active (non-inactive) instance attached to the object with this key. *)
+val instance_key : Exprid.ctx -> instance -> string
+(** The rendered key of the instance's target: a shared-string table read
+    for ids known to [ids], a direct rendering for an instance seeded
+    from another context. *)
+
+val find_instance : sm_inst -> id:int -> instance option
+(** Active (non-inactive) instance attached to the object with this
+    hash-consed id. *)
 
 val add_instance : sm_inst -> instance -> unit
 (** Replaces any existing instance on the same object. *)

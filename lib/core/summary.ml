@@ -30,13 +30,13 @@ let pp_tuple ppf t =
         (Cprint.expr_to_string v.v_tree)
         (if String.equal v.v_value unknown_value then "unknown" else v.v_value)
 
-let tuple_of_instance ~gstate ?(depth_base = 0) (i : Sm.instance) =
+let tuple_of_instance ~ids ~gstate ?(depth_base = 0) (i : Sm.instance) =
   {
     t_g = gstate;
     t_v =
       Some
         {
-          v_key = i.target_key;
+          v_key = Sm.instance_key ids i;
           v_tree = i.target;
           v_value = i.value;
           v_depth = max 0 (i.created_depth - depth_base);
@@ -58,21 +58,26 @@ let unknown_tuple ~gstate tree =
         };
   }
 
-(* Same tuple as [unknown_tuple ~gstate i.target], but reusing the key the
-   instance already carries instead of re-rendering the expression. *)
-let unknown_tuple_of_instance ~gstate (i : Sm.instance) =
+(* Same tuple as [unknown_tuple ~gstate i.target], but resolving the key
+   through the shared id table instead of re-rendering the expression. *)
+let unknown_tuple_of_instance ~ids ~gstate (i : Sm.instance) =
   {
     t_g = gstate;
     t_v =
       Some
-        { v_key = i.target_key; v_tree = i.target; v_value = unknown_value; v_depth = 0 };
+        {
+          v_key = Sm.instance_key ids i;
+          v_tree = i.target;
+          v_value = unknown_value;
+          v_depth = 0;
+        };
   }
 
-let tuples_of_sm (sm : Sm.sm_inst) =
+let tuples_of_sm ~ids (sm : Sm.sm_inst) =
   let active = List.filter (fun (i : Sm.instance) -> not i.inactive) sm.actives in
   match active with
   | [] -> [ global_tuple sm.gstate ]
-  | instances -> List.map (tuple_of_instance ~gstate:sm.gstate) instances
+  | instances -> List.map (tuple_of_instance ~ids ~gstate:sm.gstate) instances
 
 type kind = Transition | Add
 type edge = { e_src : tuple; e_dst : tuple; e_kind : kind }
@@ -137,22 +142,21 @@ let tuple_id t tup =
       Intern.tuple t.it ~g ~vkey:(Intern.atom t.it v.v_key)
         ~vval:(Intern.atom t.it v.v_value)
 
-(* The interned id of the instance's target key, cached on the instance and
-   revalidated against the interner's stamp (instances cross interner
-   boundaries when summaries are merged or replayed). *)
-let instance_key_atom it (i : Sm.instance) =
-  if i.Sm.ikey_stamp = Intern.stamp it then i.Sm.ikey
-  else begin
-    let a = Intern.atom it i.Sm.target_key in
-    i.Sm.ikey <- a;
-    i.Sm.ikey_stamp <- Intern.stamp it;
-    a
-  end
+(* The interned atom of the instance's target key: instances carry only the
+   hash-consed target id, and the id -> atom mapping is cached on the
+   interner itself ([Intern.eatom]), so the key renders at most once per
+   distinct expression id per root. *)
+let instance_key_atom ids it (i : Sm.instance) =
+  (* strings mode resolves through the rendered key's string hash on every
+     probe (the pre-hash-cons behaviour); ids mode renders at most once
+     per distinct expression per interner via the id -> atom cache *)
+  if Exprid.strings_mode ids then Intern.atom it (Sm.instance_key ids i)
+  else Intern.eatom it i.Sm.target_id (fun () -> Sm.instance_key ids i)
 
-let instance_tuple_id t ~gstate (i : Sm.instance) =
+let instance_tuple_id t ~ids ~gstate (i : Sm.instance) =
   Intern.tuple t.it
     ~g:(Intern.atom t.it gstate)
-    ~vkey:(instance_key_atom t.it i)
+    ~vkey:(instance_key_atom ids t.it i)
     ~vval:(Intern.atom t.it i.Sm.value)
 
 let global_tuple_id t g =
@@ -161,12 +165,26 @@ let global_tuple_id t g =
 (* Tuple ids stay well under 2^30 (they count distinct strings seen by one
    root), so a packed 63-bit int is a safe edge key. *)
 let pack_edge_id s d kind = (s lsl 32) lor (d lsl 1) lor kind
+let kind_code = function Transition -> 0 | Add -> 1
 
 let edge_ids t e =
   let s = tuple_id t e.e_src in
   let d = tuple_id t e.e_dst in
-  let k = match e.e_kind with Transition -> 0 | Add -> 1 in
-  (s, d, pack_edge_id s d k)
+  (s, d, pack_edge_id s d (kind_code e.e_kind))
+
+(* --- probe-first recording ------------------------------------------
+   The engine's block-edge recording computes src/dst tuple ids from
+   component atoms and probes [mem_edge_ids] before constructing any
+   tuple or edge record; records are built only on a miss (the first
+   sighting). With ids the probe is a packed-int hash lookup allocating
+   nothing; in strings mode every [Intern.tuple] call re-renders the
+   tuple key, so probes cost exactly what the string-keyed caches
+   paid. *)
+let key_atom t s = Intern.atom t.it s
+let tuple_id_atoms t ~g ~vkey ~vval = Intern.tuple t.it ~g ~vkey ~vval
+
+let mem_edge_ids t ~src ~dst kind =
+  Hashtbl.mem t.tbl (pack_edge_id src dst (kind_code kind))
 
 let add_edge t e =
   let _, d, k = edge_ids t e in
@@ -209,16 +227,18 @@ let transitions t = List.filter (fun e -> e.e_kind = Transition) (edges t)
 let adds t = List.filter (fun e -> e.e_kind = Add) (edges t)
 let mem_src t tup = Hashtbl.mem t.srcs (tuple_id t tup)
 let add_src t tup = Hashtbl.replace t.srcs (tuple_id t tup) ()
-let mem_src_instance t ~gstate i = Hashtbl.mem t.srcs (instance_tuple_id t ~gstate i)
+let mem_src_instance t ~ids ~gstate i =
+  Hashtbl.mem t.srcs (instance_tuple_id t ~ids ~gstate i)
+
 let mem_src_global t g = Hashtbl.mem t.srcs (global_tuple_id t g)
 
-let add_src_sm t (sm : Sm.sm_inst) =
+let add_src_sm t ~ids (sm : Sm.sm_inst) =
   let any = ref false in
   List.iter
     (fun (i : Sm.instance) ->
       if not i.Sm.inactive then begin
         any := true;
-        Hashtbl.replace t.srcs (instance_tuple_id t ~gstate:sm.Sm.gstate i) ()
+        Hashtbl.replace t.srcs (instance_tuple_id t ~ids ~gstate:sm.Sm.gstate i) ()
       end)
     sm.Sm.actives;
   if not !any then Hashtbl.replace t.srcs (global_tuple_id t sm.Sm.gstate) ()

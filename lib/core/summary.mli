@@ -39,15 +39,17 @@ val tuple_equal : tuple -> tuple -> bool
 
 val pp_tuple : Format.formatter -> tuple -> unit
 
-val tuple_of_instance : gstate:string -> ?depth_base:int -> Sm.instance -> tuple
+val tuple_of_instance :
+  ids:Exprid.ctx -> gstate:string -> ?depth_base:int -> Sm.instance -> tuple
 val global_tuple : string -> tuple
 val unknown_tuple : gstate:string -> Cast.expr -> tuple
 
-val unknown_tuple_of_instance : gstate:string -> Sm.instance -> tuple
-(** [unknown_tuple ~gstate i.target], but reusing the instance's cached
-    [target_key] instead of re-rendering the expression. *)
+val unknown_tuple_of_instance : ids:Exprid.ctx -> gstate:string -> Sm.instance -> tuple
+(** [unknown_tuple ~gstate i.target], but resolving the key through the
+    instance's hash-consed [target_id] instead of re-rendering the
+    expression. *)
 
-val tuples_of_sm : Sm.sm_inst -> tuple list
+val tuples_of_sm : ids:Exprid.ctx -> Sm.sm_inst -> tuple list
 (** The extension state as a tuple set: one tuple per active instance, or
     the placeholder tuple when no instance is active. *)
 
@@ -94,22 +96,37 @@ val mem_src : t -> tuple -> bool
 val add_src : t -> tuple -> unit
 (** Record a tuple as having reached this block (the cache of Section 5.2). *)
 
-val mem_src_instance : t -> gstate:string -> Sm.instance -> bool
-(** [mem_src t (tuple_of_instance ~gstate i)] without building the tuple:
-    the probe is an integer hash lookup, with the instance's key atom
-    cached on the instance itself. *)
+val mem_src_instance : t -> ids:Exprid.ctx -> gstate:string -> Sm.instance -> bool
+(** [mem_src t (tuple_of_instance ~ids ~gstate i)] without building the
+    tuple: the probe is an integer hash lookup keyed off the instance's
+    hash-consed [target_id]. *)
 
 val mem_src_global : t -> string -> bool
 (** [mem_src t (global_tuple g)] without building the tuple. *)
 
-val instance_key_atom : Intern.t -> Sm.instance -> int
-(** The interned id of the instance's target key under [it], cached on
-    the instance and revalidated against the interner's stamp — the
-    packed int key the engine's block-entry snapshots use in place of
-    the rendered key string. *)
+val instance_key_atom : Exprid.ctx -> Intern.t -> Sm.instance -> int
+(** The interned atom of the instance's target key: resolved through the
+    instance's hash-consed [target_id] with the id -> atom mapping cached
+    on the interner ([Intern.eatom]), so the key renders at most once per
+    distinct expression per root. *)
 
-val add_src_sm : t -> Sm.sm_inst -> unit
+val add_src_sm : t -> ids:Exprid.ctx -> Sm.sm_inst -> unit
 (** [List.iter (add_src t) (tuples_of_sm sm)] without building the tuples. *)
+
+val key_atom : t -> string -> int
+(** Atom of a tuple component (gstate, value, or rendered target key)
+    under this summary's interner. *)
+
+val tuple_id_atoms : t -> g:int -> vkey:int -> vval:int -> int
+(** Tuple id from component atoms ([vkey] may be [Intern.no_var] for a
+    global-only tuple) — the id {!add_edge} dedups by, computed without
+    constructing the tuple. *)
+
+val mem_edge_ids : t -> src:int -> dst:int -> kind -> bool
+(** Whether an edge with these src/dst tuple ids and kind is already
+    recorded. The probe-first fast path of block-edge recording: on a hit
+    {!add_edge} would return [false], so the caller can skip building the
+    tuple and edge records entirely. *)
 
 val srcs_count : t -> int
 val size : t -> int

@@ -2,12 +2,20 @@ module Smap = Map.Make (String)
 module Imap = Map.Make (Int)
 module I64map = Map.Make (Int64)
 
+(* Variable names are interned to dense ints in a per-family table so the
+   hot maps below are int-keyed. The table is shared (mutably, append-only)
+   by every store derived from one [create] call — the engine makes one
+   family per root context, so the table never crosses domains. *)
+type vartab = { names : (string, int) Hashtbl.t; mutable next : int }
+
 type t = {
+  vars : vartab;
   uf : Uf.t;
-  env : int Smap.t;  (* variable -> class id *)
+  env : int Imap.t;  (* var id -> class id *)
   consts : int64 Imap.t;  (* class repr -> known constant *)
   const_class : int I64map.t;  (* constant -> its class *)
-  terms : int Smap.t;  (* congruence key -> class *)
+  terms : int Imap.t;  (* packed congruence key -> class *)
+  terms_spill : int Smap.t;  (* rendered keys whose classes overflow the packing *)
   diseqs : (int * int) list;
   lts : (int * int) list;  (* (a, b) means a < b *)
   les : (int * int) list;  (* (a, b) means a <= b *)
@@ -15,17 +23,30 @@ type t = {
 
 type verdict = True | False | Unknown
 
-let empty =
+let create () =
   {
+    vars = { names = Hashtbl.create 16; next = 0 };
     uf = Uf.empty;
-    env = Smap.empty;
+    env = Imap.empty;
     consts = Imap.empty;
     const_class = I64map.empty;
-    terms = Smap.empty;
+    terms = Imap.empty;
+    terms_spill = Smap.empty;
     diseqs = [];
     lts = [];
     les = [];
   }
+
+let empty = create ()
+
+let var_id t x =
+  match Hashtbl.find_opt t.vars.names x with
+  | Some id -> id
+  | None ->
+      let id = t.vars.next in
+      t.vars.next <- id + 1;
+      Hashtbl.add t.vars.names x id;
+      id
 
 let const_of t c = Imap.find_opt (Uf.find t.uf c) t.consts
 
@@ -59,11 +80,12 @@ let merge t a b =
     { t with uf; consts }
 
 let class_of_var t x =
-  match Smap.find_opt x t.env with
+  let vx = var_id t x in
+  match Imap.find_opt vx t.env with
   | Some c -> (t, c)
   | None ->
       let uf, c = Uf.fresh t.uf in
-      ({ t with uf; env = Smap.add x c t.env }, c)
+      ({ t with uf; env = Imap.add vx c t.env }, c)
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation                                                          *)
@@ -75,7 +97,10 @@ let rec eval t (e : Cast.expr) : int64 option =
   | Cast.Eint n -> Some n
   | Cast.Echar c -> Some (Int64.of_int (Char.code c))
   | Cast.Eident x -> (
-      match Smap.find_opt x t.env with Some c -> const_of t c | None -> None)
+      match Hashtbl.find_opt t.vars.names x with
+      | Some vx -> (
+          match Imap.find_opt vx t.env with Some c -> const_of t c | None -> None)
+      | None -> None)
   | Cast.Eunary (Cast.Neg, e1) ->
       let* v = eval t e1 in
       Some (Int64.neg v)
@@ -112,6 +137,32 @@ let rec eval t (e : Cast.expr) : int64 option =
   | Cast.Eassign (None, _, r) -> eval t r
   | _ -> None
 
+(* Congruence keys pack (operator, left class repr, right class repr) into
+   one int: the operator code above two 20-bit biased class fields (unary
+   terms carry -1, biased to 0, on the right). Class ids count [Uf.fresh]
+   calls along one path — far below the field limit in practice; the
+   pathological overflow falls back to the rendered-string key with
+   identical semantics, so no sprintf runs on the common path. *)
+let term_lim = 1 lsl 20
+
+let pack_term op a b =
+  if a + 1 < term_lim && b + 1 < term_lim then
+    Some ((op lsl 40) lor ((a + 1) lsl 20) lor (b + 1))
+  else None
+
+let binop_code = function
+  | Cast.Add -> 3
+  | Cast.Sub -> 4
+  | Cast.Mul -> 5
+  | Cast.Div -> 6
+  | Cast.Mod -> 7
+  | Cast.Band -> 8
+  | Cast.Bor -> 9
+  | Cast.Bxor -> 10
+  | Cast.Shl -> 11
+  | Cast.Shr -> 12
+  | _ -> 0 (* unreachable: callers guard on the trackable operators *)
+
 (* Class of an expression, creating classes as needed. [None] when the
    expression's shape cannot be tracked (calls, memory accesses). *)
 let rec class_of_expr t (e : Cast.expr) : t * int option =
@@ -128,7 +179,15 @@ let rec class_of_expr t (e : Cast.expr) : t * int option =
           let t, c1 = class_of_expr t e1 in
           match c1 with
           | None -> (t, None)
-          | Some c1 -> term_class t (Printf.sprintf "u%s:%d" (match u with Cast.Neg -> "-" | _ -> "~") (Uf.find t.uf c1)))
+          | Some c1 ->
+              let op = match u with Cast.Neg -> 1 | _ -> 2 in
+              let r1 = Uf.find t.uf c1 in
+              term_class t
+                ~packed:(pack_term op r1 (-1))
+                ~render:(fun () ->
+                  Printf.sprintf "u%s:%d"
+                    (match u with Cast.Neg -> "-" | _ -> "~")
+                    r1))
       | Cast.Ebinary (op, l, r)
         when (match op with
              | Cast.Add | Cast.Sub | Cast.Mul | Cast.Div | Cast.Mod | Cast.Band
@@ -143,18 +202,29 @@ let rec class_of_expr t (e : Cast.expr) : t * int option =
               match cr with
               | None -> (t, None)
               | Some cr ->
+                  let rl = Uf.find t.uf cl and rr = Uf.find t.uf cr in
                   term_class t
-                    (Format.asprintf "b%a:%d:%d" Cast.pp_binop op (Uf.find t.uf cl)
-                       (Uf.find t.uf cr))))
+                    ~packed:(pack_term (binop_code op) rl rr)
+                    ~render:(fun () ->
+                      Format.asprintf "b%a:%d:%d" Cast.pp_binop op rl rr)))
       | Cast.Ecast (_, e1) -> class_of_expr t e1
       | _ -> (t, None))
 
-and term_class t key =
-  match Smap.find_opt key t.terms with
-  | Some c -> (t, Some c)
-  | None ->
-      let uf, c = Uf.fresh t.uf in
-      ({ t with uf; terms = Smap.add key c t.terms }, Some c)
+and term_class t ~packed ~render =
+  match packed with
+  | Some key -> (
+      match Imap.find_opt key t.terms with
+      | Some c -> (t, Some c)
+      | None ->
+          let uf, c = Uf.fresh t.uf in
+          ({ t with uf; terms = Imap.add key c t.terms }, Some c))
+  | None -> (
+      let key = render () in
+      match Smap.find_opt key t.terms_spill with
+      | Some c -> (t, Some c)
+      | None ->
+          let uf, c = Uf.fresh t.uf in
+          ({ t with uf; terms_spill = Smap.add key c t.terms_spill }, Some c))
 
 (* ------------------------------------------------------------------ *)
 (* Updates                                                             *)
@@ -163,16 +233,28 @@ and term_class t key =
 let assign t x e =
   let t, cls = class_of_expr t e in
   match cls with
-  | Some c -> { t with env = Smap.add x c t.env }
+  | Some c -> { t with env = Imap.add (var_id t x) c t.env }
   | None ->
       let uf, c = Uf.fresh t.uf in
-      { t with uf; env = Smap.add x c t.env }
+      { t with uf; env = Imap.add (var_id t x) c t.env }
 
 let assign_unknown t x =
   let uf, c = Uf.fresh t.uf in
-  { t with uf; env = Smap.add x c t.env }
+  { t with uf; env = Imap.add (var_id t x) c t.env }
 
-let havoc t vars = { t with env = List.fold_left (fun m v -> Smap.remove v m) t.env vars }
+let havoc t vars =
+  (* a never-interned variable has no binding; don't intern it just to
+     remove nothing *)
+  {
+    t with
+    env =
+      List.fold_left
+        (fun m v ->
+          match Hashtbl.find_opt t.vars.names v with
+          | Some id -> Imap.remove id m
+          | None -> m)
+        t.env vars;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Relations                                                           *)
@@ -365,12 +447,18 @@ and assume_pos t e taken =
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>store:";
-  Smap.iter
-    (fun x c ->
+  let bound =
+    Hashtbl.fold
+      (fun x id acc ->
+        match Imap.find_opt id t.env with Some c -> (x, c) :: acc | None -> acc)
+      t.vars.names []
+  in
+  List.iter
+    (fun (x, c) ->
       match const_of t c with
       | Some n -> Format.fprintf ppf "@ %s = %Ld (class %d)" x n (Uf.find t.uf c)
       | None -> Format.fprintf ppf "@ %s : class %d" x (Uf.find t.uf c))
-    t.env;
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) bound);
   List.iter (fun (a, b) -> Format.fprintf ppf "@ class %d != class %d" a b) t.diseqs;
   List.iter (fun (a, b) -> Format.fprintf ppf "@ class %d < class %d" a b) t.lts;
   List.iter (fun (a, b) -> Format.fprintf ppf "@ class %d <= class %d" a b) t.les;

@@ -19,7 +19,16 @@ type t
 
 type verdict = True | False | Unknown
 
+val create : unit -> t
+(** An empty store starting a fresh {e family}: every store derived from
+    it shares one append-only variable-interning table (names are resolved
+    to dense ints once; the class maps are int-keyed). The table is
+    mutated without synchronisation, so a family must stay within one
+    domain — the engine makes one per root context. *)
+
 val empty : t
+(** A process-wide shared family, for single-domain callers and tests.
+    Domain-parallel callers must use {!create}. *)
 
 val assign : t -> string -> Cast.expr -> t
 (** [assign t x e] records [x = e]: [x] gets a fresh binding equal to the

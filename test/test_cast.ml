@@ -88,4 +88,44 @@ let suite =
            let e1 = e s1 and e2 = e s2 in
            Bool.equal (Cast.equal_expr e1 e2)
              (String.equal (Cast.key_of_expr e1) (Cast.key_of_expr e2))));
+    (* regression: string/char literal contents must not leak key syntax.
+       Unescaped, the one-argument call f("x\",s\"y") rendered the same
+       key as the two-argument f("x","y"). *)
+    t "literal contents cannot forge key structure" `Quick (fun () ->
+        let one = e {|f("x\",s\"y")|} and two = e {|f("x", "y")|} in
+        Alcotest.(check bool)
+          "escaped args" false
+          (String.equal (Cast.key_of_expr one) (Cast.key_of_expr two));
+        Alcotest.(check bool)
+          "char comma vs string comma" false
+          (String.equal (Cast.key_of_expr (e "','")) (Cast.key_of_expr (e {|","|})));
+        Alcotest.(check bool)
+          "char vs its code" false
+          (String.equal (Cast.key_of_expr (e "'a'")) (Cast.key_of_expr (e "97")));
+        Alcotest.(check bool)
+          "same literal same key" true
+          (String.equal
+             (Cast.key_of_expr (e {|f("x\",s\"y")|}))
+             (Cast.key_of_expr (e {|f("x\",s\"y")|}))));
+    t "compare_expr agrees with key order" `Quick (fun () ->
+        let pool =
+          [ "a"; "a + b"; "f(a)"; "'a'"; {|"a"|}; {|f("x\",s\"y")|};
+            {|f("x", "y")|}; "*p"; "p->f"; "a[1]"; "a = b"; "97" ]
+        in
+        List.iter
+          (fun s1 ->
+            List.iter
+              (fun s2 ->
+                let e1 = e s1 and e2 = e s2 in
+                let c = Cast.compare_expr e1 e2 in
+                let k = String.equal (Cast.key_of_expr e1) (Cast.key_of_expr e2) in
+                Alcotest.(check bool)
+                  (Printf.sprintf "zero iff equal keys: %s / %s" s1 s2)
+                  k (c = 0);
+                Alcotest.(check bool)
+                  (Printf.sprintf "antisymmetric: %s / %s" s1 s2)
+                  true
+                  (compare (Cast.compare_expr e2 e1) 0 = compare 0 c))
+              pool)
+          pool);
   ]

@@ -40,4 +40,5 @@ let () =
       ("faults", Test_faults.suite);
       ("scheduler", Test_sched.suite);
       ("flat", Test_flat.suite);
+      ("state-ids", Test_state_ids.suite);
     ]

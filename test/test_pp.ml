@@ -44,9 +44,10 @@ let suite =
         Alcotest.(check bool) "relation" true (contains s "<"));
     t "Sm.pp_inst shows global state and instances" `Quick (fun () ->
         let sm = Sm.initial (Free_checker.checker ()) in
+        let ids = Exprid.make_ctx (Exprid.empty ()) in
         Sm.add_instance sm
-          (Sm.new_instance ~target:(Cast.ident "p") ~value:"freed" ~created_at:0
-             ~created_loc:Srcloc.dummy ~created_depth:0 ());
+          (Sm.new_instance ~ids ~target:(Cast.ident "p") ~value:"freed"
+             ~created_at:0 ~created_loc:Srcloc.dummy ~created_depth:0 ());
         let s = Format.asprintf "%a" Sm.pp_inst sm in
         Alcotest.(check bool) "gstate" true (contains s "gstate=start");
         Alcotest.(check bool) "instance" true (contains s "p : freed"));

@@ -1,0 +1,212 @@
+(* Hash-consed expression identity ([Exprid]) and integer-coded tuple
+   state: ids are equality tokens for rendered keys (same id iff same
+   key, in both modes), the base table is shared read-only across
+   domains, and [--no-state-ids] (the string-keyed A/B baseline) is a
+   pure cost model — reports are byte-identical to id mode at any job
+   count, warm caches replay across the mode boundary (the flag is
+   excluded from the options digest), and per-root fault containment
+   rolls back int-keyed journal state exactly like string state. *)
+
+let t = Alcotest.test_case
+let e s = Cparse.expr_of_string ~file:"<t>" s
+
+let temp_dir () =
+  let f = Filename.temp_file "xgcc_test_state_ids" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+let free () = [ Free_checker.checker () ]
+let report_lines (r : Engine.result) = List.map Report.to_string r.Engine.reports
+let strings_options = { Engine.default_options with state_ids = false }
+let sg_of src = Supergraph.build [ Cparse.parse_tunit ~file:"ids.c" src ]
+
+let gen_sg ~seed =
+  Supergraph.build
+    (Gen.generate_files ~seed ~n_files:3 ~funcs_per_file:8 ~bug_rate:0.5
+    |> List.map (fun (file, g) -> Cparse.parse_tunit ~file g.Gen.source))
+
+let src =
+  "int f(int *p, int a) {\n\
+  \  int x = a + 1;\n\
+  \  if (a) { kfree(p); }\n\
+  \  return *p + x;\n\
+   }\n"
+
+(* A pool with both program expressions and synthesized trees, including
+   the literal pair whose keys collided before contents were escaped. *)
+let pool =
+  [ "p"; "a"; "*p"; "a + 1"; "kfree(p)"; "q->f[2]"; "'a'"; "97";
+    {|f("x\",s\"y")|}; {|f("x", "y")|} ]
+
+let table_tests =
+  [
+    t "ids are key identity in both modes" `Quick (fun () ->
+        let sg = sg_of src in
+        List.iter
+          (fun strings ->
+            let ctx = Exprid.make_ctx ~strings sg.Supergraph.ids in
+            let mode = if strings then "strings" else "ids" in
+            List.iter
+              (fun s1 ->
+                List.iter
+                  (fun s2 ->
+                    let e1 = e s1 and e2 = e s2 in
+                    Alcotest.(check bool)
+                      (Printf.sprintf "id eq iff key eq (%s): %s / %s" mode s1
+                         s2)
+                      (String.equal (Cast.key_of_expr e1) (Cast.key_of_expr e2))
+                      (Exprid.id ctx e1 = Exprid.id ctx e2))
+                  pool)
+              pool)
+          [ false; true ]);
+    t "ids round-trip to rendered keys" `Quick (fun () ->
+        let sg = sg_of src in
+        let ctx = Exprid.make_ctx sg.Supergraph.ids in
+        List.iter
+          (fun s ->
+            let ex = e s in
+            let id = Exprid.id ctx ex in
+            Alcotest.(check string)
+              (Printf.sprintf "key of id: %s" s)
+              (Cast.key_of_expr ex) (Exprid.key ctx id);
+            Alcotest.(check (option string))
+              (Printf.sprintf "find_key: %s" s)
+              (Some (Cast.key_of_expr ex))
+              (Exprid.find_key ctx id))
+          pool;
+        (* program nodes resolve through the dense base table *)
+        Alcotest.(check bool) "program expr has base id" true
+          (Exprid.id ctx (e "a + 1") < Exprid.n sg.Supergraph.ids));
+    t "base ids are stable across domains" `Quick (fun () ->
+        (* the base table is frozen by Supergraph.build and shared
+           read-only: every worker domain's private ctx must assign a
+           program expression the same id *)
+        let sg = sg_of src in
+        let ids_in_domain () =
+          Domain.spawn (fun () ->
+              let ctx = Exprid.make_ctx sg.Supergraph.ids in
+              List.map (fun s -> Exprid.id ctx (e s)) pool)
+        in
+        let d1 = ids_in_domain () and d2 = ids_in_domain () in
+        let v1 = Domain.join d1 and v2 = Domain.join d2 in
+        let ctx = Exprid.make_ctx sg.Supergraph.ids in
+        let v0 = List.map (fun s -> Exprid.id ctx (e s)) pool in
+        List.iter2
+          (fun (a, b) s ->
+            (* overflow ids are context-private by design; base ids (all
+               the program expressions) must agree everywhere *)
+            if a < Exprid.n sg.Supergraph.ids || b < Exprid.n sg.Supergraph.ids
+            then Alcotest.(check int) (Printf.sprintf "base id of %s" s) a b)
+          (List.combine v0 v1) pool;
+        List.iter2
+          (fun (a, b) s ->
+            if a < Exprid.n sg.Supergraph.ids || b < Exprid.n sg.Supergraph.ids
+            then Alcotest.(check int) (Printf.sprintf "base id of %s (d2)" s) a b)
+          (List.combine v1 v2) pool);
+  ]
+
+let identity_tests =
+  [
+    t "strings and ids reports byte-identical at -j1/-j2" `Quick (fun () ->
+        let sg = gen_sg ~seed:17 in
+        let ids_r = Engine.run sg (free ()) in
+        List.iter
+          (fun jobs ->
+            let str_r = Engine.run ~options:strings_options ~jobs sg (free ()) in
+            Alcotest.(check (list string))
+              (Printf.sprintf "reports (strings j=%d)" jobs)
+              (report_lines ids_r) (report_lines str_r);
+            Alcotest.(check (list (triple string int int)))
+              (Printf.sprintf "counters (strings j=%d)" jobs)
+              ids_r.Engine.counters str_r.Engine.counters)
+          [ 1; 2 ];
+        let ids_j2 = Engine.run ~jobs:2 sg (free ()) in
+        Alcotest.(check (list string))
+          "ids -j2 = ids -j1" (report_lines ids_r) (report_lines ids_j2));
+    t "warm cache replays across the state-ids boundary" `Quick (fun () ->
+        (* [state_ids] is a representation choice, not an analysis
+           option: it is excluded from the options digest, so summaries
+           written by an id-mode run must be replayed verbatim by a
+           strings-mode run (and vice versa) instead of being orphaned. *)
+        Alcotest.(check string)
+          "digest ignores state_ids"
+          (Engine.options_digest Engine.default_options)
+          (Engine.options_digest strings_options);
+        let sg = gen_sg ~seed:19 in
+        let store_over dir =
+          Summary_store.create ~dir
+            ~ext_keys:
+              (Summary_store.ext_keys_of
+                 ~options_digest:(Engine.options_digest Engine.default_options)
+                 ~sources:[ "free" ])
+            ()
+        in
+        let dir = temp_dir () in
+        let uncached = Engine.run sg (free ()) in
+        let cold = Engine.run ~cache:(store_over dir) sg (free ()) in
+        let warm_store = store_over dir in
+        let warm =
+          Engine.run ~options:strings_options ~cache:warm_store sg (free ())
+        in
+        Alcotest.(check (list string))
+          "cold ids = uncached" (report_lines uncached) (report_lines cold);
+        Alcotest.(check (list string))
+          "warm strings = uncached" (report_lines uncached) (report_lines warm);
+        let st = Summary_store.stats warm_store in
+        Alcotest.(check int)
+          "strings warm run recomputes nothing" 0
+          st.Summary_store.roots_recomputed;
+        Alcotest.(check bool)
+          "strings warm run replays id-written roots" true
+          (st.Summary_store.roots_replayed > 0));
+  ]
+
+let explosion_src =
+  "int f(int *p) { kfree(p); return *p; }\n\
+   int h(int *r) { kfree(r); return *r; }\n"
+
+let explode_fn =
+  "int explode(int a, int b, int c, int d) {\n\
+  \  int *p1; int *p2; int *p3; int *p4;\n\
+  \  if (a) { kfree(p1); } if (b) { kfree(p2); }\n\
+  \  if (c) { kfree(p3); } if (d) { kfree(p4); }\n\
+  \  if (a) { b = 1; } if (b) { c = 1; } if (c) { d = 1; } if (d) { a = 1; }\n\
+  \  return *p1 + *p2 + *p3 + *p4;\n\
+   }\n"
+
+let rollback_tests =
+  [
+    t "degraded root rolls back int-keyed journals at -j1/-j2" `Quick
+      (fun () ->
+        (* report dedup and summary sources are keyed by interned ints;
+           rollback must unwind those journal entries so healthy roots'
+           output matches a run that never had the bad root, in both
+           representation modes *)
+        let budgeted = { Engine.default_options with max_nodes_per_root = 40 } in
+        let healthy = Engine.run (sg_of explosion_src) (free ()) in
+        Alcotest.(check int) "baseline sanity" 0
+          (List.length healthy.Engine.degraded);
+        let faulty_sg = sg_of (explosion_src ^ explode_fn) in
+        List.iter
+          (fun (options, mode) ->
+            List.iter
+              (fun jobs ->
+                let r = Engine.run ~options ~jobs faulty_sg (free ()) in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "degraded root only (%s j=%d)" mode jobs)
+                  [ "explode" ]
+                  (List.map
+                     (fun (d : Engine.degraded) -> d.Engine.d_root)
+                     r.Engine.degraded);
+                Alcotest.(check (list string))
+                  (Printf.sprintf "healthy roots identical (%s j=%d)" mode jobs)
+                  (report_lines healthy) (report_lines r))
+              [ 1; 2 ])
+          [
+            ({ budgeted with state_ids = true }, "ids");
+            ({ budgeted with state_ids = false }, "strings");
+          ]);
+  ]
+
+let suite = table_tests @ identity_tests @ rollback_tests
