@@ -7,7 +7,8 @@
      dump-cfg         print a function's control-flow graph
      dump-summaries   print block + suffix summaries (Figure 5 material)
      demo             reproduce the paper's Figure 2 run
-     gen              generate a random workload with ground-truth bugs *)
+     gen              generate a random workload with ground-truth bugs
+     cache            inspect the persistent incremental cache *)
 
 open Cmdliner
 
@@ -219,6 +220,16 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
       Diag.warnf "analysis of root %s degraded: %s" d.Engine.d_root
         d.Engine.d_reason)
     result.Engine.degraded;
+  (* fold the pass-1 AST counters into the store's stats and re-save the
+     last-run record so `xgcc cache stats` sees them (the engine saved its
+     own counters before the AST atomics were read) *)
+  (match store with
+  | Some s ->
+      let cst = Summary_store.stats s in
+      cst.Summary_store.ast_hits <- Atomic.get ast_hits;
+      cst.Summary_store.ast_misses <- Atomic.get ast_misses;
+      Summary_store.save_last_run s
+  | None -> ());
   let skipped_defs =
     List.fold_left
       (fun n tu ->
@@ -333,11 +344,7 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
       "phases: preprocess+parse %.3fs, cfg+supergraph %.3fs, analysis %.3fs@."
       (t1 -. t0) (t2 -. t1) (t3 -. t2);
     match store with
-    | Some s ->
-        let cst = Summary_store.stats s in
-        cst.Summary_store.ast_hits <- Atomic.get ast_hits;
-        cst.Summary_store.ast_misses <- Atomic.get ast_misses;
-        Format.printf "%a@." Summary_store.pp_stats s
+    | Some s -> Format.printf "%a@." Summary_store.pp_stats s
     | None -> ()
   end;
   if ranked = [] && not (String.equal fmt "json") then
@@ -755,6 +762,85 @@ let emit_cmd =
       $ no_cache_persist)
 
 (* ------------------------------------------------------------------ *)
+(* cache (inspect the persistent incremental cache)                    *)
+(* ------------------------------------------------------------------ *)
+
+let human_bytes n =
+  if n >= 1024 * 1024 then Printf.sprintf "%.1f MiB" (float_of_int n /. (1024. *. 1024.))
+  else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%d B" n
+
+let do_cache_stats dir =
+  if not (Sys.file_exists dir) then begin
+    Format.eprintf "no cache directory %s@." dir;
+    exit 2
+  end;
+  let d = Summary_store.disk_stats ~dir in
+  Format.printf "store %s@." dir;
+  (match d.Summary_store.d_version with
+  | Some v when String.equal v Summary_store.store_version ->
+      Format.printf "version %s@." v
+  | Some v ->
+      Format.printf "version %s (current build writes %s; old entries are orphaned)@."
+        v Summary_store.store_version
+  | None -> Format.printf "version (unstamped)@.");
+  let line name (k : Summary_store.disk_kind) =
+    Format.printf "%-9s %6d entries  %s@." name k.Summary_store.dk_files
+      (human_bytes k.Summary_store.dk_bytes)
+  in
+  line "ast" d.Summary_store.d_ast;
+  line "summary" d.Summary_store.d_sum;
+  line "root" d.Summary_store.d_root;
+  match Summary_store.load_last_run ~dir with
+  | None -> Format.printf "last run: (none recorded)@."
+  | Some kvs ->
+      Format.printf "last run:@.";
+      List.iter (fun (k, v) -> Format.printf "  %-18s %d@." k v) kvs
+
+let do_cache_dump files =
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      (* entry kind is recognised by magic: summary-store entries first,
+         then binary AST cache objects, then emitted sexp .mcast files *)
+      match Summary_store.dump_entry path with
+      | Ok sx -> Format.printf "%s@." (Sexp.to_string sx)
+      | Error store_err -> (
+          match Cast_io.read_cached_file path with
+          | Ok tu ->
+              Format.printf "%s@." (Sexp.to_string (Cast_io.tunit_to_sexp tu))
+          | Error _ -> (
+              match Cast_io.read_file_result path with
+              | Ok tu ->
+                  Format.printf "%s@." (Sexp.to_string (Cast_io.tunit_to_sexp tu))
+              | Error _ ->
+                  Format.eprintf "%s: %s@." path store_err;
+                  failed := true)))
+    files;
+  if !failed then exit 2
+
+let cache_stats_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show a cache directory's store version, entry counts and sizes, \
+             and the counters of the last cached run")
+    Term.(const do_cache_stats $ dir)
+
+let cache_dump_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"ENTRY") in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Decode binary cache entry files (function summaries, root \
+             replay entries, AST objects) and print them as sexps")
+    Term.(const do_cache_dump $ files)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect the persistent incremental cache")
+    [ cache_stats_cmd; cache_dump_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* triage                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -822,7 +908,7 @@ let main_cmd =
     (Cmd.info "xgcc" ~version:"1.0.0" ~doc)
     [
       check_cmd; list_cmd; show_cmd; dump_cfg_cmd; dump_summaries_cmd; demo_cmd;
-      gen_cmd; emit_cmd; triage_cmd;
+      gen_cmd; emit_cmd; triage_cmd; cache_cmd;
     ]
 
 (* The traversal allocates short-lived state clones at a rate that keeps the

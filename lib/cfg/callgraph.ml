@@ -173,20 +173,14 @@ let acyclic_heights t =
   Smap.iter (fun f _ -> ignore (go f)) t.callees_;
   fun f -> Option.join (Hashtbl.find_opt memo f)
 
-let closure_hashes t ~body_hash =
+let closures t =
   let tbl = Hashtbl.create 64 in
   Smap.iter
     (fun f _ ->
-      let closure = reachable t.callees_ [ f ] in
-      let pairs =
-        List.map (fun g -> (g, body_hash g)) (Sset.elements closure)
-      in
-      Hashtbl.replace tbl f (Fingerprint.combine_pairs pairs))
+      Hashtbl.replace tbl f (Sset.elements (reachable t.callees_ [ f ])))
     t.callees_;
   fun f ->
-    match Hashtbl.find_opt tbl f with
-    | Some h -> h
-    | None -> Fingerprint.combine_pairs [ (f, body_hash f) ]
+    match Hashtbl.find_opt tbl f with Some c -> c | None -> [ f ]
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>roots: %s" (String.concat ", " t.roots_);

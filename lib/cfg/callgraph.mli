@@ -34,13 +34,13 @@ val acyclic_heights : t -> string -> int option
     recurse, which is what lets the engine decide depth-cap safety for
     a context-free shared summary. Returns [None] for undefined names. *)
 
-val closure_hashes : t -> body_hash:(string -> Fingerprint.t) -> string -> Fingerprint.t
-(** [closure_hashes t ~body_hash] precomputes, for every defined function,
-    a fingerprint over its transitive callee closure (itself included):
-    the combined [(name, body_hash name)] pairs of every reachable callee,
-    in sorted name order. Editing a leaf callee therefore changes exactly
-    the hashes of that function and its transitive callers — the
-    invalidation rule of the persistent summary cache. The returned lookup
-    falls back to the function's own pair for undefined names. *)
+val closures : t -> string -> string list
+(** [closures t] precomputes, for every defined function, its transitive
+    callee closure (itself included) in sorted name order — the set of
+    functions whose behaviour a traversal entered at it can observe.
+    The persistent summary cache folds a fingerprint per closure member
+    into each cache key, so editing a member invalidates exactly the
+    member and its transitive callers. The returned lookup falls back to
+    the singleton [[f]] for undefined names. *)
 
 val pp : Format.formatter -> t -> unit

@@ -37,14 +37,42 @@ val read_file_result : string -> (Cast.tunit, string) result
 val emit_string : Cast.tunit -> string
 val read_string : string -> Cast.tunit
 
+(** {1 Binary codec}
+
+    The cache hot path: a length-prefixed binary form of the same AST,
+    decoded by a single forward scan (no tokenising). The sexp form
+    above remains the interchange format — [.mcast] emit/read, body
+    hashing, and [xgcc cache dump] all speak sexp. Malformed binary
+    input raises {!Wire.Corrupt}; cache readers degrade it to a miss. *)
+
+val expr_to_bin : Wire.writer -> Cast.expr -> unit
+val expr_of_bin : Wire.reader -> Cast.expr
+val stmt_to_bin : Wire.writer -> Cast.stmt -> unit
+val stmt_of_bin : Wire.reader -> Cast.stmt
+val ctyp_to_bin : Wire.writer -> Ctyp.t -> unit
+val ctyp_of_bin : Wire.reader -> Ctyp.t
+val global_to_bin : Wire.writer -> Cast.global -> unit
+val global_of_bin : Wire.reader -> Cast.global
+val tunit_to_bin : Wire.writer -> Cast.tunit -> unit
+val tunit_of_bin : Wire.reader -> Cast.tunit
+
 (** {1 Content-addressed AST object cache}
 
     Pass 1 results keyed by post-preprocess content: a warm run whose
     fingerprint matches reuses the emitted object instead of re-lexing
-    and re-parsing the translation unit. *)
+    and re-parsing the translation unit. Objects are stored in the
+    binary form with an {!ast_magic} header. *)
 
 val format_version : string
-(** Salt for {!ast_fingerprint}; bump on any encoding change. *)
+(** Semantic version of the AST encoding; salts {!ast_fingerprint} and
+    the engine's body hashes. Bump on any sexp-encoding change. *)
+
+val cache_version : string
+(** Version of the binary cache-object layout; also salted into
+    {!ast_fingerprint} so a layout change orphans on-disk objects. *)
+
+val ast_magic : string
+(** Magic prefix of every binary cache object. *)
 
 val ast_fingerprint : file:string -> source:string -> Fingerprint.t
 (** Key for one translation unit: the input file name plus its
@@ -56,6 +84,10 @@ val cached_path : cache_dir:string -> Fingerprint.t -> string
 
 val read_cached : cache_dir:string -> Fingerprint.t -> Cast.tunit option
 (** [None] on a miss or an unreadable (torn / stale-format) object. *)
+
+val read_cached_file : string -> (Cast.tunit, string) result
+(** Decode one binary cache object by path — the [cache dump] entry
+    point. [Error description] on corrupt or unreadable input. *)
 
 val write_cached : cache_dir:string -> Fingerprint.t -> Cast.tunit -> unit
 (** Atomic (tmp + rename) write; creates the directory as needed. *)

@@ -1,0 +1,136 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = Buffer.t
+
+let writer ?magic () =
+  let b = Buffer.create 256 in
+  Option.iter (Buffer.add_string b) magic;
+  b
+
+let u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+
+(* LEB128 over the zigzag encoding, so small negative ints stay small.
+   OCaml ints fit 63 bits; the zigzag doubles, which is exactly what the
+   Int64 path below handles for the full-width literals. *)
+let rec uvarint b n =
+  if n < 0x80 then u8 b n
+  else begin
+    u8 b (0x80 lor (n land 0x7f));
+    uvarint b (n lsr 7)
+  end
+
+let int b n = uvarint b ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+let i64 b n =
+  let open Int64 in
+  let z = logxor (shift_left n 1) (shift_right n 63) in
+  let rec go z =
+    if unsigned_compare z 0x80L < 0 then u8 b (to_int z)
+    else begin
+      u8 b (0x80 lor (to_int (logand z 0x7fL)));
+      go (shift_right_logical z 7)
+    end
+  in
+  go z
+
+let float b f = i64 b (Int64.bits_of_float f)
+let bool b v = u8 b (if v then 1 else 0)
+
+let string b s =
+  uvarint b (String.length s);
+  Buffer.add_string b s
+
+let option b enc = function
+  | None -> u8 b 0
+  | Some v ->
+      u8 b 1;
+      enc b v
+
+let list b enc xs =
+  uvarint b (List.length xs);
+  List.iter (enc b) xs
+
+let contents = Buffer.contents
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?magic src =
+  let r = { src; pos = 0 } in
+  (match magic with
+  | None -> ()
+  | Some m ->
+      let n = String.length m in
+      if String.length src < n || not (String.equal (String.sub src 0 n) m) then
+        corrupt "bad magic (want %S)" m;
+      r.pos <- n);
+  r
+
+let ru8 r =
+  if r.pos >= String.length r.src then corrupt "truncated at byte %d" r.pos;
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let ruvarint r =
+  let rec go shift acc =
+    if shift > Sys.int_size then corrupt "varint overflow at byte %d" r.pos;
+    let c = ru8 r in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c < 0x80 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let rint r =
+  let z = ruvarint r in
+  (z lsr 1) lxor (-(z land 1))
+
+let ri64 r =
+  let open Int64 in
+  let rec go shift acc =
+    if shift > 70 then corrupt "varint64 overflow at byte %d" r.pos;
+    let c = ru8 r in
+    let acc = logor acc (shift_left (of_int (c land 0x7f)) shift) in
+    if c < 0x80 then acc else go (shift + 7) acc
+  in
+  let z = go 0 0L in
+  logxor (shift_right_logical z 1) (neg (logand z 1L))
+
+let rfloat r = Int64.float_of_bits (ri64 r)
+let rbool r = match ru8 r with 0 -> false | 1 -> true | n -> corrupt "bad bool %d" n
+
+let rstring r =
+  let n = ruvarint r in
+  if n < 0 || r.pos + n > String.length r.src then
+    corrupt "truncated string (%d bytes) at byte %d" n r.pos;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let roption r dec = match ru8 r with
+  | 0 -> None
+  | 1 -> Some (dec r)
+  | n -> corrupt "bad option tag %d" n
+
+let rlist r dec =
+  let n = ruvarint r in
+  (* bound the preallocation by what the input could possibly hold *)
+  if n > String.length r.src - r.pos + 1 then corrupt "bad list length %d" n;
+  List.init n (fun _ -> dec r)
+
+let at_end r = r.pos >= String.length r.src
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

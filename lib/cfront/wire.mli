@@ -1,0 +1,53 @@
+(** Length-prefixed binary encoding for the persistent caches.
+
+    The hot cache paths (pass-1 AST objects, function-summary and root
+    replay entries) used to round-trip through sexps; parsing them back
+    dominated warm-run time. This module is the shared wire layer for the
+    binary replacements: varint ints (zigzag, so negatives stay short),
+    length-prefixed strings, and a magic prefix per entry kind so a file
+    of the wrong kind or version reads as {!Corrupt} — which every cache
+    treats as a miss, never an error.
+
+    The encoding is deliberately not self-describing: each consumer owns
+    its layout and versions it through the magic string plus the
+    fingerprint salt of the enclosing store. *)
+
+exception Corrupt of string
+(** Truncated, malformed, or wrong-magic input. Cache readers catch this
+    and degrade to a miss. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : ?magic:string -> unit -> writer
+val u8 : writer -> int -> unit
+val int : writer -> int -> unit
+val i64 : writer -> int64 -> unit
+val float : writer -> float -> unit
+val bool : writer -> bool -> unit
+val string : writer -> string -> unit
+val option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val contents : writer -> string
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : ?magic:string -> string -> reader
+(** Raises {!Corrupt} when [magic] is given and the input does not start
+    with it. *)
+
+val ru8 : reader -> int
+val rint : reader -> int
+val ri64 : reader -> int64
+val rfloat : reader -> float
+val rbool : reader -> bool
+val rstring : reader -> string
+val roption : reader -> (reader -> 'a) -> 'a option
+val rlist : reader -> (reader -> 'a) -> 'a list
+val at_end : reader -> bool
+
+val read_file : string -> string
+(** Whole-file read; raises [Sys_error] like [open_in]. *)

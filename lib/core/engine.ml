@@ -2638,11 +2638,35 @@ let run_extension_parallel ~jobs base (ext : Sm.t) =
    That equivalence (established for [-j]) is what lets a warm run replay
    a stored per-root result verbatim — the merge cannot tell a replayed
    root from a recomputed one. Cached function summaries are deliberately
-   NOT seeded into live traversals: a seeded summary would take summary
-   hits that suppress exactly the re-traversals that emit reports, so the
-   warm output would stop being byte-identical to the cold run. They are
-   kept as the invalidation ledger (hit/stale/absent accounting) and as
-   write-back artifacts instead. *)
+   NOT seeded into live output traversals: a seeded summary would take
+   summary hits that suppress exactly the re-traversals that emit reports,
+   so the warm output would stop being byte-identical to the cold run.
+
+   Invalidation is two-level, with early cutoff (the Shake/Salsa
+   discipline). Each function has a persisted entry keyed by a digest of
+   its OWN body, the file-scope declarations, its callees' summary
+   CONTENT hashes, and the annotation state its closure can observe. The
+   content hash digests what the function's analysis actually produces: a
+   canonical traversal from the function's entry under the extension's
+   initial state, recorded as summary tables + reports + counter and
+   annotation deltas. A warm run recomputes edited functions bottom-up
+   (callgraph height order, callees seeded from their canonical tables);
+   when an edit leaves a function's canonical result byte-identical, its
+   content hash is unchanged, so every caller's key — which folds content,
+   not body — still validates and the edit stops propagating right there.
+   Root replay entries key on the content hashes of the root's transitive
+   closure, so a root whose closure absorbed the edit replays verbatim.
+
+   The canonical traversal is a DIGEST, never an output path: reports
+   always come from stored root entries (recorded from real worker runs)
+   or fresh worker runs, which keeps warm output byte-identical by the
+   same argument as before. The cutoff boundary is the standard
+   summary-based trade: the canonical run observes callees from the
+   extension's initial entry state, so a behaviour difference visible
+   only under a caller-specific state that canonical summaries happen to
+   cover can in principle escape the content hash. Any body edit still
+   flips the edited function's own key (body hash), so the edited
+   function itself always recomputes. *)
 
 (* Bump whenever engine or builtin-checker semantics change in a way that
    can alter analysis output. The digest below is folded into every
@@ -2831,27 +2855,269 @@ let inject_annots base ~ix annots =
           Hashtbl.replace base.annots eid !cur)
     annots
 
-let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
-    (ext : Sm.t) =
+let run_extension_cached ~jobs ~store ~ext_key ~body_hash ~decls_hash
+    ~closures ~heights ~ix base (ext : Sm.t) =
   set_extension base ext;
   let cg = base.sg.Supergraph.callgraph in
-  (* the invalidation ledger: which persisted function summaries survived
-     this program state (criterion: a leaf edit flips exactly the leaf and
-     its transitive callers to stale) *)
-  let fn_probe = Hashtbl.create 64 in
-  List.iter
-    (fun f ->
-      Hashtbl.replace fn_probe f
-        (Summary_store.probe_fn store ~ext:ext_key ~fname:f ~closure:(closure_of f)))
-    (Callgraph.functions cg);
+  let sst = Summary_store.stats store in
+  let base_snapshot = Hashtbl.copy base.annots in
+  (* Annotation-state hashes, one per enclosing definition: extensions
+     after the first see the tags earlier extensions left anywhere in the
+     program, so cache keys must cover them — but hashing the whole table
+     into every key would re-invalidate everything downstream of any
+     annotation. Grouping by the annotated node's enclosing definition
+     lets a key fold exactly the groups its closure can observe. Tags on
+     nodes outside the program index are dropped, matching [annot_delta];
+     tags in non-function contexts (global initialisers) land in one
+     shared misc group, folded into every key (conservative, tiny). *)
+  let annot_groups : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let annot_misc = ref [] in
+  Hashtbl.iter
+    (fun eid tags ->
+      match Hashtbl.find_opt ix.ai_exprs eid with
+      | None -> ()
+      | Some e ->
+          let ctx, occ = Hashtbl.find ix.ai_pos eid in
+          let entry =
+            annot_base e.Cast.eloc ~printed:(Cprint.expr_to_string e) ~ctx
+            ^ "#" ^ string_of_int occ ^ "="
+            ^ String.concat "," (List.rev tags)
+          in
+          if Callgraph.is_defined cg ctx then begin
+            match Hashtbl.find_opt annot_groups ctx with
+            | Some r -> r := entry :: !r
+            | None -> Hashtbl.replace annot_groups ctx (ref [ entry ])
+          end
+          else annot_misc := entry :: !annot_misc)
+    base_snapshot;
+  let group_hash entries =
+    Fingerprint.of_string ~salt:"annot-1"
+      (String.concat "\x00" (List.sort String.compare entries))
+  in
+  let annot_misc_h = group_hash !annot_misc in
+  let annot_hashes : (string, Fingerprint.t) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length annot_groups)
+  in
+  Hashtbl.iter
+    (fun ctx entries -> Hashtbl.replace annot_hashes ctx (group_hash !entries))
+    annot_groups;
+  let annot_key_of cl =
+    Fingerprint.combine
+      [
+        annot_misc_h;
+        Fingerprint.combine_pairs
+          (List.filter_map
+             (fun g ->
+               Option.map (fun h -> (g, h)) (Hashtbl.find_opt annot_hashes g))
+             cl);
+      ]
+  in
+  (* Early cutoff needs the canonical traversal to terminate and to be
+     timing-independent, so it requires the summary caches on and per-root
+     budgets off; otherwise entries degrade to body-hash keying (any edit
+     invalidates transitive callers — the pre-cutoff behaviour). *)
+  let cutoff =
+    base.opts.caching && base.opts.max_nodes_per_root = 0
+    && base.opts.timeout_per_root = 0.
+  in
+  let content : (string, Fingerprint.t) Hashtbl.t = Hashtbl.create 64 in
+  let content_of f =
+    match Hashtbl.find_opt content f with Some c -> c | None -> body_hash f
+  in
+  let canon :
+      (string, Summary.t array * Summary.t array * string list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let unchanged : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let fn_key f callees cl =
+    Fingerprint.combine
+      [
+        body_hash f;
+        decls_hash;
+        Fingerprint.combine_pairs (List.map (fun g -> (g, content_of g)) callees);
+        annot_key_of cl;
+      ]
+  in
+  (* Canonical recomputation: traverse [f] alone from its entry under the
+     extension's initial state, callees seeded from their canonical
+     tables (summary hits make the pass cheap and make the result a
+     function of callee CONTENT, which is exactly what the key folds).
+     Runs in a scratch context — a digest computation, never an output
+     path. Returns the canonical tables plus the content hash of
+     everything observable: tables, returned states, reports, counter
+     deltas, and the annotation delta. *)
+  let compute_canonical f callees =
+    match Supergraph.cfg_of base.sg f with
+    | None -> None
+    | Some (cfg : Cfg.t) -> (
+        let scratch =
+          {
+            sg = base.sg;
+            opts = base.opts;
+            ids = base.ids;
+            intern =
+              Intern.create
+                ~strings:(not base.opts.state_ids)
+                ~n_exprs:(Exprid.n base.sg.Supergraph.ids) ();
+            store0 = base.store0;
+            collector = Report.new_collector ();
+            counters = Hashtbl.create 16;
+            annots = Hashtbl.copy base_snapshot;
+            annots_done =
+              Bytes.make (max 1 base.sg.Supergraph.flat.Flat.n_blocks) '\000';
+            fsums = Hashtbl.create 16;
+            events_cache = Hashtbl.create 64;
+            dedup = Hashtbl.create 16;
+            traversed = Hashtbl.create 16;
+            demanded = Hashtbl.create 8;
+            shared = None;
+            st = new_stats ();
+            cur_ext = base.cur_ext;
+            dsp = base.dsp;
+            fuel = max_int;
+            deadline = 0.;
+            poll = budget_poll;
+            degraded_roots = [];
+            node_matched = false;
+            journal = [];
+            journaling = false;
+          }
+        in
+        List.iter
+          (fun g ->
+            match (Hashtbl.find_opt canon g, Supergraph.cfg_of base.sg g) with
+            | Some (gbs, gsfx, grets), Some gcfg ->
+                let rets = Hashtbl.create (List.length grets + 1) in
+                List.iter (fun k -> Hashtbl.replace rets k ()) grets;
+                merge_fsum_into
+                  (get_fsum scratch gcfg)
+                  {
+                    f_it = scratch.intern;
+                    bs = Array.map Option.some gbs;
+                    sfx = Array.map Option.some gsfx;
+                    rets;
+                  }
+            | _ -> ())
+          callees;
+        match
+          let fctx = make_fctx scratch ~depth:0 ~stack:[ f ] cfg in
+          traverse scratch fctx
+            {
+              sm = Sm.initial scratch.cur_ext;
+              store = scratch.store0;
+              created = Iset.empty;
+            }
+            [] cfg.entry
+        with
+        | exception _ -> None
+        | () ->
+            let s = get_fsum scratch cfg in
+            let bs = densify scratch.intern s.bs in
+            let sfx = densify scratch.intern s.sfx in
+            let rets =
+              List.sort String.compare
+                (Hashtbl.fold (fun k () acc -> k :: acc) s.rets [])
+            in
+            let b = Wire.writer () in
+            Wire.int b (Array.length bs);
+            Array.iter (Summary.to_bin b) bs;
+            Array.iter (Summary.to_bin b) sfx;
+            Wire.list b Wire.string rets;
+            Wire.list b Report.to_bin (Report.reports scratch.collector);
+            Wire.list b
+              (fun b (rule, (e, c)) ->
+                Wire.string b rule;
+                Wire.int b e;
+                Wire.int b c)
+              (List.sort compare
+                 (Hashtbl.fold
+                    (fun rule ec acc -> (rule, ec) :: acc)
+                    scratch.counters []));
+            Wire.list b
+              (fun b ((loc : Srcloc.t), printed, actx, occ, tags) ->
+                Wire.string b loc.file;
+                Wire.int b loc.line;
+                Wire.int b loc.col;
+                Wire.string b printed;
+                Wire.string b actx;
+                Wire.int b occ;
+                Wire.list b Wire.string tags)
+              (annot_delta ~base:base_snapshot ~ix scratch.annots);
+            Some
+              (bs, sfx, rets, Fingerprint.of_string ~salt:"canon-1" (Wire.contents b)))
+  in
+  if not cutoff then
+    List.iter
+      (fun f -> Hashtbl.replace content f (body_hash f))
+      (Callgraph.functions cg)
+  else begin
+    (* bottom-up over the acyclic portion: every callee's content hash
+       (and canonical tables) exists before any caller's key needs it.
+       An acyclic function's closure cannot touch a cycle, so cycle
+       members — pinned to body-hash content, neither probed nor stored —
+       never appear as missing seeds. *)
+    let acyclic, cyclic =
+      List.partition (fun f -> heights f <> None) (Callgraph.functions cg)
+    in
+    List.iter (fun f -> Hashtbl.replace content f (body_hash f)) cyclic;
+    let ordered =
+      List.sort
+        (fun a b ->
+          compare (Option.get (heights a), a) (Option.get (heights b), b))
+        acyclic
+    in
+    List.iter
+      (fun f ->
+        let cl = closures f in
+        let callees = List.filter (fun g -> not (String.equal g f)) cl in
+        let key = fn_key f callees cl in
+        match Summary_store.probe_fn store ~ext:ext_key ~fname:f ~key with
+        | Summary_store.Hit e ->
+            Hashtbl.replace content f e.Summary_store.f_content;
+            Hashtbl.replace canon f
+              (e.Summary_store.f_bs, e.Summary_store.f_sfx,
+               e.Summary_store.f_rets)
+        | (Summary_store.Stale _ | Summary_store.Absent) as p -> (
+            sst.Summary_store.fns_recomputed <-
+              sst.Summary_store.fns_recomputed + 1;
+            match compute_canonical f callees with
+            | None -> Hashtbl.replace content f (body_hash f)
+            | Some (bs, sfx, rets, c) ->
+                Hashtbl.replace content f c;
+                Hashtbl.replace canon f (bs, sfx, rets);
+                (match p with
+                | Summary_store.Stale old when String.equal old c ->
+                    (* the cutoff: recomputation reproduced the stored
+                       content, so callers' keys still validate *)
+                    sst.Summary_store.sums_unchanged <-
+                      sst.Summary_store.sums_unchanged + 1;
+                    Hashtbl.replace unchanged f ()
+                | _ -> ());
+                Summary_store.store_fn store ~ext:ext_key ~fname:f ~key
+                  ~content:c ~bs ~sfx ~rets))
+      ordered
+  end;
+  let root_key r =
+    let cl = closures r in
+    Fingerprint.combine
+      [
+        decls_hash;
+        Fingerprint.combine_pairs (List.map (fun g -> (g, content_of g)) cl);
+        annot_key_of cl;
+      ]
+  in
   let roots = Array.of_list (Supergraph.roots base.sg) in
   let plans =
     Array.map
       (fun r ->
         match
-          Summary_store.load_root store ~ext:ext_key ~root:r ~closure:(closure_of r)
+          Summary_store.load_root store ~ext:ext_key ~root:r ~key:(root_key r)
         with
-        | Some e -> `Replay e
+        | Some e ->
+            if List.exists (Hashtbl.mem unchanged) (closures r) then
+              sst.Summary_store.roots_salvaged <-
+                sst.Summary_store.roots_salvaged + 1;
+            `Replay e
         | None -> `Compute)
       roots
   in
@@ -2864,7 +3130,6 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
       m "extension %s: %d/%d roots replayed from cache" ext.Sm.sm_name
         (Array.length roots - Array.length invalid)
         (Array.length roots));
-  let base_snapshot = Hashtbl.copy base.annots in
   let workers =
     Pool.run_results ~jobs (Array.length invalid) (fun j ->
         let rctx = new_rctx_in ~options:base.opts ~ext ~dsp:base.dsp base.sg in
@@ -2931,7 +3196,7 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
                 Summary_store.store_root store ~ext:ext_key
                   {
                     Summary_store.r_root = root;
-                    r_closure = closure_of root;
+                    r_key = root_key root;
                     r_reports = Report.reports w.collector;
                     r_counters =
                       List.sort
@@ -2945,68 +3210,7 @@ let run_extension_cached ~jobs ~store ~ext_key ~closure_of ~ix base
                         (Hashtbl.fold (fun f () acc -> f :: acc) w.traversed []);
                     r_stats = stats_to_list w.st;
                   }))
-    roots;
-  (* write back function summaries for entries the ledger no longer covers,
-     merging worker tables in root order (deterministic: workers are
-     scheduling-independent and add_edge dedups) *)
-  if Summary_store.persist store && Array.length invalid > 0 then begin
-    let merged : (string, fsum) Hashtbl.t = Hashtbl.create 64 in
-    (* one intern table for the whole write-back merge: the worker tables'
-       ids are context-local, but [merge_fsum_into] re-adds edges by
-       content, so any interner works and a shared one dedups the strings *)
-    let mit = Intern.create () in
-    Array.iter
-      (fun idx ->
-        match workers.(Hashtbl.find worker_of idx) with
-        | Error _ -> () (* crashed worker: nothing to write back *)
-        | Ok w when w.degraded_roots <> [] ->
-            (* degraded root: its fsums were reset by the rollback, but be
-               explicit — a truncated summary must never be persisted *)
-            ()
-        | Ok w ->
-        let fnames =
-          List.sort String.compare
-            (Hashtbl.fold (fun f _ acc -> f :: acc) w.fsums [])
-        in
-        List.iter
-          (fun fname ->
-            let src = Hashtbl.find w.fsums fname in
-            let dst =
-              match Hashtbl.find_opt merged fname with
-              | Some d -> d
-              | None ->
-                  let n = Array.length src.bs in
-                  let d =
-                    {
-                      f_it = mit;
-                      bs = Array.make n None;
-                      sfx = Array.make n None;
-                      rets = Hashtbl.create 4;
-                    }
-                  in
-                  Hashtbl.replace merged fname d;
-                  d
-            in
-            merge_fsum_into dst src)
-          fnames)
-      invalid;
-    let fnames =
-      List.sort String.compare (Hashtbl.fold (fun f _ acc -> f :: acc) merged [])
-    in
-    List.iter
-      (fun fname ->
-        match Hashtbl.find_opt fn_probe fname with
-        | Some Summary_store.Hit -> () (* still valid: keep the stored entry *)
-        | _ ->
-            let s = Hashtbl.find merged fname in
-            Summary_store.store_fn store ~ext:ext_key ~fname
-              ~closure:(closure_of fname) ~bs:(densify mit s.bs)
-              ~sfx:(densify mit s.sfx)
-              ~rets:
-                (List.sort String.compare
-                   (Hashtbl.fold (fun k () acc -> k :: acc) s.rets [])))
-      fnames
-  end
+    roots
 
 let run_cached ?options ~jobs store sg exts =
   let rctx = new_rctx ?options sg in
@@ -3027,12 +3231,13 @@ let run_cached ?options ~jobs store sg exts =
         h
   in
   let cg = sg.Supergraph.callgraph in
-  let closure = Callgraph.closure_hashes cg ~body_hash in
+  let closures = Callgraph.closures cg in
+  let heights = Callgraph.acyclic_heights cg in
   (* Analysis output depends on more than function bodies: typedefs,
      struct/union layouts, enum constants, prototypes and global-variable
      declarations all feed the typing environment (and file-scope statics
      drive sleep/wake partitioning), yet none of them appear in any Gfun
-     sexp. Hash every non-function global into every closure key so a
+     sexp. Hash every non-function global into every cache key so a
      declaration-level edit invalidates cached entries too. *)
   let decls_hash =
     Fingerprint.of_string ~salt:Cast_io.format_version
@@ -3046,24 +3251,14 @@ let run_cached ?options ~jobs store sg exts =
                 tu.tu_globals)
             sg.Supergraph.tunits))
   in
-  let program_hash =
-    Fingerprint.combine_pairs
-      (List.map (fun f -> (f, body_hash f)) (Callgraph.functions cg))
-  in
   let ix = build_annot_index sg in
   List.iteri
     (fun i ext ->
       Hashtbl.reset rctx.fsums;
-      (* extensions after the first see the annotations earlier extensions
-         left anywhere in the program, so their entries key on the whole
-         program rather than the per-root closure (conservative) *)
-      let closure_of f =
-        if i = 0 then Fingerprint.combine [ closure f; decls_hash ]
-        else Fingerprint.combine [ closure f; decls_hash; program_hash ]
-      in
       run_extension_cached ~jobs ~store ~ext_key:(Summary_store.ext_key store i)
-        ~closure_of ~ix rctx ext)
+        ~body_hash ~decls_hash ~closures ~heights ~ix rctx ext)
     exts;
+  Summary_store.save_last_run store;
   collect_result rctx
 
 let run ?options ?(jobs = 1) ?cache sg exts =

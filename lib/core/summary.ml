@@ -358,6 +358,69 @@ let of_sexp = function
       t
   | other -> raise (Sexp.Decode_error ("bad summary " ^ Sexp.to_string other))
 
+(* --- binary (de)serialisation, the store's hot path -------------------
+   Mirrors the sexp form content for content (edges in insertion order,
+   sorted rendered src keys), so replaying a binary entry reconstructs
+   the exact summary a sexp entry would — and so the serialized bytes
+   are a deterministic function of the summary's content, which is what
+   lets the engine use them as the cutoff content hash. *)
+
+let tuple_to_bin b tup =
+  match tup.t_v with
+  | None ->
+      Wire.u8 b 0;
+      Wire.string b tup.t_g
+  | Some v ->
+      Wire.u8 b 1;
+      Wire.string b tup.t_g;
+      Wire.string b v.v_key;
+      Cast_io.expr_to_bin b v.v_tree;
+      Wire.string b v.v_value;
+      Wire.int b v.v_depth
+
+let tuple_of_bin r =
+  match Wire.ru8 r with
+  | 0 -> { t_g = Wire.rstring r; t_v = None }
+  | 1 ->
+      let t_g = Wire.rstring r in
+      let v_key = Wire.rstring r in
+      let v_tree = Cast_io.expr_of_bin r in
+      let v_value = Wire.rstring r in
+      let v_depth = Wire.rint r in
+      { t_g; t_v = Some { v_key; v_tree; v_value; v_depth } }
+  | n -> raise (Wire.Corrupt (Printf.sprintf "bad tuple tag %d" n))
+
+let edge_to_bin b e =
+  Wire.u8 b (match e.e_kind with Transition -> 0 | Add -> 1);
+  tuple_to_bin b e.e_src;
+  tuple_to_bin b e.e_dst
+
+let edge_of_bin r =
+  let e_kind =
+    match Wire.ru8 r with
+    | 0 -> Transition
+    | 1 -> Add
+    | n -> raise (Wire.Corrupt (Printf.sprintf "bad edge kind %d" n))
+  in
+  let e_src = tuple_of_bin r in
+  let e_dst = tuple_of_bin r in
+  { e_src; e_dst; e_kind }
+
+let to_bin b t =
+  Wire.int b t.elen;
+  iter_edges (edge_to_bin b) t;
+  Wire.list b Wire.string (srcs_list t)
+
+let of_bin r =
+  let t = create () in
+  let n = Wire.rint r in
+  if n < 0 then raise (Wire.Corrupt "bad edge count");
+  for _ = 1 to n do
+    ignore (add_edge t (edge_of_bin r))
+  done;
+  List.iter (add_src_key t) (Wire.rlist r Wire.rstring);
+  t
+
 let pp ppf t =
   let es = edges t in
   let interesting = List.filter (fun e -> not (is_global_only e)) es in

@@ -150,6 +150,12 @@ val of_sexp : Sexp.t -> t
     Round-trips everything the engine's caches consult; expression trees
     are re-decoded with fresh node ids. Raises [Sexp.Decode_error]. *)
 
+val to_bin : Wire.writer -> t -> unit
+val of_bin : Wire.reader -> t
+(** Binary form of the same content (edges in insertion order, sorted
+    src keys) — the store's hot path, and the bytes the engine hashes as
+    a summary's cutoff content hash. Raises [Wire.Corrupt]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints the summary the way Figure 5 does: [<>]→[<>] edges are omitted
     unless they are the only content. *)

@@ -1,5 +1,3 @@
-type probe = Hit | Stale | Absent
-
 type stats = {
   mutable ast_hits : int;
   mutable ast_misses : int;
@@ -8,6 +6,9 @@ type stats = {
   mutable fn_absent : int;
   mutable roots_replayed : int;
   mutable roots_recomputed : int;
+  mutable fns_recomputed : int;
+  mutable sums_unchanged : int;
+  mutable roots_salvaged : int;
 }
 
 type t = {
@@ -17,11 +18,54 @@ type t = {
   st : stats;
 }
 
-(* Bump on any change to the entry encodings below: every stored entry
-   becomes unreachable at once instead of being misdecoded. *)
-let store_version = "sumstore-2"
+(* Bump on any change to the entry encodings below: the version is salted
+   into every extension key, so every stored entry becomes unreachable at
+   once (orphaned, never misdecoded) and a cold recompute rebuilds the
+   store in the new format alongside. sumstore-3: binary entries, two-level
+   keying (fn entries keyed by body+callee-content, with a summary content
+   hash for early cutoff). *)
+let store_version = "sumstore-3"
+
+let fn_magic = "XGFN1\n"
+let root_magic = "XGRT1\n"
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
+    end
+  in
+  go dir
+
+let version_path dir = Filename.concat dir "VERSION"
+
+let read_version ~dir =
+  let path = version_path dir in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (String.trim (input_line ic)))
+    with Sys_error _ | End_of_file -> None
+
+let write_version dir =
+  if read_version ~dir <> Some store_version then begin
+    mkdir_p dir;
+    let tmp = Filename.temp_file ~temp_dir:dir "version" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc store_version;
+    output_char oc '\n';
+    close_out oc;
+    Sys.rename tmp (version_path dir)
+  end
 
 let create ~dir ?(persist = true) ~ext_keys () =
+  (* Stamp the store version: entries of an older version are orphaned by
+     the key salt below, and the stamp lets `cache stats` say so. *)
+  if persist then (try write_version dir with Sys_error _ -> ());
   {
     dir;
     persist_ = persist;
@@ -35,6 +79,9 @@ let create ~dir ?(persist = true) ~ext_keys () =
         fn_absent = 0;
         roots_replayed = 0;
         roots_recomputed = 0;
+        fns_recomputed = 0;
+        sums_unchanged = 0;
+        roots_salvaged = 0;
       };
   }
 
@@ -54,46 +101,30 @@ let stats t = t.st
 
 let pp_stats ppf t =
   Format.fprintf ppf
-    "cache: ast %d hit / %d miss; summaries %d hit / %d stale / %d absent; roots %d replayed / %d recomputed"
+    "cache: ast %d hit / %d miss; summaries %d hit / %d stale / %d absent; roots %d replayed / %d recomputed; cutoff %d fns recomputed / %d summaries unchanged / %d roots salvaged"
     t.st.ast_hits t.st.ast_misses t.st.fn_hits t.st.fn_stale t.st.fn_absent
-    t.st.roots_replayed t.st.roots_recomputed
+    t.st.roots_replayed t.st.roots_recomputed t.st.fns_recomputed
+    t.st.sums_unchanged t.st.roots_salvaged
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let mkdir_p dir =
-  let rec go d =
-    if not (Sys.file_exists d) then begin
-      go (Filename.dirname d);
-      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
-    end
-  in
-  go dir
-
 let entry_path t ~kind ~ext ~name =
   Filename.concat
     (Filename.concat t.dir kind)
-    (Fingerprint.combine [ ext; Fingerprint.of_string name ] ^ ".sexp")
+    (Fingerprint.combine [ ext; Fingerprint.of_string name ] ^ ".bin")
 
 let read_entry path =
   if not (Sys.file_exists path) then None
-  else
-    try
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let src = really_input_string ic n in
-      close_in ic;
-      Some (Sexp.of_string src)
-    with Sexp.Parse_error _ | Sys_error _ -> None
+  else try Some (Wire.read_file path) with Sys_error _ -> None
 
-let write_entry t path sx =
+let write_entry t path data =
   if t.persist_ then begin
     mkdir_p (Filename.dirname path);
     let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "entry" ".tmp" in
     let oc = open_out_bin tmp in
-    output_string oc (Sexp.to_string sx);
-    output_char oc '\n';
+    output_string oc data;
     close_out oc;
     Sys.rename tmp path
   end
@@ -102,76 +133,67 @@ let write_entry t path sx =
 (* Function-summary entries                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* (fn <name> <closure> (rets k...) ((<bs> <sfx>) ...)) *)
+type fn_entry = {
+  f_name : string;
+  f_key : Fingerprint.t;
+  f_content : Fingerprint.t;
+  f_bs : Summary.t array;
+  f_sfx : Summary.t array;
+  f_rets : string list;
+}
 
-let fn_to_sexp ~fname ~closure ~bs ~sfx ~rets =
-  Sexp.list
-    [
-      Sexp.atom "fn";
-      Sexp.atom fname;
-      Sexp.atom closure;
-      Sexp.list (List.map Sexp.atom rets);
-      Sexp.list
-        (Array.to_list
-           (Array.mapi
-              (fun i b -> Sexp.list [ Summary.to_sexp b; Summary.to_sexp sfx.(i) ])
-              bs));
-    ]
+type probe = Hit of fn_entry | Stale of Fingerprint.t | Absent
 
-let fn_header = function
-  | Sexp.List (Sexp.Atom "fn" :: Sexp.Atom fname :: Sexp.Atom closure :: _) ->
-      Some (fname, closure)
-  | _ -> None
+let fn_to_bin e =
+  let b = Wire.writer ~magic:fn_magic () in
+  Wire.string b e.f_name;
+  Wire.string b e.f_key;
+  Wire.string b e.f_content;
+  Wire.list b Wire.string e.f_rets;
+  Wire.int b (Array.length e.f_bs);
+  Array.iter (Summary.to_bin b) e.f_bs;
+  Array.iter (Summary.to_bin b) e.f_sfx;
+  Wire.contents b
 
-let probe_fn t ~ext ~fname ~closure =
+let fn_of_bin src =
+  let r = Wire.reader ~magic:fn_magic src in
+  let f_name = Wire.rstring r in
+  let f_key = Wire.rstring r in
+  let f_content = Wire.rstring r in
+  let f_rets = Wire.rlist r Wire.rstring in
+  let n = Wire.rint r in
+  if n < 0 then raise (Wire.Corrupt "bad block count");
+  let f_bs = Array.init n (fun _ -> Summary.of_bin r) in
+  let f_sfx = Array.init n (fun _ -> Summary.of_bin r) in
+  { f_name; f_key; f_content; f_bs; f_sfx; f_rets }
+
+let probe_fn t ~ext ~fname ~key =
   let path = entry_path t ~kind:"sum" ~ext ~name:fname in
   let r =
-    match Option.bind (read_entry path) fn_header with
-    | Some (name, stored) when String.equal name fname ->
-        if String.equal stored closure then Hit else Stale
-    | Some _ | None -> Absent
+    match read_entry path with
+    | None -> Absent
+    | Some src -> (
+        (* a corrupt or truncated entry is a miss, never an error: the
+           decoder raises Wire.Corrupt on malformed frames and
+           Failure/Invalid_argument on nonsense payloads *)
+        match fn_of_bin src with
+        | e when String.equal e.f_name fname ->
+            if String.equal e.f_key key then Hit e else Stale e.f_content
+        | _ -> Absent
+        | exception (Wire.Corrupt _ | Failure _ | Invalid_argument _) -> Absent)
   in
   (match r with
-  | Hit -> t.st.fn_hits <- t.st.fn_hits + 1
-  | Stale -> t.st.fn_stale <- t.st.fn_stale + 1
+  | Hit _ -> t.st.fn_hits <- t.st.fn_hits + 1
+  | Stale _ -> t.st.fn_stale <- t.st.fn_stale + 1
   | Absent -> t.st.fn_absent <- t.st.fn_absent + 1);
   r
 
-let store_fn t ~ext ~fname ~closure ~bs ~sfx ~rets =
+let store_fn t ~ext ~fname ~key ~content ~bs ~sfx ~rets =
   write_entry t
     (entry_path t ~kind:"sum" ~ext ~name:fname)
-    (fn_to_sexp ~fname ~closure ~bs ~sfx ~rets)
-
-let load_fn t ~ext ~fname ~closure =
-  match read_entry (entry_path t ~kind:"sum" ~ext ~name:fname) with
-  | Some
-      (Sexp.List
-        [ Sexp.Atom "fn"; Sexp.Atom name; Sexp.Atom stored; Sexp.List rets;
-          Sexp.List blocks ])
-    when String.equal name fname && String.equal stored closure -> (
-      try
-        let pairs =
-          List.map
-            (function
-              | Sexp.List [ b; s ] -> (Summary.of_sexp b, Summary.of_sexp s)
-              | _ -> raise (Sexp.Decode_error "bad block pair"))
-            blocks
-        in
-        let rets =
-          List.map
-            (function
-              | Sexp.Atom k -> k
-              | _ -> raise (Sexp.Decode_error "bad ret key"))
-            rets
-        in
-        Some
-          ( Array.of_list (List.map fst pairs),
-            Array.of_list (List.map snd pairs),
-            rets )
-      (* a corrupt entry is a miss, never an error: numeric atoms decode
-         with int_of_string & co., which raise Failure/Invalid_argument *)
-      with Sexp.Decode_error _ | Failure _ | Invalid_argument _ -> None)
-  | _ -> None
+    (fn_to_bin
+       { f_name = fname; f_key = key; f_content = content; f_bs = bs;
+         f_sfx = sfx; f_rets = rets })
 
 (* ------------------------------------------------------------------ *)
 (* Root replay entries                                                 *)
@@ -179,7 +201,7 @@ let load_fn t ~ext ~fname ~closure =
 
 type root_entry = {
   r_root : string;
-  r_closure : Fingerprint.t;
+  r_key : Fingerprint.t;
   r_reports : Report.t list;
   r_counters : (string * int * int) list;
   r_annots : (Srcloc.t * string * string * int * string list) list;
@@ -187,94 +209,69 @@ type root_entry = {
   r_stats : int list;
 }
 
-let counter_to_sexp (rule, e, c) =
-  Sexp.list
-    [ Sexp.atom rule; Sexp.atom (string_of_int e); Sexp.atom (string_of_int c) ]
+let counter_to_bin b (rule, e, c) =
+  Wire.string b rule;
+  Wire.int b e;
+  Wire.int b c
 
-let counter_of_sexp = function
-  | Sexp.List [ Sexp.Atom rule; Sexp.Atom e; Sexp.Atom c ] ->
-      (rule, int_of_string e, int_of_string c)
-  | _ -> raise (Sexp.Decode_error "bad counter")
+let counter_of_bin r =
+  let rule = Wire.rstring r in
+  let e = Wire.rint r in
+  let c = Wire.rint r in
+  (rule, e, c)
 
-let annot_to_sexp ((loc : Srcloc.t), printed, ctx, occ, tags) =
-  Sexp.list
-    [
-      Sexp.atom loc.file;
-      Sexp.atom (string_of_int loc.line);
-      Sexp.atom (string_of_int loc.col);
-      Sexp.atom printed;
-      Sexp.atom ctx;
-      Sexp.atom (string_of_int occ);
-      Sexp.list (List.map Sexp.atom tags);
-    ]
+let annot_to_bin b ((loc : Srcloc.t), printed, ctx, occ, tags) =
+  Wire.string b loc.file;
+  Wire.int b loc.line;
+  Wire.int b loc.col;
+  Wire.string b printed;
+  Wire.string b ctx;
+  Wire.int b occ;
+  Wire.list b Wire.string tags
 
-let annot_of_sexp = function
-  | Sexp.List
-      [ Sexp.Atom file; Sexp.Atom line; Sexp.Atom col; Sexp.Atom printed;
-        Sexp.Atom ctx; Sexp.Atom occ; Sexp.List tags ] ->
-      ( Srcloc.make ~file ~line:(int_of_string line) ~col:(int_of_string col),
-        printed,
-        ctx,
-        int_of_string occ,
-        List.map
-          (function
-            | Sexp.Atom tag -> tag
-            | _ -> raise (Sexp.Decode_error "bad tag"))
-          tags )
-  | _ -> raise (Sexp.Decode_error "bad annot")
+let annot_of_bin r =
+  let file = Wire.rstring r in
+  let line = Wire.rint r in
+  let col = Wire.rint r in
+  let printed = Wire.rstring r in
+  let ctx = Wire.rstring r in
+  let occ = Wire.rint r in
+  let tags = Wire.rlist r Wire.rstring in
+  (Srcloc.make ~file ~line ~col, printed, ctx, occ, tags)
 
-let atoms_of = function
-  | Sexp.List items ->
-      List.map
-        (function
-          | Sexp.Atom a -> a
-          | _ -> raise (Sexp.Decode_error "bad atom list"))
-        items
-  | _ -> raise (Sexp.Decode_error "bad atom list")
+let root_to_bin e =
+  let b = Wire.writer ~magic:root_magic () in
+  Wire.string b e.r_root;
+  Wire.string b e.r_key;
+  Wire.list b Report.to_bin e.r_reports;
+  Wire.list b counter_to_bin e.r_counters;
+  Wire.list b annot_to_bin e.r_annots;
+  Wire.list b Wire.string e.r_traversed;
+  Wire.list b Wire.int e.r_stats;
+  Wire.contents b
 
-let root_to_sexp e =
-  Sexp.list
-    [
-      Sexp.atom "root";
-      Sexp.atom e.r_root;
-      Sexp.atom e.r_closure;
-      Sexp.list (List.map Report.to_sexp e.r_reports);
-      Sexp.list (List.map counter_to_sexp e.r_counters);
-      Sexp.list (List.map annot_to_sexp e.r_annots);
-      Sexp.list (List.map Sexp.atom e.r_traversed);
-      Sexp.list (List.map (fun i -> Sexp.atom (string_of_int i)) e.r_stats);
-    ]
+let root_of_bin src =
+  let r = Wire.reader ~magic:root_magic src in
+  let r_root = Wire.rstring r in
+  let r_key = Wire.rstring r in
+  let r_reports = Wire.rlist r Report.of_bin in
+  let r_counters = Wire.rlist r counter_of_bin in
+  let r_annots = Wire.rlist r annot_of_bin in
+  let r_traversed = Wire.rlist r Wire.rstring in
+  let r_stats = Wire.rlist r Wire.rint in
+  { r_root; r_key; r_reports; r_counters; r_annots; r_traversed; r_stats }
 
-let root_of_sexp = function
-  | Sexp.List
-      [ Sexp.Atom "root"; Sexp.Atom r_root; Sexp.Atom r_closure;
-        Sexp.List reports; Sexp.List counters; Sexp.List annots; traversed; stats ]
-    ->
-      {
-        r_root;
-        r_closure;
-        r_reports = List.map Report.of_sexp reports;
-        r_counters = List.map counter_of_sexp counters;
-        r_annots = List.map annot_of_sexp annots;
-        r_traversed = atoms_of traversed;
-        r_stats = List.map int_of_string (atoms_of stats);
-      }
-  | other -> raise (Sexp.Decode_error ("bad root entry " ^ Sexp.to_string other))
-
-let load_root t ~ext ~root ~closure =
+let load_root t ~ext ~root ~key =
   let path = entry_path t ~kind:"root" ~ext ~name:root in
   let r =
     match read_entry path with
     | None -> None
-    | Some sx -> (
-        (* a corrupt entry is a miss, never an error: numeric atoms decode
-           with int_of_string & co., which raise Failure/Invalid_argument *)
+    | Some src -> (
         match
-          try Some (root_of_sexp sx)
-          with Sexp.Decode_error _ | Failure _ | Invalid_argument _ -> None
+          try Some (root_of_bin src)
+          with Wire.Corrupt _ | Failure _ | Invalid_argument _ -> None
         with
-        | Some e
-          when String.equal e.r_root root && String.equal e.r_closure closure ->
+        | Some e when String.equal e.r_root root && String.equal e.r_key key ->
             Some e
         | Some _ | None -> None)
   in
@@ -284,4 +281,161 @@ let load_root t ~ext ~root ~closure =
   r
 
 let store_root t ~ext e =
-  write_entry t (entry_path t ~kind:"root" ~ext ~name:e.r_root) (root_to_sexp e)
+  write_entry t (entry_path t ~kind:"root" ~ext ~name:e.r_root) (root_to_bin e)
+
+(* ------------------------------------------------------------------ *)
+(* Last-run counters                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Plain "name value" lines so `cache stats` can show the previous run's
+   hit/stale/miss mix without re-running anything. *)
+
+let last_run_fields st =
+  [
+    ("ast_hits", st.ast_hits);
+    ("ast_misses", st.ast_misses);
+    ("fn_hits", st.fn_hits);
+    ("fn_stale", st.fn_stale);
+    ("fn_absent", st.fn_absent);
+    ("roots_replayed", st.roots_replayed);
+    ("roots_recomputed", st.roots_recomputed);
+    ("fns_recomputed", st.fns_recomputed);
+    ("sums_unchanged", st.sums_unchanged);
+    ("roots_salvaged", st.roots_salvaged);
+  ]
+
+let last_run_path dir = Filename.concat dir "last-run"
+
+let save_last_run t =
+  if t.persist_ then
+    try
+      mkdir_p t.dir;
+      let tmp = Filename.temp_file ~temp_dir:t.dir "lastrun" ".tmp" in
+      let oc = open_out_bin tmp in
+      List.iter
+        (fun (k, v) -> Printf.fprintf oc "%s %d\n" k v)
+        (last_run_fields t.st);
+      close_out oc;
+      Sys.rename tmp (last_run_path t.dir)
+    with Sys_error _ -> ()
+
+let load_last_run ~dir =
+  let path = last_run_path dir in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          (try
+             while true do
+               match String.split_on_char ' ' (input_line ic) with
+               | [ k; v ] -> acc := (k, int_of_string v) :: !acc
+               | _ -> ()
+             done
+           with End_of_file -> ());
+          Some (List.rev !acc))
+    with Sys_error _ | Failure _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Disk inspection and dumping (the `cache stats` / `cache dump` CLI)  *)
+(* ------------------------------------------------------------------ *)
+
+type disk_kind = { dk_files : int; dk_bytes : int }
+type disk = { d_version : string option; d_ast : disk_kind; d_sum : disk_kind; d_root : disk_kind }
+
+let scan_kind dir kind =
+  let d = Filename.concat dir kind in
+  if not (Sys.file_exists d) then { dk_files = 0; dk_bytes = 0 }
+  else
+    try
+      Array.fold_left
+        (fun acc f ->
+          let path = Filename.concat d f in
+          match (Unix.stat path).Unix.st_kind with
+          | Unix.S_REG ->
+              {
+                dk_files = acc.dk_files + 1;
+                dk_bytes = acc.dk_bytes + (Unix.stat path).Unix.st_size;
+              }
+          | _ -> acc
+          | exception Unix.Unix_error _ -> acc)
+        { dk_files = 0; dk_bytes = 0 }
+        (Sys.readdir d)
+    with Sys_error _ -> { dk_files = 0; dk_bytes = 0 }
+
+let disk_stats ~dir =
+  {
+    d_version = read_version ~dir;
+    d_ast = scan_kind dir "ast";
+    d_sum = scan_kind dir "sum";
+    d_root = scan_kind dir "root";
+  }
+
+(* Sexp renderings of the binary entries, for `cache dump` — debugging
+   reads sexps, the hot path never does. *)
+
+let fn_to_sexp (e : fn_entry) =
+  Sexp.list
+    [
+      Sexp.atom "fn";
+      Sexp.atom e.f_name;
+      Sexp.atom e.f_key;
+      Sexp.atom e.f_content;
+      Sexp.list (List.map Sexp.atom e.f_rets);
+      Sexp.list
+        (Array.to_list
+           (Array.mapi
+              (fun i b -> Sexp.list [ Summary.to_sexp b; Summary.to_sexp e.f_sfx.(i) ])
+              e.f_bs));
+    ]
+
+let root_to_sexp e =
+  let annot_to_sexp ((loc : Srcloc.t), printed, ctx, occ, tags) =
+    Sexp.list
+      [
+        Sexp.atom loc.file;
+        Sexp.atom (string_of_int loc.line);
+        Sexp.atom (string_of_int loc.col);
+        Sexp.atom printed;
+        Sexp.atom ctx;
+        Sexp.atom (string_of_int occ);
+        Sexp.list (List.map Sexp.atom tags);
+      ]
+  in
+  Sexp.list
+    [
+      Sexp.atom "root";
+      Sexp.atom e.r_root;
+      Sexp.atom e.r_key;
+      Sexp.list (List.map Report.to_sexp e.r_reports);
+      Sexp.list
+        (List.map
+           (fun (rule, ex, c) ->
+             Sexp.list
+               [ Sexp.atom rule; Sexp.atom (string_of_int ex);
+                 Sexp.atom (string_of_int c) ])
+           e.r_counters);
+      Sexp.list (List.map annot_to_sexp e.r_annots);
+      Sexp.list (List.map Sexp.atom e.r_traversed);
+      Sexp.list (List.map (fun i -> Sexp.atom (string_of_int i)) e.r_stats);
+    ]
+
+let dump_entry path =
+  match Wire.read_file path with
+  | exception Sys_error e -> Error e
+  | src -> (
+      let starts m =
+        String.length src >= String.length m
+        && String.equal (String.sub src 0 (String.length m)) m
+      in
+      try
+        if starts fn_magic then Ok (fn_to_sexp (fn_of_bin src))
+        else if starts root_magic then Ok (root_to_sexp (root_of_bin src))
+        else Error "unrecognised entry magic"
+      with
+      | Wire.Corrupt m -> Error ("corrupt entry: " ^ m)
+      | Failure m -> Error ("corrupt entry: " ^ m)
+      | Invalid_argument m -> Error ("corrupt entry: " ^ m))

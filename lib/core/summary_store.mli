@@ -7,41 +7,60 @@
     invalidate everything downstream):
 
     - {e function-summary entries} ([sum/]): one per defined function,
-      carrying the block and suffix summaries plus returned-state keys,
-      validated against the function's transitive-callee closure hash.
-      These are the invalidation ledger — editing a leaf callee flips
-      exactly that function's and its transitive callers' entries to
-      stale ({!probe}) — and the write-back artifact of a run.
+      carrying the block and suffix summaries plus returned-state keys.
+      Each entry holds two fingerprints: the {e key}, a digest of the
+      function's own body, the file-scope declarations, its callees'
+      summary {e content} hashes, and the relevant annotation state; and
+      the {e content} hash, a digest of the summaries the entry actually
+      records. The two levels are what give early cutoff: when an edit
+      changes a function's body but recomputation produces the same
+      content hash, callers' keys (which fold content, not body) still
+      validate and their entries survive.
     - {e root replay entries} ([root/]): the complete result of analysing
       one callgraph root (reports, counter deltas, annotation deltas,
-      traversed set, stat counters), validated the same way. A warm run
-      replays valid roots verbatim and recomputes only invalid ones,
-      which is what makes warm output byte-identical to a cold run:
-      seeding summaries into a live traversal would take summary hits
-      that suppress exactly the re-traversals that emit reports.
+      traversed set, stat counters), keyed by the content hashes of the
+      root's transitive closure. A warm run replays valid roots verbatim
+      and recomputes only invalid ones, which is what makes warm output
+      byte-identical to a cold run: seeding summaries into a live
+      traversal would take summary hits that suppress exactly the
+      re-traversals that emit reports.
 
-    All writes are atomic (tmp + rename in the target directory), so a
-    store may be shared by concurrent runs. Unreadable or mismatched
-    entries degrade to misses, never to errors. *)
+    Entries are versioned, length-prefixed binary frames ({!Wire}); the
+    sexp renderings survive only as the [cache dump] debugging view. All
+    writes are atomic (tmp + rename in the target directory), so a store
+    may be shared by concurrent runs. Unreadable, truncated, or
+    mismatched entries degrade to misses, never to errors. *)
 
 type t
-
-type probe = Hit | Stale | Absent
 
 type stats = {
   mutable ast_hits : int;  (** pass-1 object-cache hits (driver-maintained) *)
   mutable ast_misses : int;
   mutable fn_hits : int;  (** function-summary entries still valid *)
-  mutable fn_stale : int;  (** present but closure hash changed *)
+  mutable fn_stale : int;  (** present but key changed *)
   mutable fn_absent : int;
   mutable roots_replayed : int;
   mutable roots_recomputed : int;
+  mutable fns_recomputed : int;
+      (** functions whose summary the cutoff pass had to recompute *)
+  mutable sums_unchanged : int;
+      (** recomputed functions whose content hash matched the stale entry
+          — the early-cutoff wins *)
+  mutable roots_salvaged : int;
+      (** replayed roots whose closure intersects the recomputed set —
+          roots that only replay because cutoff fired *)
 }
+
+val store_version : string
+(** Salted into every extension key: bumping it orphans all existing
+    entries (they become unreachable, never misdecoded) and is recorded
+    in the store directory's [VERSION] stamp. *)
 
 val create : dir:string -> ?persist:bool -> ext_keys:Fingerprint.t list -> unit -> t
 (** [persist] (default true): when false the store is read-only — warm
     hits still replay but nothing is written back. [ext_keys] must align
-    positionally with the extension list handed to [Engine.run]. *)
+    positionally with the extension list handed to [Engine.run]. When
+    persisting, stamps [dir/VERSION] with {!store_version}. *)
 
 val ext_keys_of : options_digest:string -> sources:string list -> Fingerprint.t list
 (** The chain-prefix keys: the key for extension [i] digests the store
@@ -52,37 +71,45 @@ val persist : t -> bool
 val stats : t -> stats
 
 val pp_stats : Format.formatter -> t -> unit
-(** One [--stats] line: AST, function-summary and root cache counters. *)
+(** One [--stats] line: AST, function-summary, root, and cutoff counters. *)
 
 (** {1 Function-summary entries} *)
 
-val probe_fn : t -> ext:Fingerprint.t -> fname:string -> closure:Fingerprint.t -> probe
-(** Validity check only (bumps [fn_*] stats): is the stored entry for
-    [fname] still keyed by [closure]? *)
+type fn_entry = {
+  f_name : string;
+  f_key : Fingerprint.t;
+  f_content : Fingerprint.t;
+  f_bs : Summary.t array;
+  f_sfx : Summary.t array;
+  f_rets : string list;
+}
+
+type probe = Hit of fn_entry | Stale of Fingerprint.t | Absent
+(** [Hit] carries the decoded entry (the canonical pass seeds callers
+    from it without re-reading). [Stale] carries the {e old} content
+    hash, so after recomputation the engine can detect that the content
+    did not actually change and count the cutoff. *)
+
+val probe_fn : t -> ext:Fingerprint.t -> fname:string -> key:Fingerprint.t -> probe
+(** Decode the stored entry for [fname] and validate its key (bumps
+    [fn_*] stats). Corrupt or mismatched-name entries are [Absent]. *)
 
 val store_fn :
   t ->
   ext:Fingerprint.t ->
   fname:string ->
-  closure:Fingerprint.t ->
+  key:Fingerprint.t ->
+  content:Fingerprint.t ->
   bs:Summary.t array ->
   sfx:Summary.t array ->
   rets:string list ->
   unit
 
-val load_fn :
-  t ->
-  ext:Fingerprint.t ->
-  fname:string ->
-  closure:Fingerprint.t ->
-  (Summary.t array * Summary.t array * string list) option
-(** [None] on absence, closure mismatch, or a corrupt entry. *)
-
 (** {1 Root replay entries} *)
 
 type root_entry = {
   r_root : string;
-  r_closure : Fingerprint.t;
+  r_key : Fingerprint.t;
   r_reports : Report.t list;  (** in emission order *)
   r_counters : (string * int * int) list;
   r_annots : (Srcloc.t * string * string * int * string list) list;
@@ -99,8 +126,33 @@ type root_entry = {
 }
 
 val load_root :
-  t -> ext:Fingerprint.t -> root:string -> closure:Fingerprint.t -> root_entry option
+  t -> ext:Fingerprint.t -> root:string -> key:Fingerprint.t -> root_entry option
 (** Bumps [roots_replayed] on a hit, [roots_recomputed] otherwise. *)
 
 val store_root : t -> ext:Fingerprint.t -> root_entry -> unit
 (** No-op when the store was opened with [persist:false]. *)
+
+(** {1 Inspection (the [cache stats] / [cache dump] CLI)} *)
+
+val save_last_run : t -> unit
+(** Persist the run's counters to [dir/last-run] (plain ["name value"]
+    lines) so a later [cache stats] can report them. No-op when
+    [persist:false]. *)
+
+val load_last_run : dir:string -> (string * int) list option
+
+type disk_kind = { dk_files : int; dk_bytes : int }
+
+type disk = {
+  d_version : string option;  (** the [VERSION] stamp, if readable *)
+  d_ast : disk_kind;
+  d_sum : disk_kind;
+  d_root : disk_kind;
+}
+
+val disk_stats : dir:string -> disk
+(** Count entry files and bytes per kind without decoding anything. *)
+
+val dump_entry : string -> (Sexp.t, string) result
+(** Decode one entry file (kind recognised by magic) and render it as a
+    sexp for human inspection. *)

@@ -109,6 +109,62 @@ let of_sexp = function
       }
   | other -> raise (Sexp.Decode_error ("bad report " ^ Sexp.to_string other))
 
+(* Binary form for the persistent root-replay entries; mirrors [to_sexp]
+   field for field (the sexp form stays the `cache dump` rendering). *)
+
+let bin_loc b (loc : Srcloc.t) =
+  Wire.string b loc.file;
+  Wire.int b loc.line;
+  Wire.int b loc.col
+
+let rbin_loc r =
+  let file = Wire.rstring r in
+  let line = Wire.rint r in
+  let col = Wire.rint r in
+  Srcloc.make ~file ~line ~col
+
+let to_bin b r =
+  Wire.string b r.checker;
+  Wire.string b r.message;
+  bin_loc b r.loc;
+  bin_loc b r.start_loc;
+  Wire.string b r.func;
+  Wire.string b r.file;
+  Wire.option b Wire.string r.var;
+  Wire.option b Wire.string r.rule;
+  Wire.int b r.conditionals;
+  Wire.int b r.syn_chain;
+  Wire.int b r.call_depth;
+  Wire.list b Wire.string r.annotations
+
+let of_bin r =
+  let checker = Wire.rstring r in
+  let message = Wire.rstring r in
+  let loc = rbin_loc r in
+  let start_loc = rbin_loc r in
+  let func = Wire.rstring r in
+  let file = Wire.rstring r in
+  let var = Wire.roption r Wire.rstring in
+  let rule = Wire.roption r Wire.rstring in
+  let conditionals = Wire.rint r in
+  let syn_chain = Wire.rint r in
+  let call_depth = Wire.rint r in
+  let annotations = Wire.rlist r Wire.rstring in
+  {
+    checker;
+    message;
+    loc;
+    start_loc;
+    func;
+    file;
+    var;
+    rule;
+    conditionals;
+    syn_chain;
+    call_depth;
+    annotations;
+  }
+
 type collector = { mutable items : t list; mutable n : int }
 
 let new_collector () = { items = []; n = 0 }

@@ -48,8 +48,13 @@ val identity_key : t -> string
 
 val to_sexp : t -> Sexp.t
 val of_sexp : Sexp.t -> t
-(** Lossless round-trip; used by the persistent result cache. Raises
+(** Lossless round-trip; the [cache dump] rendering. Raises
     [Sexp.Decode_error] on malformed input. *)
+
+val to_bin : Wire.writer -> t -> unit
+val of_bin : Wire.reader -> t
+(** Binary form used by the persistent result cache's hot path. Raises
+    [Wire.Corrupt] on malformed input. *)
 
 type collector
 

@@ -31,13 +31,18 @@ let store_over dir =
 let report_lines (r : Engine.result) = List.map Report.to_string r.Engine.reports
 
 let leaf_v1 =
-  "static void leaf(int *p) { kfree(p); }\n\
+  "static void leaf(int *p) { int e = 1; (void)e; kfree(p); }\n\
    int caller(int n) { int *x = kmalloc(n); leaf(x); return *x; }\n\
    int unrelated(int n) { int *y = kmalloc(n); kfree(y); return *y; }\n"
 
-(* same program with the leaf's body edited *)
+(* same program with the leaf's body edited in place: the dead constant
+   changes, so the body hash changes, but no source location moves and no
+   analysis behaviour changes — the summary-neutral edit shape. (An edit
+   that inserts or removes text shifts the locations of everything after
+   it, and locations are observable through report and tuple trees, so
+   such an edit IS a content change.) *)
 let leaf_v2 =
-  "static void leaf(int *p) { int e = 1; (void)e; kfree(p); }\n\
+  "static void leaf(int *p) { int e = 2; (void)e; kfree(p); }\n\
    int caller(int n) { int *x = kmalloc(n); leaf(x); return *x; }\n\
    int unrelated(int n) { int *y = kmalloc(n); kfree(y); return *y; }\n"
 
@@ -138,7 +143,7 @@ let suite =
         let entry =
           {
             Summary_store.r_root = "caller";
-            r_closure = Fingerprint.of_string "closure";
+            r_key = Fingerprint.of_string "key";
             r_reports = r.Engine.reports;
             r_counters = [ ("rule", 3, 1) ];
             r_annots = [];
@@ -149,7 +154,7 @@ let suite =
         Summary_store.store_root store ~ext entry;
         (match
            Summary_store.load_root store ~ext ~root:"caller"
-             ~closure:(Fingerprint.of_string "closure")
+             ~key:(Fingerprint.of_string "key")
          with
         | None -> Alcotest.fail "expected a root hit"
         | Some e ->
@@ -164,9 +169,9 @@ let suite =
               "traversed round-trips" entry.Summary_store.r_traversed
               e.Summary_store.r_traversed);
         Alcotest.(check bool)
-          "stale closure misses" true
+          "stale key misses" true
           (Summary_store.load_root store ~ext ~root:"caller"
-             ~closure:(Fingerprint.of_string "other")
+             ~key:(Fingerprint.of_string "other")
           = None));
     t "warm run is byte-identical to cold, including -j" `Quick (fun () ->
         let files =
@@ -191,7 +196,7 @@ let suite =
           "warm run recomputes nothing" 0 st.Summary_store.roots_recomputed;
         Alcotest.(check bool)
           "warm run replays roots" true (st.Summary_store.roots_replayed > 0));
-    t "leaf edit invalidates the leaf and its callers only" `Quick (fun () ->
+    t "summary-neutral leaf edit cuts off at the leaf" `Quick (fun () ->
         let dir = temp_dir () in
         (* cold run populates the store for v1 *)
         let _ =
@@ -205,19 +210,93 @@ let suite =
           Engine.run ~cache:store (sg_of_files [ ("inv.c", leaf_v2) ]) (free ())
         in
         let st = Summary_store.stats store in
-        (* functions: leaf, caller, unrelated — leaf changed, so leaf and
-           caller go stale; unrelated still hits *)
-        Alcotest.(check int) "one summary still valid" 1 st.Summary_store.fn_hits;
-        Alcotest.(check int) "leaf and caller stale" 2 st.Summary_store.fn_stale;
+        (* functions: leaf, caller, unrelated. The edit changes a dead
+           constant in leaf, so leaf's own key (body hash) goes stale and
+           it recomputes — but its canonical summary content is unchanged,
+           so the cutoff fires: caller's key folds leaf's CONTENT and
+           still validates. This is the early-cutoff upgrade over
+           body-hash closure keying, which recomputed caller too. *)
+        Alcotest.(check int) "caller and unrelated still valid" 2
+          st.Summary_store.fn_hits;
+        Alcotest.(check int) "only leaf stale" 1 st.Summary_store.fn_stale;
         Alcotest.(check int) "nothing absent" 0 st.Summary_store.fn_absent;
-        (* roots: caller (recomputed — its closure contains leaf) and
-           unrelated (replayed verbatim) *)
-        Alcotest.(check int) "unrelated replays" 1 st.Summary_store.roots_replayed;
-        Alcotest.(check int) "caller recomputes" 1 st.Summary_store.roots_recomputed;
+        Alcotest.(check int) "only leaf recomputed" 1
+          st.Summary_store.fns_recomputed;
+        Alcotest.(check int) "leaf's content unchanged" 1
+          st.Summary_store.sums_unchanged;
+        (* roots: both replay — caller only because the cutoff fired *)
+        Alcotest.(check int) "both roots replay" 2
+          st.Summary_store.roots_replayed;
+        Alcotest.(check int) "no root recomputes" 0
+          st.Summary_store.roots_recomputed;
+        Alcotest.(check int) "caller was salvaged by the cutoff" 1
+          st.Summary_store.roots_salvaged;
         (* and the result still matches an uncached run of v2 *)
         let uncached = Engine.check_source ~file:"inv.c" leaf_v2 (free ()) in
         Alcotest.(check (list string))
           "edited run = uncached" (report_lines uncached) (report_lines v2));
+    t "summary-changing edit invalidates exactly the transitive callers"
+      `Quick (fun () ->
+        (* chain top -> mid -> leaf, plus an unrelated root: editing leaf
+           so its summary content changes (it now frees its argument) must
+           recompute exactly the chain's entries and the chain's root, and
+           leave unrelated untouched *)
+        let v1 =
+          "static void leaf(int *p) { (void)p; }\n\
+           static void mid(int *p) { leaf(p); }\n\
+           int top(int n) { int *x = kmalloc(n); mid(x); return *x; }\n\
+           int unrelated(int n) { int *y = kmalloc(n); kfree(y); return *y; }\n"
+        in
+        let v2 =
+          "static void leaf(int *p) { kfree(p); }\n\
+           static void mid(int *p) { leaf(p); }\n\
+           int top(int n) { int *x = kmalloc(n); mid(x); return *x; }\n\
+           int unrelated(int n) { int *y = kmalloc(n); kfree(y); return *y; }\n"
+        in
+        let dir = temp_dir () in
+        let _ =
+          Engine.run ~cache:(store_over dir) (sg_of_files [ ("ch.c", v1) ]) (free ())
+        in
+        let store = store_over dir in
+        let warm =
+          Engine.run ~cache:store (sg_of_files [ ("ch.c", v2) ]) (free ())
+        in
+        let st = Summary_store.stats store in
+        (* leaf stale on body hash; its new content propagates, so mid and
+           top go stale in turn — no cutoff anywhere on the chain *)
+        Alcotest.(check int) "unrelated still valid" 1 st.Summary_store.fn_hits;
+        Alcotest.(check int) "the chain is stale" 3 st.Summary_store.fn_stale;
+        Alcotest.(check int) "chain recomputed" 3 st.Summary_store.fns_recomputed;
+        Alcotest.(check int) "no content survived the edit" 0
+          st.Summary_store.sums_unchanged;
+        Alcotest.(check int) "unrelated replays" 1 st.Summary_store.roots_replayed;
+        Alcotest.(check int) "top recomputes" 1 st.Summary_store.roots_recomputed;
+        let uncached = Engine.check_source ~file:"ch.c" v2 (free ()) in
+        Alcotest.(check (list string))
+          "edited run = uncached" (report_lines uncached) (report_lines warm));
+    t "comment-only edit replays everything" `Quick (fun () ->
+        (* comments never reach the AST, so every fingerprint — body,
+           declarations, annotations — is unchanged: the warm run must
+           recompute no summaries and no roots. Trailing comments only:
+           a comment on its own line before the code would shift every
+           source location, which IS a content change *)
+        let v2 = leaf_v1 ^ "/* tidy: reviewed 2026-08 */\n" in
+        let dir = temp_dir () in
+        let cold =
+          Engine.run ~cache:(store_over dir) (sg_of_files [ ("cm.c", leaf_v1) ]) (free ())
+        in
+        let store = store_over dir in
+        let warm =
+          Engine.run ~cache:store (sg_of_files [ ("cm.c", v2) ]) (free ())
+        in
+        let st = Summary_store.stats store in
+        Alcotest.(check int) "no summaries recomputed" 0
+          st.Summary_store.fns_recomputed;
+        Alcotest.(check int) "no summaries stale" 0 st.Summary_store.fn_stale;
+        Alcotest.(check int) "no roots recomputed" 0
+          st.Summary_store.roots_recomputed;
+        Alcotest.(check (list string))
+          "reports byte-identical" (report_lines cold) (report_lines warm));
     t "persist:false stores replay but never write" `Quick (fun () ->
         let dir = temp_dir () in
         let sg = sg_of_files [ ("ro.c", leaf_v1) ] in
@@ -300,25 +379,120 @@ let suite =
           "all roots recompute" 0 (Summary_store.stats store).Summary_store.roots_replayed;
         Alcotest.(check (list string))
           "reports unaffected" (report_lines uncached) (report_lines warm));
-    t "corrupt summary entries degrade to misses" `Quick (fun () ->
+    t "truncated and corrupt summary entries degrade to misses" `Quick
+      (fun () ->
         let dir = temp_dir () in
         let store = store_over dir in
         let ext = Summary_store.ext_key store 0 in
-        Summary_store.store_fn store ~ext ~fname:"f" ~closure:"c" ~bs:[||]
-          ~sfx:[||] ~rets:[];
-        (* matching header, but a tuple whose location decodes with
-           int_of_string: Failure must read as a miss *)
+        let key = Fingerprint.of_string "k" in
+        Summary_store.store_fn store ~ext ~fname:"f" ~key
+          ~content:(Fingerprint.of_string "c")
+          ~bs:[| Summary.create () |]
+          ~sfx:[| Summary.create () |]
+          ~rets:[ "rs" ];
+        (match Summary_store.probe_fn store ~ext ~fname:"f" ~key with
+        | Summary_store.Hit e ->
+            Alcotest.(check string) "name round-trips" "f" e.Summary_store.f_name;
+            Alcotest.(check (list string))
+              "rets round-trip" [ "rs" ] e.Summary_store.f_rets
+        | _ -> Alcotest.fail "expected a hit on the intact entry");
         let sumdir = Filename.concat dir "sum" in
+        let mangle f =
+          let path = Filename.concat sumdir f in
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let data = really_input_string ic len in
+          close_in ic;
+          path, data
+        in
         Array.iter
           (fun f ->
-            let oc = open_out (Filename.concat sumdir f) in
-            output_string oc
-              "(fn f c () (((sum ((t (g k ((v x) (@ f zz 1)) val 0) (g))) ()) (sum () ()))))\n";
-            close_out oc)
-          (Sys.readdir sumdir);
-        Alcotest.(check bool)
-          "corrupt entry loads as None" true
-          (Summary_store.load_fn store ~ext ~fname:"f" ~closure:"c" = None));
+            let path, data = mangle f in
+            (* truncated mid-frame: the length-prefixed decoder must raise
+               Corrupt, which probes as a miss *)
+            let oc = open_out_bin path in
+            output_string oc (String.sub data 0 (String.length data / 2));
+            close_out oc;
+            (match Summary_store.probe_fn store ~ext ~fname:"f" ~key with
+            | Summary_store.Absent -> ()
+            | _ -> Alcotest.fail "truncated entry must probe Absent");
+            (* wrong magic / non-binary garbage *)
+            let oc = open_out_bin path in
+            output_string oc "(fn f c () ())\n";
+            close_out oc;
+            match Summary_store.probe_fn store ~ext ~fname:"f" ~key with
+            | Summary_store.Absent -> ()
+            | _ -> Alcotest.fail "garbage entry must probe Absent")
+          (Sys.readdir sumdir));
+    t "binary summary round-trip is lossless" `Quick (fun () ->
+        let src =
+          "int use(int *p, int c) { if (c) { kfree(p); } return *p; }\n\
+           int top(int *p, int c) { use(p, c); return 0; }"
+        in
+        let sg = sg_of_files [ ("sb.c", src) ] in
+        let _, per_ext = Engine.run_with_summaries sg (free ()) in
+        let checked = ref 0 in
+        List.iter
+          (fun (_, tbl) ->
+            Hashtbl.iter
+              (fun _ (bs, sfx) ->
+                Array.iter
+                  (fun s ->
+                    incr checked;
+                    let bin s =
+                      let b = Wire.writer () in
+                      Summary.to_bin b s;
+                      Wire.contents b
+                    in
+                    let bytes = bin s in
+                    let s' = Summary.of_bin (Wire.reader bytes) in
+                    (* byte-stable round-trip: decoded tables reserialise
+                       identically, which is what makes content hashes
+                       agree between disk-loaded and fresh summaries *)
+                    Alcotest.(check string)
+                      "to_bin . of_bin . to_bin = to_bin" bytes (bin s');
+                    Alcotest.(check string)
+                      "sexp view agrees"
+                      (Sexp.to_string (Summary.to_sexp s))
+                      (Sexp.to_string (Summary.to_sexp s')))
+                  (Array.append bs sfx))
+              tbl)
+          per_ext;
+        Alcotest.(check bool) "exercised some summaries" true (!checked > 0));
+    t "old store version is orphaned cleanly" `Quick (fun () ->
+        let dir = temp_dir () in
+        let sg = sg_of_files [ ("ov.c", leaf_v1) ] in
+        let uncached = Engine.run sg (free ()) in
+        let _ = Engine.run ~cache:(store_over dir) sg (free ()) in
+        (* forge an older store: stamp the VERSION back. The version is
+           salted into every extension key, so the existing entries become
+           unreachable — a run against the "upgraded" store recomputes
+           from cold without ever decoding them, and restamps VERSION *)
+        let oc = open_out (Filename.concat dir "VERSION") in
+        output_string oc "sumstore-0\n";
+        close_out oc;
+        let old_keys =
+          Summary_store.ext_keys_of
+            ~options_digest:(Engine.options_digest Engine.default_options)
+            ~sources:[ "free" ]
+        in
+        let forged =
+          Summary_store.create ~dir
+            ~ext_keys:(List.map (fun k -> Fingerprint.combine [ k; "old" ]) old_keys)
+            ()
+        in
+        let forged_run = Engine.run ~cache:forged sg (free ()) in
+        Alcotest.(check int)
+          "nothing replays from the orphaned generation" 0
+          (Summary_store.stats forged).Summary_store.roots_replayed;
+        Alcotest.(check (list string))
+          "reports unaffected" (report_lines uncached) (report_lines forged_run);
+        (* creating the store restamped the directory *)
+        let ic = open_in (Filename.concat dir "VERSION") in
+        let v = input_line ic in
+        close_in ic;
+        Alcotest.(check string)
+          "VERSION restamped" Summary_store.store_version v);
     t "corrupt AST cache objects degrade to misses" `Quick (fun () ->
         let cache_dir = temp_dir () in
         let src = "int f(int *p) { kfree(p); return *p; }" in
