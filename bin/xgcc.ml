@@ -196,6 +196,13 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
     open_store ~cache_dir ~persist:(not no_cache_persist) ~options
       (List.map snd exts_src)
   in
+  (* Snapshot the inputs before loading anything: after the run,
+     Watch.drifted compares disk against this snapshot, so an edit
+     landing mid-run degrades the affected roots loudly instead of
+     silently pairing a stale AST with fresh summaries. An unreadable
+     input disables drift detection only — loading below warns and
+     skips it as before. *)
+  let watch = match Watch.create files with Ok w -> Some w | Error _ -> None in
   let t0 = Unix.gettimeofday () in
   let tus, skipped_files =
     List.fold_left
@@ -220,6 +227,28 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
       Diag.warnf "analysis of root %s degraded: %s" d.Engine.d_root
         d.Engine.d_reason)
     result.Engine.degraded;
+  let drift_roots =
+    match watch with
+    | None -> []
+    | Some w -> (
+        match Watch.drifted w with
+        | [] -> []
+        | drifted ->
+            List.iter
+              (fun p ->
+                Diag.warnf
+                  "%s: file changed on disk during the run; reports reflect \
+                   the snapshot read at load time" p)
+              drifted;
+            let roots = Watch.stale_roots sg drifted in
+            List.iter
+              (fun root ->
+                Diag.warnf
+                  "analysis of root %s degraded: source file changed on disk \
+                   during the run" root)
+              roots;
+            roots)
+  in
   (* fold the pass-1 AST counters into the store's stats and re-save the
      last-run record so `xgcc cache stats` sees them (the engine saved its
      own counters before the AST atomics were read) *)
@@ -354,7 +383,9 @@ let do_check files checkers metal_files rank_mode fmt history_db update_history
      degraded — unless --keep-going downgrades that; 1 = complete run
      that produced reports; 0 = complete and clean. *)
   let faults =
-    skipped_files + skipped_defs + List.length result.Engine.degraded
+    skipped_files + skipped_defs
+    + List.length result.Engine.degraded
+    + List.length drift_roots
   in
   if faults > 0 && not keep_going then exit 3;
   if ranked <> [] then exit 1
@@ -901,14 +932,226 @@ let triage_cmd =
       const do_triage $ files $ checkers $ metal_files $ out $ apply_file $ history)
 
 (* ------------------------------------------------------------------ *)
+(* serve (long-lived analysis daemon)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse one in-memory source the way load_tunit would load it from disk.
+   The daemon substitutes editor-buffer overlays for file contents, so
+   the front end must never re-read the path itself. *)
+let parse_source ~path ~source =
+  if Filename.check_suffix path ".mcast" then
+    match Cast_io.read_string source with
+    | tu -> Ok tu
+    | exception
+        (( Sexp.Parse_error _ | Sexp.Decode_error _ | Failure _
+         | Invalid_argument _ | End_of_file ) as e) ->
+        Error (Printexc.to_string e)
+  else
+    match
+      let src =
+        match !cpp_conf with
+        | None -> source
+        | Some (defines, incdirs) ->
+            Cpp.preprocess ~defines
+              ~resolve_include:(resolve_include incdirs)
+              ~file:path source
+      in
+      match !ast_cache_conf with
+      | None -> Cparse.parse_tunit ~file:path src
+      | Some (cache_dir, persist) -> (
+          let fp = Cast_io.ast_fingerprint ~file:path ~source:src in
+          match Cast_io.read_cached ~cache_dir fp with
+          | Some tu ->
+              Atomic.incr ast_hits;
+              tu
+          | None ->
+              Atomic.incr ast_misses;
+              let tu = Cparse.parse_tunit ~file:path src in
+              if persist then Cast_io.write_cached ~cache_dir fp tu;
+              tu)
+    with
+    | tu -> Ok tu
+    | exception Clex.Lex_error (loc, msg) ->
+        Error (Printf.sprintf "%s: lexical error: %s" (Srcloc.to_string loc) msg)
+    | exception Cpp.Cpp_error (loc, msg) ->
+        Error (Printf.sprintf "%s: preprocessor error: %s" (Srcloc.to_string loc) msg)
+    | exception Sys_error msg -> Error msg
+
+let do_serve files checkers metal_files rank verbose use_cpp defines incdirs
+    jobs cache_dir no_cache_persist socket debounce no_cache no_prune
+    no_interproc no_kill no_synonyms no_dispatch no_flat no_state_ids max_nodes
+    timeout =
+  setup_logs verbose;
+  set_cpp ~use_cpp ~defines ~incdirs;
+  set_ast_cache ~cache_dir ~persist:(not no_cache_persist);
+  if files = [] then begin
+    Format.eprintf "no input files@.";
+    exit 2
+  end;
+  (* a client vanishing mid-reply must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let exts_src = resolve_checkers checkers metal_files in
+  let options =
+    options_of ~no_cache ~no_prune ~no_interproc ~no_kill ~no_synonyms
+      ~no_dispatch ~no_flat ~no_state_ids ~max_nodes ~timeout
+  in
+  let ext_keys =
+    Summary_store.ext_keys_of
+      ~options_digest:(Engine.options_digest options)
+      ~sources:(List.map snd exts_src)
+  in
+  (* Always memory-backed: warm re-checks never read the disk store.
+     Without --cache-dir the incremental state is purely in-process —
+     the store points at a path that is never created or written. *)
+  let store =
+    match cache_dir with
+    | Some dir ->
+        Summary_store.create ~dir ~persist:(not no_cache_persist) ~memory:true
+          ~ext_keys ()
+    | None ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "xgcc-serve-mem-%d" (Unix.getpid ()))
+        in
+        Summary_store.create ~dir ~persist:false ~memory:true ~ext_keys ()
+  in
+  let cfg =
+    {
+      Server.c_files = files;
+      c_parse = parse_source;
+      c_exts = List.map fst exts_src;
+      c_options = options;
+      c_jobs = effective_jobs jobs;
+      c_store = Some store;
+      c_rank = rank;
+    }
+  in
+  match Server.create cfg with
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  | Ok server ->
+      (* warm-up: load, parse, and analyse once, so the first request is
+         answered from hot state *)
+      let o = Server.check server in
+      Format.eprintf
+        "xgcc serve: %d file(s), %d checker(s), warm-up %.3fs (%d report(s)); %s@."
+        (List.length files) (List.length exts_src) o.Server.o_recheck_s
+        o.Server.o_reports
+        (match socket with
+        | Some p -> "listening on " ^ p
+        | None -> "reading requests from stdin");
+      (match socket with
+      | Some path -> Server.serve_socket ~debounce server ~path
+      | None -> Server.serve_stdio ~debounce server)
+
+let serve_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  let checkers =
+    Arg.(value & opt_all string [] & info [ "c"; "checker" ] ~docv:"NAME"
+           ~doc:"Built-in checker to run (repeatable); defaults to 'free'.")
+  in
+  let metal_files =
+    Arg.(value & opt_all file [] & info [ "m"; "metal" ] ~docv:"FILE.metal"
+           ~doc:"Compile and run the metal extensions in $(docv) (repeatable).")
+  in
+  let rank =
+    Arg.(value & opt string "generic" & info [ "rank" ] ~docv:"MODE"
+           ~doc:"Report ranking inside each reply: 'generic', 'stat', or 'none'.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the analysis (debug logs).")
+  in
+  let use_cpp =
+    Arg.(value & flag & info [ "cpp" ] ~doc:"Preprocess C sources (mini cpp).")
+  in
+  let defines =
+    Arg.(value & opt_all string [] & info [ "D" ] ~docv:"NAME[=VAL]"
+           ~doc:"Predefine a macro (implies --cpp).")
+  in
+  let incdirs =
+    Arg.(value & opt_all dir [] & info [ "I" ] ~docv:"DIR"
+           ~doc:"Include search directory (implies --cpp).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Analyse callgraph roots on $(docv) worker domains (0 = all cores).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Warm the in-memory store from this persistent cache at \
+                 startup and (unless --no-cache-persist) write results back, \
+                 so a daemon restart or a concurrent batch check starts warm. \
+                 Without it the incremental state lives only in the process.")
+  in
+  let no_cache_persist =
+    Arg.(value & flag & info [ "no-cache-persist" ]
+           ~doc:"Read from --cache-dir but do not write new entries back.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen for clients on a Unix socket at $(docv) instead of \
+                 reading requests from stdin (one client served at a time).")
+  in
+  let debounce =
+    Arg.(value & opt float 0.02 & info [ "debounce" ] ~docv:"SECONDS"
+           ~doc:"How long a didChange waits for a follow-up request before \
+                 committing to a re-check (edit-storm coalescing).")
+  in
+  let no_cache = Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable block caching.") in
+  let no_prune =
+    Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable false-path pruning.")
+  in
+  let no_interproc =
+    Arg.(value & flag & info [ "no-interproc" ] ~doc:"Do not follow function calls.")
+  in
+  let no_kill =
+    Arg.(value & flag & info [ "no-kill" ] ~doc:"Disable kill-on-redefinition.")
+  in
+  let no_synonyms =
+    Arg.(value & flag & info [ "no-synonyms" ] ~doc:"Disable synonym tracking.")
+  in
+  let no_dispatch =
+    Arg.(value & flag & info [ "no-dispatch-index" ]
+           ~doc:"Disable the compiled transition-dispatch index.")
+  in
+  let no_flat =
+    Arg.(value & flag & info [ "no-flat" ]
+           ~doc:"Serve block events from boxed lists instead of flat tables.")
+  in
+  let no_state_ids =
+    Arg.(value & flag & info [ "no-state-ids" ]
+           ~doc:"Resolve tracked-object identity by string keys, not ids.")
+  in
+  let max_nodes =
+    Arg.(value & opt int 0 & info [ "max-nodes-per-root" ] ~docv:"N"
+           ~doc:"Analysis budget per callgraph root (0 = unlimited).")
+  in
+  let timeout =
+    Arg.(value & opt float 0. & info [ "timeout-per-root" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock deadline per callgraph root (0 = none).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived analysis daemon: load once, re-check edits warm \
+             (newline-delimited JSON requests on stdin or a Unix socket)")
+    Term.(
+      const do_serve $ files $ checkers $ metal_files $ rank $ verbose
+      $ use_cpp $ defines $ incdirs $ jobs $ cache_dir $ no_cache_persist
+      $ socket $ debounce $ no_cache $ no_prune $ no_interproc $ no_kill
+      $ no_synonyms $ no_dispatch $ no_flat $ no_state_ids $ max_nodes
+      $ timeout)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "metacompilation: system-specific static analysis with metal extensions" in
   Cmd.group
     (Cmd.info "xgcc" ~version:"1.0.0" ~doc)
     [
-      check_cmd; list_cmd; show_cmd; dump_cfg_cmd; dump_summaries_cmd; demo_cmd;
-      gen_cmd; emit_cmd; triage_cmd; cache_cmd;
+      check_cmd; serve_cmd; list_cmd; show_cmd; dump_cfg_cmd; dump_summaries_cmd;
+      demo_cmd; gen_cmd; emit_cmd; triage_cmd; cache_cmd;
     ]
 
 (* The traversal allocates short-lived state clones at a rate that keeps the

@@ -431,11 +431,20 @@ let tunit_of_sexp = function
 let emit_string tu = Sexp.to_string (tunit_to_sexp tu)
 let read_string src = tunit_of_sexp (Sexp.of_string src)
 
+(* Tmp-then-rename: a crash mid-emit must not leave a truncated .mcast
+   that a later pass-2 reassembly reads as corrupt. *)
 let emit_file path tu =
-  let oc = open_out_bin path in
-  output_string oc (emit_string tu);
-  output_char oc '\n';
-  close_out oc
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".mcast" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (emit_string tu);
+     output_char oc '\n'
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
 
 let read_file path =
   let ic = open_in_bin path in

@@ -1,3 +1,4 @@
+let mutex = Mutex.create ()
 let sink : (string -> unit) ref = ref prerr_endline
 let count = Atomic.make 0
 
@@ -5,8 +6,19 @@ let warnf fmt =
   Printf.ksprintf
     (fun s ->
       Atomic.incr count;
-      !sink ("xgcc: warning: " ^ s))
+      let line = "xgcc: warning: " ^ s in
+      Mutex.protect mutex (fun () -> !sink line))
     fmt
+
+let with_sink s body =
+  let old = Mutex.protect mutex (fun () ->
+      let o = !sink in
+      sink := s;
+      o)
+  in
+  Fun.protect
+    ~finally:(fun () -> Mutex.protect mutex (fun () -> sink := old))
+    body
 
 let warnings_emitted () = Atomic.get count
 let reset_count () = Atomic.set count 0

@@ -11,9 +11,43 @@ type stats = {
   mutable roots_salvaged : int;
 }
 
-type t = {
+type fn_entry = {
+  f_name : string;
+  f_key : Fingerprint.t;
+  f_content : Fingerprint.t;
+  f_bs : Summary.t array;
+  f_sfx : Summary.t array;
+  f_rets : string list;
+}
+
+type root_entry = {
+  r_root : string;
+  r_key : Fingerprint.t;
+  r_reports : Report.t list;
+  r_counters : (string * int * int) list;
+  r_annots : (Srcloc.t * string * string * int * string list) list;
+  r_traversed : string list;
+  r_stats : int list;
+}
+
+(* In-memory overlay for long-lived processes (the serve daemon): decoded
+   entries keyed by their on-disk path, plus a negative cache of paths
+   known to be absent or unreadable. Warm probes hit the tables and skip
+   both the disk read and the binary decode; writes land in the tables
+   first and flow to disk only when [persist_] is also set. Decoded
+   entries are safe to share across runs: the engine seeds callers by
+   merging {e out of} a hit's summaries ([merge_fsum_into] only reads the
+   source side) and replays roots without mutating the entry. *)
+type memory = {
+  mem_fn : (string, fn_entry) Hashtbl.t;
+  mem_root : (string, root_entry) Hashtbl.t;
+  mem_absent : (string, unit) Hashtbl.t;
+}
+
+and t = {
   dir : string;
   persist_ : bool;
+  mem : memory option;
   ext_keys : Fingerprint.t array;
   st : stats;
 }
@@ -62,13 +96,22 @@ let write_version dir =
     Sys.rename tmp (version_path dir)
   end
 
-let create ~dir ?(persist = true) ~ext_keys () =
+let create ~dir ?(persist = true) ?(memory = false) ~ext_keys () =
   (* Stamp the store version: entries of an older version are orphaned by
      the key salt below, and the stamp lets `cache stats` say so. *)
   if persist then (try write_version dir with Sys_error _ -> ());
   {
     dir;
     persist_ = persist;
+    mem =
+      (if memory then
+         Some
+           {
+             mem_fn = Hashtbl.create 1024;
+             mem_root = Hashtbl.create 1024;
+             mem_absent = Hashtbl.create 1024;
+           }
+       else None);
     ext_keys = Array.of_list ext_keys;
     st =
       {
@@ -96,8 +139,32 @@ let ext_keys_of ~options_digest ~sources =
   go [] sources
 
 let ext_key t i = t.ext_keys.(i)
-let persist t = t.persist_
+
+(* "Accepts writes": a memory-backed store captures results even when it
+   never writes them to disk, so the engine must still hand entries over. *)
+let persist t = t.persist_ || Option.is_some t.mem
+let disk_persist t = t.persist_
+let in_memory t = Option.is_some t.mem
+
+let mem_entries t =
+  match t.mem with
+  | None -> 0
+  | Some m -> Hashtbl.length m.mem_fn + Hashtbl.length m.mem_root
+
 let stats t = t.st
+
+let reset_stats t =
+  let s = t.st in
+  s.ast_hits <- 0;
+  s.ast_misses <- 0;
+  s.fn_hits <- 0;
+  s.fn_stale <- 0;
+  s.fn_absent <- 0;
+  s.roots_replayed <- 0;
+  s.roots_recomputed <- 0;
+  s.fns_recomputed <- 0;
+  s.sums_unchanged <- 0;
+  s.roots_salvaged <- 0
 
 let pp_stats ppf t =
   Format.fprintf ppf
@@ -133,15 +200,6 @@ let write_entry t path data =
 (* Function-summary entries                                            *)
 (* ------------------------------------------------------------------ *)
 
-type fn_entry = {
-  f_name : string;
-  f_key : Fingerprint.t;
-  f_content : Fingerprint.t;
-  f_bs : Summary.t array;
-  f_sfx : Summary.t array;
-  f_rets : string list;
-}
-
 type probe = Hit of fn_entry | Stale of Fingerprint.t | Absent
 
 let fn_to_bin e =
@@ -167,20 +225,44 @@ let fn_of_bin src =
   let f_sfx = Array.init n (fun _ -> Summary.of_bin r) in
   { f_name; f_key; f_content; f_bs; f_sfx; f_rets }
 
+let classify_fn ~fname ~key e =
+  if String.equal e.f_name fname then
+    if String.equal e.f_key key then Hit e else Stale e.f_content
+  else Absent
+
+let probe_fn_disk ~fname path =
+  match read_entry path with
+  | None -> None
+  | Some src -> (
+      (* a corrupt or truncated entry is a miss, never an error: the
+         decoder raises Wire.Corrupt on malformed frames and
+         Failure/Invalid_argument on nonsense payloads *)
+      match fn_of_bin src with
+      | e when String.equal e.f_name fname -> Some e
+      | _ -> None
+      | exception (Wire.Corrupt _ | Failure _ | Invalid_argument _) -> None)
+
 let probe_fn t ~ext ~fname ~key =
   let path = entry_path t ~kind:"sum" ~ext ~name:fname in
   let r =
-    match read_entry path with
-    | None -> Absent
-    | Some src -> (
-        (* a corrupt or truncated entry is a miss, never an error: the
-           decoder raises Wire.Corrupt on malformed frames and
-           Failure/Invalid_argument on nonsense payloads *)
-        match fn_of_bin src with
-        | e when String.equal e.f_name fname ->
-            if String.equal e.f_key key then Hit e else Stale e.f_content
-        | _ -> Absent
-        | exception (Wire.Corrupt _ | Failure _ | Invalid_argument _) -> Absent)
+    match t.mem with
+    | None -> (
+        match probe_fn_disk ~fname path with
+        | Some e -> classify_fn ~fname ~key e
+        | None -> Absent)
+    | Some m -> (
+        match Hashtbl.find_opt m.mem_fn path with
+        | Some e -> classify_fn ~fname ~key e
+        | None ->
+            if Hashtbl.mem m.mem_absent path then Absent
+            else (
+              match probe_fn_disk ~fname path with
+              | Some e ->
+                  Hashtbl.replace m.mem_fn path e;
+                  classify_fn ~fname ~key e
+              | None ->
+                  Hashtbl.replace m.mem_absent path ();
+                  Absent))
   in
   (match r with
   | Hit _ -> t.st.fn_hits <- t.st.fn_hits + 1
@@ -189,25 +271,21 @@ let probe_fn t ~ext ~fname ~key =
   r
 
 let store_fn t ~ext ~fname ~key ~content ~bs ~sfx ~rets =
-  write_entry t
-    (entry_path t ~kind:"sum" ~ext ~name:fname)
-    (fn_to_bin
-       { f_name = fname; f_key = key; f_content = content; f_bs = bs;
-         f_sfx = sfx; f_rets = rets })
+  let e =
+    { f_name = fname; f_key = key; f_content = content; f_bs = bs;
+      f_sfx = sfx; f_rets = rets }
+  in
+  let path = entry_path t ~kind:"sum" ~ext ~name:fname in
+  (match t.mem with
+  | Some m ->
+      Hashtbl.remove m.mem_absent path;
+      Hashtbl.replace m.mem_fn path e
+  | None -> ());
+  write_entry t path (fn_to_bin e)
 
 (* ------------------------------------------------------------------ *)
 (* Root replay entries                                                 *)
 (* ------------------------------------------------------------------ *)
-
-type root_entry = {
-  r_root : string;
-  r_key : Fingerprint.t;
-  r_reports : Report.t list;
-  r_counters : (string * int * int) list;
-  r_annots : (Srcloc.t * string * string * int * string list) list;
-  r_traversed : string list;
-  r_stats : int list;
-}
 
 let counter_to_bin b (rule, e, c) =
   Wire.string b rule;
@@ -261,19 +339,40 @@ let root_of_bin src =
   let r_stats = Wire.rlist r Wire.rint in
   { r_root; r_key; r_reports; r_counters; r_annots; r_traversed; r_stats }
 
+let load_root_disk ~root path =
+  match read_entry path with
+  | None -> None
+  | Some src -> (
+      match
+        try Some (root_of_bin src)
+        with Wire.Corrupt _ | Failure _ | Invalid_argument _ -> None
+      with
+      | Some e when String.equal e.r_root root -> Some e
+      | Some _ | None -> None)
+
 let load_root t ~ext ~root ~key =
   let path = entry_path t ~kind:"root" ~ext ~name:root in
+  let validate = function
+    | Some e when String.equal e.r_root root && String.equal e.r_key key ->
+        Some e
+    | Some _ | None -> None
+  in
   let r =
-    match read_entry path with
-    | None -> None
-    | Some src -> (
-        match
-          try Some (root_of_bin src)
-          with Wire.Corrupt _ | Failure _ | Invalid_argument _ -> None
-        with
-        | Some e when String.equal e.r_root root && String.equal e.r_key key ->
-            Some e
-        | Some _ | None -> None)
+    match t.mem with
+    | None -> validate (load_root_disk ~root path)
+    | Some m -> (
+        match Hashtbl.find_opt m.mem_root path with
+        | Some e -> validate (Some e)
+        | None ->
+            if Hashtbl.mem m.mem_absent path then None
+            else (
+              match load_root_disk ~root path with
+              | Some e ->
+                  Hashtbl.replace m.mem_root path e;
+                  validate (Some e)
+              | None ->
+                  Hashtbl.replace m.mem_absent path ();
+                  None))
   in
   (match r with
   | Some _ -> t.st.roots_replayed <- t.st.roots_replayed + 1
@@ -281,7 +380,13 @@ let load_root t ~ext ~root ~key =
   r
 
 let store_root t ~ext e =
-  write_entry t (entry_path t ~kind:"root" ~ext ~name:e.r_root) (root_to_bin e)
+  let path = entry_path t ~kind:"root" ~ext ~name:e.r_root in
+  (match t.mem with
+  | Some m ->
+      Hashtbl.remove m.mem_absent path;
+      Hashtbl.replace m.mem_root path e
+  | None -> ());
+  write_entry t path (root_to_bin e)
 
 (* ------------------------------------------------------------------ *)
 (* Last-run counters                                                   *)

@@ -56,19 +56,47 @@ val store_version : string
     entries (they become unreachable, never misdecoded) and is recorded
     in the store directory's [VERSION] stamp. *)
 
-val create : dir:string -> ?persist:bool -> ext_keys:Fingerprint.t list -> unit -> t
-(** [persist] (default true): when false the store is read-only — warm
-    hits still replay but nothing is written back. [ext_keys] must align
-    positionally with the extension list handed to [Engine.run]. When
-    persisting, stamps [dir/VERSION] with {!store_version}. *)
+val create :
+  dir:string -> ?persist:bool -> ?memory:bool -> ext_keys:Fingerprint.t list -> unit -> t
+(** [persist] (default true): when false nothing is written to disk —
+    warm hits still replay but on-disk entries are never updated.
+    [memory] (default false): keep every entry that passes through the
+    store decoded in process memory, so repeat probes skip both the disk
+    read and the binary decode. A long-lived daemon opens its store with
+    [memory:true]; combined with [persist:false] this yields a fully
+    in-memory incremental store that never touches disk (the first probe
+    of each entry still consults [dir], so an existing on-disk store
+    warms the tables). [ext_keys] must align positionally with the
+    extension list handed to [Engine.run]. When persisting, stamps
+    [dir/VERSION] with {!store_version}. *)
 
 val ext_keys_of : options_digest:string -> sources:string list -> Fingerprint.t list
 (** The chain-prefix keys: the key for extension [i] digests the store
     version, [options_digest], and [sources.(0..i)]. *)
 
 val ext_key : t -> int -> Fingerprint.t
+
 val persist : t -> bool
+(** Whether the store accepts writes — true when it writes disk entries
+    {e or} captures them in memory; the engine skips building entries
+    entirely for a store that does neither. *)
+
+val disk_persist : t -> bool
+(** Whether entries also flow to disk — distinguishes a memory-only
+    daemon store from one layered over a persistent [--cache-dir]. *)
+
+val in_memory : t -> bool
+
+val mem_entries : t -> int
+(** Decoded entries currently held by the in-memory overlay (0 for a
+    disk-only store) — observability for the daemon's [stats] reply. *)
+
 val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero all counters. The daemon calls this before each warm re-check so
+    [stats] describes exactly one request instead of the process
+    lifetime. *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** One [--stats] line: AST, function-summary, root, and cutoff counters. *)

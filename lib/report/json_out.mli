@@ -14,6 +14,15 @@ type t =
 val to_string : t -> string
 val escape : string -> string
 
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one JSON value — the inverse of {!to_string}, used by the serve
+    daemon's newline-delimited request protocol. Raises {!Parse_error} on
+    malformed input or trailing content; [\uXXXX] escapes are decoded to
+    UTF-8 (surrogate halves independently). Numbers without [.]/[e] parse
+    as [Int], everything else as [Float]. *)
+
 val of_report : Report.t -> t
 
 val reports_to_string : Report.t list -> string

@@ -1,0 +1,35 @@
+type request =
+  | Check
+  | Did_change of { path : string; text : string option }
+  | Stats
+  | Shutdown
+
+let request_of_line line =
+  match Json_out.of_string line with
+  | exception Json_out.Parse_error m -> Error ("bad JSON: " ^ m)
+  | Json_out.Obj fields -> (
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Json_out.Str s) -> Some s
+        | _ -> None
+      in
+      match str "cmd" with
+      | Some "check" -> Ok Check
+      | Some "didChange" -> (
+          match str "path" with
+          | Some path -> Ok (Did_change { path; text = str "text" })
+          | None -> Error "didChange requires a string \"path\"")
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some other -> Error (Printf.sprintf "unknown cmd %S" other)
+      | None -> Error "request object must carry a string \"cmd\"")
+  | _ -> Error "request must be a JSON object"
+
+(* One reply per request, exactly one line: to_string never emits a raw
+   newline (Json_out.escape turns them into \n inside strings), so the
+   framing invariant holds even though the diagnostics payload embeds the
+   multi-line cold-check output verbatim. *)
+let to_line j = Json_out.to_string j ^ "\n"
+
+let error_response msg =
+  Json_out.Obj [ ("ok", Json_out.Bool false); ("error", Json_out.Str msg) ]

@@ -1,0 +1,35 @@
+(** Wire protocol of the analysis daemon: newline-delimited JSON.
+
+    Each request is one line holding one JSON object with a string
+    [cmd] field; each reply is one line holding one JSON object with a
+    boolean [ok] field. The four requests:
+
+    - [{"cmd":"check"}] — re-check the tree (no-op fast path when
+      nothing changed) and reply with diagnostics;
+    - [{"cmd":"didChange","path":P,"text":T}] — replace [P]'s contents
+      with [T] without touching disk (the editor-buffer overlay); omit
+      [text] to drop the overlay and re-read [P] from disk. Replies
+      with diagnostics, or with a cheap [{"event":"queued"}] when the
+      server knows more input is already pending (edit-storm
+      coalescing);
+    - [{"cmd":"stats"}] — counters since startup plus the last
+      re-check's cache statistics;
+    - [{"cmd":"shutdown"}] — acknowledge and exit the serve loop. *)
+
+type request =
+  | Check
+  | Did_change of { path : string; text : string option }
+  | Stats
+  | Shutdown
+
+val request_of_line : string -> (request, string) result
+(** Decode one request line. All protocol errors — malformed JSON,
+    non-object payloads, unknown or missing [cmd] — come back as
+    [Error reason] so the serve loop can reply instead of dying. *)
+
+val to_line : Json_out.t -> string
+(** Render a reply as exactly one newline-terminated line (JSON string
+    escaping keeps embedded newlines out of the framing). *)
+
+val error_response : string -> Json_out.t
+(** [{"ok":false,"error":msg}] *)

@@ -1,0 +1,75 @@
+(** The analysis daemon behind [xgcc serve].
+
+    A server loads the corpus once and keeps everything a batch run
+    rebuilds from scratch hot in memory: pass-1 ASTs, the supergraph's
+    [Exprid]/[Flat] tables (rebuilt cheaply per re-check from the held
+    ASTs), compiled dispatch, and the two-level summary store (opened
+    with [memory:true], so warm probes never touch disk). A one-file
+    edit re-fingerprints and re-parses only that file and drives
+    [Engine.run] through the existing early-cutoff machinery; the
+    diagnostics it replies with are byte-identical to a cold
+    [xgcc check --format json] of the same tree — the engine's replay
+    discipline guarantees it, and the test suite and CI assert it.
+
+    Requests arrive as newline-delimited JSON ({!Proto}) on stdin or a
+    Unix socket. Rapid successive edits coalesce: while another request
+    line is already pending, a [didChange] only applies its overlay and
+    replies [queued]; the single re-check happens when the storm drains. *)
+
+type config = {
+  c_files : string list;  (** analysis inputs, in batch-run order *)
+  c_parse : path:string -> source:string -> (Cast.tunit, string) result;
+      (** pass-1 front end (preprocessing included), fault-contained:
+          an [Error] skips the file with a warning, like batch mode *)
+  c_exts : Sm.t list;
+  c_options : Engine.options;
+  c_jobs : int;
+  c_store : Summary_store.t option;
+      (** open with [memory:true]; [persist] additionally writes entries
+          back so a later batch run or daemon restart starts warm *)
+  c_rank : string;  (** ["generic"] (default ranking), ["stat"], ["none"] *)
+}
+
+type t
+
+type check_out = {
+  o_diagnostics : string;
+      (** the full ranked report set, exactly the bytes a cold
+          [xgcc check --format json] prints *)
+  o_reports : int;
+  o_rechecked : bool;  (** false: served from the last clean result *)
+  o_recheck_s : float;
+  o_warnings : string list;  (** this request's captured Diag lines *)
+  o_degraded : int;
+  o_drifted : string list;
+      (** files that changed on disk while the engine ran; their roots
+          are degraded with a warning and the server stays dirty *)
+}
+
+val create : config -> (t, string) result
+(** Read and fingerprint the corpus. Fails if any input is unreadable. *)
+
+val check : t -> check_out
+(** Re-check if anything changed since the last clean result, else
+    return that result. Used directly for warm-up and benchmarks; the
+    request loop goes through {!handle_request}. *)
+
+val handle_request : t -> more_pending:bool -> Proto.request -> Json_out.t * bool
+(** Process one request, returning the reply and whether to shut down.
+    [more_pending] is the edit-storm coalescing signal — the transport
+    passes whether another complete request line is already waiting.
+    Exposed for in-process tests, which drive the protocol
+    deterministically without pipes or timing. *)
+
+val handle_line : t -> more_pending:bool -> string -> Json_out.t * bool
+(** {!Proto.request_of_line} + {!handle_request}; protocol errors become
+    [{"ok":false}] replies. *)
+
+val serve_stdio : ?debounce:float -> t -> unit
+(** Run the request loop over stdin/stdout until EOF or [shutdown].
+    [debounce] (default 20ms) is how long a [didChange] waits for a
+    follow-up request before committing to a re-check. *)
+
+val serve_socket : ?debounce:float -> t -> path:string -> unit
+(** Listen on a Unix socket, serving one client at a time, until a
+    client sends [shutdown]. The socket file is removed on exit. *)

@@ -1,0 +1,115 @@
+type file = {
+  w_path : string;
+  mutable w_src : string;
+  mutable w_fp : Fingerprint.t;
+  mutable w_overlay : bool;
+}
+
+type t = { files : file array; by_path : (string, file) Hashtbl.t }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fp_of source = Fingerprint.of_string source
+
+let create paths =
+  match
+    List.map
+      (fun p ->
+        match read_file p with
+        | src -> { w_path = p; w_src = src; w_fp = fp_of src; w_overlay = false }
+        | exception Sys_error msg -> raise (Failure (p ^ ": " ^ msg)))
+      paths
+  with
+  | files ->
+      let t =
+        { files = Array.of_list files; by_path = Hashtbl.create (List.length paths) }
+      in
+      Array.iter (fun f -> Hashtbl.replace t.by_path f.w_path f) t.files;
+      Ok t
+  | exception Failure msg -> Error msg
+
+let files t = Array.to_list t.files
+let find t path = Hashtbl.find_opt t.by_path path
+
+let set_overlay t ~path ~text =
+  match find t path with
+  | None -> Error (Printf.sprintf "%s: not part of the served tree" path)
+  | Some f -> (
+      match text with
+      | Some src ->
+          let fp = fp_of src in
+          let changed = not (String.equal fp f.w_fp) in
+          f.w_src <- src;
+          f.w_fp <- fp;
+          f.w_overlay <- true;
+          Ok changed
+      | None -> (
+          f.w_overlay <- false;
+          match read_file path with
+          | src ->
+              let fp = fp_of src in
+              let changed = not (String.equal fp f.w_fp) in
+              f.w_src <- src;
+              f.w_fp <- fp;
+              Ok changed
+          | exception Sys_error msg ->
+              (* keep the last good snapshot: the daemon stays serving *)
+              Error (Printf.sprintf "%s: cannot re-read: %s" path msg)))
+
+(* Re-stat and re-hash every disk-backed file before a run: cheap
+   insurance that a fingerprint taken at startup is not silently trusted
+   forever (the stale-snapshot bug cached batch mode had). Overlay files
+   are authoritative in memory, so disk is not consulted for them. *)
+let revalidate t =
+  let changed = ref [] and missing = ref [] in
+  Array.iter
+    (fun f ->
+      if not f.w_overlay then
+        if not (Sys.file_exists f.w_path) then missing := f.w_path :: !missing
+        else
+          match read_file f.w_path with
+          | src ->
+              let fp = fp_of src in
+              if not (String.equal fp f.w_fp) then begin
+                f.w_src <- src;
+                f.w_fp <- fp;
+                changed := f.w_path :: !changed
+              end
+          | exception Sys_error _ -> missing := f.w_path :: !missing)
+    t.files;
+  (List.rev !changed, List.rev !missing)
+
+(* Post-run drift detection: which disk-backed files no longer match the
+   snapshot the run analysed? Read-only — the next revalidate picks the
+   new contents up; this only tells the caller which results to degrade. *)
+let drifted t =
+  let out = ref [] in
+  Array.iter
+    (fun f ->
+      if not f.w_overlay then
+        match read_file f.w_path with
+        | src -> if not (String.equal (fp_of src) f.w_fp) then out := f.w_path :: !out
+        | exception Sys_error _ -> out := f.w_path :: !out)
+    t.files;
+  List.rev !out
+
+(* Roots whose transitive callee closure touches a function defined in
+   one of [changed_paths] — the results a mid-run edit can have poisoned. *)
+let stale_roots sg changed_paths =
+  if changed_paths = [] then []
+  else
+    let changed = List.fold_left (fun s p -> p :: s) [] changed_paths in
+    let in_changed file = List.exists (String.equal file) changed in
+    List.filter
+      (fun root ->
+        List.exists
+          (fun fn ->
+            match Supergraph.file_of_function sg fn with
+            | Some file -> in_changed file
+            | None -> false)
+          (Callgraph.closures sg.Supergraph.callgraph root))
+      (Supergraph.roots sg)

@@ -1,0 +1,48 @@
+(** File snapshots for the analysis daemon.
+
+    The daemon analyses a fixed set of files. Each one is either
+    {e disk-backed} (contents re-read and re-hashed before every run, so
+    an on-disk edit is never silently ignored) or carries an
+    {e overlay} (contents supplied by [didChange], authoritative until
+    dropped — the editor-buffer model). *)
+
+type file = {
+  w_path : string;
+  mutable w_src : string;  (** contents the next run will analyse *)
+  mutable w_fp : Fingerprint.t;  (** fingerprint of [w_src] *)
+  mutable w_overlay : bool;  (** true: [w_src] came from [didChange] *)
+}
+
+type t
+
+val create : string list -> (t, string) result
+(** Read and fingerprint every file. Any unreadable file fails the whole
+    startup — a daemon serving a partial tree would lie to every
+    request. *)
+
+val files : t -> file list
+(** In the order given to {!create} — the analysis input order, which
+    fixes report order and therefore byte-identity with a batch run. *)
+
+val find : t -> string -> file option
+
+val set_overlay : t -> path:string -> text:string option -> (bool, string) result
+(** Install ([Some text]) or drop ([None], re-reading disk) the overlay
+    for [path]. [Ok changed] says whether the contents actually differ —
+    the caller skips re-checking when they don't. Unknown paths and
+    unreadable re-reads are [Error] (the previous snapshot stays). *)
+
+val revalidate : t -> string list * string list
+(** Re-read and re-hash every disk-backed file, updating changed
+    snapshots in place. Returns [(changed, missing)] paths; missing
+    files keep their last good snapshot so the daemon keeps serving. *)
+
+val drifted : t -> string list
+(** Disk-backed files whose on-disk contents no longer match the
+    snapshot just analysed (read-only check, run {e after} an analysis
+    to detect mid-run edits). Unreadable counts as drifted. *)
+
+val stale_roots : Supergraph.t -> string list -> string list
+(** Callgraph roots whose transitive closure defines a function in one
+    of the given files — the results to degrade when those files changed
+    mid-run instead of mixing AST generations. *)

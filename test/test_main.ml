@@ -41,4 +41,5 @@ let () =
       ("scheduler", Test_sched.suite);
       ("flat", Test_flat.suite);
       ("state-ids", Test_state_ids.suite);
+      ("serve", Test_serve.suite);
     ]
